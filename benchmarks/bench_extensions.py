@@ -1,0 +1,50 @@
+"""Ablation: effect of the Section 7 extensions on the Section 5 workload.
+
+Measures how enabling the optional matcher extensions (OR-range interval
+sets, base-table backjoins, complex-expression mapping) changes the number
+of substitutes found and the fraction of final plans using views, at a
+fixed view count. The paper implements none of these; this quantifies what
+its prototype left on the table for this workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MatchOptions, ViewMatcher
+from repro.optimizer import Optimizer
+
+OPTION_SETS = {
+    "prototype": MatchOptions(),
+    "or_ranges": MatchOptions(support_or_ranges=True),
+    "backjoins": MatchOptions(allow_backjoins=True),
+    "all_extensions": MatchOptions(
+        support_or_ranges=True,
+        allow_backjoins=True,
+        map_complex_expressions=True,
+    ),
+}
+
+VIEWS = 300
+
+
+@pytest.mark.parametrize("label", sorted(OPTION_SETS))
+def test_extension_effect_on_view_usage(benchmark, bench_workload, label):
+    options = OPTION_SETS[label]
+    matcher = ViewMatcher(bench_workload.catalog, options=options)
+    for name, view in bench_workload.views[:VIEWS]:
+        matcher.register_view(name, view.statement)
+    optimizer = Optimizer(bench_workload.catalog, bench_workload.stats, matcher)
+
+    results = benchmark.pedantic(
+        bench_workload.optimize_batch,
+        args=(optimizer,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["options"] = label
+    benchmark.extra_info["plans_using_views"] = sum(r.uses_view for r in results)
+    benchmark.extra_info["substitutes_per_query"] = round(
+        sum(r.substitutes_produced for r in results) / len(results), 2
+    )

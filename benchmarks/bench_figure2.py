@@ -1,0 +1,45 @@
+"""Figure 2: optimization time as a function of the number of views.
+
+Each benchmark measures the optimization of the shared query batch for one
+(view count, configuration) cell; the benchmark name encodes the cell, so
+the pytest-benchmark table *is* the figure -- four lines (Alt/NoAlt x
+Filter/NoFilter) over increasing view counts.
+
+Paper's result: optimization time grows linearly with the number of views;
+with the filter tree the increase at 1000 views is ~60%, without it ~110%,
+and the absolute per-query time stays low.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .common import VIEW_COUNTS
+
+CONFIGURATIONS = [
+    ("alt_filter", True, True),
+    ("noalt_filter", False, True),
+    ("alt_nofilter", True, False),
+    ("noalt_nofilter", False, False),
+]
+
+
+@pytest.mark.parametrize("views", VIEW_COUNTS)
+@pytest.mark.parametrize("label,substitutes,filtered", CONFIGURATIONS)
+def test_figure2_optimization_time(
+    benchmark, bench_workload, views, label, substitutes, filtered
+):
+    optimizer = bench_workload.optimizer(
+        views, use_filter_tree=filtered, produce_substitutes=substitutes
+    )
+    results = benchmark.pedantic(
+        bench_workload.optimize_batch,
+        args=(optimizer,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["views"] = views
+    benchmark.extra_info["configuration"] = label
+    benchmark.extra_info["queries"] = len(results)
+    benchmark.extra_info["plans_using_views"] = sum(r.uses_view for r in results)

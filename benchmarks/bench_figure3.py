@@ -1,0 +1,37 @@
+"""Figure 3: time spent inside the view-matching rule vs. total increase.
+
+The benchmark measures, per view count, the full optimization of the query
+batch; ``extra_info`` records how much of that time was spent inside the
+view-matching rule (filter-tree search + per-candidate tests + substitute
+construction), which is the paper's second series.
+
+Paper's result: at 1000 views about half of the optimization-time increase
+originates in the view-matching code; with few views, most of it does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .common import VIEW_COUNTS
+
+
+@pytest.mark.parametrize("views", VIEW_COUNTS)
+def test_figure3_matching_time_share(benchmark, bench_workload, views):
+    optimizer = bench_workload.optimizer(views)
+    results = benchmark.pedantic(
+        bench_workload.optimize_batch,
+        args=(optimizer,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    total = sum(r.optimize_seconds for r in results)
+    matching = sum(r.matching_seconds for r in results)
+    benchmark.extra_info["views"] = views
+    benchmark.extra_info["total_seconds"] = round(total, 4)
+    benchmark.extra_info["matching_seconds"] = round(matching, 4)
+    benchmark.extra_info["matching_share"] = (
+        round(matching / total, 3) if total else 0.0
+    )
+    benchmark.extra_info["invocations"] = sum(r.invocations for r in results)

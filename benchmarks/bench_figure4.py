@@ -1,0 +1,34 @@
+"""Figure 4: number of final query plans using materialized views.
+
+The measured quantity is not a time but a count; the benchmark wraps the
+optimization run (so the cost of producing the counts is also visible) and
+reports the counts through ``extra_info``.
+
+Paper's result: ~60% of queries use a view in their best plan at 200
+views, rising to ~87% at 1000 -- the benefit of additional views tails off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .common import VIEW_COUNTS
+
+
+@pytest.mark.parametrize("views", VIEW_COUNTS)
+def test_figure4_plans_using_views(benchmark, bench_workload, views):
+    optimizer = bench_workload.optimizer(views)
+    results = benchmark.pedantic(
+        bench_workload.optimize_batch,
+        args=(optimizer,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    using = sum(r.uses_view for r in results)
+    benchmark.extra_info["views"] = views
+    benchmark.extra_info["plans_using_views"] = using
+    benchmark.extra_info["fraction"] = round(using / len(results), 3)
+    benchmark.extra_info["substitutes_per_query"] = round(
+        sum(r.substitutes_produced for r in results) / len(results), 2
+    )

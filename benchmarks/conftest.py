@@ -1,0 +1,10 @@
+"""Benchmark fixtures: expose the shared workload to all benchmark modules."""
+
+import pytest
+
+from .common import BenchWorkload
+
+
+@pytest.fixture(scope="session")
+def bench_workload() -> BenchWorkload:
+    return BenchWorkload()

@@ -1,0 +1,120 @@
+"""Scenario: treating cached query results as temporary materialized views.
+
+Run with:  python examples/query_result_cache.py
+
+The paper's introduction motivates scalability with exactly this use case:
+"A smart system might also cache and reuse results of previously computed
+queries. Cached results can be treated as temporary materialized views,
+easily resulting in thousands of materialized views."
+
+This example simulates a dashboard session: every executed aggregation
+query's result is materialized and registered with the matcher; later
+queries that drill into the cached results (tighter ranges, coarser
+grouping) are answered from the cache instead of the base tables.
+"""
+
+from repro import (
+    DatabaseStats,
+    ViewMatcher,
+    execute,
+    generate_tpch,
+    materialize_view,
+    statement_to_sql,
+    tpch_catalog,
+)
+
+
+class CachingSession:
+    """Executes queries, caching each result as a materialized view."""
+
+    def __init__(self, catalog, database):
+        self.catalog = catalog
+        self.database = database
+        self.matcher = ViewMatcher(catalog)
+        self._counter = 0
+        self.hits = 0
+        self.misses = 0
+
+    def run(self, sql: str):
+        query = self.catalog.bind_sql(sql)
+        matches = self.matcher.substitutes(query)
+        if matches:
+            self.hits += 1
+            best = min(
+                matches,
+                key=lambda m: self.database.row_count(m.view.name),
+            )
+            print(f"  cache HIT via {best.view.name}: "
+                  f"{statement_to_sql(best.substitute)}")
+            return execute(best.substitute, self.database)
+        self.misses += 1
+        print("  cache MISS; executing against base tables")
+        result = execute(query, self.database)
+        self._cache(query)
+        return result
+
+    def _cache(self, query) -> None:
+        """Register the query itself as a temporary materialized view."""
+        from repro.sql.statements import SelectItem
+
+        # Cached aggregation results need a count_big column and named
+        # outputs to be (re)usable as views; skip queries outside the
+        # indexable class.
+        from repro.sql.expressions import FuncCall
+
+        items = []
+        for i, item in enumerate(query.select_items):
+            alias = item.name or f"c{i + 1}"
+            items.append(SelectItem(item.expression, alias=alias))
+        if query.is_aggregate:
+            items.append(SelectItem(FuncCall("count_big", star=True), alias="cnt"))
+        from dataclasses import replace
+
+        view_query = replace(query, select_items=tuple(items))
+        self._counter += 1
+        name = f"cached{self._counter}"
+        try:
+            self.matcher.register_view(name, view_query)
+        except Exception:
+            return  # not cacheable (outside the SPJG view class)
+        materialize_view(name, view_query, self.database)
+        print(f"  cached result as {name} ({self.database.row_count(name)} rows)")
+
+
+def main() -> None:
+    catalog = tpch_catalog()
+    database = generate_tpch(scale=0.001, seed=5)
+    session = CachingSession(catalog, database)
+
+    dashboard = [
+        # A broad revenue-by-customer rollup ...
+        "select o_custkey, sum(o_totalprice) from orders group by o_custkey",
+        # ... a later drill-down over a customer range: answered from cache.
+        "select o_custkey, sum(o_totalprice) from orders "
+        "where o_custkey >= 20 and o_custkey <= 80 group by o_custkey",
+        # A coarser rollup (global total): also answerable from the cache.
+        "select sum(o_totalprice) from orders",
+        # Per-part quantities joined with part data ...
+        "select l_partkey, sum(l_quantity) from lineitem, part "
+        "where l_partkey = p_partkey group by l_partkey",
+        # ... and a filtered re-ask of the same shape.
+        "select l_partkey, sum(l_quantity) from lineitem, part "
+        "where l_partkey = p_partkey and l_partkey <= 100 group by l_partkey",
+        # Average order value derives from the cached SUM and COUNT.
+        "select o_custkey, avg(o_totalprice) from orders group by o_custkey",
+    ]
+
+    for i, sql in enumerate(dashboard, 1):
+        print(f"\nquery {i}: {' '.join(sql.split())}")
+        result = session.run(sql)
+        print(f"  -> {result.row_count} rows")
+
+    print(
+        f"\nsession summary: {session.hits} cache hits, "
+        f"{session.misses} misses, "
+        f"{session.matcher.view_count} cached views registered"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Rerun the paper's Section 5 scaling experiment and print Figures 2-4.
+
+Run with:  python examples/scaling_experiment.py [--quick]
+
+``--quick`` runs a reduced sweep (a couple of minutes becomes seconds);
+the default sweep covers 0..1000 views like the paper. Either way the
+output is the four-line Figure 2 table, the Figure 3 decomposition, the
+Figure 4 view-usage counts and the Section 5 filtering statistics.
+"""
+
+import sys
+
+from repro import ExperimentConfig, ExperimentHarness
+from repro.experiments import render_all
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    if quick:
+        config = ExperimentConfig(
+            view_counts=(0, 50, 100, 200),
+            query_count=30,
+        )
+    else:
+        config = ExperimentConfig(
+            view_counts=(0, 100, 200, 400, 600, 800, 1000),
+            query_count=100,
+        )
+    print(
+        f"generating {max(config.view_counts)} views and "
+        f"{config.query_count} queries (seed {config.seed}) ..."
+    )
+    harness = ExperimentHarness(config)
+    print("running the sweep over all four optimizer configurations ...")
+    result = harness.run()
+    print()
+    print(render_all(result))
+    print()
+    print(
+        "Compare with the paper: linear growth in optimization time, the\n"
+        "filter tree roughly halving the increase, view usage saturating\n"
+        "as views are added, and sub-percent candidate fractions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    The quickstart flow: register a view, match a query, execute both.
+``examples``
+    The paper's worked Examples 1-4, step by step.
+``figures [--quick]``
+    Rerun the Section 5 sweep and print the Figure 2-4 tables and the
+    filtering statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of Goldstein & Larson (SIGMOD 2001): view matching "
+            "with a filter tree."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("demo", help="register a view, match, execute, verify")
+    subparsers.add_parser("examples", help="walk through the paper's Examples 1-4")
+    figures = subparsers.add_parser(
+        "figures", help="rerun the Section 5 sweep (Figures 2-4)"
+    )
+    figures.add_argument(
+        "--quick", action="store_true", help="reduced sweep (seconds, not minutes)"
+    )
+    figures.add_argument("--views", type=int, default=None, help="max view count")
+    figures.add_argument("--queries", type=int, default=None, help="query batch size")
+    figures.add_argument("--seed", type=int, default=42)
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "demo":
+        from .cli import run_demo
+
+        return run_demo()
+    if arguments.command == "examples":
+        from .cli import run_examples
+
+        return run_examples()
+    from .cli import run_figures
+
+    return run_figures(
+        quick=arguments.quick,
+        views=arguments.views,
+        queries=arguments.queries,
+        seed=arguments.seed,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

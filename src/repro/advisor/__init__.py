@@ -1,0 +1,5 @@
+"""Workload-driven materialized-view recommendation."""
+
+from .advisor import CandidateView, Recommendation, ViewAdvisor
+
+__all__ = ["CandidateView", "Recommendation", "ViewAdvisor"]

@@ -1,0 +1,242 @@
+"""A workload-driven materialized-view advisor.
+
+The paper motivates its scalability requirement with tools that generate
+views in bulk: "Tools similar to that described in [Agrawal, Chaudhuri,
+Narasayya: Automated Selection of Materialized Views and Indexes, VLDB
+2000] can also generate large numbers of views." This module is a compact
+member of that family, built entirely on the repository's own machinery:
+
+1. **Candidate generation** -- queries are grouped by (table set, join
+   predicates); each group yields one candidate view exposing the union of
+   the columns its queries need, aggregated by the union of their grouping
+   columns when every query in the group aggregates.
+2. **Cost-based evaluation** -- each candidate is registered with a
+   :class:`ViewMatcher` and every workload query is optimized with and
+   without it; the candidate's benefit is the total plan-cost reduction.
+3. **Greedy selection** -- candidates are accepted in descending benefit
+   until the requested number is reached, re-evaluating the residual
+   benefit against the views already chosen (a candidate helping only
+   queries an earlier pick already covers gets no credit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..catalog.catalog import Catalog
+from ..core.describe import describe
+from ..core.matcher import ViewMatcher
+from ..core.normalize import classify_predicate
+from ..optimizer.optimizer import Optimizer
+from ..sql.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    conjunction,
+)
+from ..sql.statements import SelectItem, SelectStatement, TableRef
+from ..stats.estimator import CardinalityEstimator
+from ..stats.statistics import DatabaseStats
+
+
+@dataclass
+class CandidateView:
+    """One recommended view with its measured workload benefit."""
+
+    name: str
+    statement: SelectStatement
+    benefit: float = 0.0
+    queries_helped: int = 0
+    estimated_rows: float = 0.0
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.statement.is_aggregate
+
+
+@dataclass
+class Recommendation:
+    """The advisor's output: chosen views plus workload-level numbers."""
+
+    views: list[CandidateView]
+    workload_cost_before: float
+    workload_cost_after: float
+
+    @property
+    def improvement(self) -> float:
+        if self.workload_cost_before <= 0:
+            return 0.0
+        return 1.0 - self.workload_cost_after / self.workload_cost_before
+
+
+@dataclass
+class _QueryGroup:
+    tables: frozenset[str]
+    join_predicates: frozenset[Expression]
+    queries: list[SelectStatement] = field(default_factory=list)
+
+
+class ViewAdvisor:
+    """Recommends materialized views for a query workload."""
+
+    def __init__(self, catalog: Catalog, stats: DatabaseStats):
+        self.catalog = catalog
+        self.stats = stats
+        self.estimator = CardinalityEstimator(stats)
+        self._counter = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def recommend(
+        self,
+        queries: list[SelectStatement],
+        max_views: int = 5,
+    ) -> Recommendation:
+        """Propose up to ``max_views`` views for the workload."""
+        candidates = self.generate_candidates(queries)
+        baseline = self._workload_cost(queries, matcher=None)
+        chosen: list[CandidateView] = []
+        current_cost = baseline
+        remaining = list(candidates)
+        while remaining and len(chosen) < max_views:
+            best: CandidateView | None = None
+            best_cost = current_cost
+            for candidate in remaining:
+                matcher = self._matcher_for(chosen + [candidate])
+                cost = self._workload_cost(queries, matcher)
+                if cost < best_cost - 1e-9:
+                    best = candidate
+                    best_cost = cost
+            if best is None:
+                break
+            best.benefit = current_cost - best_cost
+            best.queries_helped = self._queries_helped(queries, chosen + [best])
+            chosen.append(best)
+            remaining.remove(best)
+            current_cost = best_cost
+        return Recommendation(
+            views=chosen,
+            workload_cost_before=baseline,
+            workload_cost_after=current_cost,
+        )
+
+    # -- candidate generation ------------------------------------------------------
+
+    def generate_candidates(
+        self, queries: list[SelectStatement]
+    ) -> list[CandidateView]:
+        """Syntactic candidates: one per (table set, join predicates) group."""
+        groups: dict[tuple, _QueryGroup] = {}
+        for statement in queries:
+            tables = frozenset(statement.table_names())
+            joins = frozenset(self._join_conjuncts(statement))
+            key = (tables, joins)
+            group = groups.get(key)
+            if group is None:
+                group = _QueryGroup(tables=tables, join_predicates=joins)
+                groups[key] = group
+            group.queries.append(statement)
+        candidates = []
+        for group in groups.values():
+            candidate = self._candidate_for(group)
+            if candidate is not None:
+                candidates.append(candidate)
+        return candidates
+
+    def _join_conjuncts(self, statement: SelectStatement) -> list[Expression]:
+        classified = classify_predicate(statement.where)
+        return [
+            BinaryOp("=", ColumnRef(*a), ColumnRef(*b))
+            for a, b in classified.equalities
+        ]
+
+    def _candidate_for(self, group: _QueryGroup) -> CandidateView | None:
+        needed: dict[tuple[str, str], ColumnRef] = {}
+        sum_arguments: dict[Expression, None] = {}
+        grouping: dict[tuple[str, str], ColumnRef] = {}
+        all_aggregate = all(q.is_aggregate for q in group.queries)
+        for statement in group.queries:
+            for item in statement.select_items:
+                for node in item.expression.walk():
+                    if isinstance(node, FuncCall) and node.is_aggregate():
+                        if not node.star:
+                            sum_arguments.setdefault(node.args[0])
+                    elif isinstance(node, ColumnRef):
+                        needed.setdefault(node.key, node)
+            for expr in statement.group_by:
+                for ref in expr.column_refs():
+                    grouping.setdefault(ref.key, ref)
+                    needed.setdefault(ref.key, ref)
+            # Range/residual columns must be exposed so compensating
+            # predicates can be applied on the view.
+            classified = classify_predicate(statement.where)
+            for predicate in classified.range_predicates:
+                reference = ColumnRef(*predicate.column)
+                needed.setdefault(predicate.column, reference)
+                grouping.setdefault(predicate.column, reference)
+            for conjunct in classified.residuals:
+                for ref in conjunct.column_refs():
+                    needed.setdefault(ref.key, ref)
+                    grouping.setdefault(ref.key, ref)
+        self._counter += 1
+        name = f"advised{self._counter}"
+        if all_aggregate:
+            items = [
+                SelectItem(ref, alias=f"g_{ref.column}")
+                for ref in grouping.values()
+            ]
+            # Non-grouping plain columns cannot be kept in an aggregation
+            # view; queries needing them will simply not be helped.
+            for i, argument in enumerate(sum_arguments):
+                items.append(
+                    SelectItem(FuncCall("sum", (argument,)), alias=f"s_{i}")
+                )
+            items.append(SelectItem(FuncCall("count_big", star=True), alias="cnt"))
+            statement = SelectStatement(
+                select_items=tuple(items),
+                from_tables=tuple(TableRef(t) for t in sorted(group.tables)),
+                where=conjunction(sorted(group.join_predicates, key=str)),
+                group_by=tuple(grouping.values()),
+            )
+        else:
+            if not needed:
+                return None
+            items = [
+                SelectItem(ref, alias=f"c_{ref.column}")
+                for _, ref in sorted(needed.items())
+            ]
+            statement = SelectStatement(
+                select_items=tuple(items),
+                from_tables=tuple(TableRef(t) for t in sorted(group.tables)),
+                where=conjunction(sorted(group.join_predicates, key=str)),
+            )
+        return CandidateView(
+            name=name,
+            statement=statement,
+            estimated_rows=self.estimator.output_cardinality(
+                describe(statement, self.catalog)
+            ),
+        )
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _matcher_for(self, candidates: list[CandidateView]) -> ViewMatcher:
+        matcher = ViewMatcher(self.catalog)
+        for candidate in candidates:
+            matcher.register_view(candidate.name, candidate.statement)
+        return matcher
+
+    def _workload_cost(
+        self, queries: list[SelectStatement], matcher: ViewMatcher | None
+    ) -> float:
+        optimizer = Optimizer(self.catalog, self.stats, matcher=matcher)
+        return sum(optimizer.optimize(q).cost for q in queries)
+
+    def _queries_helped(
+        self, queries: list[SelectStatement], candidates: list[CandidateView]
+    ) -> int:
+        optimizer = Optimizer(
+            self.catalog, self.stats, matcher=self._matcher_for(candidates)
+        )
+        return sum(1 for q in queries if optimizer.optimize(q).uses_view)

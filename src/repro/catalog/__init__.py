@@ -1,0 +1,17 @@
+"""Catalog: tables, constraints, materialized view definitions, TPC-H schema."""
+
+from .catalog import Catalog, ViewDefinition
+from .schema import CheckConstraint, Column, ColumnType, ForeignKey, Table
+from .tpch import TPCH_BASE_CARDINALITIES, tpch_catalog
+
+__all__ = [
+    "Catalog",
+    "CheckConstraint",
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "TPCH_BASE_CARDINALITIES",
+    "Table",
+    "ViewDefinition",
+    "tpch_catalog",
+]

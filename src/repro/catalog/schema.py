@@ -1,0 +1,128 @@
+"""Schema metadata: columns, tables and the four constraint kinds.
+
+The view-matching algorithm exploits exactly four types of constraints
+(paper, Section 3): not-null constraints on columns, primary keys,
+uniqueness constraints, and foreign keys. Check constraints are carried as
+an optional extension (Section 3.1.2 notes they can be folded into the
+implication antecedent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import CatalogError
+from ..sql.expressions import Expression
+
+
+class ColumnType(Enum):
+    """The value domains the engine and data generator understand."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"  # stored as an integer day number; ordered like INTEGER
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INTEGER, ColumnType.FLOAT, ColumnType.DATE)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition: name, type, and nullability."""
+
+    name: str
+    type: ColumnType = ColumnType.INTEGER
+    nullable: bool = False
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key from ``columns`` of the owning table to ``parent_table``.
+
+    ``parent_columns`` must be a unique key (primary or declared-unique) of
+    the parent table; the catalog validates this at registration time. The
+    cardinality-preserving-join test of Section 3.2 requires all five
+    properties: equijoin on *all* columns, non-null FK columns, declared
+    foreign key, unique target key.
+    """
+
+    columns: tuple[str, ...]
+    parent_table: str
+    parent_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.parent_columns):
+            raise CatalogError(
+                f"foreign key column count mismatch: {self.columns} -> "
+                f"{self.parent_columns}"
+            )
+
+
+@dataclass(frozen=True)
+class CheckConstraint:
+    """A declared table-level check constraint (a predicate over one table)."""
+
+    name: str
+    predicate: Expression
+
+
+@dataclass
+class Table:
+    """A base-table definition with its constraints."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    unique_keys: tuple[tuple[str, ...], ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    check_constraints: tuple[CheckConstraint, ...] = ()
+    _by_name: dict[str, Column] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_name = {}
+        for column in self.columns:
+            if column.name in self._by_name:
+                raise CatalogError(f"duplicate column {column.name} in {self.name}")
+            self._by_name[column.name] = column
+        for key in (self.primary_key, *self.unique_keys):
+            for name in key:
+                if name not in self._by_name:
+                    raise CatalogError(f"key column {name} not in table {self.name}")
+        for fk in self.foreign_keys:
+            for name in fk.columns:
+                if name not in self._by_name:
+                    raise CatalogError(f"FK column {name} not in table {self.name}")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(f"no column {name} in table {self.name}") from None
+
+    def all_unique_keys(self) -> tuple[tuple[str, ...], ...]:
+        """Primary key plus declared unique keys, de-duplicated."""
+        keys: list[tuple[str, ...]] = []
+        if self.primary_key:
+            keys.append(self.primary_key)
+        for key in self.unique_keys:
+            if key not in keys:
+                keys.append(key)
+        return tuple(keys)
+
+    def is_unique_key(self, columns: tuple[str, ...]) -> bool:
+        """True when ``columns`` is exactly a declared unique key (any order)."""
+        wanted = frozenset(columns)
+        return any(frozenset(key) == wanted for key in self.all_unique_keys())
+
+    def is_nullable(self, name: str) -> bool:
+        return self.column(name).nullable

@@ -1,0 +1,197 @@
+"""The TPC-H/R schema, with primary keys, foreign keys and NOT NULL declared.
+
+This is the database of the paper's examples and of its Section 5
+experiments ("The database was TPC-H ... with primary keys and foreign keys
+defined"). Dates are modelled as integer day numbers (ordered identically),
+decimals as floats.
+"""
+
+from __future__ import annotations
+
+from .catalog import Catalog
+from .schema import Column, ColumnType, ForeignKey, Table
+
+_I = ColumnType.INTEGER
+_F = ColumnType.FLOAT
+_S = ColumnType.STRING
+_D = ColumnType.DATE
+
+
+def tpch_catalog() -> Catalog:
+    """Build a fresh catalog containing the eight TPC-H tables."""
+    catalog = Catalog()
+
+    catalog.add_table(
+        Table(
+            name="region",
+            columns=(
+                Column("r_regionkey", _I),
+                Column("r_name", _S),
+                Column("r_comment", _S),
+            ),
+            primary_key=("r_regionkey",),
+        )
+    )
+
+    catalog.add_table(
+        Table(
+            name="nation",
+            columns=(
+                Column("n_nationkey", _I),
+                Column("n_name", _S),
+                Column("n_regionkey", _I),
+                Column("n_comment", _S),
+            ),
+            primary_key=("n_nationkey",),
+            foreign_keys=(
+                ForeignKey(("n_regionkey",), "region", ("r_regionkey",)),
+            ),
+        )
+    )
+
+    catalog.add_table(
+        Table(
+            name="supplier",
+            columns=(
+                Column("s_suppkey", _I),
+                Column("s_name", _S),
+                Column("s_address", _S),
+                Column("s_nationkey", _I),
+                Column("s_phone", _S),
+                Column("s_acctbal", _F),
+                Column("s_comment", _S),
+            ),
+            primary_key=("s_suppkey",),
+            foreign_keys=(
+                ForeignKey(("s_nationkey",), "nation", ("n_nationkey",)),
+            ),
+        )
+    )
+
+    catalog.add_table(
+        Table(
+            name="customer",
+            columns=(
+                Column("c_custkey", _I),
+                Column("c_name", _S),
+                Column("c_address", _S),
+                Column("c_nationkey", _I),
+                Column("c_phone", _S),
+                Column("c_acctbal", _F),
+                Column("c_mktsegment", _S),
+                Column("c_comment", _S),
+            ),
+            primary_key=("c_custkey",),
+            foreign_keys=(
+                ForeignKey(("c_nationkey",), "nation", ("n_nationkey",)),
+            ),
+        )
+    )
+
+    catalog.add_table(
+        Table(
+            name="part",
+            columns=(
+                Column("p_partkey", _I),
+                Column("p_name", _S),
+                Column("p_mfgr", _S),
+                Column("p_brand", _S),
+                Column("p_type", _S),
+                Column("p_size", _I),
+                Column("p_container", _S),
+                Column("p_retailprice", _F),
+                Column("p_comment", _S),
+            ),
+            primary_key=("p_partkey",),
+        )
+    )
+
+    catalog.add_table(
+        Table(
+            name="partsupp",
+            columns=(
+                Column("ps_partkey", _I),
+                Column("ps_suppkey", _I),
+                Column("ps_availqty", _I),
+                Column("ps_supplycost", _F),
+                Column("ps_comment", _S),
+            ),
+            primary_key=("ps_partkey", "ps_suppkey"),
+            foreign_keys=(
+                ForeignKey(("ps_partkey",), "part", ("p_partkey",)),
+                ForeignKey(("ps_suppkey",), "supplier", ("s_suppkey",)),
+            ),
+        )
+    )
+
+    catalog.add_table(
+        Table(
+            name="orders",
+            columns=(
+                Column("o_orderkey", _I),
+                Column("o_custkey", _I),
+                Column("o_orderstatus", _S),
+                Column("o_totalprice", _F),
+                Column("o_orderdate", _D),
+                Column("o_orderpriority", _S),
+                Column("o_clerk", _S),
+                Column("o_shippriority", _I),
+                Column("o_comment", _S),
+            ),
+            primary_key=("o_orderkey",),
+            foreign_keys=(
+                ForeignKey(("o_custkey",), "customer", ("c_custkey",)),
+            ),
+        )
+    )
+
+    catalog.add_table(
+        Table(
+            name="lineitem",
+            columns=(
+                Column("l_orderkey", _I),
+                Column("l_partkey", _I),
+                Column("l_suppkey", _I),
+                Column("l_linenumber", _I),
+                Column("l_quantity", _F),
+                Column("l_extendedprice", _F),
+                Column("l_discount", _F),
+                Column("l_tax", _F),
+                Column("l_returnflag", _S),
+                Column("l_linestatus", _S),
+                Column("l_shipdate", _D),
+                Column("l_commitdate", _D),
+                Column("l_receiptdate", _D),
+                Column("l_shipinstruct", _S),
+                Column("l_shipmode", _S),
+                Column("l_comment", _S),
+            ),
+            primary_key=("l_orderkey", "l_linenumber"),
+            foreign_keys=(
+                ForeignKey(("l_orderkey",), "orders", ("o_orderkey",)),
+                ForeignKey(("l_partkey",), "part", ("p_partkey",)),
+                ForeignKey(("l_suppkey",), "supplier", ("s_suppkey",)),
+                ForeignKey(
+                    ("l_partkey", "l_suppkey"),
+                    "partsupp",
+                    ("ps_partkey", "ps_suppkey"),
+                ),
+            ),
+        )
+    )
+
+    return catalog
+
+
+# Rough base-table cardinalities per unit of scale factor, from the TPC-H
+# specification; the data generator and the statistics module scale these.
+TPCH_BASE_CARDINALITIES = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}

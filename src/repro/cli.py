@@ -1,0 +1,107 @@
+"""Implementations behind ``python -m repro``."""
+
+from __future__ import annotations
+
+
+def run_demo() -> int:
+    """Register a view, match a query against it, execute and verify."""
+    from . import (
+        ViewMatcher,
+        execute,
+        generate_tpch,
+        materialize_view,
+        statement_to_sql,
+        tpch_catalog,
+    )
+
+    catalog = tpch_catalog()
+    database = generate_tpch(scale=0.001, seed=1)
+    matcher = ViewMatcher(catalog)
+    view = catalog.bind_sql(
+        """
+        select l_partkey, sum(l_extendedprice * l_quantity) as revenue,
+               count_big(*) as cnt
+        from lineitem, part
+        where l_partkey = p_partkey and p_partkey <= 150
+        group by l_partkey
+        """
+    )
+    matcher.register_view("part_revenue", view)
+    materialize_view("part_revenue", view, database)
+    query = catalog.bind_sql(
+        """
+        select l_partkey, sum(l_extendedprice * l_quantity)
+        from lineitem, part
+        where l_partkey = p_partkey and p_partkey >= 50 and p_partkey <= 100
+        group by l_partkey
+        """
+    )
+    print("query:      ", statement_to_sql(query))
+    matches = matcher.substitutes(query)
+    if not matches:
+        print("no substitute found")
+        return 1
+    substitute = matches[0].substitute
+    print("substitute: ", statement_to_sql(substitute))
+    original = execute(query, database)
+    rewritten = execute(substitute, database)
+    equal = original.bag_equals(rewritten, float_digits=9)
+    print(
+        f"rows: {original.row_count} (original) vs {rewritten.row_count} "
+        f"(rewrite); bag-equal: {equal}"
+    )
+    return 0 if equal else 1
+
+
+def run_examples() -> int:
+    """The paper's Examples 1-4 (delegates to the examples script)."""
+    import importlib.util
+    import pathlib
+
+    path = (
+        pathlib.Path(__file__).resolve().parent.parent.parent
+        / "examples"
+        / "paper_walkthrough.py"
+    )
+    if not path.exists():
+        print("examples/paper_walkthrough.py not found; run from a source checkout")
+        return 1
+    spec = importlib.util.spec_from_file_location("paper_walkthrough", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+def run_figures(
+    quick: bool = False,
+    views: int | None = None,
+    queries: int | None = None,
+    seed: int = 42,
+) -> int:
+    """Rerun the Section 5 sweep and print all figure tables."""
+    from .experiments import ExperimentConfig, ExperimentHarness, render_all
+
+    if quick:
+        view_counts: tuple[int, ...] = (0, 50, 100, 200)
+        query_count = 30
+    else:
+        view_counts = (0, 100, 200, 400, 600, 800, 1000)
+        query_count = 100
+    if views is not None:
+        step = max(views // 5, 1)
+        view_counts = (0,) + tuple(range(step, views + 1, step))
+    if queries is not None:
+        query_count = queries
+    config = ExperimentConfig(
+        view_counts=view_counts, query_count=query_count, seed=seed
+    )
+    print(
+        f"sweep: views {list(config.view_counts)}, "
+        f"{config.query_count} queries, seed {config.seed}"
+    )
+    result = ExperimentHarness(config).run()
+    print()
+    print(render_all(result))
+    return 0

@@ -1,0 +1,336 @@
+"""SPJG descriptions: the precomputed normal form of queries and views.
+
+The paper keeps "in memory a description of every materialized view
+[containing] all information needed to apply the tests" (Section 4). This
+module builds that description for views at registration time and for query
+expressions at match time: the PE/PR/PU predicate classification, column
+equivalence classes, per-class range intervals, residual-predicate shallow
+forms, output/grouping metadata, and the derived key sets the filter tree
+indexes on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import MatchError, UnsupportedSqlError
+from ..sql.expressions import (
+    ColumnRef,
+    Expression,
+    FuncCall,
+    Literal,
+)
+from ..sql.statements import SelectItem, SelectStatement
+from .equivalence import ColumnKey, EquivalenceClasses
+from .intervalsets import OrRangePredicate, as_or_range
+from .normalize import ClassifiedPredicate, classify_predicate
+from .options import DEFAULT_OPTIONS, MatchOptions
+from .ranges import Interval, derive_ranges
+from .residual import ShallowForm
+
+if TYPE_CHECKING:
+    from ..catalog.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class OutputInfo:
+    """One select-list item with its precomputed matching metadata."""
+
+    item: SelectItem
+    position: int
+    form: ShallowForm
+
+    @property
+    def expression(self) -> Expression:
+        return self.item.expression
+
+    @property
+    def name(self) -> str | None:
+        return self.item.name
+
+    @property
+    def is_simple_column(self) -> bool:
+        return isinstance(self.item.expression, ColumnRef)
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self.item.expression, Literal)
+
+    @property
+    def contains_aggregate(self) -> bool:
+        return self.item.expression.contains_aggregate()
+
+
+def normalized_aggregate_template(call: FuncCall) -> tuple[str, ...]:
+    """Canonical template strings an aggregate call requires of a view.
+
+    COUNT and COUNT_BIG are interchangeable for matching, so both normalize
+    to ``count_big``; AVG expands to the SUM and COUNT_BIG it is computed
+    from. The returned tuple lists every view output template the call needs.
+    """
+    if call.star:
+        return ("count_big(*)",)
+    argument_template = ShallowForm.of(call.args[0]).template
+    if call.name == "sum":
+        return (f"sum({argument_template})",)
+    if call.name in ("count", "count_big"):
+        return (f"count_big({argument_template})",)
+    if call.name == "avg":
+        return (f"sum({argument_template})", "count_big(*)")
+    raise MatchError(f"unsupported aggregate {call.name}")
+
+
+class SpjgDescription:
+    """Precomputed matching metadata for one SPJG statement.
+
+    The same class describes queries and views; ``name`` is the view name
+    for registered views and ``None`` for query expressions. All predicate
+    metadata describes the *SPJ part* (the WHERE clause); grouping and
+    output metadata describe the full statement.
+    """
+
+    def __init__(
+        self,
+        statement: SelectStatement,
+        catalog: "Catalog",
+        name: str | None = None,
+        options: MatchOptions = DEFAULT_OPTIONS,
+    ) -> None:
+        self.statement = statement
+        self.catalog = catalog
+        self.name = name
+        self.options = options
+        self.tables: frozenset[str] = frozenset(statement.table_names())
+        if not self.tables:
+            raise UnsupportedSqlError("statement references no tables")
+
+        self.classified: ClassifiedPredicate = classify_predicate(statement.where)
+        self.eqclasses = self._build_equivalence_classes()
+        self.ranges: dict[ColumnKey, Interval] = derive_ranges(
+            self.classified.range_predicates, self.eqclasses
+        )
+        residual_conjuncts = list(self.classified.residuals)
+        or_ranges: list[OrRangePredicate] = []
+        if options.support_or_ranges:
+            remaining = []
+            for conjunct in residual_conjuncts:
+                recognised = as_or_range(conjunct)
+                if recognised is None:
+                    remaining.append(conjunct)
+                elif recognised.interval_set.is_unbounded:
+                    continue  # tautology: drop entirely
+                else:
+                    or_ranges.append(recognised)
+            residual_conjuncts = remaining
+        self.or_ranges: tuple[OrRangePredicate, ...] = tuple(or_ranges)
+        self.residual_forms: tuple[ShallowForm, ...] = tuple(
+            ShallowForm.of(conjunct) for conjunct in residual_conjuncts
+        )
+        self.outputs: tuple[OutputInfo, ...] = tuple(
+            OutputInfo(item=item, position=i, form=ShallowForm.of(item.expression))
+            for i, item in enumerate(statement.select_items)
+        )
+        self.group_forms: tuple[ShallowForm, ...] = tuple(
+            ShallowForm.of(expr) for expr in statement.group_by
+        )
+        self.is_aggregate = statement.is_aggregate
+
+    # -- construction helpers -------------------------------------------------
+
+    def _build_equivalence_classes(self) -> EquivalenceClasses:
+        classes = EquivalenceClasses()
+        for table in self.tables:
+            for column in self.catalog.table(table).column_names:
+                classes.add_column((table, column))
+        for a, b in self.classified.equalities:
+            if a not in classes or b not in classes:
+                raise MatchError(f"equality on unbound column: {a} = {b}")
+            classes.add_equality(a, b)
+        return classes
+
+    # -- output metadata -------------------------------------------------------
+
+    @property
+    def simple_output_map(self) -> dict[ColumnKey, str]:
+        """Output name per directly-exposed column (first exposure wins)."""
+        mapping: dict[ColumnKey, str] = {}
+        for info in self.outputs:
+            expr = info.expression
+            if isinstance(expr, ColumnRef) and info.name is not None:
+                mapping.setdefault(expr.key, info.name)
+        return mapping
+
+    @property
+    def expression_outputs(self) -> tuple[OutputInfo, ...]:
+        """Non-simple, non-constant output items (expressions, aggregates)."""
+        return tuple(
+            info
+            for info in self.outputs
+            if not info.is_simple_column and not info.is_constant
+        )
+
+    def extended_output_columns(self) -> frozenset[ColumnKey]:
+        """The paper's extended output list (Section 4.2.3).
+
+        Every column equivalent (under *this* statement's classes) to a
+        directly-exposed output column.
+        """
+        members: set[ColumnKey] = set()
+        for key in self.simple_output_map:
+            members.update(self.eqclasses.class_of(key))
+        return frozenset(members)
+
+    def output_templates(self) -> frozenset[str]:
+        """Templates of non-simple outputs, with aggregates normalized."""
+        templates: set[str] = set()
+        for info in self.expression_outputs:
+            expr = info.expression
+            if isinstance(expr, FuncCall) and expr.is_aggregate():
+                templates.update(normalized_aggregate_template(expr))
+            else:
+                templates.add(info.form.template)
+        return frozenset(templates)
+
+    def residual_templates(self) -> frozenset[str]:
+        return frozenset(form.template for form in self.residual_forms)
+
+    # -- grouping metadata -------------------------------------------------------
+
+    @property
+    def simple_grouping_columns(self) -> frozenset[ColumnKey]:
+        return frozenset(
+            expr.key
+            for expr in self.statement.group_by
+            if isinstance(expr, ColumnRef)
+        )
+
+    def extended_grouping_columns(self) -> frozenset[ColumnKey]:
+        """Extended grouping list (Section 4.2.4), mirroring output columns."""
+        members: set[ColumnKey] = set()
+        for key in self.simple_grouping_columns:
+            members.update(self.eqclasses.class_of(key))
+        return frozenset(members)
+
+    def grouping_templates(self) -> frozenset[str]:
+        """Templates of non-simple grouping expressions."""
+        return frozenset(
+            form.template
+            for form, expr in zip(self.group_forms, self.statement.group_by)
+            if not isinstance(expr, ColumnRef)
+        )
+
+    # -- range metadata -------------------------------------------------------
+
+    def _constrained_representatives(self) -> set[ColumnKey]:
+        representatives = set(self.ranges)
+        for or_range in self.or_ranges:
+            representatives.add(self.eqclasses.find(or_range.column))
+        return representatives
+
+    def range_constrained_classes(self) -> tuple[frozenset[ColumnKey], ...]:
+        """The equivalence classes that carry at least one range bound.
+
+        Disjunctive ranges (the OR extension) count as range constraints
+        too: their presence in a view demands a corresponding constraint in
+        the query just like a plain bound does.
+        """
+        return tuple(
+            self.eqclasses.class_of(rep)
+            for rep in sorted(self._constrained_representatives())
+        )
+
+    def extended_range_constrained_columns(self) -> frozenset[ColumnKey]:
+        """All columns equivalent to some range-constrained column."""
+        members: set[ColumnKey] = set()
+        for cls in self.range_constrained_classes():
+            members.update(cls)
+        return frozenset(members)
+
+    def reduced_range_constrained_columns(self) -> frozenset[ColumnKey]:
+        """Range-constrained columns in *trivial* classes (Section 4.2.5)."""
+        return frozenset(
+            rep
+            for rep in self._constrained_representatives()
+            if len(self.eqclasses.class_of(rep)) == 1
+        )
+
+    # -- misc -------------------------------------------------------------------
+
+    def columns_with_predicates(self) -> frozenset[ColumnKey]:
+        """Columns referenced by any range or residual predicate.
+
+        Used by the hub refinement of Section 4.2.2: a table stays in the
+        hub when one of these columns belongs to a trivial class.
+        """
+        columns: set[ColumnKey] = {rp.column for rp in self.classified.range_predicates}
+        for or_range in self.or_ranges:
+            columns.add(or_range.column)
+        for form in self.residual_forms:
+            for ref in form.refs:
+                columns.add(ref.key)
+        return frozenset(columns)
+
+    def __repr__(self) -> str:
+        kind = "view" if self.name else "query"
+        return f"<SpjgDescription {kind} {self.name or ''} tables={sorted(self.tables)}>"
+
+
+def describe(
+    statement: SelectStatement,
+    catalog: "Catalog",
+    name: str | None = None,
+    options: MatchOptions = DEFAULT_OPTIONS,
+) -> SpjgDescription:
+    """Build the description of a bound SPJG statement."""
+    return SpjgDescription(statement, catalog, name=name, options=options)
+
+
+def validate_view_description(description: SpjgDescription) -> None:
+    """Enforce the indexable-view rules of Section 2.
+
+    * every output expression must carry a name,
+    * no DISTINCT,
+    * an aggregation view must output every grouping expression and a
+      ``count_big(*)`` column, and its only aggregates are SUM and
+      COUNT_BIG over non-nullable-safe expressions.
+    """
+    statement = description.statement
+    if statement.distinct:
+        raise MatchError("indexable views cannot use DISTINCT")
+    for info in description.outputs:
+        if info.name is None:
+            raise MatchError(
+                f"view output #{info.position + 1} needs a name (use AS)"
+            )
+    if not description.is_aggregate:
+        for info in description.outputs:
+            if info.contains_aggregate:
+                raise MatchError("aggregate output in a non-grouping view")
+        return
+    # Aggregation view checks.
+    grouping_expressions = set(statement.group_by)
+    has_count_big = False
+    for info in description.outputs:
+        expr = info.expression
+        if isinstance(expr, FuncCall) and expr.is_aggregate():
+            if expr.name == "count_big" and expr.star:
+                has_count_big = True
+                continue
+            if expr.name == "sum":
+                continue
+            raise MatchError(
+                f"aggregation views allow only SUM and COUNT_BIG(*), got {expr.name}"
+            )
+        # Non-aggregate outputs must be grouping expressions.
+        if expr not in grouping_expressions:
+            raise MatchError(
+                f"view output {expr} is neither an aggregate nor a grouping expression"
+            )
+    if not has_count_big:
+        raise MatchError("aggregation views must output count_big(*)")
+    # Every grouping expression must be an output (it forms the unique key).
+    output_exprs = {info.expression for info in description.outputs}
+    for expr in statement.group_by:
+        if expr not in output_exprs:
+            raise MatchError(f"grouping expression {expr} missing from output list")

@@ -1,0 +1,660 @@
+"""The filter tree (Section 4 of the paper).
+
+A filter tree recursively subdivides the registered views into smaller
+partitions: each level partitions by one condition, and the keys of a node
+are organised in a lattice index so a search can skip non-qualifying
+partitions wholesale.
+
+Levels follow the paper's Section 4.2 conditions. The tree is split at the
+top into an SPJ subtree and an aggregation-view subtree (the paper's "two
+additional levels for aggregation views"); an SPJ query searches only the
+SPJ subtree, an aggregation query searches both.
+
+Level order (paper Section 4.3): hubs, source tables, output expressions,
+output columns, residual predicates, range constraints, then -- aggregation
+subtree only -- grouping expressions and grouping columns.
+
+One deliberate deviation, recorded in DESIGN.md: the output-column and
+grouping-column levels use heterogeneous keys containing both the extended
+column lists *and* the expression templates of the view, so that an output
+computable either from exposed source columns or from a matching
+pre-computed expression column is never filtered out. The paper's plain
+textual output-expression condition is conservative on exactly this point
+("we ignore the possibility of computing an expression from scratch");
+keeping the level complete lets the test suite assert that the filter tree
+never prunes a view the matcher would accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..sql.expressions import ColumnRef, Expression, FuncCall, Literal
+from .describe import SpjgDescription, normalized_aggregate_template
+from .equivalence import ColumnKey
+from .fkgraph import compute_hub
+from .lattice import Key, LatticeIndex
+from .normalize import classify_predicate
+from .options import DEFAULT_OPTIONS, MatchOptions
+from .residual import ShallowForm
+
+if TYPE_CHECKING:
+    from ..catalog.catalog import Catalog
+
+# Key-element tags: keys are frozensets mixing tables, columns and templates.
+_TABLE = "t"
+_COLUMN = "c"
+_TEMPLATE = "x"
+
+
+def _tables_key(tables: Iterable[str]) -> Key:
+    return frozenset((_TABLE, t) for t in tables)
+
+
+def _columns_key(columns: Iterable[ColumnKey]) -> Key:
+    return frozenset((_COLUMN, *c) for c in columns)
+
+
+def _templates_key(templates: Iterable[str]) -> Key:
+    return frozenset((_TEMPLATE, t) for t in templates)
+
+
+@dataclass(frozen=True)
+class RegisteredView:
+    """A view plus the registration-time metadata the filter tree keys on."""
+
+    description: SpjgDescription
+    hub: frozenset[str]
+
+    @property
+    def name(self) -> str:
+        assert self.description.name is not None
+        return self.description.name
+
+
+@dataclass(frozen=True)
+class OutputRequirement:
+    """One query output (or grouping) item's availability requirement.
+
+    Satisfied when any of the ``templates`` is present in the view key, or
+    when every ``column_group`` intersects the view key. Both disjuncts are
+    monotone in the key, as the lattice descent requires.
+    """
+
+    templates: Key
+    column_groups: tuple[Key, ...]
+
+    def satisfied(self, key: Key) -> bool:
+        if self.templates & key:
+            return True
+        if not self.column_groups:
+            return False
+        return all(group & key for group in self.column_groups)
+
+
+@dataclass
+class QueryProbe:
+    """The query-side search keys, computed once per filter-tree search."""
+
+    tables: Key
+    output_requirements: tuple[OutputRequirement, ...]
+    residual_templates: Key
+    range_constrained_columns: Key
+    aggregate_templates: Key
+    grouping_templates: Key
+    grouping_requirements: tuple[OutputRequirement, ...]
+    is_aggregate: bool
+
+    @classmethod
+    def of(
+        cls,
+        query: SpjgDescription,
+        options: MatchOptions = DEFAULT_OPTIONS,
+    ) -> "QueryProbe":
+        residual_templates = set(query.residual_templates())
+        constrained = set(query.extended_range_constrained_columns())
+        if options.use_check_constraints:
+            _add_check_constraint_keys(query, residual_templates, constrained)
+        return cls(
+            tables=_tables_key(query.tables),
+            output_requirements=_output_requirements(query),
+            residual_templates=_templates_key(residual_templates),
+            range_constrained_columns=_columns_key(constrained),
+            aggregate_templates=_templates_key(_query_aggregate_templates(query)),
+            grouping_templates=_templates_key(query.grouping_templates()),
+            grouping_requirements=_grouping_requirements(query),
+            is_aggregate=query.is_aggregate,
+        )
+
+
+def _add_check_constraint_keys(
+    query: SpjgDescription,
+    residual_templates: set[str],
+    constrained: set[ColumnKey],
+) -> None:
+    """Widen the probe with check-constraint predicates (extension).
+
+    Check constraints strengthen the antecedent, so a view predicate may be
+    implied by a check constraint alone; the probe must then include the
+    check-derived keys or the filter would prune views the matcher accepts.
+    Constraints of *every* catalog table are included because a view's extra
+    tables need not appear in the query.
+    """
+    from .intervalsets import as_or_range
+
+    for table in query.catalog.tables():
+        for check in table.check_constraints:
+            classified = classify_predicate(check.predicate)
+            for rp in classified.range_predicates:
+                constrained.add(rp.column)
+            for conjunct in classified.residuals:
+                recognised = (
+                    as_or_range(conjunct)
+                    if query.options.support_or_ranges
+                    else None
+                )
+                if recognised is not None:
+                    constrained.add(recognised.column)
+                else:
+                    residual_templates.add(ShallowForm.of(conjunct).template)
+
+
+def _query_aggregate_templates(query: SpjgDescription) -> set[str]:
+    templates: set[str] = set()
+    for call in query.statement.aggregate_outputs():
+        templates.update(normalized_aggregate_template(call))
+    return templates
+
+
+def _column_group(query: SpjgDescription, key: ColumnKey) -> Key:
+    """Key elements that can make one required column available.
+
+    The column's own query equivalence class always qualifies. With the
+    backjoin extension enabled, exposing any column of a non-nullable
+    unique key of the owning table also suffices (the matcher can join the
+    view back to the base table), so those classes widen the group.
+    """
+    group = set(query.eqclasses.class_of(key))
+    if query.options.allow_backjoins:
+        table = query.catalog.table(key[0])
+        for unique_key in table.all_unique_keys():
+            if any(table.is_nullable(column) for column in unique_key):
+                continue
+            for column in unique_key:
+                group |= query.eqclasses.class_of((key[0], column))
+    return _columns_key(group)
+
+
+def _expression_requirement(
+    query: SpjgDescription, expression: Expression
+) -> OutputRequirement | None:
+    """Availability requirement for one non-aggregate scalar expression."""
+    if isinstance(expression, Literal):
+        return None
+    if isinstance(expression, ColumnRef):
+        return OutputRequirement(
+            templates=frozenset(),
+            column_groups=(_column_group(query, expression.key),),
+        )
+    templates = {ShallowForm.of(expression).template}
+    groups = tuple(
+        _column_group(query, ref.key) for ref in expression.column_refs()
+    )
+    return OutputRequirement(templates=_templates_key(templates), column_groups=groups)
+
+
+def _aggregate_requirement(
+    query: SpjgDescription, call: FuncCall
+) -> OutputRequirement | None:
+    """Availability requirement for one aggregate call.
+
+    Weakest across view kinds: an aggregation view satisfies it through the
+    normalized aggregate template, an SPJ view through the argument's
+    template or source columns.
+    """
+    if call.star:
+        return None  # count(*) needs no columns from any view kind
+    argument = call.args[0]
+    argument_form = ShallowForm.of(argument)
+    templates = set(normalized_aggregate_template(call))
+    templates.add(argument_form.template)
+    groups = tuple(
+        _column_group(query, ref.key) for ref in argument.column_refs()
+    )
+    return OutputRequirement(templates=_templates_key(templates), column_groups=groups)
+
+
+def _output_requirements(query: SpjgDescription) -> tuple[OutputRequirement, ...]:
+    requirements: list[OutputRequirement] = []
+
+    def add_expression(expression: Expression) -> None:
+        if isinstance(expression, FuncCall) and expression.is_aggregate():
+            requirement = _aggregate_requirement(query, expression)
+            if requirement is not None:
+                requirements.append(requirement)
+            return
+        if expression.contains_aggregate():
+            for child in expression.children():
+                add_expression(child)
+            return
+        requirement = _expression_requirement(query, expression)
+        if requirement is not None:
+            requirements.append(requirement)
+
+    for info in query.outputs:
+        add_expression(info.expression)
+    for expr in query.statement.group_by:
+        add_expression(expr)
+    return tuple(requirements)
+
+
+def _grouping_requirements(query: SpjgDescription) -> tuple[OutputRequirement, ...]:
+    """Per-item grouping conditions for the grouping-column level."""
+    requirements: list[OutputRequirement] = []
+    for expr in query.statement.group_by:
+        if isinstance(expr, ColumnRef):
+            requirements.append(
+                OutputRequirement(
+                    templates=frozenset(),
+                    column_groups=(
+                        _columns_key(query.eqclasses.class_of(expr.key)),
+                    ),
+                )
+            )
+        else:
+            requirements.append(
+                OutputRequirement(
+                    templates=_templates_key({ShallowForm.of(expr).template}),
+                    column_groups=(),
+                )
+            )
+    return tuple(requirements)
+
+
+# ---------------------------------------------------------------------------
+# Levels
+# ---------------------------------------------------------------------------
+
+
+class _Level:
+    """One partitioning condition: a view key and a lattice search."""
+
+    name = "level"
+
+    def view_key(self, view: RegisteredView) -> Key:
+        raise NotImplementedError
+
+    def projection(self, key: Key) -> Key:
+        return key
+
+    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+        raise NotImplementedError
+
+    def qualifies(self, key: Key, probe: QueryProbe) -> bool:
+        """Direct evaluation of the level's condition on one key.
+
+        Used by :meth:`FilterTree.filter_statistics` to attribute pruning
+        to levels; the lattice searches above are the fast path and must
+        return exactly the keys this predicate accepts.
+        """
+        raise NotImplementedError
+
+
+class HubLevel(_Level):
+    """Section 4.2.2: the view's hub must be a subset of the query tables."""
+
+    name = "hub"
+
+    def view_key(self, view: RegisteredView) -> Key:
+        return _tables_key(view.hub)
+
+    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+        return index.subsets_of(probe.tables)
+
+    def qualifies(self, key: Key, probe: QueryProbe) -> bool:
+        return key <= probe.tables
+
+
+class SourceTableLevel(_Level):
+    """Section 4.2.1: the view's tables must be a superset of the query's."""
+
+    name = "source-tables"
+
+    def view_key(self, view: RegisteredView) -> Key:
+        return _tables_key(view.description.tables)
+
+    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+        return index.supersets_of(probe.tables)
+
+    def qualifies(self, key: Key, probe: QueryProbe) -> bool:
+        return key >= probe.tables
+
+
+class OutputExpressionLevel(_Level):
+    """Section 4.2.7, aggregation subtree: textual aggregate containment."""
+
+    name = "output-expressions"
+
+    def view_key(self, view: RegisteredView) -> Key:
+        return _templates_key(view.description.output_templates())
+
+    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+        return index.supersets_of(probe.aggregate_templates)
+
+    def qualifies(self, key: Key, probe: QueryProbe) -> bool:
+        return key >= probe.aggregate_templates
+
+
+class OutputColumnLevel(_Level):
+    """Sections 4.2.3/4.2.7 merged: per-item output availability."""
+
+    name = "output-columns"
+
+    def view_key(self, view: RegisteredView) -> Key:
+        description = view.description
+        return _columns_key(description.extended_output_columns()) | _templates_key(
+            description.output_templates()
+        )
+
+    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+        requirements = probe.output_requirements
+
+        def qualify(key: Key) -> bool:
+            return all(req.satisfied(key) for req in requirements)
+
+        return index.descend_monotone(qualify)
+
+    def qualifies(self, key: Key, probe: QueryProbe) -> bool:
+        return all(req.satisfied(key) for req in probe.output_requirements)
+
+
+class ResidualLevel(_Level):
+    """Section 4.2.6: view residual templates within the query's."""
+
+    name = "residual"
+
+    def view_key(self, view: RegisteredView) -> Key:
+        return _templates_key(view.description.residual_templates())
+
+    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+        return index.subsets_of(probe.residual_templates)
+
+    def qualifies(self, key: Key, probe: QueryProbe) -> bool:
+        return key <= probe.residual_templates
+
+
+class RangeConstraintLevel(_Level):
+    """Section 4.2.5: view-constrained classes hit query-constrained columns.
+
+    The identity key is the full constraint-class list; the lattice order
+    uses the reduced list (trivial-class columns only), exactly the paper's
+    weak-condition construction.
+    """
+
+    name = "range-constraints"
+
+    def view_key(self, view: RegisteredView) -> Key:
+        description = view.description
+        classes = description.range_constrained_classes()
+        return frozenset(_columns_key(cls) for cls in classes)
+
+    def projection(self, key: Key) -> Key:
+        reduced: set = set()
+        for cls in key:
+            if len(cls) == 1:
+                reduced.update(cls)
+        return frozenset(reduced)
+
+    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+        constrained = probe.range_constrained_columns
+
+        def weak_qualify(order_key: Key) -> bool:
+            return order_key <= constrained
+
+        def qualify(key: Key) -> bool:
+            return all(cls & constrained for cls in key)
+
+        return index.ascend_weak(weak_qualify, qualify)
+
+    def qualifies(self, key: Key, probe: QueryProbe) -> bool:
+        return all(cls & probe.range_constrained_columns for cls in key)
+
+
+class GroupingExpressionLevel(_Level):
+    """Section 4.2.8, aggregation subtree only."""
+
+    name = "grouping-expressions"
+
+    def view_key(self, view: RegisteredView) -> Key:
+        return _templates_key(view.description.grouping_templates())
+
+    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+        return index.supersets_of(probe.grouping_templates)
+
+    def qualifies(self, key: Key, probe: QueryProbe) -> bool:
+        return key >= probe.grouping_templates
+
+
+class GroupingColumnLevel(_Level):
+    """Section 4.2.4, aggregation subtree only."""
+
+    name = "grouping-columns"
+
+    def view_key(self, view: RegisteredView) -> Key:
+        description = view.description
+        return _columns_key(
+            description.extended_grouping_columns()
+        ) | _templates_key(description.grouping_templates())
+
+    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+        requirements = probe.grouping_requirements
+
+        def qualify(key: Key) -> bool:
+            return all(req.satisfied(key) for req in requirements)
+
+        return index.descend_monotone(qualify)
+
+    def qualifies(self, key: Key, probe: QueryProbe) -> bool:
+        return all(req.satisfied(key) for req in probe.grouping_requirements)
+
+
+SPJ_LEVELS: tuple[_Level, ...] = (
+    HubLevel(),
+    SourceTableLevel(),
+    OutputColumnLevel(),
+    ResidualLevel(),
+    RangeConstraintLevel(),
+)
+
+AGGREGATE_LEVELS: tuple[_Level, ...] = (
+    HubLevel(),
+    SourceTableLevel(),
+    OutputExpressionLevel(),
+    OutputColumnLevel(),
+    ResidualLevel(),
+    RangeConstraintLevel(),
+    GroupingExpressionLevel(),
+    GroupingColumnLevel(),
+)
+
+
+# ---------------------------------------------------------------------------
+# The tree
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _TreeNode:
+    """An internal node: one lattice index whose payloads are child nodes."""
+
+    levels: tuple[_Level, ...]
+    depth: int
+    index: LatticeIndex = field(init=False)
+    views: list[RegisteredView] = field(default_factory=list)  # leaves only
+
+    def __post_init__(self) -> None:
+        if self.depth < len(self.levels):
+            level = self.levels[self.depth]
+            self.index = LatticeIndex(projection=level.projection)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.depth >= len(self.levels)
+
+    def add(self, view: RegisteredView) -> None:
+        if self.is_leaf:
+            self.views.append(view)
+            return
+        level = self.levels[self.depth]
+        key = level.view_key(view)
+        node = self.index.node(key)
+        if node is None or not node.payloads:
+            child = _TreeNode(self.levels, self.depth + 1)
+            self.index.insert(key, child)
+        else:
+            child = node.payloads[0]
+        child.add(view)
+
+    def remove(self, view: RegisteredView) -> None:
+        if self.is_leaf:
+            self.views.remove(view)
+            return
+        level = self.levels[self.depth]
+        key = level.view_key(view)
+        node = self.index.node(key)
+        if node is None or not node.payloads:
+            raise KeyError(f"view {view.name} not present at level {level.name}")
+        child: _TreeNode = node.payloads[0]
+        child.remove(view)
+        if child.is_empty():
+            self.index.remove_payload(key, child)
+
+    def is_empty(self) -> bool:
+        if self.is_leaf:
+            return not self.views
+        return len(self.index) == 0
+
+    def search(self, probe: QueryProbe, out: list[RegisteredView]) -> None:
+        if self.is_leaf:
+            out.extend(self.views)
+            return
+        level = self.levels[self.depth]
+        for node in level.search(self.index, probe):
+            for child in node.payloads:
+                child.search(probe, out)
+
+
+class FilterTree:
+    """The complete index over registered view descriptions.
+
+    ``candidates`` returns a superset of the views the matching algorithm
+    would accept for the query (never a false negative under the default
+    options; see the module docstring for the one documented refinement).
+    """
+
+    def __init__(
+        self,
+        options: MatchOptions = DEFAULT_OPTIONS,
+        spj_levels: tuple[_Level, ...] | None = None,
+        aggregate_levels: tuple[_Level, ...] | None = None,
+    ):
+        """Build an empty tree.
+
+        ``spj_levels`` / ``aggregate_levels`` override the default level
+        composition -- the paper notes the conditions "are independent and
+        can be composed in any order", and the level-ordering ablation
+        benchmark exercises exactly this hook. Every ordering yields the
+        same candidate sets; only search cost differs.
+        """
+        self.options = options
+        self._spj_root = _TreeNode(spj_levels or SPJ_LEVELS, 0)
+        self._aggregate_root = _TreeNode(aggregate_levels or AGGREGATE_LEVELS, 0)
+        self._registered: dict[str, RegisteredView] = {}
+
+    def __len__(self) -> int:
+        return len(self._registered)
+
+    def register(self, description: SpjgDescription) -> RegisteredView:
+        """Index a view description (computing its hub) into the tree."""
+        if description.name is None:
+            raise ValueError("only named views can be registered")
+        if description.name in self._registered:
+            raise ValueError(f"view {description.name} already registered")
+        view = RegisteredView(
+            description=description,
+            hub=compute_hub(description, self.options),
+        )
+        root = self._aggregate_root if description.is_aggregate else self._spj_root
+        root.add(view)
+        self._registered[description.name] = view
+        return view
+
+    def unregister(self, name: str) -> None:
+        """Remove a view and its keys from every level."""
+        view = self._registered.pop(name, None)
+        if view is None:
+            raise KeyError(f"view {name} not registered")
+        root = (
+            self._aggregate_root
+            if view.description.is_aggregate
+            else self._spj_root
+        )
+        root.remove(view)
+
+    def views(self) -> tuple[RegisteredView, ...]:
+        """All registered views, in registration order."""
+        return tuple(self._registered.values())
+
+    def candidates(self, query: SpjgDescription) -> list[RegisteredView]:
+        """Views passing all filter conditions for the query expression."""
+        probe = QueryProbe.of(query, self.options)
+        found: list[RegisteredView] = []
+        self._spj_root.search(probe, found)
+        if query.is_aggregate:
+            self._aggregate_root.search(probe, found)
+        return found
+
+    def filter_statistics(self, query: SpjgDescription) -> list[tuple[str, int]]:
+        """Per-level survivor counts for one query (diagnostics).
+
+        Evaluates each level's condition directly on every registered
+        view's key, in tree order, and reports how many views survive
+        after each level -- the attribution behind Section 5's "the filter
+        tree consistently reduced the candidate set to less than 0.4%".
+        The final count equals ``len(candidates(query))``.
+        """
+        probe = QueryProbe.of(query, self.options)
+        spj_views = [
+            v for v in self._registered.values() if not v.description.is_aggregate
+        ]
+        aggregate_views = (
+            [v for v in self._registered.values() if v.description.is_aggregate]
+            if query.is_aggregate
+            else []
+        )
+        statistics: list[tuple[str, int]] = [
+            ("registered", len(spj_views) + len(aggregate_views))
+        ]
+        max_depth = max(
+            len(self._spj_root.levels), len(self._aggregate_root.levels)
+        )
+        for depth in range(max_depth):
+            for views, levels in (
+                (spj_views, self._spj_root.levels),
+                (aggregate_views, self._aggregate_root.levels),
+            ):
+                if depth >= len(levels):
+                    continue
+                level = levels[depth]
+                views[:] = [
+                    v for v in views if level.qualifies(level.view_key(v), probe)
+                ]
+            names = set()
+            for levels in (self._spj_root.levels, self._aggregate_root.levels):
+                if depth < len(levels):
+                    names.add(levels[depth].name)
+            statistics.append(
+                ("+".join(sorted(names)), len(spj_views) + len(aggregate_views))
+            )
+        return statistics

@@ -1,0 +1,287 @@
+"""The lattice index (Section 4.1 of the paper).
+
+A lattice index stores a collection of *key sets* organised by the subset
+partial order: every node carries pointers to its minimal proper supersets
+and maximal proper subsets, and the index keeps arrays of *tops* (no
+supersets) and *roots* (no subsets). Subset and superset searches then
+avoid a linear scan by walking only the relevant region of the Hasse
+diagram.
+
+Two generalisations over the paper's description, both needed by the
+filter-tree levels:
+
+* each node carries a **payload list**, so the same index serves as a
+  partition map (key -> bucket of views / child nodes);
+* the partial order may be computed on a **projection** of the key (the
+  range-constraint level orders nodes by the *reduced* constraint list
+  while keys carry the full list -- exactly the trick of Section 4.2.5).
+
+Keys are frozensets of arbitrary hashable elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+Key = frozenset
+T = TypeVar("T")
+
+
+@dataclass
+class LatticeNode:
+    """One stored key set with its payloads and Hasse-diagram neighbours."""
+
+    key: Key
+    order_key: Key
+    payloads: list = field(default_factory=list)
+    supersets: list["LatticeNode"] = field(default_factory=list)
+    subsets: list["LatticeNode"] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"<LatticeNode {sorted(map(str, self.key))}>"
+
+
+class LatticeIndex:
+    """A lattice-ordered index from key sets to payload lists."""
+
+    def __init__(self, projection: Callable[[Key], Key] | None = None):
+        self._projection = projection or (lambda key: key)
+        self._nodes: dict[Key, LatticeNode] = {}
+        self.tops: list[LatticeNode] = []
+        self.roots: list[LatticeNode] = []
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._nodes
+
+    def node(self, key: Key) -> LatticeNode | None:
+        """The node stored under exactly ``key``, if any."""
+        return self._nodes.get(key)
+
+    def nodes(self) -> Iterator[LatticeNode]:
+        """All nodes in the index (no particular order)."""
+        yield from self._nodes.values()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def insert(self, key: Key, payload) -> LatticeNode:
+        """Add a payload under ``key``, creating and linking a node if new."""
+        existing = self._nodes.get(key)
+        if existing is not None:
+            existing.payloads.append(payload)
+            return existing
+        node = LatticeNode(key=key, order_key=self._projection(key))
+        node.payloads.append(payload)
+        self._link(node)
+        self._nodes[key] = node
+        return node
+
+    def _link(self, node: LatticeNode) -> None:
+        order = node.order_key
+        strict_supersets = [
+            other for other in self._nodes.values() if order < other.order_key
+        ]
+        strict_subsets = [
+            other for other in self._nodes.values() if other.order_key < order
+        ]
+        parents = _minimal(strict_supersets)
+        children = _maximal(strict_subsets)
+        # A direct parent-child edge that the new node now sits between is
+        # replaced by the two edges through the new node.
+        for parent in parents:
+            for child in children:
+                if child in parent.subsets:
+                    parent.subsets.remove(child)
+                    child.supersets.remove(parent)
+        for parent in parents:
+            parent.subsets.append(node)
+            node.supersets.append(parent)
+        for child in children:
+            child.supersets.append(node)
+            node.subsets.append(child)
+        self._refresh_extremes(node, parents, children)
+
+    def _refresh_extremes(
+        self,
+        node: LatticeNode,
+        parents: list[LatticeNode],
+        children: list[LatticeNode],
+    ) -> None:
+        if not parents:
+            self.tops.append(node)
+        if not children:
+            self.roots.append(node)
+        # A previously-extreme node may have gained a neighbour through the
+        # new node only if it became the new node's child/parent.
+        self.tops = [t for t in self.tops if not t.supersets]
+        self.roots = [r for r in self.roots if not r.subsets]
+
+    def remove_payload(self, key: Key, payload) -> None:
+        """Remove one payload; the node is unlinked when its list empties."""
+        node = self._nodes.get(key)
+        if node is None:
+            raise KeyError(f"no node for key {sorted(map(str, key))}")
+        node.payloads.remove(payload)
+        if node.payloads:
+            return
+        del self._nodes[key]
+        # Splice the node out: its parents adopt its children when no other
+        # path exists between them.
+        for parent in node.supersets:
+            parent.subsets.remove(node)
+        for child in node.subsets:
+            child.supersets.remove(node)
+        for parent in node.supersets:
+            for child in node.subsets:
+                if not _reachable_downward(parent, child):
+                    parent.subsets.append(child)
+                    child.supersets.append(parent)
+        if node in self.tops:
+            self.tops.remove(node)
+            self.tops.extend(
+                child for child in node.subsets if not child.supersets
+            )
+        if node in self.roots:
+            self.roots.remove(node)
+            self.roots.extend(
+                parent for parent in node.supersets if not parent.subsets
+            )
+
+    # -- searches ----------------------------------------------------------------
+
+    def subsets_of(self, search_key: Key) -> list[LatticeNode]:
+        """All nodes whose order key is a subset of (or equal to) the search key.
+
+        Starts from the roots and follows superset pointers, pruning as soon
+        as a node's key stops being a subset (all its supersets fail too).
+        """
+        found: list[LatticeNode] = []
+        seen: set[int] = set()
+        stack = [root for root in self.roots if root.order_key <= search_key]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            found.append(node)
+            for parent in node.supersets:
+                if id(parent) not in seen and parent.order_key <= search_key:
+                    stack.append(parent)
+        return found
+
+    def supersets_of(self, search_key: Key) -> list[LatticeNode]:
+        """All nodes whose order key is a superset of (or equal to) the search key.
+
+        Starts from the tops and follows subset pointers, pruning when a
+        node's key stops being a superset.
+        """
+        found: list[LatticeNode] = []
+        seen: set[int] = set()
+        stack = [top for top in self.tops if top.order_key >= search_key]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            found.append(node)
+            for child in node.subsets:
+                if id(child) not in seen and child.order_key >= search_key:
+                    stack.append(child)
+        return found
+
+    def descend_monotone(self, qualify: Callable[[Key], bool]) -> list[LatticeNode]:
+        """All nodes satisfying a condition that is monotone in the key.
+
+        ``qualify`` must be upward-closed: if a key qualifies, so does every
+        superset. The search starts at the tops and prunes an entire
+        down-set as soon as a node fails (its subsets must fail too).
+        Used for the output-column and grouping-column conditions
+        (Sections 4.2.3 / 4.2.4).
+        """
+        found: list[LatticeNode] = []
+        seen: set[int] = set()
+        stack = [top for top in self.tops if qualify(top.key)]
+        for top in self.tops:
+            seen.add(id(top))  # tops are all inspected exactly once
+        while stack:
+            node = stack.pop()
+            found.append(node)
+            for child in node.subsets:
+                if id(child) not in seen:
+                    seen.add(id(child))
+                    if qualify(child.key):
+                        stack.append(child)
+        return found
+
+    def ascend_weak(
+        self,
+        weak_qualify: Callable[[Key], bool],
+        qualify: Callable[[Key], bool],
+    ) -> list[LatticeNode]:
+        """The range-constraint search (Section 4.2.5).
+
+        ``weak_qualify`` is applied to the *order key* and must be
+        downward-closed (if a node fails, all supersets fail): it drives
+        pruning while ascending from the roots. ``qualify`` is the full
+        condition on the identity key; only nodes passing it are returned,
+        but failing it does not prune the ascent.
+        """
+        found: list[LatticeNode] = []
+        seen: set[int] = set()
+        stack = []
+        for root in self.roots:
+            seen.add(id(root))
+            if weak_qualify(root.order_key):
+                stack.append(root)
+        while stack:
+            node = stack.pop()
+            if qualify(node.key):
+                found.append(node)
+            for parent in node.supersets:
+                if id(parent) not in seen:
+                    seen.add(id(parent))
+                    if weak_qualify(parent.order_key):
+                        stack.append(parent)
+        return found
+
+    def all_payloads(self) -> Iterator:
+        """Every payload in the index, in node order."""
+        for node in self._nodes.values():
+            yield from node.payloads
+
+
+def _minimal(nodes: list[LatticeNode]) -> list[LatticeNode]:
+    """Nodes with no other node's order key strictly below theirs."""
+    return [
+        a
+        for a in nodes
+        if not any(b.order_key < a.order_key for b in nodes if b is not a)
+    ]
+
+
+def _maximal(nodes: list[LatticeNode]) -> list[LatticeNode]:
+    return [
+        a
+        for a in nodes
+        if not any(b.order_key > a.order_key for b in nodes if b is not a)
+    ]
+
+
+def _reachable_downward(start: LatticeNode, target: LatticeNode) -> bool:
+    """True when ``target`` is reachable from ``start`` via subset pointers."""
+    stack = list(start.subsets)
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if node is target:
+            return True
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        # Only descend through nodes that could still lead to the target.
+        if target.order_key < node.order_key:
+            stack.extend(node.subsets)
+    return False

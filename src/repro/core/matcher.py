@@ -1,0 +1,231 @@
+"""The view-matching service: registration, filtering, matching, statistics.
+
+:class:`ViewMatcher` is the component a transformation-based optimizer calls
+from its view-matching rule. It keeps an in-memory description of every
+materialized view, indexes the descriptions in a filter tree, and -- per
+invocation -- narrows to candidates, runs the full matching tests, and
+returns substitute expressions.
+
+The matcher counts what Section 5 of the paper reports: invocations,
+candidate-set sizes, how many candidates survive full matching, and
+substitutes produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import MatchError
+from ..sql.statements import SelectStatement
+from .describe import SpjgDescription, describe, validate_view_description
+from .filtertree import FilterTree, RegisteredView
+from .matching import MatchResult, RejectReason, match_view
+from .options import DEFAULT_OPTIONS, MatchOptions
+
+if TYPE_CHECKING:
+    from ..catalog.catalog import Catalog
+
+
+@dataclass
+class MatcherStatistics:
+    """Counters accumulated across view-matching invocations."""
+
+    invocations: int = 0
+    views_considered: int = 0     # candidates handed to full matching
+    views_registered_total: int = 0  # sum over invocations of registry size
+    matches: int = 0              # candidates that produced a substitute
+    substitutes: int = 0          # total substitutes returned
+    rejects_by_reason: dict[str, int] = field(default_factory=dict)
+
+    def record_rejection(self, reason: RejectReason) -> None:
+        key = reason.name
+        self.rejects_by_reason[key] = self.rejects_by_reason.get(key, 0) + 1
+
+    @property
+    def candidate_fraction(self) -> float:
+        """Average fraction of registered views that survived filtering."""
+        if self.views_registered_total == 0:
+            return 0.0
+        return self.views_considered / self.views_registered_total
+
+    @property
+    def candidate_success_rate(self) -> float:
+        """Fraction of candidates that passed full matching."""
+        if self.views_considered == 0:
+            return 0.0
+        return self.matches / self.views_considered
+
+    @property
+    def substitutes_per_invocation(self) -> float:
+        if self.invocations == 0:
+            return 0.0
+        return self.substitutes / self.invocations
+
+    def reset(self) -> None:
+        self.invocations = 0
+        self.views_considered = 0
+        self.views_registered_total = 0
+        self.matches = 0
+        self.substitutes = 0
+        self.rejects_by_reason.clear()
+
+    def report(self) -> str:
+        """A human-readable summary (candidate funnel + rejection reasons)."""
+        lines = [
+            f"invocations:            {self.invocations}",
+            f"candidates checked:     {self.views_considered} "
+            f"({self.candidate_fraction:.3%} of registered views)",
+            f"matches / substitutes:  {self.matches} / {self.substitutes} "
+            f"({self.candidate_success_rate:.0%} of candidates)",
+            f"substitutes/invocation: {self.substitutes_per_invocation:.2f}",
+        ]
+        if self.rejects_by_reason:
+            lines.append("rejections by reason:")
+            total_rejects = sum(self.rejects_by_reason.values())
+            for reason, count in sorted(
+                self.rejects_by_reason.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(
+                    f"  {reason.lower():20s} {count:6d} ({count / total_rejects:.0%})"
+                )
+        return "\n".join(lines)
+
+
+class ViewMatcher:
+    """Registry plus matching engine over one catalog."""
+
+    def __init__(
+        self,
+        catalog: "Catalog",
+        options: MatchOptions = DEFAULT_OPTIONS,
+        use_filter_tree: bool = True,
+    ):
+        self.catalog = catalog
+        self.options = options
+        self.use_filter_tree = use_filter_tree
+        self.filter_tree = FilterTree(options)
+        self.statistics = MatcherStatistics()
+
+    # -- registration -------------------------------------------------------
+
+    def register_view(self, name: str, statement: SelectStatement) -> RegisteredView:
+        """Register a bound SPJG view definition under ``name``.
+
+        Raises :class:`MatchError` when the definition is outside the
+        indexable-view class of Section 2.
+        """
+        description = describe(
+            statement, self.catalog, name=name, options=self.options
+        )
+        validate_view_description(description)
+        return self.filter_tree.register(description)
+
+    def register_from_catalog(self) -> int:
+        """Register every view currently defined in the catalog."""
+        count = 0
+        for view in self.catalog.views():
+            if view.name not in {v.name for v in self.filter_tree.views()}:
+                self.register_view(view.name, view.query)
+                count += 1
+        return count
+
+    def unregister_view(self, name: str) -> None:
+        """Remove a view from the registry and the filter tree."""
+        self.filter_tree.unregister(name)
+
+    @property
+    def view_count(self) -> int:
+        return len(self.filter_tree)
+
+    def registered_views(self) -> tuple[RegisteredView, ...]:
+        """All currently registered views."""
+        return self.filter_tree.views()
+
+    # -- matching -------------------------------------------------------------
+
+    def describe_query(self, statement: SelectStatement) -> SpjgDescription:
+        """Build a query description under this matcher's options."""
+        return describe(statement, self.catalog, options=self.options)
+
+    def candidates(self, query: SpjgDescription) -> list[RegisteredView]:
+        """The candidate set for one query expression.
+
+        With the filter tree disabled this is every registered view -- the
+        configuration of the paper's "No Filter" experiment lines.
+        """
+        if self.use_filter_tree:
+            return self.filter_tree.candidates(query)
+        return list(self.filter_tree.views())
+
+    def match(
+        self, query: SpjgDescription | SelectStatement
+    ) -> list[MatchResult]:
+        """One view-matching invocation: all match results over candidates.
+
+        Returns the full :class:`MatchResult` list (successes and
+        rejections) for diagnosability; use :meth:`substitutes` when only
+        the rewrites are wanted.
+        """
+        if isinstance(query, SelectStatement):
+            query = self.describe_query(query)
+        stats = self.statistics
+        stats.invocations += 1
+        stats.views_registered_total += self.view_count
+        results: list[MatchResult] = []
+        for candidate in self.candidates(query):
+            stats.views_considered += 1
+            result = match_view(query, candidate.description, self.options)
+            if result.matched:
+                stats.matches += 1
+                stats.substitutes += 1
+            elif result.reject_reason is not None:
+                stats.record_rejection(result.reject_reason)
+            results.append(result)
+        return results
+
+    def substitutes(
+        self, query: SpjgDescription | SelectStatement
+    ) -> list[MatchResult]:
+        """Successful matches only, each carrying its substitute statement."""
+        return [result for result in self.match(query) if result.matched]
+
+    def match_sql(self, sql: str) -> list[MatchResult]:
+        """Convenience: parse, bind, and match a SELECT statement."""
+        return self.substitutes(self.catalog.bind_sql(sql))
+
+    def union_substitutes(self, query: SpjgDescription | SelectStatement):
+        """Union substitutes (Section 7) over the registered views.
+
+        Runs the restricted multi-view search of
+        :func:`repro.core.unions.find_union_substitutes` on the filter
+        tree's candidate set. Union substitutes do not participate in the
+        single-view statistics counters.
+        """
+        from .unions import find_union_substitutes
+
+        if isinstance(query, SelectStatement):
+            query = self.describe_query(query)
+        candidates = [view.description for view in self.candidates(query)]
+        return find_union_substitutes(query, candidates, self.options)
+
+
+def matcher_for_catalog(
+    catalog: "Catalog",
+    options: MatchOptions = DEFAULT_OPTIONS,
+    use_filter_tree: bool = True,
+) -> ViewMatcher:
+    """Build a matcher and register every view already in the catalog."""
+    matcher = ViewMatcher(catalog, options=options, use_filter_tree=use_filter_tree)
+    matcher.register_from_catalog()
+    return matcher
+
+
+__all__ = [
+    "MatchError",
+    "MatcherStatistics",
+    "MatchResult",
+    "RejectReason",
+    "ViewMatcher",
+    "matcher_for_catalog",
+]

@@ -1,0 +1,206 @@
+"""Predicate normalization: NNF, CNF, and the PE / PR / PU classification.
+
+Section 3 of the paper assumes selection predicates are in conjunctive
+normal form and splits the conjuncts into three groups:
+
+* **PE** -- column-equality predicates ``Ti.Cp = Tj.Cq`` (the equijoin part),
+* **PR** -- range predicates ``Ti.Cp op constant`` with op in ``= < <= > >=``,
+* **PU** -- everything else (the residual part).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..sql.expressions import (
+    And,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    InList,
+    IsNull,
+    LikePredicate,
+    Literal,
+    Not,
+    Or,
+    conjunction,
+    conjuncts_of,
+    disjunction,
+)
+from .equivalence import ColumnKey
+from .ranges import RangePredicate, as_range_predicate
+
+_NEGATED_COMPARISON = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+# Safety valve for CNF expansion: distributing OR over AND is exponential in
+# the worst case; predicates in the supported workload are tiny, so hitting
+# this limit indicates misuse rather than a real query.
+MAX_CNF_CONJUNCTS = 512
+
+
+def push_negations(expression: Expression) -> Expression:
+    """Negation normal form: NOT appears only on atoms it cannot absorb."""
+    if isinstance(expression, Not):
+        return _negate(expression.operand)
+    if isinstance(expression, And):
+        return And(tuple(push_negations(part) for part in expression.conjuncts))
+    if isinstance(expression, Or):
+        return Or(tuple(push_negations(part) for part in expression.disjuncts))
+    return expression
+
+
+def _negate(expression: Expression) -> Expression:
+    if isinstance(expression, Not):
+        return push_negations(expression.operand)
+    if isinstance(expression, And):
+        return Or(tuple(_negate(part) for part in expression.conjuncts))
+    if isinstance(expression, Or):
+        return And(tuple(_negate(part) for part in expression.disjuncts))
+    if isinstance(expression, BinaryOp) and expression.is_comparison():
+        return BinaryOp(_NEGATED_COMPARISON[expression.op], expression.left, expression.right)
+    if isinstance(expression, IsNull):
+        return IsNull(expression.operand, negated=not expression.negated)
+    if isinstance(expression, LikePredicate):
+        return LikePredicate(expression.operand, expression.pattern, negated=not expression.negated)
+    if isinstance(expression, InList):
+        return InList(expression.operand, expression.items, negated=not expression.negated)
+    return Not(expression)
+
+
+def to_cnf(predicate: Expression | None) -> tuple[Expression, ...]:
+    """Convert a predicate to CNF and return its conjuncts.
+
+    NOT is pushed to the atoms first, then OR is distributed over AND. The
+    flat ``And``/``Or`` constructors keep the result in the canonical
+    two-level shape: a conjunction of disjunctions of atoms.
+    """
+    if predicate is None:
+        return ()
+    normalized = push_negations(predicate)
+    conjuncts = _cnf_conjuncts(normalized)
+    if len(conjuncts) > MAX_CNF_CONJUNCTS:
+        raise ValueError(
+            f"CNF expansion produced {len(conjuncts)} conjuncts "
+            f"(limit {MAX_CNF_CONJUNCTS})"
+        )
+    # De-duplicate identical conjuncts while preserving order.
+    seen: set[Expression] = set()
+    unique: list[Expression] = []
+    for conjunct in conjuncts:
+        if conjunct not in seen:
+            seen.add(conjunct)
+            unique.append(conjunct)
+    return tuple(unique)
+
+
+def _cnf_conjuncts(expression: Expression) -> list[Expression]:
+    if isinstance(expression, And):
+        result: list[Expression] = []
+        for part in expression.conjuncts:
+            result.extend(_cnf_conjuncts(part))
+        return result
+    if isinstance(expression, Or):
+        # CNF of each disjunct, then the cross product of their conjuncts.
+        branch_conjuncts = [_cnf_conjuncts(part) for part in expression.disjuncts]
+        size = 1
+        for branch in branch_conjuncts:
+            size *= len(branch)
+            if size > MAX_CNF_CONJUNCTS:
+                raise ValueError("CNF expansion limit exceeded")
+        clauses: list[Expression] = []
+        for combo in product(*branch_conjuncts):
+            clause = disjunction(list(combo))
+            assert clause is not None
+            clauses.append(clause)
+        return clauses
+    return [expression]
+
+
+def as_column_equality(conjunct: Expression) -> tuple[ColumnKey, ColumnKey] | None:
+    """Recognise a PE conjunct ``Ti.Cp = Tj.Cq`` (tables need not differ)."""
+    if (
+        isinstance(conjunct, BinaryOp)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, ColumnRef)
+        and isinstance(conjunct.right, ColumnRef)
+    ):
+        return conjunct.left.key, conjunct.right.key
+    return None
+
+
+@dataclass(frozen=True)
+class ClassifiedPredicate:
+    """The PE / PR / PU decomposition of a CNF predicate."""
+
+    equalities: tuple[tuple[ColumnKey, ColumnKey], ...]
+    range_predicates: tuple[RangePredicate, ...]
+    residuals: tuple[Expression, ...]
+
+    @property
+    def conjunct_count(self) -> int:
+        return (
+            len(self.equalities) + len(self.range_predicates) + len(self.residuals)
+        )
+
+
+def classify_predicate(predicate: Expression | None) -> ClassifiedPredicate:
+    """Split a predicate (any form; converted to CNF here) into PE/PR/PU."""
+    equalities: list[tuple[ColumnKey, ColumnKey]] = []
+    range_predicates: list[RangePredicate] = []
+    residuals: list[Expression] = []
+    for conjunct in to_cnf(predicate):
+        equality = as_column_equality(conjunct)
+        if equality is not None:
+            equalities.append(equality)
+            continue
+        range_predicate = as_range_predicate(conjunct)
+        if range_predicate is not None:
+            range_predicates.append(range_predicate)
+            continue
+        residuals.append(_canonicalize_residual(conjunct))
+    return ClassifiedPredicate(
+        equalities=tuple(equalities),
+        range_predicates=tuple(range_predicates),
+        residuals=tuple(residuals),
+    )
+
+
+def _canonicalize_residual(conjunct: Expression) -> Expression:
+    """Light canonicalization so trivially mirrored residuals compare equal.
+
+    A comparison with a literal on the left is mirrored (``5 < A+B`` becomes
+    ``A+B > 5``); this is the one commutativity rewrite the paper's shallow
+    matcher motivates with the ``(A > B)`` vs ``(B < A)`` example.
+    """
+    if (
+        isinstance(conjunct, BinaryOp)
+        and conjunct.is_comparison()
+        and isinstance(conjunct.left, Literal)
+        and not isinstance(conjunct.right, Literal)
+    ):
+        return conjunct.mirrored()
+    return conjunct
+
+
+def classified_to_predicate(classified: ClassifiedPredicate) -> Expression | None:
+    """Rebuild a predicate expression from a classification (for testing)."""
+    parts: list[Expression] = []
+    for (ta, ca), (tb, cb) in classified.equalities:
+        parts.append(BinaryOp("=", ColumnRef(ta, ca), ColumnRef(tb, cb)))
+    for rp in classified.range_predicates:
+        parts.append(BinaryOp(rp.op, ColumnRef(*rp.column), Literal(rp.value)))
+    parts.extend(classified.residuals)
+    return conjunction(parts)
+
+
+__all__ = [
+    "ClassifiedPredicate",
+    "MAX_CNF_CONJUNCTS",
+    "as_column_equality",
+    "classified_to_predicate",
+    "classify_predicate",
+    "conjuncts_of",
+    "push_negations",
+    "to_cnf",
+]

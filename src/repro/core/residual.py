@@ -1,0 +1,75 @@
+"""The shallow residual-predicate matcher (Section 3.1.2, residual test).
+
+An expression is represented by a text template with column references
+omitted plus the ordered list of those references. Two expressions match
+when the templates are string-equal and each pair of corresponding column
+references lies in the same (query) equivalence class.
+
+The same representation doubles for output-expression and grouping-
+expression matching (Sections 3.1.4 and 3.3) and supplies the textual keys
+of the filter tree's residual/output/grouping-expression levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql.expressions import ColumnRef, Expression
+from ..sql.printer import shallow_template
+from .equivalence import EquivalenceClasses
+
+
+@dataclass(frozen=True)
+class ShallowForm:
+    """An expression's shallow-match representation."""
+
+    template: str
+    refs: tuple[ColumnRef, ...]
+    expression: Expression
+
+    @classmethod
+    def of(cls, expression: Expression) -> "ShallowForm":
+        template, refs = shallow_template(expression)
+        return cls(template=template, refs=refs, expression=expression)
+
+    def matches(self, other: "ShallowForm", eqclasses: EquivalenceClasses) -> bool:
+        """Shallow equivalence under the given equivalence classes."""
+        if self.template != other.template:
+            return False
+        if len(self.refs) != len(other.refs):
+            return False
+        for mine, theirs in zip(self.refs, other.refs):
+            if mine.key == theirs.key:
+                continue
+            if mine.key not in eqclasses or theirs.key not in eqclasses:
+                return False
+            if not eqclasses.same_class(mine.key, theirs.key):
+                return False
+        return True
+
+
+def match_residuals(
+    view_residuals: tuple[ShallowForm, ...],
+    query_residuals: tuple[ShallowForm, ...],
+    eqclasses: EquivalenceClasses,
+) -> tuple[bool, tuple[ShallowForm, ...]]:
+    """Run the residual subsumption test.
+
+    Returns ``(passed, missing)``: ``passed`` is False when some view
+    residual matches no query residual (the view filters rows the query
+    needs); ``missing`` lists the query residuals that matched no view
+    residual and must therefore be enforced on top of the view.
+    """
+    matched_query: set[int] = set()
+    for view_form in view_residuals:
+        found = False
+        for i, query_form in enumerate(query_residuals):
+            if view_form.matches(query_form, eqclasses):
+                matched_query.add(i)
+                found = True
+        if not found:
+            return False, ()
+    missing = tuple(
+        form for i, form in enumerate(query_residuals) if i not in matched_query
+    )
+    return True, missing

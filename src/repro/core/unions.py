@@ -1,0 +1,273 @@
+"""Union substitutes: answering a query from several views (Section 7).
+
+"Union substitutes cover the case when all rows needed are not available
+from a single view but can be collected from several views. Overlapping
+views together with SQL's bag semantics complicate the issue." -- the
+paper leaves this as future work.
+
+This module implements a restricted, provably sound form:
+
+* the candidate views must match the query under the ordinary tests
+  *except* for range subsumption on exactly one equivalence class (the
+  "split class"): each view may cover only part of the query's range,
+* each piece is compensated with the intersection of the query range and
+  that view's range,
+* the pieces' ranges must be **pairwise disjoint** (so bag semantics are
+  preserved without de-duplication -- the complication the paper warns
+  about never arises) and must **cover** the query's range.
+
+The result is a :class:`UnionSubstitute` -- a list of single-view SELECTs
+whose UNION ALL equals the query. Supported for non-aggregation queries;
+pieces of an aggregation query would need a final re-aggregation across
+pieces, which only works when the split class is part of the group-by --
+also handled, since then every group lives in exactly one piece.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql.expressions import BinaryOp, ColumnRef, Literal, conjunction
+from ..sql.statements import SelectStatement
+from .describe import SpjgDescription
+from .equivalence import ColumnKey
+from .matching import MatchResult, match_view
+from .options import DEFAULT_OPTIONS, MatchOptions
+from .ranges import Bound, Interval, UNBOUNDED, derive_ranges
+
+
+@dataclass
+class UnionSubstitute:
+    """A set of per-view SELECTs whose UNION ALL computes the query."""
+
+    pieces: tuple[SelectStatement, ...]
+    view_names: tuple[str, ...]
+    split_class: frozenset[ColumnKey]
+
+    def execute(self, database):
+        """Evaluate all pieces and concatenate (UNION ALL semantics)."""
+        from ..engine.executor import QueryResult, execute
+
+        rows: list[tuple] = []
+        columns: tuple[str, ...] = ()
+        for piece in self.pieces:
+            result = execute(piece, database)
+            columns = result.columns
+            rows.extend(result.rows)
+        return QueryResult(columns=columns, rows=rows)
+
+
+@dataclass
+class _PartialMatch:
+    """A view that matches fully once its range on the split class is cut."""
+
+    view: SpjgDescription
+    view_interval: Interval
+    result: MatchResult
+
+
+def find_union_substitutes(
+    query: SpjgDescription,
+    views: list[SpjgDescription],
+    options: MatchOptions = DEFAULT_OPTIONS,
+    max_pieces: int = 4,
+) -> list[UnionSubstitute]:
+    """Find union substitutes for ``query`` over the given views.
+
+    Only queries whose predicate constrains at least one class are
+    considered (an unconstrained query could still be split by unbounded
+    complements, but such views are rare and greedy assembly would be
+    unbounded). Aggregation queries require the split class to appear in
+    the group-by list.
+    """
+    if query.statement.distinct:
+        # Each piece de-duplicates only within itself; if the output list
+        # omits the split column, identical rows can appear in several
+        # pieces and UNION ALL would keep them. Reject outright.
+        return []
+    substitutes: list[UnionSubstitute] = []
+    for representative in query.ranges:
+        split_class = query.eqclasses.class_of(representative)
+        if query.is_aggregate and not _class_in_group_by(query, split_class):
+            continue
+        partials = _partial_matches(query, views, representative, options)
+        if len(partials) < 2:
+            continue
+        assembled = _assemble(query, representative, partials, max_pieces)
+        if assembled is not None:
+            substitutes.append(assembled)
+    return substitutes
+
+
+def _class_in_group_by(
+    query: SpjgDescription, split_class: frozenset[ColumnKey]
+) -> bool:
+    for expr in query.statement.group_by:
+        if isinstance(expr, ColumnRef) and expr.key in split_class:
+            return True
+    return False
+
+
+def _partial_matches(
+    query: SpjgDescription,
+    views: list[SpjgDescription],
+    representative: ColumnKey,
+    options: MatchOptions,
+) -> list[_PartialMatch]:
+    """Views that match when the query is narrowed to their range.
+
+    The narrowing is expressed by *tightening the query range* to the
+    intersection with the view's range and re-running the ordinary match;
+    a view accepted this way provides exactly the piece of the query whose
+    split-class values fall inside the view's interval.
+    """
+    query_interval = query.ranges[representative]
+    partials: list[_PartialMatch] = []
+    for view in views:
+        if view.is_aggregate and not query.is_aggregate:
+            continue
+        view_ranges = _view_ranges_under_query_classes(query, view)
+        view_interval = view_ranges.get(representative, UNBOUNDED)
+        piece_interval = query_interval.intersect(view_interval)
+        if piece_interval.is_empty:
+            continue
+        narrowed = _narrow_query(query, representative, piece_interval)
+        if narrowed is None:
+            continue
+        result = match_view(narrowed, view, options)
+        if result.matched:
+            partials.append(
+                _PartialMatch(
+                    view=view, view_interval=piece_interval, result=result
+                )
+            )
+    return partials
+
+
+def _view_ranges_under_query_classes(
+    query: SpjgDescription, view: SpjgDescription
+) -> dict[ColumnKey, Interval]:
+    predicates = [
+        p for p in view.classified.range_predicates if p.column in query.eqclasses
+    ]
+    return derive_ranges(predicates, query.eqclasses)
+
+
+def _narrow_query(
+    query: SpjgDescription,
+    representative: ColumnKey,
+    piece_interval: Interval,
+) -> SpjgDescription | None:
+    """The query restricted to ``piece_interval`` on the split class."""
+    column = ColumnRef(*representative)
+    extra = []
+    if piece_interval.lower is not None:
+        op = ">=" if piece_interval.lower.inclusive else ">"
+        extra.append(BinaryOp(op, column, Literal(piece_interval.lower.value)))
+    if piece_interval.upper is not None:
+        op = "<=" if piece_interval.upper.inclusive else "<"
+        extra.append(BinaryOp(op, column, Literal(piece_interval.upper.value)))
+    if not extra:
+        return None
+    conjuncts = [query.statement.where] if query.statement.where else []
+    narrowed_where = conjunction(conjuncts + extra)
+    narrowed = query.statement.with_where(narrowed_where)
+    return SpjgDescription(
+        narrowed, query.catalog, name=None, options=query.options
+    )
+
+
+def _assemble(
+    query: SpjgDescription,
+    representative: ColumnKey,
+    partials: list[_PartialMatch],
+    max_pieces: int,
+) -> UnionSubstitute | None:
+    """Greedy left-to-right assembly of disjoint pieces covering the range.
+
+    Walks the query interval from its lower end, at each step picking the
+    piece that starts at (or before) the uncovered point and reaches
+    furthest; pieces are then re-cut at the stitch points so they are
+    pairwise disjoint.
+    """
+    query_interval = query.ranges[representative]
+    cursor: Bound | None = query_interval.lower  # lower edge of uncovered part
+    chosen: list[tuple[Interval, _PartialMatch]] = []
+    remaining = list(partials)
+    while len(chosen) < max_pieces:
+        candidates = [
+            p for p in remaining if _covers_lower_edge(p.view_interval, cursor)
+        ]
+        if not candidates:
+            return None
+        best = max(candidates, key=lambda p: _upper_sort_key(p.view_interval))
+        piece_interval = Interval(lower=cursor, upper=best.view_interval.upper)
+        chosen.append((piece_interval, best))
+        remaining.remove(best)
+        if _upper_covers_query(best.view_interval, query_interval):
+            if len(chosen) < 2:
+                # A single view covers the whole range: that is ordinary
+                # single-view matching's job, not a union substitute.
+                return None
+            return _build(query, representative, chosen)
+        assert best.view_interval.upper is not None
+        cursor = Bound(
+            best.view_interval.upper.value,
+            inclusive=not best.view_interval.upper.inclusive,
+        )
+    return None
+
+
+def _covers_lower_edge(interval: Interval, cursor: Bound | None) -> bool:
+    if interval.lower is None:
+        return True
+    if cursor is None:
+        return False
+    if interval.lower.value < cursor.value:  # type: ignore[operator]
+        return True
+    if interval.lower.value > cursor.value:  # type: ignore[operator]
+        return False
+    return interval.lower.inclusive or not cursor.inclusive
+
+
+def _upper_sort_key(interval: Interval):
+    if interval.upper is None:
+        return (1, 0, 0)
+    return (0, interval.upper.value, interval.upper.inclusive)
+
+
+def _upper_covers_query(interval: Interval, query_interval: Interval) -> bool:
+    if interval.upper is None:
+        return True
+    if query_interval.upper is None:
+        return False
+    if interval.upper.value > query_interval.upper.value:  # type: ignore[operator]
+        return True
+    if interval.upper.value < query_interval.upper.value:  # type: ignore[operator]
+        return False
+    return interval.upper.inclusive or not query_interval.upper.inclusive
+
+
+def _build(
+    query: SpjgDescription,
+    representative: ColumnKey,
+    chosen: list[tuple[Interval, _PartialMatch]],
+) -> UnionSubstitute | None:
+    """Re-match each piece against its view with the stitched interval."""
+    pieces: list[SelectStatement] = []
+    names: list[str] = []
+    for piece_interval, partial in chosen:
+        narrowed = _narrow_query(query, representative, piece_interval)
+        if narrowed is None:
+            return None
+        result = match_view(narrowed, partial.view, query.options)
+        if not result.matched or result.substitute is None:
+            return None
+        pieces.append(result.substitute)
+        assert partial.view.name is not None
+        names.append(partial.view.name)
+    return UnionSubstitute(
+        pieces=tuple(pieces),
+        view_names=tuple(names),
+        split_class=query.eqclasses.class_of(representative),
+    )

@@ -1,0 +1,5 @@
+"""Seeded TPC-H-shaped data generation."""
+
+from .tpch_gen import DATE_MAX, DATE_MIN, TpchScale, generate_tpch
+
+__all__ = ["DATE_MAX", "DATE_MIN", "TpchScale", "generate_tpch"]

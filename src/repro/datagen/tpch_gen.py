@@ -1,0 +1,280 @@
+"""A seeded TPC-H-shaped data generator.
+
+Generates the eight TPC-H tables at an arbitrary scale with referential
+integrity (every FK value exists in its parent), plausible value domains,
+and deterministic output for a given seed. Dates are integer day numbers
+(days since 1970-01-01, spanning 1992..1998 like dbgen).
+
+The paper notes that the TPC-H scale factor does not affect optimization
+time; the generated data exists so that tests can *execute* substitutes and
+compare them against the original query (the correctness property the paper
+takes as given), and so the cost model has real row counts to work from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..catalog.tpch import TPCH_BASE_CARDINALITIES
+from ..engine.database import Database
+from . import words
+
+DATE_MIN = 8035   # 1992-01-01 as a day number
+DATE_MAX = 10591  # 1998-12-31
+
+
+@dataclass(frozen=True)
+class TpchScale:
+    """Row counts per table for one generation run."""
+
+    region: int
+    nation: int
+    supplier: int
+    customer: int
+    part: int
+    partsupp_per_part: int
+    orders: int
+    lineitem_max_per_order: int
+
+    @classmethod
+    def of(cls, scale: float) -> "TpchScale":
+        def rows(table: str, minimum: int = 1) -> int:
+            return max(minimum, round(TPCH_BASE_CARDINALITIES[table] * scale))
+
+        return cls(
+            region=len(words.REGIONS),
+            nation=len(words.NATIONS),
+            supplier=rows("supplier"),
+            customer=rows("customer"),
+            part=rows("part"),
+            partsupp_per_part=4,
+            orders=rows("orders"),
+            lineitem_max_per_order=7,
+        )
+
+
+def generate_tpch(scale: float = 0.001, seed: int = 0) -> Database:
+    """Generate a TPC-H database at the given scale into a fresh Database."""
+    rng = random.Random(seed)
+    sizes = TpchScale.of(scale)
+    database = Database()
+    _generate_region(database)
+    _generate_nation(database)
+    _generate_supplier(database, rng, sizes)
+    _generate_customer(database, rng, sizes)
+    _generate_part(database, rng, sizes)
+    _generate_partsupp(database, rng, sizes)
+    _generate_orders(database, rng, sizes)
+    _generate_lineitem(database, rng, sizes)
+    return database
+
+
+def _comment(rng: random.Random) -> str:
+    count = rng.randint(2, 5)
+    return " ".join(rng.choice(words.COMMENT_WORDS) for _ in range(count))
+
+
+def _generate_region(database: Database) -> None:
+    rows = [
+        (i, name, f"region {name.lower()}")
+        for i, name in enumerate(words.REGIONS)
+    ]
+    database.store("region", ("r_regionkey", "r_name", "r_comment"), rows)
+
+
+def _generate_nation(database: Database) -> None:
+    rows = [
+        (i, name, region, f"nation {name.lower()}")
+        for i, (name, region) in enumerate(words.NATIONS)
+    ]
+    database.store(
+        "nation", ("n_nationkey", "n_name", "n_regionkey", "n_comment"), rows
+    )
+
+
+def _generate_supplier(database: Database, rng: random.Random, sizes: TpchScale) -> None:
+    rows = []
+    for key in range(1, sizes.supplier + 1):
+        rows.append(
+            (
+                key,
+                f"Supplier#{key:09d}",
+                f"addr-{rng.randint(1, 999)} lane",
+                rng.randrange(sizes.nation),
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                _comment(rng),
+            )
+        )
+    database.store(
+        "supplier",
+        (
+            "s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+            "s_acctbal", "s_comment",
+        ),
+        rows,
+    )
+
+
+def _generate_customer(database: Database, rng: random.Random, sizes: TpchScale) -> None:
+    rows = []
+    for key in range(1, sizes.customer + 1):
+        rows.append(
+            (
+                key,
+                f"Customer#{key:09d}",
+                f"addr-{rng.randint(1, 999)} way",
+                rng.randrange(sizes.nation),
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(words.SEGMENTS),
+                _comment(rng),
+            )
+        )
+    database.store(
+        "customer",
+        (
+            "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+            "c_acctbal", "c_mktsegment", "c_comment",
+        ),
+        rows,
+    )
+
+
+def _generate_part(database: Database, rng: random.Random, sizes: TpchScale) -> None:
+    rows = []
+    for key in range(1, sizes.part + 1):
+        name = " ".join(rng.sample(words.P_NAME_WORDS, 5))
+        part_type = " ".join(
+            (
+                rng.choice(words.P_TYPE_SYLLABLE_1),
+                rng.choice(words.P_TYPE_SYLLABLE_2),
+                rng.choice(words.P_TYPE_SYLLABLE_3),
+            )
+        )
+        rows.append(
+            (
+                key,
+                name,
+                f"Manufacturer#{rng.randint(1, 5)}",
+                f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+                part_type,
+                rng.randint(1, 50),
+                rng.choice(words.P_CONTAINERS),
+                round(900 + (key / 10) % 200 + 100 * (key % 5), 2),
+                _comment(rng),
+            )
+        )
+    database.store(
+        "part",
+        (
+            "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+            "p_container", "p_retailprice", "p_comment",
+        ),
+        rows,
+    )
+
+
+def _generate_partsupp(database: Database, rng: random.Random, sizes: TpchScale) -> None:
+    rows = []
+    for part_key in range(1, sizes.part + 1):
+        supplier_count = min(sizes.partsupp_per_part, sizes.supplier)
+        for supplier_key in rng.sample(range(1, sizes.supplier + 1), supplier_count):
+            rows.append(
+                (
+                    part_key,
+                    supplier_key,
+                    rng.randint(1, 9999),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                    _comment(rng),
+                )
+            )
+    database.store(
+        "partsupp",
+        ("ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"),
+        rows,
+    )
+
+
+def _generate_orders(database: Database, rng: random.Random, sizes: TpchScale) -> None:
+    rows = []
+    for key in range(1, sizes.orders + 1):
+        rows.append(
+            (
+                key,
+                rng.randint(1, sizes.customer),
+                rng.choice(("O", "F", "P")),
+                round(rng.uniform(850.0, 500000.0), 2),
+                rng.randint(DATE_MIN, DATE_MAX - 122),
+                rng.choice(words.PRIORITIES),
+                f"Clerk#{rng.randint(1, 1000):09d}",
+                0,
+                _comment(rng),
+            )
+        )
+    database.store(
+        "orders",
+        (
+            "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+            "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+            "o_comment",
+        ),
+        rows,
+    )
+
+
+def _generate_lineitem(database: Database, rng: random.Random, sizes: TpchScale) -> None:
+    rows = []
+    orders = database.relation("orders")
+    date_position = orders.column_position("o_orderdate")
+    key_position = orders.column_position("o_orderkey")
+    # The composite FK lineitem -> partsupp requires (partkey, suppkey)
+    # pairs that actually exist, so draw them from the partsupp table.
+    partsupp = database.relation("partsupp")
+    part_position = partsupp.column_position("ps_partkey")
+    supp_position = partsupp.column_position("ps_suppkey")
+    suppliers_of_part: dict[int, list[int]] = {}
+    for ps_row in partsupp.rows:
+        suppliers_of_part.setdefault(ps_row[part_position], []).append(
+            ps_row[supp_position]
+        )
+    for order_row in orders.rows:
+        order_key = order_row[key_position]
+        order_date = order_row[date_position]
+        for line_number in range(1, rng.randint(1, sizes.lineitem_max_per_order) + 1):
+            quantity = float(rng.randint(1, 50))
+            extended_price = round(quantity * rng.uniform(900.0, 2100.0), 2)
+            ship_date = order_date + rng.randint(1, 121)
+            part_key = rng.randint(1, sizes.part)
+            supplier_key = rng.choice(suppliers_of_part[part_key])
+            rows.append(
+                (
+                    order_key,
+                    part_key,
+                    supplier_key,
+                    line_number,
+                    quantity,
+                    extended_price,
+                    round(rng.uniform(0.0, 0.10), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    rng.choice(("R", "A", "N")),
+                    rng.choice(("O", "F")),
+                    ship_date,
+                    ship_date + rng.randint(-30, 30),
+                    ship_date + rng.randint(1, 30),
+                    rng.choice(words.SHIP_INSTRUCTIONS),
+                    rng.choice(words.SHIP_MODES),
+                    _comment(rng),
+                )
+            )
+    database.store(
+        "lineitem",
+        (
+            "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+            "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+            "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+            "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment",
+        ),
+        rows,
+    )

@@ -1,0 +1,20 @@
+"""In-memory bag-semantics execution engine."""
+
+from .database import Database, Relation
+from .ddl import run_sql
+from .indexes import IndexRegistry, StoredIndex
+from .evaluator import evaluate, predicate_holds
+from .executor import QueryResult, execute, materialize_view
+
+__all__ = [
+    "Database",
+    "IndexRegistry",
+    "QueryResult",
+    "StoredIndex",
+    "Relation",
+    "evaluate",
+    "run_sql",
+    "execute",
+    "materialize_view",
+    "predicate_holds",
+]

@@ -1,0 +1,125 @@
+"""In-memory database: base-table and materialized-view storage.
+
+Relations are stored as lists of tuples with a per-relation column order;
+the executor converts them to ``(relation, column) -> value`` row mappings
+on demand. Both base tables and materialized views live here, so a
+substitute expression that scans a view executes through exactly the same
+path as a query over base tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import ExecutionError
+
+
+_version_counter = 0
+
+
+def _next_version() -> int:
+    """Globally unique, monotonically increasing relation versions.
+
+    Versions are unique across relation *instances* too, so replacing a
+    relation under the same name can never alias a stale index build.
+    """
+    global _version_counter
+    _version_counter += 1
+    return _version_counter
+
+
+@dataclass
+class Relation:
+    """Stored rows plus the column order they are stored in.
+
+    ``version`` increments on every tracked mutation; stored indexes use it
+    to detect staleness. Code that mutates ``rows`` directly must call
+    :meth:`bump_version` afterwards.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    rows: list[tuple[object, ...]]
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        self._index = {column: i for i, column in enumerate(self.columns)}
+        self.version = _next_version()
+
+    def bump_version(self) -> None:
+        self.version = _next_version()
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def column_position(self, column: str) -> int:
+        try:
+            return self._index[column]
+        except KeyError:
+            raise ExecutionError(f"{self.name} has no column {column}") from None
+
+    def iter_dicts(self) -> Iterator[dict[tuple[str, str], object]]:
+        """Rows as executor-friendly mappings keyed by (relation, column)."""
+        keys = [(self.name, column) for column in self.columns]
+        for row in self.rows:
+            yield dict(zip(keys, row))
+
+    def column_values(self, column: str) -> list[object]:
+        position = self.column_position(column)
+        return [row[position] for row in self.rows]
+
+
+class Database:
+    """A named collection of relations (base tables and materialized views)."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._indexes = None
+
+    @property
+    def indexes(self):
+        """The database's index registry (created on first use)."""
+        if self._indexes is None:
+            from .indexes import IndexRegistry
+
+            self._indexes = IndexRegistry(self)
+        return self._indexes
+
+    def create(self, name: str, columns: Sequence[str]) -> Relation:
+        if name in self._relations:
+            raise ExecutionError(f"relation {name} already exists")
+        relation = Relation(name=name, columns=tuple(columns), rows=[])
+        self._relations[name] = relation
+        return relation
+
+    def store(
+        self, name: str, columns: Sequence[str], rows: Iterable[Sequence[object]]
+    ) -> Relation:
+        """Create (or replace) a relation with the given contents."""
+        relation = Relation(
+            name=name, columns=tuple(columns), rows=[tuple(row) for row in rows]
+        )
+        self._relations[name] = relation
+        return relation
+
+    def drop(self, name: str) -> None:
+        if name not in self._relations:
+            raise ExecutionError(f"no relation named {name}")
+        del self._relations[name]
+
+    def has(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise ExecutionError(f"no relation named {name}") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def row_count(self, name: str) -> int:
+        return self.relation(name).row_count

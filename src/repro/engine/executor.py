@@ -1,0 +1,464 @@
+"""Bag-semantics executor for bound SPJG statements.
+
+The executor implements exactly the relational behaviour the paper's
+correctness argument depends on:
+
+* inner joins over the FROM tables with WHERE conjuncts applied as early as
+  their referenced tables are available (equijoins become hash joins),
+* bag semantics throughout -- duplicate rows are preserved with their
+  multiplicity (requirement 4 of Section 3.1),
+* SQL aggregation semantics: NULLs ignored by SUM/COUNT(expr), grouping
+  treats NULL as an ordinary key, an aggregate query without GROUP BY over
+  an empty input yields one row.
+
+It is deliberately simple -- correctness oracle first, performance second --
+but uses hash joins so that validating substitutes on generated TPC-H data
+stays fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+from ..sql.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+)
+from ..sql.statements import SelectItem, SelectStatement
+from .database import Database
+from .evaluator import evaluate, predicate_holds
+
+RowDict = dict[tuple[str, str], object]
+
+
+@dataclass
+class QueryResult:
+    """Executor output: ordered column names and a bag (list) of row tuples."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple[object, ...]]
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def as_multiset(
+        self, float_digits: int | None = None
+    ) -> dict[tuple[object, ...], int]:
+        """Rows with multiplicities, for bag-equality comparison.
+
+        ``float_digits`` rounds float values to that many significant
+        digits first, so results whose floating-point sums were accumulated
+        in different orders (e.g. a rollup over a pre-aggregate vs. a
+        direct sum) still compare equal.
+        """
+        counts: dict[tuple[object, ...], int] = {}
+        for row in self.rows:
+            if float_digits is not None:
+                row = tuple(
+                    float(f"{value:.{float_digits}g}")
+                    if isinstance(value, float)
+                    else value
+                    for value in row
+                )
+            counts[row] = counts.get(row, 0) + 1
+        return counts
+
+    def bag_equals(
+        self, other: "QueryResult", float_digits: int | None = None
+    ) -> bool:
+        """Bag equality of the row contents (column *names* may differ)."""
+        if len(self.columns) != len(other.columns):
+            return False
+        return self.as_multiset(float_digits) == other.as_multiset(float_digits)
+
+
+def _referenced_tables(expression: Expression) -> frozenset[str]:
+    return frozenset(ref.table for ref in expression.column_refs() if ref.table)
+
+
+def _split_equijoin(conjunct: Expression) -> tuple[ColumnRef, ColumnRef] | None:
+    """Return the two sides when the conjunct is ``col = col`` across tables."""
+    if (
+        isinstance(conjunct, BinaryOp)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, ColumnRef)
+        and isinstance(conjunct.right, ColumnRef)
+    ):
+        return conjunct.left, conjunct.right
+    return None
+
+
+class _JoinState:
+    """Incremental left-deep join with early predicate application."""
+
+    def __init__(self, database: Database, conjuncts: list[Expression]):
+        self.database = database
+        self.pending = list(conjuncts)
+        self.joined_tables: set[str] = set()
+        self.rows: list[RowDict] = []
+
+    def _take_applicable(self) -> list[Expression]:
+        """Remove and return pending conjuncts fully covered by joined tables."""
+        applicable: list[Expression] = []
+        remaining: list[Expression] = []
+        for conjunct in self.pending:
+            if _referenced_tables(conjunct) <= self.joined_tables:
+                applicable.append(conjunct)
+            else:
+                remaining.append(conjunct)
+        self.pending = remaining
+        return applicable
+
+    def _scan(self, table: str) -> list[RowDict]:
+        relation = self.database.relation(table)
+        # Single-table filters on the scanned table apply immediately.
+        local = [
+            conjunct
+            for conjunct in self.pending
+            if _referenced_tables(conjunct) <= {table}
+        ]
+        self.pending = [c for c in self.pending if c not in local]
+        indexed = self._index_scan(relation, local)
+        if indexed is not None:
+            rows = indexed
+        else:
+            rows = list(relation.iter_dicts())
+        if local:
+            rows = [
+                row
+                for row in rows
+                if all(predicate_holds(c, row) for c in local)
+            ]
+        return rows
+
+    def _index_scan(self, relation, local: list[Expression]):
+        """Try to narrow the scan through a stored index.
+
+        Uses the first index whose leading column carries an equality or
+        range conjunct; the remaining local predicates are re-applied by
+        the caller, so this is purely an access-path optimization.
+        """
+        registry = getattr(self.database, "_indexes", None)
+        if registry is None:
+            return None
+        from ..core.ranges import as_range_predicate
+
+        bounds: dict[str, list] = {}
+        for conjunct in local:
+            recognised = as_range_predicate(conjunct)
+            if recognised is not None:
+                bounds.setdefault(recognised.column[1], []).append(recognised)
+        if not bounds:
+            return None
+        for index in registry.on_relation(relation.name):
+            leading = index.columns[0]
+            predicates = bounds.get(leading)
+            if not predicates:
+                continue
+            equality = next((p for p in predicates if p.op == "="), None)
+            if equality is not None:
+                raw = index.lookup_equal(relation, (equality.value,))
+            else:
+                lower = upper = None
+                for predicate in predicates:
+                    if predicate.op in (">", ">="):
+                        candidate = (predicate.value, predicate.op == ">=")
+                        if lower is None or candidate[0] > lower[0]:
+                            lower = candidate
+                    elif predicate.op in ("<", "<="):
+                        candidate = (predicate.value, predicate.op == "<=")
+                        if upper is None or candidate[0] < upper[0]:
+                            upper = candidate
+                raw = index.lookup_range(relation, lower, upper)
+            keys = [(relation.name, column) for column in relation.columns]
+            return [dict(zip(keys, row)) for row in raw]
+        return None
+
+    def add_table(self, table: str) -> None:
+        scanned = self._scan(table)
+        if not self.joined_tables:
+            self.joined_tables.add(table)
+            self.rows = scanned
+            return
+        # Find equijoin conjuncts linking the new table to the current result.
+        join_pairs: list[tuple[ColumnRef, ColumnRef]] = []
+        used: list[Expression] = []
+        for conjunct in self.pending:
+            sides = _split_equijoin(conjunct)
+            if sides is None:
+                continue
+            left, right = sides
+            if left.table in self.joined_tables and right.table == table:
+                join_pairs.append((left, right))
+                used.append(conjunct)
+            elif right.table in self.joined_tables and left.table == table:
+                join_pairs.append((right, left))
+                used.append(conjunct)
+        self.pending = [c for c in self.pending if c not in used]
+        self.joined_tables.add(table)
+        if join_pairs:
+            self.rows = self._hash_join(scanned, table, join_pairs)
+        else:
+            self.rows = self._cross_join(scanned)
+        # Any now-covered residual conjuncts apply right away.
+        for conjunct in self._take_applicable():
+            self.rows = [row for row in self.rows if predicate_holds(conjunct, row)]
+
+    def _hash_join(
+        self,
+        scanned: list[RowDict],
+        table: str,
+        join_pairs: list[tuple[ColumnRef, ColumnRef]],
+    ) -> list[RowDict]:
+        build_keys = [right.key for _, right in join_pairs]
+        probe_keys = [left.key for left, _ in join_pairs]
+        buckets: dict[tuple[object, ...], list[RowDict]] = {}
+        for row in scanned:
+            key = tuple(row[k] for k in build_keys)
+            if any(v is None for v in key):
+                continue  # NULL never satisfies an equijoin
+            buckets.setdefault(key, []).append(row)
+        joined: list[RowDict] = []
+        for row in self.rows:
+            key = tuple(row[k] for k in probe_keys)
+            if any(v is None for v in key):
+                continue
+            for match in buckets.get(key, ()):
+                merged = dict(row)
+                merged.update(match)
+                joined.append(merged)
+        return joined
+
+    def _cross_join(self, scanned: list[RowDict]) -> list[RowDict]:
+        joined: list[RowDict] = []
+        for row in self.rows:
+            for other in scanned:
+                merged = dict(row)
+                merged.update(other)
+                joined.append(merged)
+        return joined
+
+
+def _choose_join_order(
+    tables: tuple[str, ...], conjuncts: list[Expression]
+) -> list[str]:
+    """Greedy connected order: prefer tables linked by an equijoin."""
+    if len(tables) <= 2:
+        return list(tables)
+    edges: set[frozenset[str]] = set()
+    for conjunct in conjuncts:
+        sides = _split_equijoin(conjunct)
+        if sides and sides[0].table != sides[1].table:
+            edges.add(frozenset({sides[0].table or "", sides[1].table or ""}))
+    order = [tables[0]]
+    remaining = list(tables[1:])
+    while remaining:
+        placed = set(order)
+        connected = next(
+            (
+                t
+                for t in remaining
+                if any(frozenset({t, p}) in edges for p in placed)
+            ),
+            None,
+        )
+        chosen = connected if connected is not None else remaining[0]
+        order.append(chosen)
+        remaining.remove(chosen)
+    return order
+
+
+class _AggregateAccumulator:
+    """Running state for one aggregate call within one group."""
+
+    def __init__(self, call: FuncCall):
+        self.call = call
+        self.count = 0
+        self.total: float | int | None = None
+
+    def update(self, row: RowDict) -> None:
+        if self.call.star:
+            self.count += 1
+            return
+        value = evaluate(self.call.args[0], row)
+        if value is None:
+            return
+        self.count += 1
+        if self.call.name in ("sum", "avg"):
+            if not isinstance(value, (int, float)):
+                raise ExecutionError(f"SUM/AVG over non-numeric value {value!r}")
+            self.total = value if self.total is None else self.total + value
+
+    def result(self) -> object:
+        name = self.call.name
+        if name in ("count", "count_big"):
+            return self.count
+        if name == "sum":
+            return self.total
+        if name == "avg":
+            if self.count == 0 or self.total is None:
+                return None
+            return self.total / self.count
+        raise ExecutionError(f"unsupported aggregate {name}")
+
+
+def _evaluate_output(
+    expression: Expression,
+    aggregate_values: dict[FuncCall, object],
+    representative: RowDict,
+) -> object:
+    """Evaluate an output expression of an aggregate query.
+
+    Aggregate sub-calls are replaced by their computed per-group values;
+    everything else (grouping expressions, constants, arithmetic over them)
+    evaluates on a representative row of the group.
+    """
+    if isinstance(expression, FuncCall) and expression.is_aggregate():
+        return aggregate_values[expression]
+    if not expression.contains_aggregate():
+        return evaluate(expression, representative)
+    if isinstance(expression, BinaryOp):
+        left = _evaluate_output(expression.left, aggregate_values, representative)
+        right = _evaluate_output(expression.right, aggregate_values, representative)
+        synthetic = BinaryOp(
+            expression.op,
+            _as_literal(left),
+            _as_literal(right),
+        )
+        return evaluate(synthetic, {})
+    raise ExecutionError(
+        f"cannot evaluate aggregate output expression {expression}"
+    )
+
+
+def _as_literal(value: object):
+    from ..sql.expressions import Literal
+
+    return Literal(value)
+
+
+def execute(statement: SelectStatement, database: Database) -> QueryResult:
+    """Execute a bound SPJG statement against ``database``."""
+    from ..sql.expressions import conjuncts_of
+
+    conjuncts = list(conjuncts_of(statement.where))
+    order = _choose_join_order(statement.table_names(), conjuncts)
+    state = _JoinState(database, conjuncts)
+    for table in order:
+        state.add_table(table)
+    rows = state.rows
+    # Conjuncts can only remain if they reference no tables at all
+    # (constant predicates); apply them now.
+    for conjunct in state.pending:
+        if _referenced_tables(conjunct):
+            raise ExecutionError(f"unapplied predicate {conjunct}")
+        rows = [row for row in rows if predicate_holds(conjunct, row)]
+
+    column_names = tuple(
+        item.name if item.name is not None else f"col{i + 1}"
+        for i, item in enumerate(statement.select_items)
+    )
+
+    if statement.is_aggregate:
+        output_rows = aggregate_rows(rows, statement.select_items, statement.group_by)
+    else:
+        output_rows = project_rows(rows, statement.select_items)
+    if statement.distinct:
+        seen: set[tuple[object, ...]] = set()
+        deduped: list[tuple[object, ...]] = []
+        for row in output_rows:
+            if row not in seen:
+                seen.add(row)
+                deduped.append(row)
+        output_rows = deduped
+    return QueryResult(columns=column_names, rows=output_rows)
+
+
+def project_rows(
+    rows: list[RowDict], select_items: tuple[SelectItem, ...] | list[SelectItem]
+) -> list[tuple[object, ...]]:
+    """Plain (non-grouping) projection of row mappings to output tuples."""
+    return [
+        tuple(evaluate(item.expression, row) for item in select_items)
+        for row in rows
+    ]
+
+
+def aggregate_rows(
+    rows: list[RowDict],
+    select_items: tuple[SelectItem, ...] | list[SelectItem],
+    group_by: tuple[Expression, ...] | list[Expression],
+) -> list[tuple[object, ...]]:
+    """SQL grouping and aggregation over row mappings.
+
+    NULL is an ordinary grouping key; a global aggregation (empty
+    ``group_by``) over an empty input yields one row.
+    """
+    aggregate_calls = _distinct_aggregates(select_items)
+    groups: dict[tuple[object, ...], tuple[RowDict, list[_AggregateAccumulator]]] = {}
+    ordered_keys: list[tuple[object, ...]] = []
+    for row in rows:
+        key = tuple(evaluate(expr, row) for expr in group_by)
+        entry = groups.get(key)
+        if entry is None:
+            entry = (row, [_AggregateAccumulator(call) for call in aggregate_calls])
+            groups[key] = entry
+            ordered_keys.append(key)
+        for accumulator in entry[1]:
+            accumulator.update(row)
+    if not group_by and not groups:
+        # Global aggregation over an empty input: one row of "empty" values.
+        empty = [_AggregateAccumulator(call) for call in aggregate_calls]
+        values = {call: acc.result() for call, acc in zip(aggregate_calls, empty)}
+        return [
+            tuple(
+                _evaluate_output(item.expression, values, {})
+                for item in select_items
+            )
+        ]
+    output: list[tuple[object, ...]] = []
+    for key in ordered_keys:
+        representative, accumulators = groups[key]
+        values = {
+            call: acc.result() for call, acc in zip(aggregate_calls, accumulators)
+        }
+        output.append(
+            tuple(
+                _evaluate_output(item.expression, values, representative)
+                for item in select_items
+            )
+        )
+    return output
+
+
+def _distinct_aggregates(
+    select_items: tuple[SelectItem, ...] | list[SelectItem],
+) -> list[FuncCall]:
+    calls: list[FuncCall] = []
+    for item in select_items:
+        for node in item.expression.walk():
+            if isinstance(node, FuncCall) and node.is_aggregate() and node not in calls:
+                calls.append(node)
+    return calls
+
+
+def materialize_view(
+    name: str, query: SelectStatement, database: Database
+) -> None:
+    """Execute a view's query and store the result as relation ``name``.
+
+    Output column names follow SQL Server's rule: every output expression of
+    an indexed view must have a name (alias or plain column).
+    """
+    result = execute(query, database)
+    for i, item in enumerate(query.select_items):
+        if item.name is None:
+            raise ExecutionError(
+                f"view {name} output #{i + 1} has no name; use AS"
+            )
+    columns = tuple(item.name for item in query.select_items)  # type: ignore[misc]
+    database.store(name, columns, result.rows)

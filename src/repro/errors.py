@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors from catalog or execution
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlSyntaxError(ReproError):
+    """Raised when SQL text cannot be tokenized or parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    available so callers can point at the source location.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class BindError(ReproError):
+    """Raised when names in a statement cannot be resolved against a catalog."""
+
+
+class CatalogError(ReproError):
+    """Raised for schema-definition problems (duplicate tables, bad FKs, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the execution engine cannot evaluate a plan or expression."""
+
+
+class UnsupportedSqlError(ReproError):
+    """Raised for SQL constructs outside the SPJG class this library handles."""
+
+
+class MatchError(ReproError):
+    """Raised for internal inconsistencies during view matching.
+
+    A failed match is *not* an error (the matcher simply produces no
+    substitute); this exception signals misuse of the API, e.g. registering
+    a view whose definition is not an indexable SPJG view.
+    """

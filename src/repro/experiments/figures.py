@@ -1,0 +1,227 @@
+"""Regeneration of the paper's figures and Section 5 statistics as tables.
+
+Each function takes an :class:`ExperimentResult` and returns rows matching
+the corresponding figure's series; ``render_*`` helpers produce the text
+tables the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .harness import ALL_CONFIGURATIONS, Configuration, ExperimentResult
+from .reporting import render_table
+
+_ALT_FILTER = Configuration(produce_substitutes=True, use_filter_tree=True)
+_NOALT_FILTER = Configuration(produce_substitutes=False, use_filter_tree=True)
+_ALT_NOFILTER = Configuration(produce_substitutes=True, use_filter_tree=False)
+_NOALT_NOFILTER = Configuration(produce_substitutes=False, use_filter_tree=False)
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    """Total optimization time (seconds) per configuration."""
+
+    view_count: int
+    alt_filter: float
+    noalt_filter: float
+    alt_nofilter: float
+    noalt_nofilter: float
+
+
+def figure2(result: ExperimentResult) -> list[Figure2Row]:
+    """Figure 2: optimization time as a function of the number of views."""
+    rows = []
+    for view_count in result.config.view_counts:
+        rows.append(
+            Figure2Row(
+                view_count=view_count,
+                alt_filter=result.point(view_count, _ALT_FILTER).total_seconds,
+                noalt_filter=result.point(view_count, _NOALT_FILTER).total_seconds,
+                alt_nofilter=result.point(view_count, _ALT_NOFILTER).total_seconds,
+                noalt_nofilter=result.point(
+                    view_count, _NOALT_NOFILTER
+                ).total_seconds,
+            )
+        )
+    return rows
+
+
+def render_figure2(result: ExperimentResult) -> str:
+    """Text table for Figure 2."""
+    rows = figure2(result)
+    base = {
+        "alt_filter": result.baseline_seconds(_ALT_FILTER),
+        "alt_nofilter": result.baseline_seconds(_ALT_NOFILTER),
+    }
+    body = [
+        [
+            row.view_count,
+            f"{row.alt_filter:.3f}",
+            f"{row.noalt_filter:.3f}",
+            f"{row.alt_nofilter:.3f}",
+            f"{row.noalt_nofilter:.3f}",
+            f"{(row.alt_filter / base['alt_filter'] - 1) * 100:+.0f}%",
+            f"{(row.alt_nofilter / base['alt_nofilter'] - 1) * 100:+.0f}%",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        title="Figure 2: total optimization time (s) vs number of views",
+        headers=[
+            "views",
+            "Alt&Filter",
+            "NoAlt&Filter",
+            "Alt&NoFilter",
+            "NoAlt&NoFilter",
+            "increase(F)",
+            "increase(NoF)",
+        ],
+        rows=body,
+    )
+
+
+@dataclass(frozen=True)
+class Figure3Row:
+    """Optimization-time increase decomposition (seconds)."""
+
+    view_count: int
+    total_increase: float
+    matching_time: float
+
+
+def figure3(result: ExperimentResult) -> list[Figure3Row]:
+    """Figure 3: total increase vs time spent in the view-matching rule.
+
+    Both series use the Alt & Filter configuration, like the paper's: the
+    increase is relative to optimizing with zero views, and the matching
+    time is measured inside the rule (including filter-tree search and the
+    per-candidate tests).
+    """
+    baseline = result.baseline_seconds(_ALT_FILTER)
+    rows = []
+    for view_count in result.config.view_counts:
+        point = result.point(view_count, _ALT_FILTER)
+        rows.append(
+            Figure3Row(
+                view_count=view_count,
+                total_increase=max(0.0, point.total_seconds - baseline),
+                matching_time=point.matching_seconds,
+            )
+        )
+    return rows
+
+
+def render_figure3(result: ExperimentResult) -> str:
+    """Text table for Figure 3."""
+    rows = figure3(result)
+    body = [
+        [
+            row.view_count,
+            f"{row.total_increase:.3f}",
+            f"{row.matching_time:.3f}",
+            f"{row.matching_time / row.total_increase:.0%}"
+            if row.total_increase > 0
+            else "-",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        title="Figure 3: optimization-time increase vs view-matching time (s)",
+        headers=["views", "total increase", "view-matching time", "share"],
+        rows=body,
+    )
+
+
+@dataclass(frozen=True)
+class Figure4Row:
+    view_count: int
+    plans_using_views: int
+    fraction: float
+
+
+def figure4(result: ExperimentResult) -> list[Figure4Row]:
+    """Figure 4: number of final plans using materialized views."""
+    rows = []
+    for view_count in result.config.view_counts:
+        point = result.point(view_count, _ALT_FILTER)
+        rows.append(
+            Figure4Row(
+                view_count=view_count,
+                plans_using_views=point.plans_using_views,
+                fraction=point.view_usage_fraction,
+            )
+        )
+    return rows
+
+
+def render_figure4(result: ExperimentResult) -> str:
+    """Text table for Figure 4."""
+    rows = figure4(result)
+    body = [
+        [row.view_count, row.plans_using_views, f"{row.fraction:.0%}"]
+        for row in rows
+    ]
+    return render_table(
+        title="Figure 4: final query plans using materialized views",
+        headers=["views", "plans using views", "fraction of queries"],
+        rows=body,
+    )
+
+
+def section5_statistics(result: ExperimentResult) -> str:
+    """The filtering statistics quoted in the text of Section 5."""
+    body = []
+    for view_count in result.config.view_counts:
+        if view_count == 0:
+            continue
+        point = result.point(view_count, _ALT_FILTER)
+        body.append(
+            [
+                view_count,
+                f"{point.candidate_fraction:.3%}",
+                f"{point.candidate_success_rate:.0%}",
+                f"{point.invocations_per_query:.1f}",
+                f"{point.substitutes_per_invocation:.2f}",
+                f"{point.substitutes_per_query:.2f}",
+            ]
+        )
+    return render_table(
+        title="Section 5 filtering statistics (Alt & Filter)",
+        headers=[
+            "views",
+            "candidate fraction",
+            "candidates matching",
+            "invocations/query",
+            "substitutes/invocation",
+            "substitutes/query",
+        ],
+        rows=body,
+    )
+
+
+def render_all(result: ExperimentResult) -> str:
+    """All figure tables and the Section 5 statistics, concatenated."""
+    parts = [
+        render_figure2(result),
+        render_figure3(result),
+        render_figure4(result),
+        section5_statistics(result),
+    ]
+    return "\n\n".join(parts)
+
+
+__all__ = [
+    "ALL_CONFIGURATIONS",
+    "Figure2Row",
+    "Figure3Row",
+    "Figure4Row",
+    "figure2",
+    "figure3",
+    "figure4",
+    "render_all",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "section5_statistics",
+]

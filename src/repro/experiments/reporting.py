@@ -1,0 +1,27 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned ASCII table with a title line."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.rjust(widths[i]) for i, value in enumerate(values))
+
+    separator = "-" * len(line(headers))
+    parts = [title, separator, line(headers), separator]
+    parts.extend(line(row) for row in cells)
+    parts.append(separator)
+    return "\n".join(parts)

@@ -1,0 +1,5 @@
+"""Incremental maintenance of materialized views (Section 2's motivation)."""
+
+from .maintainer import MaintainedView, ViewMaintainer
+
+__all__ = ["MaintainedView", "ViewMaintainer"]

@@ -1,0 +1,329 @@
+"""Incremental maintenance of materialized views.
+
+Section 2 of the paper explains *why* indexed views carry a
+``count_big(*)`` column: "so deletions can be handled incrementally (when
+the count becomes zero, the group is empty and the row must be deleted)".
+This module implements that machinery, so the repository's materialized
+views behave like SQL Server's: base-table inserts and deletes propagate
+into every registered view without recomputation.
+
+Algorithm (standard delta propagation, one base-table change at a time):
+
+* **SPJ views** -- the view delta is the view query evaluated with the
+  changed table replaced by just the delta rows (joins see the full other
+  tables). Inserts append the delta; deletes remove one occurrence per
+  delta row (bag semantics).
+* **Aggregation views** -- the SPJ delta is aggregated with the view's
+  grouping; each delta group is merged into the stored view: counts add or
+  subtract, SUMs add or subtract, and a group whose ``count_big`` reaches
+  zero is removed. Following SQL Server's indexable-view rules, SUM
+  arguments must be non-nullable so subtraction is exact; registration
+  rejects views violating this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..catalog.catalog import Catalog
+from ..engine.database import Database, Relation
+from ..engine.executor import execute
+from ..errors import ExecutionError, MatchError
+from ..sql.expressions import Expression, FuncCall
+from ..sql.statements import SelectStatement
+
+
+@dataclass(frozen=True)
+class _AggregateColumn:
+    """One maintainable output column of an aggregation view."""
+
+    position: int
+    kind: str  # "group", "sum" or "count"
+
+
+@dataclass
+class MaintainedView:
+    """A registered view plus its precomputed maintenance layout."""
+
+    name: str
+    statement: SelectStatement
+    tables: frozenset[str]
+    is_aggregate: bool
+    columns: tuple[_AggregateColumn, ...] = ()
+    group_positions: tuple[int, ...] = ()
+
+
+class ViewMaintainer:
+    """Propagates base-table inserts and deletes into materialized views."""
+
+    def __init__(self, catalog: Catalog, database: Database):
+        self.catalog = catalog
+        self.database = database
+        self._views: dict[str, MaintainedView] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str, statement: SelectStatement) -> MaintainedView:
+        """Materialize ``statement`` as ``name`` and maintain it from now on.
+
+        Raises :class:`MatchError` when the view cannot be maintained
+        incrementally (nullable SUM argument, unsupported aggregate, or a
+        missing ``count_big(*)`` column in an aggregation view).
+        """
+        view = self._analyze(name, statement)
+        from ..engine.executor import materialize_view
+
+        materialize_view(name, statement, self.database)
+        self._views[name] = view
+        return view
+
+    def unregister(self, name: str) -> None:
+        """Stop maintaining a view and drop its stored relation."""
+        del self._views[name]
+        if self.database.has(name):
+            self.database.drop(name)
+
+    def views(self) -> tuple[MaintainedView, ...]:
+        """All views currently under maintenance."""
+        return tuple(self._views.values())
+
+    def _analyze(self, name: str, statement: SelectStatement) -> MaintainedView:
+        tables = frozenset(statement.table_names())
+        if statement.distinct:
+            # DISTINCT deltas are not additive: an inserted row may already
+            # be represented, a deleted row may still be backed by others.
+            raise MatchError(
+                f"view {name}: DISTINCT views cannot be maintained incrementally"
+            )
+        if not statement.is_aggregate:
+            for item in statement.select_items:
+                if item.name is None:
+                    raise MatchError(f"view {name}: every output needs a name")
+            return MaintainedView(
+                name=name, statement=statement, tables=tables, is_aggregate=False
+            )
+        columns: list[_AggregateColumn] = []
+        group_positions: list[int] = []
+        has_count = False
+        for position, item in enumerate(statement.select_items):
+            expr = item.expression
+            if item.name is None:
+                raise MatchError(f"view {name}: every output needs a name")
+            if isinstance(expr, FuncCall) and expr.is_aggregate():
+                if expr.name == "count_big" and expr.star:
+                    columns.append(_AggregateColumn(position, "count"))
+                    has_count = True
+                elif expr.name == "sum":
+                    self._require_non_nullable(name, expr.args[0])
+                    columns.append(_AggregateColumn(position, "sum"))
+                else:
+                    raise MatchError(
+                        f"view {name}: aggregate {expr.name} is not maintainable"
+                    )
+            else:
+                columns.append(_AggregateColumn(position, "group"))
+                group_positions.append(position)
+        if not has_count:
+            raise MatchError(
+                f"view {name}: aggregation views need count_big(*) for "
+                "incremental deletes"
+            )
+        return MaintainedView(
+            name=name,
+            statement=statement,
+            tables=tables,
+            is_aggregate=True,
+            columns=tuple(columns),
+            group_positions=tuple(group_positions),
+        )
+
+    def _require_non_nullable(self, name: str, argument: Expression) -> None:
+        for ref in argument.column_refs():
+            table = self.catalog.table(ref.table)  # type: ignore[arg-type]
+            if table.is_nullable(ref.column):
+                raise MatchError(
+                    f"view {name}: SUM over nullable column "
+                    f"{ref.table}.{ref.column} cannot be maintained exactly"
+                )
+
+    # -- change application ----------------------------------------------------
+
+    def insert(self, table: str, rows: Iterable[Sequence[object]]) -> None:
+        """Insert rows into a base table and propagate to all views."""
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            return
+        deltas = self._view_deltas(table, rows)
+        relation = self.database.relation(table)
+        relation.rows.extend(rows)
+        relation.bump_version()
+        for view, delta in deltas:
+            if view.is_aggregate:
+                self._merge_aggregate(view, delta, sign=+1)
+            else:
+                view_relation = self.database.relation(view.name)
+                view_relation.rows.extend(delta)
+                view_relation.bump_version()
+
+    def delete(self, table: str, rows: Iterable[Sequence[object]]) -> None:
+        """Delete specific rows from a base table and propagate.
+
+        Each given row removes one matching occurrence from the base table
+        (bag semantics); a missing row raises.
+        """
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            return
+        relation = self.database.relation(table)
+        for row in rows:
+            try:
+                relation.rows.remove(row)
+            except ValueError:
+                raise ExecutionError(
+                    f"cannot delete from {table}: row {row} not present"
+                ) from None
+        relation.bump_version()
+        # Deltas are computed *after* removal so joins see the final state
+        # of the changed table's partners -- but the delta itself uses the
+        # removed rows.
+        deltas = self._view_deltas(table, rows)
+        for view, delta in deltas:
+            if view.is_aggregate:
+                self._merge_aggregate(view, delta, sign=-1)
+            else:
+                self._remove_rows(view.name, delta)
+
+    def delete_where(self, table: str, predicate) -> int:
+        """Delete every row satisfying a row-tuple predicate; returns count."""
+        relation = self.database.relation(table)
+        victims = [row for row in relation.rows if predicate(row)]
+        self.delete(table, victims)
+        return len(victims)
+
+    # -- internals -------------------------------------------------------------
+
+    def _view_deltas(
+        self, table: str, delta_rows: list[tuple[object, ...]]
+    ) -> list[tuple[MaintainedView, list[tuple[object, ...]]]]:
+        """Evaluate each affected view's query over the delta rows."""
+        affected = [v for v in self._views.values() if table in v.tables]
+        if not affected:
+            return []
+        overlay = _OverlayDatabase(self.database, table, delta_rows)
+        deltas = []
+        for view in affected:
+            result = execute(view.statement, overlay)  # type: ignore[arg-type]
+            if view.is_aggregate:
+                # Re-aggregate per group happens in merge; the executor
+                # already grouped the delta, which is exactly what we need.
+                deltas.append((view, result.rows))
+            else:
+                deltas.append((view, result.rows))
+        return deltas
+
+    def _remove_rows(self, view_name: str, delta: list[tuple[object, ...]]) -> None:
+        relation = self.database.relation(view_name)
+        for row in delta:
+            try:
+                relation.rows.remove(row)
+            except ValueError:
+                raise ExecutionError(
+                    f"view {view_name} out of sync: delta row {row} missing"
+                ) from None
+        relation.bump_version()
+
+    def _merge_aggregate(
+        self,
+        view: MaintainedView,
+        delta: list[tuple[object, ...]],
+        sign: int,
+    ) -> None:
+        relation = self.database.relation(view.name)
+        group_positions = view.group_positions
+        index: dict[tuple[object, ...], int] = {
+            tuple(row[p] for p in group_positions): i
+            for i, row in enumerate(relation.rows)
+        }
+        removed: list[int] = []
+        for delta_row in delta:
+            key = tuple(delta_row[p] for p in group_positions)
+            existing_position = index.get(key)
+            if existing_position is None:
+                if sign < 0:
+                    raise ExecutionError(
+                        f"view {view.name} out of sync: deleted group {key} missing"
+                    )
+                relation.rows.append(delta_row)
+                index[key] = len(relation.rows) - 1
+                continue
+            merged = self._merge_row(
+                view, relation.rows[existing_position], delta_row, sign
+            )
+            if merged is None:
+                removed.append(existing_position)
+                del index[key]
+            else:
+                relation.rows[existing_position] = merged
+        relation.bump_version()
+        for position in sorted(removed, reverse=True):
+            del relation.rows[position]
+            # Rebuild positions affected by the removal.
+            index = {
+                tuple(row[p] for p in group_positions): i
+                for i, row in enumerate(relation.rows)
+            }
+
+    def _merge_row(
+        self,
+        view: MaintainedView,
+        current: tuple[object, ...],
+        delta_row: tuple[object, ...],
+        sign: int,
+    ) -> tuple[object, ...] | None:
+        values = list(current)
+        for column in view.columns:
+            if column.kind == "group":
+                continue
+            delta_value = delta_row[column.position]
+            if column.kind == "count":
+                new_count = values[column.position] + sign * delta_value  # type: ignore[operator]
+                if new_count == 0:
+                    return None
+                values[column.position] = new_count
+            else:  # sum: arguments are non-nullable, so deltas are non-null
+                current_value = values[column.position]
+                if delta_value is None:
+                    continue  # empty delta group contributes nothing
+                if current_value is None:
+                    values[column.position] = sign * delta_value  # type: ignore[operator]
+                else:
+                    values[column.position] = (
+                        current_value + sign * delta_value  # type: ignore[operator]
+                    )
+        return tuple(values)
+
+
+class _OverlayDatabase:
+    """A read view of a database with one table replaced by delta rows."""
+
+    def __init__(
+        self,
+        base: Database,
+        table: str,
+        delta_rows: list[tuple[object, ...]],
+    ):
+        self._base = base
+        self._table = table
+        base_relation = base.relation(table)
+        self._delta = Relation(
+            name=table, columns=base_relation.columns, rows=delta_rows
+        )
+
+    def relation(self, name: str) -> Relation:
+        if name == self._table:
+            return self._delta
+        return self._base.relation(name)
+
+    def has(self, name: str) -> bool:
+        return self._base.has(name)

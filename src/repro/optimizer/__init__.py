@@ -1,0 +1,28 @@
+"""Transformation-based optimizer with integrated view matching."""
+
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .optimizer import OptimizationResult, Optimizer, OptimizerConfig
+from .plans import (
+    BlockNode,
+    DirectNode,
+    FinishNode,
+    HashJoinNode,
+    PlanNode,
+    describe_plan,
+    plan_result,
+)
+
+__all__ = [
+    "BlockNode",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DirectNode",
+    "FinishNode",
+    "HashJoinNode",
+    "OptimizationResult",
+    "Optimizer",
+    "OptimizerConfig",
+    "PlanNode",
+    "describe_plan",
+    "plan_result",
+]

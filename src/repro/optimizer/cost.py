@@ -1,0 +1,53 @@
+"""A simple row-based cost model.
+
+Costs are in abstract "rows touched" units: scanning a relation costs its
+row count, a hash join costs build + probe + output, grouping costs input +
+output. Materialized views are clustered, so a substitute costs a scan of
+the view's (usually far smaller) extent plus the compensation work. The
+model is deliberately coarse -- the paper's point is that substitutes enter
+*normal* cost-based optimization, not that the cost model is clever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cost-model constants; one instance is shared per optimizer."""
+
+    row_cost: float = 1.0
+    filter_cpu_factor: float = 0.1
+    group_cpu_factor: float = 1.0
+
+    def scan(self, rows: float) -> float:
+        return self.row_cost * max(rows, 1.0)
+
+    def filter(self, input_rows: float) -> float:
+        return self.filter_cpu_factor * max(input_rows, 1.0)
+
+    def hash_join(self, left_rows: float, right_rows: float, out_rows: float) -> float:
+        return self.row_cost * (
+            max(left_rows, 1.0) + max(right_rows, 1.0) + max(out_rows, 1.0)
+        )
+
+    def cross_join(self, left_rows: float, right_rows: float) -> float:
+        return self.row_cost * max(left_rows * right_rows, 1.0)
+
+    def group(self, input_rows: float, groups: float) -> float:
+        return self.group_cpu_factor * (max(input_rows, 1.0) + max(groups, 1.0))
+
+    def block(self, scan_rows: float, filtered: bool) -> float:
+        """Cost of producing a leaf block from one stored relation."""
+        cost = self.scan(scan_rows)
+        if filtered:
+            cost += self.filter(scan_rows)
+        return cost
+
+    def index_seek(self, matching_rows: float) -> float:
+        """Cost of an index seek returning ``matching_rows`` rows."""
+        return 10.0 * self.row_cost + self.row_cost * max(matching_rows, 1.0)
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,237 @@
+"""Physical plan nodes: executable, costed operator trees.
+
+Every leaf is a :class:`BlockNode` -- a single-level SPJG statement executed
+through the engine (either a block over base tables or a substitute over a
+materialized view). Internal nodes join blocks; a :class:`FinishNode` on
+top projects or aggregates to the query's output.
+
+Rows flow between operators as ``(relation, column) -> value`` mappings so
+the scalar evaluator works unchanged; a block's result tuples are re-keyed
+via its declared output keys, which lets a substitute transparently stand
+in for the block it replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..engine.database import Database
+from ..engine.evaluator import predicate_holds
+from ..engine.executor import (
+    QueryResult,
+    RowDict,
+    aggregate_rows,
+    execute,
+    project_rows,
+)
+from ..sql.expressions import Expression
+from ..sql.statements import SelectItem, SelectStatement
+from ..core.equivalence import ColumnKey
+
+
+@dataclass
+class PlanNode:
+    """Base: estimated output rows and total (cumulative) cost."""
+
+    est_rows: float = field(default=0.0, kw_only=True)
+    cost: float = field(default=0.0, kw_only=True)
+
+    def rows(self, database: Database) -> list[RowDict]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def uses_view(self) -> bool:
+        """True when any block in the plan scans a materialized view."""
+        return any(
+            isinstance(node, BlockNode) and node.view_name is not None
+            for node in self.walk()
+        )
+
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(
+            node.view_name
+            for node in self.walk()
+            if isinstance(node, BlockNode) and node.view_name is not None
+        )
+
+
+@dataclass
+class BlockNode(PlanNode):
+    """A single-level statement executed by the engine, re-keyed for parents.
+
+    ``output_keys`` gives the (relation, column) key each result column is
+    published under; for base-table blocks these are the original column
+    keys, for pre-aggregation blocks the aggregate columns get virtual keys.
+    ``view_name`` is set when the statement scans a materialized view (i.e.
+    it is a substitute produced by view matching).
+    """
+
+    statement: SelectStatement
+    output_keys: tuple[ColumnKey, ...]
+    view_name: str | None = None
+
+    def rows(self, database: Database) -> list[RowDict]:
+        result = execute(self.statement, database)
+        if len(self.output_keys) != len(result.columns):
+            raise ValueError(
+                f"block publishes {len(self.output_keys)} keys but produced "
+                f"{len(result.columns)} columns"
+            )
+        return [dict(zip(self.output_keys, row)) for row in result.rows]
+
+
+@dataclass
+class HashJoinNode(PlanNode):
+    """Equijoin of two inputs on key pairs, plus optional residual conjuncts.
+
+    With no ``join_pairs`` the node degrades to a (costed-accordingly)
+    cross join.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    join_pairs: tuple[tuple[ColumnKey, ColumnKey], ...]
+    residual: tuple[Expression, ...] = ()
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def rows(self, database: Database) -> list[RowDict]:
+        left_rows = self.left.rows(database)
+        right_rows = self.right.rows(database)
+        if self.join_pairs:
+            joined = self._hash_join(left_rows, right_rows)
+        else:
+            joined = [
+                {**left_row, **right_row}
+                for left_row in left_rows
+                for right_row in right_rows
+            ]
+        if self.residual:
+            joined = [
+                row
+                for row in joined
+                if all(predicate_holds(conjunct, row) for conjunct in self.residual)
+            ]
+        return joined
+
+    def _hash_join(
+        self, left_rows: list[RowDict], right_rows: list[RowDict]
+    ) -> list[RowDict]:
+        left_keys = [pair[0] for pair in self.join_pairs]
+        right_keys = [pair[1] for pair in self.join_pairs]
+        buckets: dict[tuple[object, ...], list[RowDict]] = {}
+        for row in right_rows:
+            key = tuple(row[k] for k in right_keys)
+            if any(v is None for v in key):
+                continue
+            buckets.setdefault(key, []).append(row)
+        joined: list[RowDict] = []
+        for row in left_rows:
+            key = tuple(row[k] for k in left_keys)
+            if any(v is None for v in key):
+                continue
+            for match in buckets.get(key, ()):
+                joined.append({**row, **match})
+        return joined
+
+
+@dataclass
+class FinishNode(PlanNode):
+    """Top operator: project or group the child rows to the final output."""
+
+    child: PlanNode
+    select_items: tuple[SelectItem, ...]
+    group_by: tuple[Expression, ...] = ()
+    aggregate: bool = False
+    distinct: bool = False
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def rows(self, database: Database) -> list[RowDict]:
+        raise NotImplementedError("FinishNode produces a QueryResult, not rows")
+
+    def result(self, database: Database) -> QueryResult:
+        input_rows = self.child.rows(database)
+        if self.aggregate:
+            output = aggregate_rows(input_rows, self.select_items, self.group_by)
+        else:
+            output = project_rows(input_rows, self.select_items)
+        if self.distinct:
+            seen: set[tuple[object, ...]] = set()
+            deduped = []
+            for row in output:
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+            output = deduped
+        columns = tuple(
+            item.name if item.name is not None else f"col{i + 1}"
+            for i, item in enumerate(self.select_items)
+        )
+        return QueryResult(columns=columns, rows=output)
+
+
+@dataclass
+class DirectNode(PlanNode):
+    """A whole-query substitute: one statement computes the final result."""
+
+    statement: SelectStatement
+    view_name: str | None = None
+
+    def rows(self, database: Database) -> list[RowDict]:
+        raise NotImplementedError("DirectNode produces a QueryResult, not rows")
+
+    def result(self, database: Database) -> QueryResult:
+        return execute(self.statement, database)
+
+    def uses_view(self) -> bool:
+        return self.view_name is not None
+
+    def view_names(self) -> tuple[str, ...]:
+        return (self.view_name,) if self.view_name else ()
+
+
+def plan_result(plan: PlanNode, database: Database) -> QueryResult:
+    """Execute a completed plan (FinishNode or DirectNode)."""
+    if isinstance(plan, (FinishNode, DirectNode)):
+        return plan.result(database)
+    raise TypeError(f"not an executable top plan: {type(plan).__name__}")
+
+
+def describe_plan(plan: PlanNode, indent: int = 0) -> str:
+    """A readable indented rendering of a plan tree (for examples/tests)."""
+    pad = "  " * indent
+    if isinstance(plan, BlockNode):
+        source = f"view {plan.view_name}" if plan.view_name else "base tables"
+        tables = ", ".join(ref.name for ref in plan.statement.from_tables)
+        header = (
+            f"{pad}Block[{source}] scan({tables}) "
+            f"rows~{plan.est_rows:.0f} cost~{plan.cost:.0f}"
+        )
+        return header
+    if isinstance(plan, HashJoinNode):
+        kind = "HashJoin" if plan.join_pairs else "CrossJoin"
+        lines = [f"{pad}{kind} rows~{plan.est_rows:.0f} cost~{plan.cost:.0f}"]
+        lines.append(describe_plan(plan.left, indent + 1))
+        lines.append(describe_plan(plan.right, indent + 1))
+        return "\n".join(lines)
+    if isinstance(plan, FinishNode):
+        op = "GroupBy" if plan.aggregate else "Project"
+        lines = [f"{pad}{op} rows~{plan.est_rows:.0f} cost~{plan.cost:.0f}"]
+        lines.append(describe_plan(plan.child, indent + 1))
+        return "\n".join(lines)
+    if isinstance(plan, DirectNode):
+        source = f"view {plan.view_name}" if plan.view_name else "base tables"
+        return (
+            f"{pad}Direct[{source}] rows~{plan.est_rows:.0f} cost~{plan.cost:.0f}"
+        )
+    return f"{pad}{type(plan).__name__}"
+

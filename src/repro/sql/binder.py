@@ -1,0 +1,113 @@
+"""Name resolution: rewrite every column reference to a canonical form.
+
+After binding, every :class:`ColumnRef` carries the *base table name* of its
+defining table (aliases and schema qualifiers are resolved away), so that
+structural equality of references means identity of columns. The paper's
+algorithm assumes this canonical form throughout — equivalence classes and
+all lattice-index keys are sets of (table, column) pairs.
+
+The binder also validates the statement against the supported SPJG class:
+each base table may appear at most once in the FROM clause (the class of
+indexable views; the random workloads of Section 5 satisfy this too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Protocol, Sequence
+
+from ..errors import BindError, UnsupportedSqlError
+from .expressions import ColumnRef, Expression
+from .statements import CreateViewStatement, SelectItem, SelectStatement, TableRef
+
+
+class SchemaProvider(Protocol):
+    """The slice of a catalog the binder needs."""
+
+    def has_table(self, name: str) -> bool: ...
+
+    def column_names(self, table: str) -> Sequence[str]: ...
+
+
+def bind_statement(
+    statement: SelectStatement, schema: SchemaProvider
+) -> SelectStatement:
+    """Return a copy of ``statement`` with all column references bound.
+
+    Raises :class:`BindError` for unknown tables/columns or ambiguous
+    unqualified references, and :class:`UnsupportedSqlError` when a base
+    table appears more than once (self-joins are outside the view class).
+    """
+    alias_to_table: dict[str, str] = {}
+    seen_tables: set[str] = set()
+    bound_tables: list[TableRef] = []
+    for ref in statement.from_tables:
+        if not schema.has_table(ref.name):
+            raise BindError(f"unknown table: {ref.name}")
+        if ref.name in seen_tables:
+            raise UnsupportedSqlError(
+                f"table {ref.name} referenced more than once; "
+                "self-joins are outside the supported view class"
+            )
+        seen_tables.add(ref.name)
+        binding = ref.binding_name
+        if binding in alias_to_table:
+            raise BindError(f"duplicate table alias: {binding}")
+        alias_to_table[binding] = ref.name
+        # Canonical form drops the schema qualifier and the alias; column
+        # references are rewritten to the base table name below.
+        bound_tables.append(TableRef(name=ref.name))
+
+    column_owner: dict[str, list[str]] = {}
+    for table in seen_tables:
+        for column in schema.column_names(table):
+            column_owner.setdefault(column, []).append(table)
+
+    def bind_ref(ref: ColumnRef) -> ColumnRef:
+        if ref.table is not None:
+            table = alias_to_table.get(ref.table)
+            if table is None:
+                # Permit direct use of the base table name even when aliased
+                # away, mirroring SQL Server's behaviour for schema-qualified
+                # references.
+                if ref.table in seen_tables:
+                    table = ref.table
+                else:
+                    raise BindError(f"unknown table or alias: {ref.table}")
+            if ref.column not in schema.column_names(table):
+                raise BindError(f"unknown column: {table}.{ref.column}")
+            return ColumnRef(table, ref.column)
+        owners = column_owner.get(ref.column, [])
+        if not owners:
+            raise BindError(f"unknown column: {ref.column}")
+        if len(owners) > 1:
+            raise BindError(
+                f"ambiguous column {ref.column}: in tables {sorted(owners)}"
+            )
+        return ColumnRef(owners[0], ref.column)
+
+    def bind_expr(expression: Expression) -> Expression:
+        return expression.transform(
+            lambda node: bind_ref(node) if isinstance(node, ColumnRef) else node
+        )
+
+    items = tuple(
+        SelectItem(bind_expr(item.expression), item.alias)
+        for item in statement.select_items
+    )
+    where = bind_expr(statement.where) if statement.where is not None else None
+    group_by = tuple(bind_expr(expr) for expr in statement.group_by)
+    return replace(
+        statement,
+        select_items=items,
+        from_tables=tuple(bound_tables),
+        where=where,
+        group_by=group_by,
+    )
+
+
+def bind_view(
+    statement: CreateViewStatement, schema: SchemaProvider
+) -> CreateViewStatement:
+    """Bind a CREATE VIEW's inner query."""
+    return replace(statement, query=bind_statement(statement.query, schema))

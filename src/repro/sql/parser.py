@@ -1,0 +1,443 @@
+"""Recursive-descent parser for the SPJG SQL subset.
+
+Grammar (informal)::
+
+    statement   := select | create_view
+    create_view := CREATE VIEW ident [WITH SCHEMABINDING] AS select
+    select      := SELECT [DISTINCT] item (, item)*
+                   FROM table_ref (, table_ref)* [(INNER) JOIN table_ref ON pred]*
+                   [WHERE predicate] [GROUP BY expr (, expr)*]
+    item        := expr [AS ident] | expr ident | *
+    table_ref   := [ident .] ident [[AS] ident]
+    predicate   := disjunction of conjunctions of (NOT)* atoms
+    atom        := comparison | LIKE | BETWEEN | IN | IS [NOT] NULL | ( predicate )
+    expr        := additive arithmetic over terms, functions, columns, literals
+
+``a JOIN b ON p`` is normalised to the comma form with ``p`` folded into the
+WHERE clause, since the paper treats all inner joins as WHERE conjuncts.
+"""
+
+from __future__ import annotations
+
+from ..errors import SqlSyntaxError, UnsupportedSqlError
+from .expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    LikePredicate,
+    Literal,
+    Not,
+    UnaryMinus,
+    between,
+    conjunction,
+    disjunction,
+)
+from .statements import (
+    CreateIndexStatement,
+    CreateViewStatement,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from .tokens import Token, TokenType, tokenize
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def check_keyword(self, *words: str) -> bool:
+        return self.current.type is TokenType.KEYWORD and self.current.value in words
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.check_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.check_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word.upper()}, found {self.current.value!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+    def accept(self, token_type: TokenType) -> Token | None:
+        if self.current.type is token_type:
+            return self.advance()
+        return None
+
+    def expect(self, token_type: TokenType) -> Token:
+        token = self.accept(token_type)
+        if token is None:
+            raise SqlSyntaxError(
+                f"expected {token_type.name}, found {self.current.value!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return token
+
+    def expect_ident(self) -> str:
+        # Non-reserved keywords may be used as identifiers only where the
+        # grammar is unambiguous; we keep it strict and require IDENT.
+        return self.expect(TokenType.IDENT).value
+
+    # -- statements --------------------------------------------------------
+
+    def parse_statement(
+        self,
+    ) -> SelectStatement | CreateViewStatement | CreateIndexStatement:
+        statement: SelectStatement | CreateViewStatement | CreateIndexStatement
+        if self.check_keyword("create"):
+            if self.tokens[self.pos + 1].matches_keyword("view"):
+                statement = self.parse_create_view()
+            else:
+                statement = self.parse_create_index()
+        else:
+            statement = self.parse_select()
+        self.accept(TokenType.SEMICOLON)
+        if self.current.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self.current.value!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return statement
+
+    def parse_create_view(self) -> CreateViewStatement:
+        self.expect_keyword("create")
+        self.expect_keyword("view")
+        name = self.expect_ident()
+        schemabinding = False
+        if self.accept_keyword("with"):
+            self.expect_keyword("schemabinding")
+            schemabinding = True
+        self.expect_keyword("as")
+        query = self.parse_select()
+        return CreateViewStatement(name=name, query=query, schemabinding=schemabinding)
+
+    def parse_create_index(self) -> CreateIndexStatement:
+        self.expect_keyword("create")
+        unique = self.accept_keyword("unique")
+        clustered = self.accept_keyword("clustered")
+        self.expect_keyword("index")
+        name = self.expect_ident()
+        self.expect_keyword("on")
+        relation = self.expect_ident()
+        self.expect(TokenType.LPAREN)
+        columns = [self.expect_ident()]
+        while self.accept(TokenType.COMMA):
+            columns.append(self.expect_ident())
+        self.expect(TokenType.RPAREN)
+        return CreateIndexStatement(
+            name=name,
+            relation=relation,
+            columns=tuple(columns),
+            unique=unique,
+            clustered=clustered,
+        )
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items = [self.parse_select_item()]
+        while self.accept(TokenType.COMMA):
+            items.append(self.parse_select_item())
+        self.expect_keyword("from")
+        tables = [self.parse_table_ref()]
+        join_predicates: list[Expression] = []
+        while True:
+            if self.accept(TokenType.COMMA):
+                tables.append(self.parse_table_ref())
+                continue
+            if self.check_keyword("inner", "join"):
+                self.accept_keyword("inner")
+                self.expect_keyword("join")
+                tables.append(self.parse_table_ref())
+                self.expect_keyword("on")
+                join_predicates.append(self.parse_predicate())
+                continue
+            break
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_predicate()
+        if join_predicates:
+            where = conjunction([p for p in ([where] + join_predicates) if p is not None])
+        group_by: list[Expression] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_expression())
+            while self.accept(TokenType.COMMA):
+                group_by.append(self.parse_expression())
+        if self.check_keyword("having"):
+            raise UnsupportedSqlError("HAVING is outside the supported SPJG class")
+        return SelectStatement(
+            select_items=tuple(items),
+            from_tables=tuple(tables),
+            where=where,
+            group_by=tuple(group_by),
+            distinct=distinct,
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        if self.current.type is TokenType.STAR:
+            raise UnsupportedSqlError(
+                "SELECT * is not supported; indexable views require explicit output lists"
+            )
+        expression = self.parse_expression()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return SelectItem(expression=expression, alias=alias)
+
+    def parse_table_ref(self) -> TableRef:
+        first = self.expect_ident()
+        schema = None
+        name = first
+        if self.accept(TokenType.DOT):
+            schema = first
+            name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return TableRef(name=name, alias=alias, schema=schema)
+
+    # -- predicates ----------------------------------------------------------
+
+    def parse_predicate(self) -> Expression:
+        parts = [self.parse_conjunction()]
+        while self.accept_keyword("or"):
+            parts.append(self.parse_conjunction())
+        result = disjunction(parts)
+        assert result is not None
+        return result
+
+    def parse_conjunction(self) -> Expression:
+        parts = [self.parse_negation()]
+        while self.accept_keyword("and"):
+            parts.append(self.parse_negation())
+        result = conjunction(parts)
+        assert result is not None
+        return result
+
+    def parse_negation(self) -> Expression:
+        if self.accept_keyword("not"):
+            return Not(self.parse_negation())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expression:
+        # A parenthesised predicate vs. a parenthesised arithmetic expression
+        # is resolved by parsing an expression and checking what follows: a
+        # comparison or predicate suffix promotes it to a predicate operand.
+        checkpoint = self.pos
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            try:
+                inner = self.parse_predicate()
+                self.expect(TokenType.RPAREN)
+            except SqlSyntaxError:
+                # Not a predicate after all -- a parenthesised arithmetic
+                # operand like "(a + b) > 5"; backtrack and reparse.
+                self.pos = checkpoint
+            else:
+                # If the parenthesised unit is followed by a comparison
+                # operator it was really an arithmetic operand; backtrack.
+                if self._at_predicate_suffix():
+                    self.pos = checkpoint
+                else:
+                    return inner
+        operand = self.parse_expression()
+        return self.parse_predicate_suffix(operand)
+
+    def _at_predicate_suffix(self) -> bool:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in ("=", "<>", "<", "<=", ">", ">="):
+            return True
+        return token.type is TokenType.KEYWORD and token.value in ("like", "between", "in", "is", "not")
+
+    def parse_predicate_suffix(self, operand: Expression) -> Expression:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in ("=", "<>", "<", "<=", ">", ">="):
+            op = self.advance().value
+            right = self.parse_expression()
+            return BinaryOp(op, operand, right)
+        negated = False
+        if self.check_keyword("not"):
+            self.advance()
+            negated = True
+        if self.accept_keyword("like"):
+            pattern_token = self.expect(TokenType.STRING)
+            return LikePredicate(operand, pattern_token.value, negated=negated)
+        if self.accept_keyword("between"):
+            low = self.parse_expression()
+            self.expect_keyword("and")
+            high = self.parse_expression()
+            result = between(operand, low, high)
+            return Not(result) if negated else result
+        if self.accept_keyword("in"):
+            self.expect(TokenType.LPAREN)
+            items = [self.parse_expression()]
+            while self.accept(TokenType.COMMA):
+                items.append(self.parse_expression())
+            self.expect(TokenType.RPAREN)
+            return InList(operand, tuple(items), negated=negated)
+        if not negated and self.accept_keyword("is"):
+            is_not = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return IsNull(operand, negated=is_not)
+        if negated:
+            raise SqlSyntaxError(
+                "expected LIKE, BETWEEN or IN after NOT",
+                self.current.line,
+                self.current.column,
+            )
+        raise SqlSyntaxError(
+            f"expected a predicate, found {self.current.value!r}",
+            self.current.line,
+            self.current.column,
+        )
+
+    # -- arithmetic expressions ----------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        left = self.parse_term()
+        while self.current.type in (TokenType.OPERATOR, TokenType.STAR) and self.current.value in ("+", "-"):
+            op = self.advance().value
+            right = self.parse_term()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def parse_term(self) -> Expression:
+        left = self.parse_factor()
+        while (
+            self.current.type is TokenType.STAR
+            or (self.current.type is TokenType.OPERATOR and self.current.value in ("*", "/", "%"))
+        ):
+            op = "*" if self.current.type is TokenType.STAR else self.current.value
+            self.advance()
+            right = self.parse_factor()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def parse_factor(self) -> Expression:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self.advance()
+            return UnaryMinus(self.parse_factor())
+        if token.type is TokenType.OPERATOR and token.value == "+":
+            self.advance()
+            return self.parse_factor()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            if "." in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.KEYWORD and token.value in ("true", "false"):
+            self.advance()
+            return Literal(token.value == "true")
+        if token.type is TokenType.KEYWORD and token.value == "null":
+            self.advance()
+            return Literal(None)
+        if token.type is TokenType.LPAREN:
+            self.advance()
+            inner = self.parse_expression()
+            self.expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.IDENT:
+            return self.parse_identifier_expression()
+        raise SqlSyntaxError(
+            f"expected an expression, found {token.value!r}", token.line, token.column
+        )
+
+    def parse_identifier_expression(self) -> Expression:
+        name = self.expect_ident()
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            if self.current.type is TokenType.STAR:
+                self.advance()
+                self.expect(TokenType.RPAREN)
+                return FuncCall(name, star=True)
+            args = [self.parse_expression()]
+            while self.accept(TokenType.COMMA):
+                args.append(self.parse_expression())
+            self.expect(TokenType.RPAREN)
+            return FuncCall(name, tuple(args))
+        if self.accept(TokenType.DOT):
+            second = self.expect_ident()
+            if self.accept(TokenType.DOT):
+                # schema.table.column -- schema part is dropped after parsing
+                third = self.expect_ident()
+                return ColumnRef(second, third)
+            return ColumnRef(name, second)
+        return ColumnRef(None, name)
+
+
+def parse(text: str) -> SelectStatement | CreateViewStatement | CreateIndexStatement:
+    """Parse a single SELECT, CREATE VIEW or CREATE INDEX statement."""
+    return _Parser(text).parse_statement()
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse SQL text that must be a SELECT statement."""
+    statement = parse(text)
+    if not isinstance(statement, SelectStatement):
+        raise SqlSyntaxError("expected a SELECT statement")
+    return statement
+
+
+def parse_view(text: str) -> CreateViewStatement:
+    """Parse SQL text that must be a CREATE VIEW statement."""
+    statement = parse(text)
+    if not isinstance(statement, CreateViewStatement):
+        raise SqlSyntaxError("expected a CREATE VIEW statement")
+    return statement
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone scalar expression (handy in tests)."""
+    parser = _Parser(text)
+    expression = parser.parse_expression()
+    if parser.current.type is not TokenType.EOF:
+        raise SqlSyntaxError(
+            f"unexpected trailing input {parser.current.value!r}",
+            parser.current.line,
+            parser.current.column,
+        )
+    return expression
+
+
+def parse_predicate(text: str) -> Expression:
+    """Parse a standalone predicate (handy in tests)."""
+    parser = _Parser(text)
+    predicate = parser.parse_predicate()
+    if parser.current.type is not TokenType.EOF:
+        raise SqlSyntaxError(
+            f"unexpected trailing input {parser.current.value!r}",
+            parser.current.line,
+            parser.current.column,
+        )
+    return predicate

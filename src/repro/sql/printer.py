@@ -1,0 +1,120 @@
+"""Render expression and statement ASTs back to SQL text.
+
+Also provides :func:`shallow_template`, the representation Section 3.1.2 of
+the paper prescribes for residual-predicate and output-expression matching:
+the SQL text of an expression with every column reference replaced by a
+placeholder, plus the ordered list of the omitted references.
+"""
+
+from __future__ import annotations
+
+from .expressions import (
+    And,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    LikePredicate,
+    Literal,
+    Not,
+    Or,
+    UnaryMinus,
+)
+from .statements import CreateViewStatement, SelectStatement
+
+_COLUMN_PLACEHOLDER = "?"
+
+
+def _render(expression: Expression, hide_columns: bool, refs: list[ColumnRef] | None) -> str:
+    """Shared renderer for :func:`to_sql` and :func:`shallow_template`."""
+
+    def go(node: Expression) -> str:
+        if isinstance(node, ColumnRef):
+            if hide_columns:
+                assert refs is not None
+                refs.append(node)
+                return _COLUMN_PLACEHOLDER
+            return f"{node.table}.{node.column}" if node.table else node.column
+        if isinstance(node, Literal):
+            return str(node)
+        if isinstance(node, BinaryOp):
+            return f"({go(node.left)} {node.op} {go(node.right)})"
+        if isinstance(node, UnaryMinus):
+            return f"(- {go(node.operand)})"
+        if isinstance(node, And):
+            return "(" + " AND ".join(go(part) for part in node.conjuncts) + ")"
+        if isinstance(node, Or):
+            return "(" + " OR ".join(go(part) for part in node.disjuncts) + ")"
+        if isinstance(node, Not):
+            return f"(NOT {go(node.operand)})"
+        if isinstance(node, FuncCall):
+            inner = "*" if node.star else ", ".join(go(arg) for arg in node.args)
+            return f"{node.name}({inner})"
+        if isinstance(node, LikePredicate):
+            middle = "NOT LIKE" if node.negated else "LIKE"
+            escaped = node.pattern.replace("'", "''")
+            return f"({go(node.operand)} {middle} '{escaped}')"
+        if isinstance(node, IsNull):
+            middle = "IS NOT NULL" if node.negated else "IS NULL"
+            return f"({go(node.operand)} {middle})"
+        if isinstance(node, InList):
+            middle = "NOT IN" if node.negated else "IN"
+            inner = ", ".join(go(item) for item in node.items)
+            return f"({go(node.operand)} {middle} ({inner}))"
+        raise TypeError(f"cannot render {type(node).__name__}")
+
+    return go(expression)
+
+
+def to_sql(expression: Expression) -> str:
+    """SQL text of an expression (fully parenthesised, deterministic)."""
+    return _render(expression, hide_columns=False, refs=None)
+
+
+def shallow_template(expression: Expression) -> tuple[str, tuple[ColumnRef, ...]]:
+    """The paper's shallow-match form: (text with refs omitted, ref list).
+
+    Two expressions match under the paper's residual test when their
+    templates are string-equal and corresponding column references fall in
+    the same query equivalence class.
+    """
+    refs: list[ColumnRef] = []
+    text = _render(expression, hide_columns=True, refs=refs)
+    return text, tuple(refs)
+
+
+def statement_to_sql(statement: SelectStatement | CreateViewStatement) -> str:
+    """SQL text of a SELECT or CREATE VIEW statement."""
+    if isinstance(statement, CreateViewStatement):
+        binding = " WITH SCHEMABINDING" if statement.schemabinding else ""
+        return (
+            f"CREATE VIEW {statement.name}{binding} AS "
+            + statement_to_sql(statement.query)
+        )
+    parts = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in statement.select_items:
+        rendered = to_sql(item.expression)
+        if item.alias:
+            rendered += f" AS {item.alias}"
+        items.append(rendered)
+    parts.append(", ".join(items))
+    parts.append("FROM")
+    tables = []
+    for ref in statement.from_tables:
+        rendered = f"{ref.schema}.{ref.name}" if ref.schema else ref.name
+        if ref.alias:
+            rendered += f" AS {ref.alias}"
+        tables.append(rendered)
+    parts.append(", ".join(tables))
+    if statement.where is not None:
+        parts.append("WHERE")
+        parts.append(to_sql(statement.where))
+    if statement.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(to_sql(expr) for expr in statement.group_by))
+    return " ".join(parts)

@@ -1,0 +1,126 @@
+"""Statement-level AST: SELECT queries and CREATE VIEW definitions.
+
+Only single-level SPJG statements are representable, matching the class of
+indexable views in SQL Server 2000 that the paper targets: base tables in
+the FROM clause (no derived tables or subqueries), inner joins expressed in
+the WHERE clause, an optional GROUP BY, and aggregate outputs limited to
+SUM / COUNT / COUNT_BIG / AVG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from .expressions import ColumnRef, Expression, FuncCall
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output expression with its (optional) ``AS`` alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+    @property
+    def name(self) -> str | None:
+        """Output column name: the alias, or the column name if a bare ref."""
+        if self.alias is not None:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.column
+        return None
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.expression} AS {self.alias}"
+        return str(self.expression)
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause entry: a base table, optionally schema-qualified/aliased."""
+
+    name: str
+    alias: str | None = None
+    schema: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        """The name column references resolve against (alias wins)."""
+        return self.alias if self.alias is not None else self.name
+
+    def __str__(self) -> str:
+        text = f"{self.schema}.{self.name}" if self.schema else self.name
+        if self.alias:
+            text += f" AS {self.alias}"
+        return text
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A single-level ``SELECT ... FROM ... [WHERE ...] [GROUP BY ...]``."""
+
+    select_items: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True when the statement groups or any output aggregates."""
+        if self.group_by:
+            return True
+        return any(item.expression.contains_aggregate() for item in self.select_items)
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(ref.binding_name for ref in self.from_tables)
+
+    def output_expressions(self) -> tuple[Expression, ...]:
+        return tuple(item.expression for item in self.select_items)
+
+    def expressions(self) -> Iterator[Expression]:
+        """All top-level expressions: outputs, predicate, grouping."""
+        for item in self.select_items:
+            yield item.expression
+        if self.where is not None:
+            yield self.where
+        yield from self.group_by
+
+    def with_where(self, predicate: Expression | None) -> "SelectStatement":
+        return replace(self, where=predicate)
+
+    def aggregate_outputs(self) -> tuple[FuncCall, ...]:
+        """Top-level aggregate calls appearing anywhere in the output list."""
+        found: list[FuncCall] = []
+        for item in self.select_items:
+            for node in item.expression.walk():
+                if isinstance(node, FuncCall) and node.is_aggregate():
+                    found.append(node)
+        return tuple(found)
+
+
+@dataclass(frozen=True)
+class CreateViewStatement:
+    """``CREATE VIEW name [WITH SCHEMABINDING] AS <select>``."""
+
+    name: str
+    query: SelectStatement
+    schemabinding: bool = True
+
+
+@dataclass(frozen=True)
+class CreateIndexStatement:
+    """``CREATE [UNIQUE] [CLUSTERED] INDEX name ON relation(col, ...)``.
+
+    The relation may be a base table or a materialized view -- creating a
+    unique clustered index on a view is exactly how SQL Server 2000
+    materializes it (paper, Section 2 / Example 1).
+    """
+
+    name: str
+    relation: str
+    columns: tuple[str, ...]
+    unique: bool = False
+    clustered: bool = False

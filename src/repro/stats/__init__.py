@@ -1,0 +1,21 @@
+"""Statistics and cardinality estimation."""
+
+from .estimator import (
+    CardinalityEstimator,
+    equijoin_selectivity,
+    range_selectivity,
+    residual_selectivity,
+)
+from .statistics import ColumnStats, DatabaseStats, TableStats
+from .tpch_synthetic import synthetic_tpch_stats
+
+__all__ = [
+    "CardinalityEstimator",
+    "ColumnStats",
+    "DatabaseStats",
+    "TableStats",
+    "equijoin_selectivity",
+    "range_selectivity",
+    "residual_selectivity",
+    "synthetic_tpch_stats",
+]

@@ -1,0 +1,149 @@
+"""Synthetic TPC-H statistics at an arbitrary scale factor.
+
+Column domains follow the TPC-H specification closely enough for workload
+generation and costing: keys are dense 1..N, dates span 1992..1998, prices
+and quantities use the dbgen ranges. This lets the Section 5 experiments
+run at the paper's scale factor (0.5) without generating the data.
+"""
+
+from __future__ import annotations
+
+from ..catalog.tpch import TPCH_BASE_CARDINALITIES
+from ..datagen.tpch_gen import DATE_MAX, DATE_MIN
+from .statistics import ColumnStats, DatabaseStats, TableStats
+
+
+def _key(count: int) -> ColumnStats:
+    return ColumnStats(minimum=1, maximum=count, distinct=count)
+
+
+def _fk(parent_count: int) -> ColumnStats:
+    return ColumnStats(minimum=1, maximum=parent_count, distinct=parent_count)
+
+
+def _date() -> ColumnStats:
+    return ColumnStats(minimum=DATE_MIN, maximum=DATE_MAX,
+                       distinct=DATE_MAX - DATE_MIN + 1)
+
+
+def _string(distinct: int) -> ColumnStats:
+    return ColumnStats(minimum="", maximum="~", distinct=max(1, distinct))
+
+
+def _money(low: float, high: float, distinct: int) -> ColumnStats:
+    return ColumnStats(minimum=low, maximum=high, distinct=max(1, distinct))
+
+
+def synthetic_tpch_stats(scale: float = 0.5) -> DatabaseStats:
+    """Build synthetic statistics for TPC-H at the given scale factor."""
+    n = {
+        table: max(1, round(base * scale))
+        for table, base in TPCH_BASE_CARDINALITIES.items()
+    }
+    n["region"] = 5
+    n["nation"] = 25
+
+    tables = {
+        "region": TableStats(
+            row_count=n["region"],
+            columns={
+                "r_regionkey": ColumnStats(0, n["region"] - 1, n["region"]),
+                "r_name": _string(n["region"]),
+                "r_comment": _string(n["region"]),
+            },
+        ),
+        "nation": TableStats(
+            row_count=n["nation"],
+            columns={
+                "n_nationkey": ColumnStats(0, n["nation"] - 1, n["nation"]),
+                "n_name": _string(n["nation"]),
+                "n_regionkey": ColumnStats(0, n["region"] - 1, n["region"]),
+                "n_comment": _string(n["nation"]),
+            },
+        ),
+        "supplier": TableStats(
+            row_count=n["supplier"],
+            columns={
+                "s_suppkey": _key(n["supplier"]),
+                "s_name": _string(n["supplier"]),
+                "s_address": _string(n["supplier"]),
+                "s_nationkey": ColumnStats(0, n["nation"] - 1, n["nation"]),
+                "s_phone": _string(n["supplier"]),
+                "s_acctbal": _money(-999.99, 9999.99, 10_000),
+                "s_comment": _string(n["supplier"]),
+            },
+        ),
+        "customer": TableStats(
+            row_count=n["customer"],
+            columns={
+                "c_custkey": _key(n["customer"]),
+                "c_name": _string(n["customer"]),
+                "c_address": _string(n["customer"]),
+                "c_nationkey": ColumnStats(0, n["nation"] - 1, n["nation"]),
+                "c_phone": _string(n["customer"]),
+                "c_acctbal": _money(-999.99, 9999.99, 10_000),
+                "c_mktsegment": _string(5),
+                "c_comment": _string(n["customer"]),
+            },
+        ),
+        "part": TableStats(
+            row_count=n["part"],
+            columns={
+                "p_partkey": _key(n["part"]),
+                "p_name": _string(n["part"]),
+                "p_mfgr": _string(5),
+                "p_brand": _string(25),
+                "p_type": _string(150),
+                "p_size": ColumnStats(1, 50, 50),
+                "p_container": _string(40),
+                "p_retailprice": _money(900.0, 2100.0, 12_000),
+                "p_comment": _string(n["part"]),
+            },
+        ),
+        "partsupp": TableStats(
+            row_count=n["partsupp"],
+            columns={
+                "ps_partkey": _fk(n["part"]),
+                "ps_suppkey": _fk(n["supplier"]),
+                "ps_availqty": ColumnStats(1, 9999, 9999),
+                "ps_supplycost": _money(1.0, 1000.0, 10_000),
+                "ps_comment": _string(n["partsupp"]),
+            },
+        ),
+        "orders": TableStats(
+            row_count=n["orders"],
+            columns={
+                "o_orderkey": _key(n["orders"]),
+                "o_custkey": _fk(n["customer"]),
+                "o_orderstatus": _string(3),
+                "o_totalprice": _money(850.0, 500_000.0, 100_000),
+                "o_orderdate": _date(),
+                "o_orderpriority": _string(5),
+                "o_clerk": _string(1000),
+                "o_shippriority": ColumnStats(0, 0, 1),
+                "o_comment": _string(n["orders"]),
+            },
+        ),
+        "lineitem": TableStats(
+            row_count=n["lineitem"],
+            columns={
+                "l_orderkey": _fk(n["orders"]),
+                "l_partkey": _fk(n["part"]),
+                "l_suppkey": _fk(n["supplier"]),
+                "l_linenumber": ColumnStats(1, 7, 7),
+                "l_quantity": ColumnStats(1.0, 50.0, 50),
+                "l_extendedprice": _money(900.0, 105_000.0, 100_000),
+                "l_discount": ColumnStats(0.0, 0.10, 11),
+                "l_tax": ColumnStats(0.0, 0.08, 9),
+                "l_returnflag": _string(3),
+                "l_linestatus": _string(2),
+                "l_shipdate": _date(),
+                "l_commitdate": _date(),
+                "l_receiptdate": _date(),
+                "l_shipinstruct": _string(4),
+                "l_shipmode": _string(7),
+                "l_comment": _string(n["lineitem"]),
+            },
+        ),
+    }
+    return DatabaseStats(tables)

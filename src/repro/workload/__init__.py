@@ -1,0 +1,15 @@
+"""The Section 5 random workload generator."""
+
+from .generator import (
+    GeneratedStatement,
+    QUERY_TABLE_COUNT_DISTRIBUTION,
+    WorkloadGenerator,
+    WorkloadParameters,
+)
+
+__all__ = [
+    "GeneratedStatement",
+    "QUERY_TABLE_COUNT_DISTRIBUTION",
+    "WorkloadGenerator",
+    "WorkloadParameters",
+]

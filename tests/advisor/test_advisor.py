@@ -1,0 +1,141 @@
+"""View advisor tests: candidate generation, selection, end-to-end value."""
+
+import pytest
+
+from repro.advisor import ViewAdvisor
+from repro.core import ViewMatcher
+from repro.engine import Database, execute, materialize_view
+from repro.optimizer import Optimizer, plan_result
+
+
+@pytest.fixture()
+def advisor(catalog, tiny_stats):
+    return ViewAdvisor(catalog, tiny_stats)
+
+
+def bind_all(catalog, queries):
+    return [catalog.bind_sql(q) for q in queries]
+
+
+class TestCandidateGeneration:
+    def test_one_candidate_per_table_join_group(self, catalog, advisor):
+        queries = bind_all(
+            catalog,
+            [
+                "select o_custkey, sum(o_totalprice) from orders group by o_custkey",
+                "select o_orderdate, count(*) from orders group by o_orderdate",
+                "select l_partkey, sum(l_quantity) from lineitem, orders "
+                "where l_orderkey = o_orderkey group by l_partkey",
+            ],
+        )
+        candidates = advisor.generate_candidates(queries)
+        assert len(candidates) == 2  # {orders} and {lineitem, orders}
+
+    def test_aggregate_group_yields_aggregation_view(self, catalog, advisor):
+        queries = bind_all(
+            catalog,
+            [
+                "select o_custkey, sum(o_totalprice) from orders group by o_custkey",
+                "select o_orderdate, count(*) from orders group by o_orderdate",
+            ],
+        )
+        (candidate,) = advisor.generate_candidates(queries)
+        assert candidate.is_aggregate
+        group_columns = {expr.column for expr in candidate.statement.group_by}
+        assert {"o_custkey", "o_orderdate"} <= group_columns
+
+    def test_mixed_group_yields_spj_view(self, catalog, advisor):
+        queries = bind_all(
+            catalog,
+            [
+                "select o_custkey, sum(o_totalprice) from orders group by o_custkey",
+                "select o_orderkey from orders where o_custkey > 10",
+            ],
+        )
+        (candidate,) = advisor.generate_candidates(queries)
+        assert not candidate.is_aggregate
+
+    def test_candidates_register_cleanly(self, catalog, advisor, paper_stats):
+        from repro.stats import synthetic_tpch_stats
+        from repro.workload import WorkloadGenerator
+
+        generator = WorkloadGenerator(catalog, paper_stats, seed=31)
+        queries = [q.statement for q in generator.generate_queries(30)]
+        matcher = ViewMatcher(catalog)
+        for candidate in advisor.generate_candidates(queries):
+            matcher.register_view(candidate.name, candidate.statement)
+        assert matcher.view_count > 0
+
+    def test_predicate_columns_are_exposed(self, catalog, advisor):
+        queries = bind_all(
+            catalog,
+            [
+                "select o_orderkey from orders where o_totalprice > 1000",
+            ],
+        )
+        (candidate,) = advisor.generate_candidates(queries)
+        names = {item.expression.column for item in candidate.statement.select_items}
+        assert "o_totalprice" in names
+
+
+class TestRecommendation:
+    WORKLOAD = [
+        "select o_custkey, sum(o_totalprice) from orders "
+        "where o_orderdate >= 9000 group by o_custkey",
+        "select o_custkey, o_orderdate, sum(o_totalprice), count(*) "
+        "from orders group by o_custkey, o_orderdate",
+        "select l_partkey, sum(l_quantity) from lineitem, orders "
+        "where l_orderkey = o_orderkey group by l_partkey",
+    ]
+
+    def test_recommendation_reduces_workload_cost(self, catalog, advisor):
+        queries = bind_all(catalog, self.WORKLOAD)
+        recommendation = advisor.recommend(queries, max_views=3)
+        assert recommendation.views
+        assert recommendation.workload_cost_after < recommendation.workload_cost_before
+        assert 0 < recommendation.improvement <= 1
+        assert all(v.benefit > 0 for v in recommendation.views)
+
+    def test_max_views_respected(self, catalog, advisor):
+        queries = bind_all(catalog, self.WORKLOAD)
+        recommendation = advisor.recommend(queries, max_views=1)
+        assert len(recommendation.views) == 1
+
+    def test_benefits_are_marginal_and_ordered(self, catalog, advisor):
+        queries = bind_all(catalog, self.WORKLOAD)
+        recommendation = advisor.recommend(queries, max_views=3)
+        total = sum(v.benefit for v in recommendation.views)
+        assert total == pytest.approx(
+            recommendation.workload_cost_before
+            - recommendation.workload_cost_after
+        )
+        benefits = [v.benefit for v in recommendation.views]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_empty_workload(self, catalog, advisor):
+        recommendation = advisor.recommend([], max_views=3)
+        assert recommendation.views == []
+        assert recommendation.improvement == 0.0
+
+    def test_recommended_views_answer_correctly(self, catalog, advisor, tiny_db,
+                                                tiny_stats):
+        queries = bind_all(catalog, self.WORKLOAD)
+        recommendation = advisor.recommend(queries, max_views=3)
+        database = Database()
+        for name in tiny_db.names():
+            relation = tiny_db.relation(name)
+            database.store(name, relation.columns, relation.rows)
+        matcher = ViewMatcher(catalog)
+        for view in recommendation.views:
+            matcher.register_view(view.name, view.statement)
+            materialize_view(view.name, view.statement, database)
+        optimizer = Optimizer(catalog, tiny_stats, matcher=matcher)
+        used = 0
+        for query in queries:
+            result = optimizer.optimize(query)
+            used += result.uses_view
+            expected = execute(query, database)
+            assert expected.bag_equals(
+                plan_result(result.plan, database), float_digits=9
+            )
+        assert used >= 2

@@ -1,0 +1,126 @@
+"""Catalog registry tests."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType, ForeignKey, Table
+from repro.errors import CatalogError
+
+
+def small_catalog():
+    cat = Catalog()
+    cat.add_table(
+        Table(name="p", columns=(Column("pk"), Column("v")), primary_key=("pk",))
+    )
+    cat.add_table(
+        Table(
+            name="c",
+            columns=(Column("ck"), Column("p_id"), Column("w")),
+            primary_key=("ck",),
+            foreign_keys=(ForeignKey(("p_id",), "p", ("pk",)),),
+        )
+    )
+    return cat
+
+
+class TestTables:
+    def test_add_and_lookup(self):
+        cat = small_catalog()
+        assert cat.has_table("p")
+        assert cat.table("c").primary_key == ("ck",)
+        assert {t.name for t in cat.tables()} == {"p", "c"}
+
+    def test_duplicate_table_rejected(self):
+        cat = small_catalog()
+        with pytest.raises(CatalogError, match="already exists"):
+            cat.add_table(Table(name="p", columns=(Column("x"),)))
+
+    def test_unknown_table_lookup(self):
+        with pytest.raises(CatalogError, match="no table"):
+            small_catalog().table("zz")
+
+    def test_fk_to_unknown_table_rejected(self):
+        cat = Catalog()
+        with pytest.raises(CatalogError, match="unknown table"):
+            cat.add_table(
+                Table(
+                    name="c",
+                    columns=(Column("x"),),
+                    foreign_keys=(ForeignKey(("x",), "missing", ("pk",)),),
+                )
+            )
+
+    def test_fk_must_target_unique_key(self):
+        cat = Catalog()
+        cat.add_table(
+            Table(name="p", columns=(Column("pk"), Column("v")), primary_key=("pk",))
+        )
+        with pytest.raises(CatalogError, match="unique key"):
+            cat.add_table(
+                Table(
+                    name="c",
+                    columns=(Column("x"),),
+                    foreign_keys=(ForeignKey(("x",), "p", ("v",)),),
+                )
+            )
+
+    def test_foreign_keys_between(self):
+        cat = small_catalog()
+        fks = cat.foreign_keys_between("c", "p")
+        assert len(fks) == 1
+        assert fks[0].columns == ("p_id",)
+        assert cat.foreign_keys_between("p", "c") == ()
+
+
+class TestViews:
+    def test_add_view_from_text(self):
+        cat = small_catalog()
+        view = cat.add_view("create view v as select ck, w from c where w > 5")
+        assert view.name == "v"
+        assert cat.has_view("v")
+        assert not view.is_aggregate
+
+    def test_view_query_is_bound(self):
+        cat = small_catalog()
+        view = cat.add_view("create view v as select w from c")
+        ref = view.query.select_items[0].expression
+        assert ref.table == "c"
+
+    def test_aggregate_view_flag(self):
+        cat = small_catalog()
+        view = cat.add_view(
+            "create view v as select p_id, count_big(*) as cnt from c group by p_id"
+        )
+        assert view.is_aggregate
+
+    def test_duplicate_view_rejected(self):
+        cat = small_catalog()
+        cat.add_view("create view v as select w from c")
+        with pytest.raises(CatalogError, match="already exists"):
+            cat.add_view("create view v as select w from c")
+
+    def test_view_name_clashing_with_table_rejected(self):
+        cat = small_catalog()
+        with pytest.raises(CatalogError, match="clashes"):
+            cat.add_view("create view p as select w from c")
+
+    def test_drop_view(self):
+        cat = small_catalog()
+        cat.add_view("create view v as select w from c")
+        cat.drop_view("v")
+        assert not cat.has_view("v")
+        with pytest.raises(CatalogError):
+            cat.drop_view("v")
+
+    def test_view_count_and_iteration(self):
+        cat = small_catalog()
+        cat.add_view("create view v1 as select w from c")
+        cat.add_view("create view v2 as select v from p")
+        assert cat.view_count == 2
+        assert {v.name for v in cat.views()} == {"v1", "v2"}
+
+
+class TestBindSql:
+    def test_bind_sql_convenience(self):
+        cat = small_catalog()
+        stmt = cat.bind_sql("select w from c where p_id = 3")
+        assert stmt.select_items[0].expression.table == "c"

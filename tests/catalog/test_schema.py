@@ -1,0 +1,85 @@
+"""Schema metadata tests."""
+
+import pytest
+
+from repro.catalog import Column, ColumnType, ForeignKey, Table
+from repro.errors import CatalogError
+
+
+def make_table(**overrides):
+    defaults = dict(
+        name="t",
+        columns=(
+            Column("a"),
+            Column("b", ColumnType.FLOAT),
+            Column("c", ColumnType.STRING, nullable=True),
+        ),
+        primary_key=("a",),
+    )
+    defaults.update(overrides)
+    return Table(**defaults)
+
+
+class TestTable:
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("b").type is ColumnType.FLOAT
+        assert table.has_column("a")
+        assert not table.has_column("z")
+
+    def test_column_names_order(self):
+        assert make_table().column_names == ("a", "b", "c")
+
+    def test_nullability(self):
+        table = make_table()
+        assert table.is_nullable("c")
+        assert not table.is_nullable("a")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate column"):
+            Table(name="t", columns=(Column("a"), Column("a")))
+
+    def test_unknown_key_column_rejected(self):
+        with pytest.raises(CatalogError, match="key column"):
+            make_table(primary_key=("zz",))
+
+    def test_unknown_fk_column_rejected(self):
+        with pytest.raises(CatalogError, match="FK column"):
+            make_table(foreign_keys=(ForeignKey(("zz",), "p", ("pk",)),))
+
+    def test_unknown_column_lookup_raises(self):
+        with pytest.raises(CatalogError, match="no column"):
+            make_table().column("zz")
+
+
+class TestUniqueKeys:
+    def test_primary_key_is_a_unique_key(self):
+        assert make_table().is_unique_key(("a",))
+
+    def test_declared_unique_key(self):
+        table = make_table(unique_keys=(("b", "c"),))
+        assert table.is_unique_key(("b", "c"))
+        assert table.is_unique_key(("c", "b"))  # order-insensitive
+
+    def test_non_key_is_not_unique(self):
+        assert not make_table().is_unique_key(("b",))
+
+    def test_all_unique_keys_deduplicates(self):
+        table = make_table(unique_keys=(("a",), ("b",)))
+        assert table.all_unique_keys() == (("a",), ("b",))
+
+    def test_subset_of_key_is_not_a_key(self):
+        table = make_table(primary_key=("a", "b"))
+        assert not table.is_unique_key(("a",))
+
+
+class TestForeignKey:
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(CatalogError, match="column count"):
+            ForeignKey(("x", "y"), "p", ("pk",))
+
+    def test_column_type_enum(self):
+        assert ColumnType.INTEGER.is_numeric
+        assert ColumnType.DATE.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.STRING.is_numeric

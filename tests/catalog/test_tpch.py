@@ -1,0 +1,61 @@
+"""TPC-H schema sanity tests."""
+
+from repro.catalog import TPCH_BASE_CARDINALITIES, tpch_catalog
+
+
+class TestTpchSchema:
+    def test_all_eight_tables_present(self, catalog):
+        names = {t.name for t in catalog.tables()}
+        assert names == {
+            "region", "nation", "supplier", "customer",
+            "part", "partsupp", "orders", "lineitem",
+        }
+
+    def test_every_table_has_a_primary_key(self, catalog):
+        for table in catalog.tables():
+            assert table.primary_key, table.name
+
+    def test_foreign_keys_wired(self, catalog):
+        assert catalog.foreign_keys_between("lineitem", "orders")
+        assert catalog.foreign_keys_between("lineitem", "part")
+        assert catalog.foreign_keys_between("lineitem", "supplier")
+        assert catalog.foreign_keys_between("lineitem", "partsupp")
+        assert catalog.foreign_keys_between("orders", "customer")
+        assert catalog.foreign_keys_between("customer", "nation")
+        assert catalog.foreign_keys_between("supplier", "nation")
+        assert catalog.foreign_keys_between("nation", "region")
+        assert catalog.foreign_keys_between("partsupp", "part")
+        assert catalog.foreign_keys_between("partsupp", "supplier")
+
+    def test_composite_fk_lineitem_partsupp(self, catalog):
+        (fk,) = catalog.foreign_keys_between("lineitem", "partsupp")
+        assert fk.columns == ("l_partkey", "l_suppkey")
+        assert fk.parent_columns == ("ps_partkey", "ps_suppkey")
+
+    def test_tpch_columns_are_not_nullable(self, catalog):
+        # The TPC-H spec declares every column NOT NULL.
+        for table in catalog.tables():
+            for column in table.columns:
+                assert not column.nullable, (table.name, column.name)
+
+    def test_base_cardinalities_cover_all_tables(self, catalog):
+        assert set(TPCH_BASE_CARDINALITIES) == {t.name for t in catalog.tables()}
+
+    def test_fresh_catalogs_are_independent(self):
+        first = tpch_catalog()
+        second = tpch_catalog()
+        first.add_view("create view v as select l_orderkey from lineitem")
+        assert not second.has_view("v")
+
+    def test_paper_example_view_binds(self, catalog):
+        statement = catalog.bind_sql(
+            """
+            select p_partkey, p_name, p_retailprice,
+                   sum(l_extendedprice*l_quantity) as gross_revenue
+            from dbo.lineitem, dbo.part
+            where p_partkey < 1000 and p_name like '%steel%'
+              and p_partkey = l_partkey
+            group by p_partkey, p_name, p_retailprice
+            """
+        )
+        assert set(statement.table_names()) == {"lineitem", "part"}

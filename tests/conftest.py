@@ -1,0 +1,87 @@
+"""Shared fixtures: catalog, generated data, statistics.
+
+Session-scoped where construction is expensive (data generation); tests
+never mutate the shared database or catalog -- tests that register views
+build their own matcher over the shared catalog, and tests needing extra
+tables build private catalogs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType, ForeignKey, Table, tpch_catalog
+from repro.datagen import generate_tpch
+from repro.stats import DatabaseStats, synthetic_tpch_stats
+
+
+@pytest.fixture(scope="session")
+def catalog() -> Catalog:
+    return tpch_catalog()
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """A small but non-trivial TPC-H instance (thousands of lineitems)."""
+    return generate_tpch(scale=0.001, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_stats(tiny_db, catalog) -> DatabaseStats:
+    return DatabaseStats.collect(tiny_db, catalog)
+
+
+@pytest.fixture(scope="session")
+def paper_stats() -> DatabaseStats:
+    """Synthetic statistics at the paper's scale factor 0.5."""
+    return synthetic_tpch_stats(scale=0.5)
+
+
+@pytest.fixture()
+def two_table_catalog() -> Catalog:
+    """A minimal parent/child schema for constraint-focused tests.
+
+    ``child`` has a non-null FK to ``parent`` and a nullable FK to
+    ``optional_parent`` so both arms of the cardinality-preserving-join
+    rules can be exercised.
+    """
+    cat = Catalog()
+    cat.add_table(
+        Table(
+            name="parent",
+            columns=(
+                Column("pk", ColumnType.INTEGER),
+                Column("pdata", ColumnType.INTEGER),
+                Column("pname", ColumnType.STRING),
+            ),
+            primary_key=("pk",),
+        )
+    )
+    cat.add_table(
+        Table(
+            name="optional_parent",
+            columns=(
+                Column("opk", ColumnType.INTEGER),
+                Column("odata", ColumnType.INTEGER),
+            ),
+            primary_key=("opk",),
+        )
+    )
+    cat.add_table(
+        Table(
+            name="child",
+            columns=(
+                Column("ck", ColumnType.INTEGER),
+                Column("parent_id", ColumnType.INTEGER),
+                Column("opt_id", ColumnType.INTEGER, nullable=True),
+                Column("cdata", ColumnType.INTEGER),
+                Column("cname", ColumnType.STRING),
+            ),
+            primary_key=("ck",),
+            foreign_keys=(
+                ForeignKey(("parent_id",), "parent", ("pk",)),
+                ForeignKey(("opt_id",), "optional_parent", ("opk",)),
+            ),
+        )
+    )
+    return cat

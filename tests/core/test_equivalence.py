@@ -1,0 +1,175 @@
+"""Union-find equivalence class tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import EquivalenceClasses
+
+A, B, C, D, E = (("t", name) for name in "abcde")
+
+
+def make(*columns):
+    return EquivalenceClasses(columns)
+
+
+class TestBasics:
+    def test_fresh_columns_are_trivial(self):
+        classes = make(A, B)
+        assert classes.is_trivial(A)
+        assert classes.class_of(A) == {A}
+        assert not classes.same_class(A, B)
+
+    def test_add_equality_merges(self):
+        classes = make(A, B, C)
+        assert classes.add_equality(A, B)
+        assert classes.same_class(A, B)
+        assert classes.class_of(A) == {A, B}
+        assert not classes.same_class(A, C)
+
+    def test_redundant_equality_reports_no_merge(self):
+        classes = make(A, B)
+        classes.add_equality(A, B)
+        assert not classes.add_equality(B, A)
+
+    def test_transitivity(self):
+        classes = make(A, B, C)
+        classes.add_equality(A, B)
+        classes.add_equality(B, C)
+        assert classes.same_class(A, C)
+        assert classes.class_of(B) == {A, B, C}
+
+    def test_add_equality_registers_unknown_columns(self):
+        classes = make()
+        classes.add_equality(A, B)
+        assert A in classes and B in classes
+
+    def test_find_unregistered_raises(self):
+        with pytest.raises(KeyError):
+            make(A).find(B)
+
+    def test_classes_enumeration(self):
+        classes = make(A, B, C, D)
+        classes.add_equality(A, B)
+        all_classes = {frozenset(c) for c in classes.classes()}
+        assert all_classes == {frozenset({A, B}), frozenset({C}), frozenset({D})}
+        assert classes.nontrivial_classes() == [frozenset({A, B})]
+
+    def test_copy_is_independent(self):
+        classes = make(A, B, C)
+        classes.add_equality(A, B)
+        clone = classes.copy()
+        clone.add_equality(B, C)
+        assert clone.same_class(A, C)
+        assert not classes.same_class(A, C)
+
+    def test_len_and_iteration(self):
+        classes = make(A, B)
+        assert len(classes) == 2
+        assert set(classes.columns()) == {A, B}
+
+
+class TestRefines:
+    def test_identical_classes_refine(self):
+        coarse = make(A, B, C)
+        coarse.add_equality(A, B)
+        fine = make(A, B, C)
+        fine.add_equality(A, B)
+        assert fine.refines(coarse)
+
+    def test_trivial_refines_anything(self):
+        coarse = make(A, B)
+        coarse.add_equality(A, B)
+        fine = make(A, B)
+        assert fine.refines(coarse)
+
+    def test_coarser_does_not_refine_finer(self):
+        coarse = make(A, B, C)
+        coarse.add_equality(A, B)
+        coarse.add_equality(B, C)
+        fine = make(A, B, C)
+        fine.add_equality(A, B)
+        assert not coarse.refines(fine)
+        assert fine.refines(coarse)
+
+    def test_paper_transitivity_example(self):
+        # View: A=B and B=C; query: A=C and C=B. Both imply A=B=C, so the
+        # view refines the query even though the raw predicates differ.
+        view = make(A, B, C)
+        view.add_equality(A, B)
+        view.add_equality(B, C)
+        query = make(A, B, C)
+        query.add_equality(A, C)
+        query.add_equality(C, B)
+        assert view.refines(query)
+
+    def test_refines_fails_on_missing_column(self):
+        fine = make(A, B)
+        fine.add_equality(A, B)
+        coarse = make(A)  # B unknown to the coarser side
+        assert not fine.refines(coarse)
+
+
+# --------------------------------------------------------------------------
+# Property-based tests
+# --------------------------------------------------------------------------
+
+columns_strategy = st.integers(min_value=0, max_value=9).map(
+    lambda i: ("t", f"c{i}")
+)
+pairs_strategy = st.lists(
+    st.tuples(columns_strategy, columns_strategy), max_size=20
+)
+
+
+def brute_force_classes(pairs, universe):
+    """Reference implementation: repeated merging of overlapping sets."""
+    groups = [{column} for column in universe]
+    for a, b in pairs:
+        group_a = next(g for g in groups if a in g)
+        group_b = next(g for g in groups if b in g)
+        if group_a is not group_b:
+            group_a |= group_b
+            groups.remove(group_b)
+    return {frozenset(g) for g in groups}
+
+
+@settings(max_examples=200)
+@given(pairs_strategy)
+def test_union_find_matches_brute_force(pairs):
+    universe = [("t", f"c{i}") for i in range(10)]
+    classes = EquivalenceClasses(universe)
+    for a, b in pairs:
+        classes.add_equality(a, b)
+    assert {frozenset(c) for c in classes.classes()} == brute_force_classes(
+        pairs, universe
+    )
+
+
+@settings(max_examples=100)
+@given(pairs_strategy, pairs_strategy)
+def test_refines_is_consistent_with_subset_semantics(first, second):
+    universe = [("t", f"c{i}") for i in range(10)]
+    fine = EquivalenceClasses(universe)
+    for a, b in first:
+        fine.add_equality(a, b)
+    coarse = EquivalenceClasses(universe)
+    for a, b in first + second:
+        coarse.add_equality(a, b)
+    # Adding more equalities only coarsens, so `fine` must refine `coarse`.
+    assert fine.refines(coarse)
+
+
+@settings(max_examples=100)
+@given(pairs_strategy)
+def test_insertion_order_does_not_matter(pairs):
+    universe = [("t", f"c{i}") for i in range(10)]
+    forward = EquivalenceClasses(universe)
+    for a, b in pairs:
+        forward.add_equality(a, b)
+    backward = EquivalenceClasses(universe)
+    for a, b in reversed(pairs):
+        backward.add_equality(b, a)
+    assert {frozenset(c) for c in forward.classes()} == {
+        frozenset(c) for c in backward.classes()
+    }

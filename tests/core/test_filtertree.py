@@ -1,0 +1,349 @@
+"""Filter tree tests: per-level behaviour and the completeness property."""
+
+import pytest
+
+from repro.core import FilterTree, describe, match_view
+from repro.core.filtertree import QueryProbe
+from repro.stats import synthetic_tpch_stats
+from repro.workload import WorkloadGenerator
+
+
+def register(tree, catalog, name, sql):
+    tree.register(describe(catalog.bind_sql(sql), catalog, name=name))
+
+
+def candidate_names(tree, catalog, sql):
+    query = describe(catalog.bind_sql(sql), catalog)
+    return {view.name for view in tree.candidates(query)}
+
+
+class TestRegistration:
+    def test_register_and_unregister(self, catalog):
+        tree = FilterTree()
+        register(tree, catalog, "v1", "select l_orderkey as k from lineitem")
+        assert len(tree) == 1
+        tree.unregister("v1")
+        assert len(tree) == 0
+
+    def test_duplicate_name_rejected(self, catalog):
+        tree = FilterTree()
+        register(tree, catalog, "v1", "select l_orderkey as k from lineitem")
+        with pytest.raises(ValueError, match="already registered"):
+            register(tree, catalog, "v1", "select l_orderkey as k from lineitem")
+
+    def test_unregister_unknown_raises(self, catalog):
+        with pytest.raises(KeyError):
+            FilterTree().unregister("zz")
+
+    def test_query_description_cannot_be_registered(self, catalog):
+        tree = FilterTree()
+        with pytest.raises(ValueError, match="named"):
+            tree.register(
+                describe(catalog.bind_sql("select l_orderkey from lineitem"), catalog)
+            )
+
+    def test_hub_computed_at_registration(self, catalog):
+        tree = FilterTree()
+        view = describe(
+            catalog.bind_sql(
+                "select l_orderkey as k from lineitem, orders "
+                "where l_orderkey = o_orderkey"
+            ),
+            catalog,
+            name="v1",
+        )
+        registered = tree.register(view)
+        assert registered.hub == {"lineitem"}
+
+
+class TestLevelFiltering:
+    def test_source_table_condition(self, catalog):
+        tree = FilterTree()
+        register(tree, catalog, "li", "select l_orderkey as k from lineitem")
+        register(tree, catalog, "ord", "select o_orderkey as k from orders")
+        names = candidate_names(tree, catalog, "select l_orderkey from lineitem")
+        assert "ord" not in names
+        assert "li" in names
+
+    def test_hub_condition_prunes_pinned_views(self, catalog):
+        tree = FilterTree()
+        # The range on o_totalprice (trivial class) pins orders in the hub,
+        # so a lineitem-only query cannot use this view.
+        register(
+            tree,
+            catalog,
+            "pinned",
+            "select l_orderkey as k from lineitem, orders "
+            "where l_orderkey = o_orderkey and o_totalprice > 100",
+        )
+        register(
+            tree,
+            catalog,
+            "free",
+            "select l_orderkey as k from lineitem, orders "
+            "where l_orderkey = o_orderkey",
+        )
+        names = candidate_names(tree, catalog, "select l_orderkey from lineitem")
+        assert names == {"free"}
+
+    def test_output_column_condition(self, catalog):
+        tree = FilterTree()
+        register(tree, catalog, "narrow", "select l_orderkey as k from lineitem")
+        register(
+            tree,
+            catalog,
+            "wide",
+            "select l_orderkey as k, l_quantity as q from lineitem",
+        )
+        names = candidate_names(tree, catalog, "select l_quantity from lineitem")
+        assert names == {"wide"}
+
+    def test_residual_condition(self, catalog):
+        tree = FilterTree()
+        register(
+            tree,
+            catalog,
+            "filtered",
+            "select p_partkey as k from part where p_name like '%x%'",
+        )
+        register(tree, catalog, "plain", "select p_partkey as k from part")
+        names = candidate_names(tree, catalog, "select p_partkey from part")
+        assert names == {"plain"}
+        names = candidate_names(
+            tree, catalog, "select p_partkey from part where p_name like '%x%'"
+        )
+        assert names == {"plain", "filtered"}
+
+    def test_range_constraint_condition(self, catalog):
+        tree = FilterTree()
+        register(
+            tree,
+            catalog,
+            "ranged",
+            "select p_partkey as k from part where p_size > 10",
+        )
+        names = candidate_names(tree, catalog, "select p_partkey from part")
+        assert names == set()
+        names = candidate_names(
+            tree, catalog, "select p_partkey from part where p_size > 20"
+        )
+        assert names == {"ranged"}
+
+    def test_spj_query_never_sees_aggregate_views(self, catalog):
+        tree = FilterTree()
+        register(
+            tree,
+            catalog,
+            "agg",
+            "select o_custkey, count_big(*) as cnt from orders group by o_custkey",
+        )
+        names = candidate_names(tree, catalog, "select o_custkey from orders")
+        assert names == set()
+
+    def test_aggregate_query_sees_both_kinds(self, catalog):
+        tree = FilterTree()
+        register(
+            tree,
+            catalog,
+            "agg",
+            "select o_custkey, count_big(*) as cnt from orders group by o_custkey",
+        )
+        register(tree, catalog, "spj", "select o_custkey as c from orders")
+        names = candidate_names(
+            tree, catalog, "select o_custkey, count(*) from orders group by o_custkey"
+        )
+        assert names == {"agg", "spj"}
+
+    def test_grouping_condition(self, catalog):
+        tree = FilterTree()
+        register(
+            tree,
+            catalog,
+            "by_cust",
+            "select o_custkey, count_big(*) as cnt from orders group by o_custkey",
+        )
+        names = candidate_names(
+            tree,
+            catalog,
+            "select o_clerk, count(*) from orders group by o_clerk",
+        )
+        assert names == set()
+
+    def test_aggregate_template_condition(self, catalog):
+        tree = FilterTree()
+        register(
+            tree,
+            catalog,
+            "sum_price",
+            "select o_custkey, sum(o_totalprice) as s, count_big(*) as cnt "
+            "from orders group by o_custkey",
+        )
+        # Templates omit column references, so a SUM over a *different
+        # single column* shares the key "sum(?)": the filter passes the
+        # view (conservative) and the matcher rejects it via the reference
+        # check -- the paper's split of work between filter and tests.
+        names = candidate_names(
+            tree,
+            catalog,
+            "select o_custkey, sum(o_shippriority) from orders group by o_custkey",
+        )
+        assert names == {"sum_price"}
+        # A structurally different argument changes the template and is
+        # pruned by the filter itself.
+        names = candidate_names(
+            tree,
+            catalog,
+            "select o_custkey, sum(o_totalprice * 2) from orders "
+            "group by o_custkey",
+        )
+        assert names == set()
+
+
+class TestProbe:
+    def test_probe_of_simple_query(self, catalog):
+        probe = QueryProbe.of(
+            describe(
+                catalog.bind_sql(
+                    "select l_orderkey from lineitem where l_partkey > 5"
+                ),
+                catalog,
+            )
+        )
+        assert not probe.is_aggregate
+        assert ("t", "lineitem") in probe.tables
+        assert ("c", "lineitem", "l_partkey") in probe.range_constrained_columns
+
+    def test_probe_of_aggregate_query(self, catalog):
+        probe = QueryProbe.of(
+            describe(
+                catalog.bind_sql(
+                    "select o_custkey, sum(o_totalprice) from orders "
+                    "group by o_custkey"
+                ),
+                catalog,
+            )
+        )
+        assert probe.is_aggregate
+        assert ("x", "sum(?)") in probe.aggregate_templates
+
+
+class TestFilterStatistics:
+    def test_statistics_end_with_candidate_count(self, catalog):
+        from repro.stats import synthetic_tpch_stats
+        from repro.workload import WorkloadGenerator
+
+        stats = synthetic_tpch_stats(0.5)
+        generator = WorkloadGenerator(catalog, stats, seed=55)
+        tree = FilterTree()
+        for name, view in generator.generate_views(60):
+            tree.register(describe(view.statement, catalog, name=name))
+        for generated in generator.generate_queries(15):
+            query = describe(generated.statement, catalog)
+            statistics = tree.filter_statistics(query)
+            assert statistics[0][0] == "registered"
+            survivors = [count for _, count in statistics]
+            assert survivors == sorted(survivors, reverse=True)  # monotone
+            assert survivors[-1] == len(tree.candidates(query))
+
+    def test_level_names_reported(self, catalog):
+        tree = FilterTree()
+        register(tree, catalog, "v", "select l_orderkey as k from lineitem")
+        query = describe(catalog.bind_sql("select l_orderkey from lineitem"), catalog)
+        names = [name for name, _ in tree.filter_statistics(query)]
+        assert names[0] == "registered"
+        assert "hub" in names[1]
+
+
+class TestLevelOrderings:
+    """Any level composition yields identical candidate sets (Section 4.3)."""
+
+    def test_orderings_agree_on_candidates(self, catalog):
+        from repro.core.filtertree import (
+            GroupingColumnLevel,
+            GroupingExpressionLevel,
+            HubLevel,
+            OutputColumnLevel,
+            OutputExpressionLevel,
+            RangeConstraintLevel,
+            ResidualLevel,
+            SourceTableLevel,
+        )
+        from repro.stats import synthetic_tpch_stats
+        from repro.workload import WorkloadGenerator
+
+        default_tree = FilterTree()
+        reversed_tree = FilterTree(
+            spj_levels=(
+                RangeConstraintLevel(),
+                ResidualLevel(),
+                OutputColumnLevel(),
+                SourceTableLevel(),
+                HubLevel(),
+            ),
+            aggregate_levels=(
+                GroupingColumnLevel(),
+                GroupingExpressionLevel(),
+                RangeConstraintLevel(),
+                ResidualLevel(),
+                OutputColumnLevel(),
+                OutputExpressionLevel(),
+                SourceTableLevel(),
+                HubLevel(),
+            ),
+        )
+        stats = synthetic_tpch_stats(0.5)
+        generator = WorkloadGenerator(catalog, stats, seed=404)
+        for name, view in generator.generate_views(80):
+            description = describe(view.statement, catalog, name=name)
+            default_tree.register(description)
+            reversed_tree.register(description)
+        for generated in generator.generate_queries(25):
+            query = describe(generated.statement, catalog)
+            default_names = {v.name for v in default_tree.candidates(query)}
+            reversed_names = {v.name for v in reversed_tree.candidates(query)}
+            assert default_names == reversed_names
+
+    def test_single_level_tree_over_approximates(self, catalog):
+        from repro.core.filtertree import SourceTableLevel
+
+        full = FilterTree()
+        coarse = FilterTree(
+            spj_levels=(SourceTableLevel(),),
+            aggregate_levels=(SourceTableLevel(),),
+        )
+        for name, sql in {
+            "v1": "select l_orderkey as k from lineitem",
+            "v2": "select l_orderkey as k from lineitem where l_partkey > 5",
+        }.items():
+            description = describe(catalog.bind_sql(sql), catalog, name=name)
+            full.register(description)
+            coarse.register(description)
+        query = describe(catalog.bind_sql("select l_orderkey from lineitem"), catalog)
+        # Fewer levels filter less: the coarse tree passes a superset.
+        full_names = {v.name for v in full.candidates(query)}
+        coarse_names = {v.name for v in coarse.candidates(query)}
+        assert full_names <= coarse_names
+        assert coarse_names == {"v1", "v2"}
+        assert full_names == {"v1"}
+
+
+class TestCompleteness:
+    """The filter tree must never prune a view the matcher accepts."""
+
+    def test_workload_completeness(self, catalog):
+        stats = synthetic_tpch_stats(0.5)
+        generator = WorkloadGenerator(catalog, stats, seed=123)
+        tree = FilterTree()
+        views = []
+        for name, generated in generator.generate_views(150):
+            description = describe(generated.statement, catalog, name=name)
+            tree.register(description)
+            views.append(description)
+        for generated in generator.generate_queries(40):
+            query = describe(generated.statement, catalog)
+            candidates = {v.name for v in tree.candidates(query)}
+            for view in views:
+                if match_view(query, view).matched:
+                    assert view.name in candidates, (
+                        f"filter tree pruned matching view {view.name}"
+                    )

@@ -1,0 +1,243 @@
+"""Aggregation view-matching tests (Section 3.3)."""
+
+from repro.core import RejectReason, describe, match_view
+from repro.sql import statement_to_sql
+
+
+def match(catalog, view_sql, query_sql, name="v"):
+    view = describe(catalog.bind_sql(view_sql), catalog, name=name)
+    query = describe(catalog.bind_sql(query_sql), catalog)
+    return match_view(query, view)
+
+
+AGG_VIEW = (
+    "select o_custkey, o_orderdate, sum(o_totalprice) as total, "
+    "count_big(*) as cnt from orders group by o_custkey, o_orderdate"
+)
+
+
+class TestGroupingSubset:
+    def test_equal_grouping_no_regroup(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, o_orderdate, sum(o_totalprice) from orders "
+            "group by o_custkey, o_orderdate",
+        )
+        assert result.matched
+        assert not result.regrouped
+        assert result.substitute.group_by == ()
+        assert (
+            statement_to_sql(result.substitute)
+            == "SELECT v.o_custkey, v.o_orderdate, v.total FROM v"
+        )
+
+    def test_strict_subset_regroups(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, sum(o_totalprice) from orders group by o_custkey",
+        )
+        assert result.matched
+        assert result.regrouped
+        assert (
+            statement_to_sql(result.substitute)
+            == "SELECT v.o_custkey, sum(v.total) FROM v GROUP BY v.o_custkey"
+        )
+
+    def test_query_grouping_not_subset_rejected(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_clerk, sum(o_totalprice) from orders group by o_clerk",
+        )
+        assert result.reject_reason is RejectReason.GROUPING
+
+    def test_global_aggregation_over_grouped_view(self, catalog):
+        result = match(catalog, AGG_VIEW, "select sum(o_totalprice) from orders")
+        assert result.matched
+        assert result.regrouped
+        assert (
+            statement_to_sql(result.substitute) == "SELECT sum(v.total) FROM v"
+        )
+
+    def test_grouping_matched_via_equivalence(self, catalog):
+        view = (
+            "select o_orderkey, sum(l_quantity) as q, count_big(*) as cnt "
+            "from lineitem, orders where l_orderkey = o_orderkey "
+            "group by o_orderkey"
+        )
+        result = match(
+            catalog,
+            view,
+            "select l_orderkey, sum(l_quantity) from lineitem, orders "
+            "where l_orderkey = o_orderkey group by l_orderkey",
+        )
+        assert result.matched
+        assert not result.regrouped
+
+
+class TestAggregateRollup:
+    def test_count_star_becomes_sum_of_counts_when_regrouping(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, count(*) from orders group by o_custkey",
+        )
+        assert result.matched
+        assert "sum(v.cnt)" in statement_to_sql(result.substitute)
+
+    def test_count_star_maps_to_cnt_without_regroup(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, o_orderdate, count(*) from orders "
+            "group by o_custkey, o_orderdate",
+        )
+        assert result.matched
+        assert "v.cnt" in statement_to_sql(result.substitute)
+        assert "sum" not in statement_to_sql(result.substitute)
+
+    def test_count_big_star_equivalent_to_count_star(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, count_big(*) from orders group by o_custkey",
+        )
+        assert result.matched
+
+    def test_sum_requires_matching_view_aggregate(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, sum(o_shippriority) from orders group by o_custkey",
+        )
+        assert result.reject_reason is RejectReason.AGGREGATE
+
+    def test_sum_argument_matched_via_equivalence(self, catalog):
+        view = (
+            "select o_orderkey, sum(l_quantity * l_extendedprice) as rev, "
+            "count_big(*) as cnt from lineitem, orders "
+            "where l_orderkey = o_orderkey group by o_orderkey"
+        )
+        result = match(
+            catalog,
+            view,
+            "select o_orderkey, sum(l_quantity * l_extendedprice) "
+            "from lineitem, orders where l_orderkey = o_orderkey "
+            "group by o_orderkey",
+        )
+        assert result.matched
+
+    def test_avg_becomes_sum_over_count(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, avg(o_totalprice) from orders group by o_custkey",
+        )
+        assert result.matched
+        text = statement_to_sql(result.substitute)
+        assert "(sum(v.total) / sum(v.cnt))" in text
+
+    def test_avg_without_regroup(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, o_orderdate, avg(o_totalprice) from orders "
+            "group by o_custkey, o_orderdate",
+        )
+        assert result.matched
+        assert "(v.total / v.cnt)" in statement_to_sql(result.substitute)
+
+    def test_count_of_expression_rejected_on_aggregate_view(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, count(o_totalprice) from orders group by o_custkey",
+        )
+        assert result.reject_reason is RejectReason.AGGREGATE
+
+
+class TestAggregationOverSpjView:
+    SPJ_VIEW = (
+        "select o_custkey as ck, o_orderdate as od, o_totalprice as tp "
+        "from orders where o_orderkey >= 0"
+    )
+
+    def test_aggregate_recomputed_over_spj_view(self, catalog):
+        result = match(
+            catalog,
+            self.SPJ_VIEW,
+            "select o_custkey, sum(o_totalprice), count(*) from orders "
+            "where o_orderkey >= 0 group by o_custkey",
+        )
+        assert result.matched
+        text = statement_to_sql(result.substitute)
+        assert "sum(v.tp)" in text
+        assert "count(*)" in text
+        assert "GROUP BY v.ck" in text
+
+    def test_count_of_expression_works_on_spj_view(self, catalog):
+        result = match(
+            catalog,
+            self.SPJ_VIEW,
+            "select o_custkey, count(o_totalprice) from orders "
+            "where o_orderkey >= 0 group by o_custkey",
+        )
+        assert result.matched
+        assert "count(v.tp)" in statement_to_sql(result.substitute)
+
+    def test_grouping_expression_recomputed(self, catalog):
+        result = match(
+            catalog,
+            self.SPJ_VIEW,
+            "select o_custkey + 1, count(*) from orders where o_orderkey >= 0 "
+            "group by o_custkey + 1",
+        )
+        assert result.matched
+        assert "GROUP BY (v.ck + 1)" in statement_to_sql(result.substitute)
+
+    def test_missing_aggregate_argument_rejected(self, catalog):
+        result = match(
+            catalog,
+            self.SPJ_VIEW,
+            "select o_custkey, sum(o_shippriority) from orders "
+            "where o_orderkey >= 0 group by o_custkey",
+        )
+        assert result.reject_reason is RejectReason.OUTPUT_MAPPING
+
+
+class TestCompensationOnAggregateViews:
+    def test_range_compensation_on_grouping_column(self, catalog):
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, sum(o_totalprice) from orders "
+            "where o_custkey >= 100 group by o_custkey",
+        )
+        assert result.matched
+        assert "(v.o_custkey >= 100)" in statement_to_sql(result.substitute)
+
+    def test_compensation_on_non_grouping_column_rejected(self, catalog):
+        # o_totalprice appears only as SUM(o_totalprice); filtering rows by
+        # it cannot be done after aggregation.
+        result = match(
+            catalog,
+            AGG_VIEW,
+            "select o_custkey, sum(o_totalprice) from orders "
+            "where o_totalprice > 10 group by o_custkey",
+        )
+        assert result.reject_reason is RejectReason.PREDICATE_MAPPING
+
+    def test_view_predicate_subsumption_applies_to_spj_part(self, catalog):
+        view = (
+            "select o_custkey, sum(o_totalprice) as total, count_big(*) as cnt "
+            "from orders where o_orderkey >= 500 group by o_custkey"
+        )
+        result = match(
+            catalog,
+            view,
+            "select o_custkey, sum(o_totalprice) from orders "
+            "where o_orderkey >= 400 group by o_custkey",
+        )
+        assert result.reject_reason is RejectReason.RANGE

@@ -1,0 +1,190 @@
+"""View-matching with extra tables (Section 3.2)."""
+
+from repro.core import MatchOptions, RejectReason, describe, match_view
+from repro.sql import statement_to_sql
+
+
+def match(catalog, view_sql, query_sql, options=None, name="v"):
+    view = describe(catalog.bind_sql(view_sql), catalog, name=name)
+    query = describe(catalog.bind_sql(query_sql), catalog)
+    if options is None:
+        return match_view(query, view)
+    return match_view(query, view, options)
+
+
+class TestCardinalityPreservingJoins:
+    def test_one_extra_parent_table(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k, l_quantity as q from lineitem, orders "
+            "where l_orderkey = o_orderkey",
+            "select l_orderkey, l_quantity from lineitem",
+        )
+        assert result.matched
+        assert result.eliminated_tables == ("orders",)
+
+    def test_chain_of_extra_tables(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem, orders, customer "
+            "where l_orderkey = o_orderkey and o_custkey = c_custkey",
+            "select l_orderkey from lineitem",
+        )
+        assert result.matched
+        assert result.eliminated_tables == ("customer", "orders")
+
+    def test_extra_child_table_cannot_be_eliminated(self, catalog):
+        # lineitem is on the FK side; joining it multiplies orders rows.
+        result = match(
+            catalog,
+            "select o_orderkey as k from lineitem, orders "
+            "where l_orderkey = o_orderkey",
+            "select o_orderkey from orders",
+        )
+        assert result.reject_reason is RejectReason.EXTRA_TABLES
+
+    def test_non_fk_join_cannot_be_eliminated(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem, orders "
+            "where l_suppkey = o_orderkey",
+            "select l_orderkey from lineitem",
+        )
+        assert result.reject_reason is RejectReason.EXTRA_TABLES
+
+    def test_missing_join_predicate_rejected(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem, orders",
+            "select l_orderkey from lineitem",
+        )
+        assert result.reject_reason is RejectReason.EXTRA_TABLES
+
+    def test_composite_fk_elimination(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem, partsupp "
+            "where l_partkey = ps_partkey and l_suppkey = ps_suppkey",
+            "select l_orderkey from lineitem",
+        )
+        assert result.matched
+        assert result.eliminated_tables == ("partsupp",)
+
+
+class TestAugmentedEquivalence:
+    def test_view_range_on_extra_table_column(self, catalog):
+        # Paper Example 3 shape: the view's range on o_orderkey maps onto
+        # the query's range on l_orderkey through the FK join classes.
+        result = match(
+            catalog,
+            "select c_custkey as ck, c_name as cn, l_orderkey as k, "
+            "l_partkey as p, l_quantity as q "
+            "from lineitem, orders, customer "
+            "where l_orderkey = o_orderkey and o_custkey = c_custkey "
+            "and o_orderkey >= 500",
+            "select l_orderkey, l_partkey, l_quantity from lineitem "
+            "where l_orderkey >= 1000 and l_orderkey <= 1500",
+        )
+        assert result.matched
+        text = statement_to_sql(result.substitute)
+        assert "(v.k >= 1000)" in text
+        assert "(v.k <= 1500)" in text
+
+    def test_view_filtering_predicate_on_extra_table_rejected(self, catalog):
+        # c_acctbal is not equivalent to any query column; the view's
+        # predicate on it filters rows the query may need.
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem, orders, customer "
+            "where l_orderkey = o_orderkey and o_custkey = c_custkey "
+            "and c_acctbal > 0",
+            "select l_orderkey from lineitem",
+        )
+        assert result.reject_reason is RejectReason.RANGE
+
+    def test_view_residual_on_extra_table_rejected(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem, orders, customer "
+            "where l_orderkey = o_orderkey and o_custkey = c_custkey "
+            "and c_name like '%x%'",
+            "select l_orderkey from lineitem",
+        )
+        assert result.reject_reason is RejectReason.RESIDUAL
+
+    def test_output_mapped_through_extra_table_class(self, catalog):
+        # The view outputs o_orderkey only; the query wants l_orderkey.
+        result = match(
+            catalog,
+            "select o_orderkey as ok, l_quantity as q from lineitem, orders "
+            "where l_orderkey = o_orderkey",
+            "select l_orderkey, l_quantity from lineitem",
+        )
+        assert result.matched
+        assert statement_to_sql(result.substitute) == "SELECT v.ok, v.q FROM v"
+
+    def test_aggregation_view_with_extra_tables(self, catalog):
+        result = match(
+            catalog,
+            "select l_partkey, sum(l_quantity) as q, count_big(*) as cnt "
+            "from lineitem, orders where l_orderkey = o_orderkey "
+            "group by l_partkey",
+            "select l_partkey, sum(l_quantity) from lineitem group by l_partkey",
+        )
+        assert result.matched
+
+
+class TestNullableForeignKeys:
+    VIEW = (
+        "select ck as c, cdata as d from child, optional_parent "
+        "where opt_id = opk"
+    )
+
+    def test_nullable_fk_rejected_by_default(self, two_table_catalog):
+        result = match(
+            two_table_catalog,
+            self.VIEW,
+            "select ck, cdata from child where opt_id > 5",
+        )
+        assert result.reject_reason is RejectReason.EXTRA_TABLES
+
+    def test_null_rejecting_range_predicate_enables_match(self, two_table_catalog):
+        options = MatchOptions(allow_null_rejecting_fk=True)
+        result = match(
+            two_table_catalog,
+            "select ck as c, cdata as d, opt_id as o from child, optional_parent "
+            "where opt_id = opk",
+            "select ck, cdata from child where opt_id > 5",
+            options=options,
+        )
+        assert result.matched
+
+    def test_no_null_rejecting_predicate_still_rejected(self, two_table_catalog):
+        options = MatchOptions(allow_null_rejecting_fk=True)
+        result = match(
+            two_table_catalog,
+            self.VIEW,
+            "select ck, cdata from child",
+            options=options,
+        )
+        assert result.reject_reason is RejectReason.NULLABLE_FK
+
+    def test_is_not_null_predicate_enables_match(self, two_table_catalog):
+        options = MatchOptions(allow_null_rejecting_fk=True)
+        result = match(
+            two_table_catalog,
+            "select ck as c, cdata as d, opt_id as o from child, optional_parent "
+            "where opt_id = opk",
+            "select ck, cdata from child where opt_id is not null",
+            options=options,
+        )
+        assert result.matched
+
+    def test_non_nullable_fk_needs_no_predicate(self, two_table_catalog):
+        result = match(
+            two_table_catalog,
+            "select ck as c, cdata as d from child, parent "
+            "where parent_id = pk",
+            "select ck, cdata from child",
+        )
+        assert result.matched

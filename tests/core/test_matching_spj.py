@@ -1,0 +1,308 @@
+"""SPJ view-matching tests: the three subsumption tests and mapping rules.
+
+Each test builds a view and a query over TPC-H, runs the matcher directly,
+and checks acceptance/rejection with the right reason -- and, for accepts,
+the shape of the substitute. Execution-level soundness is covered by the
+integration suite.
+"""
+
+import pytest
+
+from repro.core import RejectReason, describe, match_view
+from repro.sql import statement_to_sql
+
+
+def match(catalog, view_sql, query_sql, name="v"):
+    view = describe(catalog.bind_sql(view_sql), catalog, name=name)
+    query = describe(catalog.bind_sql(query_sql), catalog)
+    return match_view(query, view)
+
+
+class TestTableRequirements:
+    def test_view_missing_a_table_rejected(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem",
+            "select l_orderkey from lineitem, orders where l_orderkey = o_orderkey",
+        )
+        assert result.reject_reason is RejectReason.TABLES
+
+    def test_same_tables_accepted(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k, l_quantity as q from lineitem",
+            "select l_orderkey, l_quantity from lineitem",
+        )
+        assert result.matched
+        assert result.substitute.from_tables[0].name == "v"
+
+    def test_aggregate_view_for_spj_query_rejected(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k, count_big(*) as cnt from lineitem "
+            "group by l_orderkey",
+            "select l_orderkey from lineitem",
+        )
+        assert result.reject_reason is RejectReason.VIEW_KIND
+
+
+class TestEquijoinSubsumption:
+    def test_view_with_extra_equality_rejected(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem "
+            "where l_shipdate = l_commitdate",
+            "select l_orderkey from lineitem",
+        )
+        assert result.reject_reason is RejectReason.EQUIJOIN
+
+    def test_query_with_extra_equality_gets_compensation(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k, l_shipdate as sd, l_commitdate as cd "
+            "from lineitem",
+            "select l_orderkey from lineitem where l_shipdate = l_commitdate",
+        )
+        assert result.matched
+        assert result.compensating_equalities == 1
+        assert "(v.sd = v.cd)" in statement_to_sql(result.substitute) or (
+            "(v.cd = v.sd)" in statement_to_sql(result.substitute)
+        )
+
+    def test_compensating_equality_needs_output_columns(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k, l_shipdate as sd from lineitem",
+            "select l_orderkey from lineitem where l_shipdate = l_commitdate",
+        )
+        assert result.reject_reason is RejectReason.PREDICATE_MAPPING
+
+    def test_transitive_equalities_match(self, catalog):
+        # View: ship=commit and commit=receipt; query: ship=receipt and
+        # receipt=commit. Equivalence classes coincide.
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem "
+            "where l_shipdate = l_commitdate and l_commitdate = l_receiptdate",
+            "select l_orderkey from lineitem "
+            "where l_shipdate = l_receiptdate and l_receiptdate = l_commitdate",
+        )
+        assert result.matched
+        assert result.compensating_equalities == 0
+
+
+class TestRangeSubsumption:
+    def test_query_range_inside_view_range(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k, l_partkey as p from lineitem "
+            "where l_partkey > 150",
+            "select l_orderkey from lineitem "
+            "where l_partkey > 150 and l_partkey <= 160",
+        )
+        assert result.matched
+        assert result.compensating_ranges == 1
+        assert "(v.p <= 160)" in statement_to_sql(result.substitute)
+
+    def test_identical_ranges_need_no_compensation(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k, l_partkey as p from lineitem "
+            "where l_partkey > 150",
+            "select l_orderkey from lineitem where l_partkey > 150",
+        )
+        assert result.matched
+        assert result.compensating_ranges == 0
+        assert result.substitute.where is None
+
+    def test_query_range_wider_than_view_rejected(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem where l_partkey > 150",
+            "select l_orderkey from lineitem where l_partkey > 100",
+        )
+        assert result.reject_reason is RejectReason.RANGE
+
+    def test_view_range_on_unconstrained_query_column_rejected(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem where l_partkey > 150",
+            "select l_orderkey from lineitem",
+        )
+        assert result.reject_reason is RejectReason.RANGE
+
+    def test_point_query_range_compensates_with_equality(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k, l_partkey as p from lineitem "
+            "where l_partkey >= 100 and l_partkey <= 200",
+            "select l_orderkey from lineitem where l_partkey = 150",
+        )
+        assert result.matched
+        assert "(v.p = 150)" in statement_to_sql(result.substitute)
+
+    def test_open_closed_boundary_rejected(self, catalog):
+        # View keeps rows with l_partkey > 150; the query needs = 150 too.
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem where l_partkey > 150",
+            "select l_orderkey from lineitem where l_partkey >= 150",
+        )
+        assert result.reject_reason is RejectReason.RANGE
+
+    def test_range_via_equivalent_column(self, catalog):
+        # The view constrains o_orderkey, the query constrains l_orderkey;
+        # both are in the same class through the join.
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem, orders "
+            "where l_orderkey = o_orderkey and o_orderkey >= 500",
+            "select l_orderkey from lineitem, orders "
+            "where l_orderkey = o_orderkey and l_orderkey >= 500",
+        )
+        assert result.matched
+        assert result.compensating_ranges == 0
+
+    def test_empty_query_range_accepted(self, catalog):
+        # Contradictory query range selects nothing; any view contains it.
+        result = match(
+            catalog,
+            "select l_orderkey as k, l_partkey as p from lineitem "
+            "where l_partkey >= 100",
+            "select l_orderkey from lineitem "
+            "where l_partkey >= 500 and l_partkey <= 200",
+        )
+        assert result.matched
+
+    def test_range_compensation_needs_output_column(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem where l_partkey > 150",
+            "select l_orderkey from lineitem "
+            "where l_partkey > 150 and l_partkey <= 160",
+        )
+        assert result.reject_reason is RejectReason.PREDICATE_MAPPING
+
+
+class TestResidualSubsumption:
+    def test_matching_residuals(self, catalog):
+        result = match(
+            catalog,
+            "select p_partkey as k from part where p_name like '%steel%'",
+            "select p_partkey from part where p_name like '%steel%'",
+        )
+        assert result.matched
+        assert result.compensating_residuals == 0
+
+    def test_view_residual_not_in_query_rejected(self, catalog):
+        result = match(
+            catalog,
+            "select p_partkey as k from part where p_name like '%steel%'",
+            "select p_partkey from part",
+        )
+        assert result.reject_reason is RejectReason.RESIDUAL
+
+    def test_missing_query_residual_compensated(self, catalog):
+        result = match(
+            catalog,
+            "select p_partkey as k, p_name as n from part",
+            "select p_partkey from part where p_name like '%steel%'",
+        )
+        assert result.matched
+        assert result.compensating_residuals == 1
+        assert "LIKE '%steel%'" in statement_to_sql(result.substitute)
+
+    def test_residual_compensation_needs_columns(self, catalog):
+        result = match(
+            catalog,
+            "select p_partkey as k from part",
+            "select p_partkey from part where p_name like '%steel%'",
+        )
+        assert result.reject_reason is RejectReason.PREDICATE_MAPPING
+
+    def test_residual_matched_via_equivalence(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem, orders "
+            "where l_orderkey = o_orderkey and o_orderkey <> 7",
+            "select l_orderkey from lineitem, orders "
+            "where l_orderkey = o_orderkey and l_orderkey <> 7",
+        )
+        assert result.matched
+
+    def test_complex_residual_expression(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k, l_quantity as q, l_extendedprice as p "
+            "from lineitem",
+            "select l_orderkey from lineitem "
+            "where l_quantity * l_extendedprice > 100",
+        )
+        assert result.matched
+        assert "((v.q * v.p) > 100)" in statement_to_sql(result.substitute)
+
+
+class TestOutputMapping:
+    def test_output_via_equivalent_column(self, catalog):
+        result = match(
+            catalog,
+            "select o_orderkey as ok from lineitem, orders "
+            "where l_orderkey = o_orderkey",
+            "select l_orderkey from lineitem, orders "
+            "where l_orderkey = o_orderkey",
+        )
+        assert result.matched
+        assert statement_to_sql(result.substitute) == "SELECT v.ok FROM v"
+
+    def test_missing_output_rejected(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem",
+            "select l_quantity from lineitem",
+        )
+        assert result.reject_reason is RejectReason.OUTPUT_MAPPING
+
+    def test_expression_output_matched_whole(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k, l_quantity * l_extendedprice as rev "
+            "from lineitem",
+            "select l_quantity * l_extendedprice from lineitem",
+        )
+        assert result.matched
+        assert statement_to_sql(result.substitute) == "SELECT v.rev FROM v"
+
+    def test_expression_recomputed_from_columns(self, catalog):
+        result = match(
+            catalog,
+            "select l_quantity as q, l_extendedprice as p from lineitem",
+            "select l_quantity * l_extendedprice from lineitem",
+        )
+        assert result.matched
+        assert statement_to_sql(result.substitute) == "SELECT (v.q * v.p) FROM v"
+
+    def test_constant_output_passes_through(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem",
+            "select 42, l_orderkey from lineitem",
+        )
+        assert result.matched
+        assert statement_to_sql(result.substitute) == "SELECT 42, v.k FROM v"
+
+    def test_output_aliases_preserved(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem",
+            "select l_orderkey as mykey from lineitem",
+        )
+        assert result.substitute.select_items[0].alias == "mykey"
+
+    def test_distinct_query_preserved(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey as k from lineitem",
+            "select distinct l_orderkey from lineitem",
+        )
+        assert result.matched
+        assert result.substitute.distinct

@@ -1,0 +1,185 @@
+"""CNF conversion and PE/PR/PU classification tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalize import (
+    as_column_equality,
+    classified_to_predicate,
+    classify_predicate,
+    push_negations,
+    to_cnf,
+)
+from repro.engine.evaluator import evaluate
+from repro.sql import (
+    And,
+    BinaryOp,
+    ColumnRef,
+    Literal,
+    Not,
+    Or,
+    parse_predicate,
+    to_sql,
+)
+
+
+def pred(text):
+    from repro.sql import ColumnRef as Ref
+
+    return parse_predicate(text).transform(
+        lambda n: Ref("t", n.column) if isinstance(n, Ref) and n.table is None else n
+    )
+
+
+class TestPushNegations:
+    def test_not_comparison_flips_operator(self):
+        assert push_negations(pred("not a < 5")) == pred("a >= 5")
+        assert push_negations(pred("not a = 5")) == pred("a <> 5")
+        assert push_negations(pred("not a <> 5")) == pred("a = 5")
+
+    def test_de_morgan_and(self):
+        result = push_negations(pred("not (a = 1 and b = 2)"))
+        assert isinstance(result, Or)
+        assert result == pred("a <> 1 or b <> 2")
+
+    def test_de_morgan_or(self):
+        result = push_negations(pred("not (a = 1 or b = 2)"))
+        assert result == pred("a <> 1 and b <> 2")
+
+    def test_double_negation(self):
+        assert push_negations(pred("not not a = 1")) == pred("a = 1")
+
+    def test_not_like_toggles_flag(self):
+        result = push_negations(pred("not a like 'x'"))
+        assert result == pred("a not like 'x'")
+
+    def test_not_is_null_toggles(self):
+        assert push_negations(pred("not a is null")) == pred("a is not null")
+
+    def test_not_in_toggles(self):
+        assert push_negations(pred("not a in (1, 2)")) == pred("a not in (1, 2)")
+
+
+class TestToCnf:
+    def test_none_yields_empty(self):
+        assert to_cnf(None) == ()
+
+    def test_atom_is_single_conjunct(self):
+        assert to_cnf(pred("a = 1")) == (pred("a = 1"),)
+
+    def test_flat_conjunction(self):
+        conjuncts = to_cnf(pred("a = 1 and b = 2 and c = 3"))
+        assert len(conjuncts) == 3
+
+    def test_distribution_of_or_over_and(self):
+        conjuncts = to_cnf(pred("a = 1 or (b = 2 and c = 3)"))
+        assert len(conjuncts) == 2
+        assert all(isinstance(c, Or) for c in conjuncts)
+
+    def test_duplicate_conjuncts_removed(self):
+        conjuncts = to_cnf(pred("a = 1 and a = 1"))
+        assert len(conjuncts) == 1
+
+    def test_deeply_nested(self):
+        conjuncts = to_cnf(pred("(a = 1 or b = 2) and (c = 3 or (d = 4 and e = 5))"))
+        assert len(conjuncts) == 3
+
+    def test_expansion_limit(self):
+        # 2^10 combinations exceeds the safety valve.
+        clauses = " or ".join(f"(a = {i} and b = {i})" for i in range(12))
+        with pytest.raises(ValueError, match="CNF"):
+            to_cnf(pred(clauses))
+
+
+class TestClassification:
+    def test_column_equality_detection(self):
+        assert as_column_equality(pred("a = b")) == (("t", "a"), ("t", "b"))
+        assert as_column_equality(pred("a = 5")) is None
+        assert as_column_equality(pred("a <> b")) is None
+
+    def test_three_way_split(self):
+        classified = classify_predicate(
+            pred("a = b and a > 5 and c like 'x%' and d <> 3")
+        )
+        assert len(classified.equalities) == 1
+        assert len(classified.range_predicates) == 1
+        assert len(classified.residuals) == 2
+        assert classified.conjunct_count == 4
+
+    def test_between_becomes_two_ranges(self):
+        classified = classify_predicate(pred("a between 1 and 5"))
+        assert len(classified.range_predicates) == 2
+
+    def test_not_equal_is_residual(self):
+        classified = classify_predicate(pred("a <> 5"))
+        assert len(classified.residuals) == 1
+
+    def test_mirrored_residual_is_canonicalized(self):
+        left = classify_predicate(pred("5 < a + b")).residuals[0]
+        right = classify_predicate(pred("a + b > 5")).residuals[0]
+        assert left == right
+
+    def test_or_of_ranges_is_residual(self):
+        classified = classify_predicate(pred("a < 1 or a > 9"))
+        assert not classified.range_predicates
+        assert len(classified.residuals) == 1
+
+    def test_empty_predicate(self):
+        classified = classify_predicate(None)
+        assert classified.conjunct_count == 0
+
+
+# --------------------------------------------------------------------------
+# Property: CNF conversion preserves three-valued semantics.
+# --------------------------------------------------------------------------
+
+_COLUMNS = ["a", "b", "c"]
+
+
+def _atoms():
+    refs = st.sampled_from(_COLUMNS).map(lambda c: ColumnRef("t", c))
+    consts = st.integers(min_value=0, max_value=3).map(Literal)
+    ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+    return st.builds(
+        BinaryOp, ops, refs, st.one_of(consts, refs)
+    )
+
+
+def _predicates(depth=3):
+    base = _atoms()
+    if depth == 0:
+        return base
+    sub = _predicates(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(lambda x: Not(x), sub),
+        st.builds(lambda x, y: And((x, y)), sub, sub),
+        st.builds(lambda x, y: Or((x, y)), sub, sub),
+    )
+
+
+_rows = st.fixed_dictionaries(
+    {
+        ("t", column): st.one_of(st.none(), st.integers(min_value=0, max_value=3))
+        for column in _COLUMNS
+    }
+)
+
+
+@settings(max_examples=300)
+@given(_predicates(), _rows)
+def test_cnf_preserves_three_valued_semantics(predicate, row):
+    original = evaluate(predicate, row)
+    conjuncts = to_cnf(predicate)
+    rebuilt = And(conjuncts) if len(conjuncts) > 1 else conjuncts[0]
+    assert evaluate(rebuilt, row) == original, to_sql(predicate)
+
+
+@settings(max_examples=300)
+@given(_predicates(), _rows)
+def test_classification_roundtrip_preserves_semantics(predicate, row):
+    classified = classify_predicate(predicate)
+    rebuilt = classified_to_predicate(classified)
+    assert rebuilt is not None
+    assert evaluate(rebuilt, row) == evaluate(predicate, row)

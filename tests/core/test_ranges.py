@@ -1,0 +1,236 @@
+"""Interval algebra tests, including hypothesis properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import EquivalenceClasses
+from repro.core.ranges import (
+    Bound,
+    Interval,
+    RangePredicate,
+    UNBOUNDED,
+    as_range_predicate,
+    compensating_range_conjuncts,
+    derive_ranges,
+)
+from repro.sql import parse_predicate
+
+
+def interval(low=None, high=None, low_inc=True, high_inc=True):
+    return Interval(
+        lower=None if low is None else Bound(low, low_inc),
+        upper=None if high is None else Bound(high, high_inc),
+    )
+
+
+class TestIntervalBasics:
+    def test_unbounded(self):
+        assert UNBOUNDED.is_unbounded
+        assert not UNBOUNDED.is_empty
+        assert not UNBOUNDED.is_point
+
+    def test_point(self):
+        point = interval(5, 5)
+        assert point.is_point
+        assert not point.is_empty
+
+    def test_empty_by_crossing_bounds(self):
+        assert interval(5, 2).is_empty
+
+    def test_empty_by_open_point(self):
+        assert interval(5, 5, low_inc=False).is_empty
+        assert interval(5, 5, high_inc=False).is_empty
+
+    def test_half_open_nonempty(self):
+        assert not interval(1, 5, low_inc=False).is_empty
+
+    def test_str_rendering(self):
+        assert str(interval(1, 5)) == "[1, 5]"
+        assert str(interval(1, 5, low_inc=False, high_inc=False)) == "(1, 5)"
+        assert str(UNBOUNDED) == "(-inf, +inf)"
+
+
+class TestContains:
+    def test_unbounded_contains_everything(self):
+        assert UNBOUNDED.contains(interval(1, 5))
+        assert UNBOUNDED.contains(UNBOUNDED)
+
+    def test_bounded_does_not_contain_unbounded(self):
+        assert not interval(1, 5).contains(UNBOUNDED)
+
+    def test_simple_containment(self):
+        assert interval(1, 10).contains(interval(3, 5))
+        assert not interval(3, 5).contains(interval(1, 10))
+
+    def test_equal_intervals_contain_each_other(self):
+        assert interval(1, 5).contains(interval(1, 5))
+
+    def test_open_closed_boundary(self):
+        open_low = interval(1, 5, low_inc=False)
+        closed_low = interval(1, 5)
+        assert closed_low.contains(open_low)
+        assert not open_low.contains(closed_low)
+
+    def test_anything_contains_empty(self):
+        assert interval(100, 200).contains(interval(5, 2))
+
+    def test_one_sided(self):
+        assert interval(low=5).contains(interval(10, 20))
+        assert not interval(low=5).contains(interval(1, 20))
+        assert interval(high=100).contains(interval(low=5, high=50))
+
+
+class TestIntersect:
+    def test_overlap(self):
+        result = interval(1, 10).intersect(interval(5, 20))
+        assert result == interval(5, 10)
+
+    def test_disjoint_yields_empty(self):
+        assert interval(1, 3).intersect(interval(5, 9)).is_empty
+
+    def test_with_unbounded(self):
+        assert UNBOUNDED.intersect(interval(1, 5)) == interval(1, 5)
+
+    def test_open_bound_wins_at_equal_value(self):
+        result = interval(1, 5).intersect(interval(1, 5, low_inc=False))
+        assert result.lower == Bound(1, False)
+
+
+class TestRangePredicateRecognition:
+    def test_recognized_forms(self):
+        cases = {
+            "t.a = 5": ("=", 5),
+            "t.a < 5": ("<", 5),
+            "t.a <= 5": ("<=", 5),
+            "t.a > 5": (">", 5),
+            "t.a >= 5": (">=", 5),
+        }
+        for text, (op, value) in cases.items():
+            rp = as_range_predicate(parse_predicate(text))
+            assert rp == RangePredicate(("t", "a"), op, value)
+
+    def test_mirrored_constant_on_left(self):
+        rp = as_range_predicate(parse_predicate("5 < t.a"))
+        assert rp == RangePredicate(("t", "a"), ">", 5)
+
+    def test_string_constant(self):
+        rp = as_range_predicate(parse_predicate("t.a >= 'm'"))
+        assert rp.value == "m"
+
+    def test_not_range_predicates(self):
+        for text in ("t.a <> 5", "t.a = t.b", "t.a + 1 > 5", "t.a like 'x'"):
+            assert as_range_predicate(parse_predicate(text)) is None
+
+    def test_null_comparison_is_not_a_range(self):
+        assert as_range_predicate(parse_predicate("t.a = null")) is None
+
+    def test_interval_of_each_operator(self):
+        assert RangePredicate(("t", "a"), "=", 5).interval() == interval(5, 5)
+        assert RangePredicate(("t", "a"), "<", 5).interval() == interval(
+            high=5, high_inc=False
+        )
+        assert RangePredicate(("t", "a"), ">=", 5).interval() == interval(low=5)
+
+
+class TestDeriveRanges:
+    def test_ranges_intersect_within_class(self):
+        classes = EquivalenceClasses([("t", "a"), ("t", "b")])
+        classes.add_equality(("t", "a"), ("t", "b"))
+        ranges = derive_ranges(
+            [
+                RangePredicate(("t", "a"), ">=", 1),
+                RangePredicate(("t", "b"), "<=", 9),
+            ],
+            classes,
+        )
+        (value,) = ranges.values()
+        assert value == interval(1, 9)
+
+    def test_separate_classes_separate_ranges(self):
+        classes = EquivalenceClasses([("t", "a"), ("t", "b")])
+        ranges = derive_ranges(
+            [
+                RangePredicate(("t", "a"), ">=", 1),
+                RangePredicate(("t", "b"), "<=", 9),
+            ],
+            classes,
+        )
+        assert len(ranges) == 2
+
+
+class TestCompensation:
+    def test_equal_intervals_need_nothing(self):
+        assert compensating_range_conjuncts(interval(1, 5), interval(1, 5)) == []
+
+    def test_point_compensates_with_equality(self):
+        comps = compensating_range_conjuncts(interval(1, 500), interval(123, 123))
+        assert comps == [("=", 123)]
+
+    def test_differing_bounds(self):
+        comps = compensating_range_conjuncts(
+            interval(low=150, low_inc=False), interval(150, 160, low_inc=False)
+        )
+        assert comps == [("<=", 160)]
+
+    def test_both_bounds_differ(self):
+        comps = compensating_range_conjuncts(UNBOUNDED, interval(1, 5))
+        assert comps == [(">=", 1), ("<=", 5)]
+
+    def test_open_bounds_produce_strict_operators(self):
+        comps = compensating_range_conjuncts(
+            UNBOUNDED, interval(1, 5, low_inc=False, high_inc=False)
+        )
+        assert comps == [(">", 1), ("<", 5)]
+
+
+# --------------------------------------------------------------------------
+# Property-based tests: interval operations agree with point membership.
+# --------------------------------------------------------------------------
+
+values = st.integers(min_value=-20, max_value=20)
+maybe_bound = st.one_of(st.none(), st.tuples(values, st.booleans()))
+
+
+def build(spec):
+    low, high = spec
+    return Interval(
+        lower=None if low is None else Bound(low[0], low[1]),
+        upper=None if high is None else Bound(high[0], high[1]),
+    )
+
+
+intervals = st.tuples(maybe_bound, maybe_bound).map(build)
+
+
+@settings(max_examples=300)
+@given(intervals, intervals, values)
+def test_intersection_agrees_with_membership(first, second, point):
+    both = first.contains_value(point) and second.contains_value(point)
+    assert first.intersect(second).contains_value(point) == both
+
+
+@settings(max_examples=300)
+@given(intervals, intervals, values)
+def test_containment_implies_membership_transfer(outer, inner, point):
+    if outer.contains(inner) and inner.contains_value(point):
+        assert outer.contains_value(point)
+
+
+@settings(max_examples=200)
+@given(intervals, values)
+def test_empty_interval_has_no_members(candidate, point):
+    if candidate.is_empty:
+        assert not candidate.contains_value(point)
+
+
+@settings(max_examples=200)
+@given(intervals)
+def test_contains_is_reflexive(candidate):
+    assert candidate.contains(candidate)
+
+
+@settings(max_examples=200)
+@given(intervals, intervals, intervals)
+def test_containment_is_transitive(a, b, c):
+    if a.contains(b) and b.contains(c):
+        assert a.contains(c)

@@ -1,0 +1,87 @@
+"""Shallow residual matcher tests."""
+
+from repro.core.equivalence import EquivalenceClasses
+from repro.core.residual import ShallowForm, match_residuals
+from repro.sql import parse_predicate
+
+
+def form(text):
+    return ShallowForm.of(parse_predicate(text))
+
+
+def classes(*equalities):
+    columns = set()
+    for a, b in equalities:
+        columns.add(a)
+        columns.add(b)
+    eq = EquivalenceClasses(columns)
+    for a, b in equalities:
+        eq.add_equality(a, b)
+    return eq
+
+
+class TestShallowMatch:
+    def test_identical_expressions_match(self):
+        eq = classes()
+        assert form("t.a like 'x%'").matches(form("t.a like 'x%'"), eq)
+
+    def test_different_templates_do_not_match(self):
+        eq = classes()
+        assert not form("t.a like 'x%'").matches(form("t.a like 'y%'"), eq)
+
+    def test_equivalent_columns_match(self):
+        eq = classes((("t", "a"), ("u", "b")))
+        assert form("t.a like 'x%'").matches(form("u.b like 'x%'"), eq)
+
+    def test_non_equivalent_columns_do_not_match(self):
+        eq = classes((("t", "a"), ("u", "b")))
+        assert not form("t.a like 'x%'").matches(form("u.c like 'x%'"), eq)
+
+    def test_unregistered_columns_do_not_match(self):
+        eq = classes()
+        assert not form("t.a like 'x%'").matches(form("u.b like 'x%'"), eq)
+
+    def test_multi_reference_positional_matching(self):
+        eq = classes((("t", "a"), ("u", "x")), (("t", "b"), ("u", "y")))
+        assert form("t.a * t.b > 100").matches(form("u.x * u.y > 100"), eq)
+        # Swapped positions: a aligns with y -- not equivalent.
+        assert not form("t.a * t.b > 100").matches(form("u.y * u.x > 100"), eq)
+
+    def test_same_column_key_matches_without_registration(self):
+        eq = classes()
+        assert form("t.a + t.a > 2").matches(form("t.a + t.a > 2"), eq)
+
+
+class TestMatchResiduals:
+    def test_view_conjunct_without_counterpart_fails(self):
+        eq = classes()
+        passed, missing = match_residuals(
+            (form("t.a like 'x%'"),), (form("t.b like 'y%'"),), eq
+        )
+        assert not passed
+
+    def test_all_view_conjuncts_matched(self):
+        eq = classes()
+        passed, missing = match_residuals(
+            (form("t.a like 'x%'"),),
+            (form("t.a like 'x%'"), form("t.b <> 3")),
+            eq,
+        )
+        assert passed
+        assert [m.template for m in missing] == [form("t.b <> 3").template]
+
+    def test_empty_view_residuals_pass_with_all_query_missing(self):
+        eq = classes()
+        passed, missing = match_residuals((), (form("t.a <> 1"),), eq)
+        assert passed
+        assert len(missing) == 1
+
+    def test_one_view_conjunct_can_match_multiple_query_conjuncts(self):
+        eq = classes((("t", "a"), ("t", "b")))
+        passed, missing = match_residuals(
+            (form("t.a <> 3"),),
+            (form("t.a <> 3"), form("t.b <> 3")),
+            eq,
+        )
+        assert passed
+        assert missing == ()

@@ -1,0 +1,304 @@
+"""Union substitute tests (Section 7 future work, restricted sound form)."""
+
+import pytest
+
+from repro.core import describe, match_view
+from repro.core.unions import UnionSubstitute, find_union_substitutes
+from repro.engine import Database, execute, materialize_view
+from repro.sql import statement_to_sql
+
+
+def make_views(catalog, definitions):
+    return [
+        describe(catalog.bind_sql(sql), catalog, name=name)
+        for name, sql in definitions.items()
+    ]
+
+
+LOW = (
+    "select l_orderkey as k, l_partkey as p, l_quantity as q "
+    "from lineitem where l_partkey <= 100"
+)
+HIGH = (
+    "select l_orderkey as k, l_partkey as p, l_quantity as q "
+    "from lineitem where l_partkey > 100"
+)
+MID = (
+    "select l_orderkey as k, l_partkey as p, l_quantity as q "
+    "from lineitem where l_partkey >= 50 and l_partkey <= 150"
+)
+
+
+class TestFinding:
+    def test_two_views_partition_the_range(self, catalog):
+        views = make_views(catalog, {"low": LOW, "high": HIGH})
+        query = describe(
+            catalog.bind_sql(
+                "select l_orderkey, l_quantity from lineitem "
+                "where l_partkey >= 50 and l_partkey <= 150"
+            ),
+            catalog,
+        )
+        # No single view matches ...
+        assert not any(match_view(query, v).matched for v in views)
+        # ... but their union does.
+        (substitute,) = find_union_substitutes(query, views)
+        assert substitute.view_names == ("low", "high")
+        assert len(substitute.pieces) == 2
+
+    def test_piece_predicates_are_disjoint(self, catalog):
+        views = make_views(catalog, {"low": LOW, "high": HIGH})
+        query = describe(
+            catalog.bind_sql(
+                "select l_orderkey from lineitem "
+                "where l_partkey >= 50 and l_partkey <= 150"
+            ),
+            catalog,
+        )
+        (substitute,) = find_union_substitutes(query, views)
+        first, second = (statement_to_sql(p) for p in substitute.pieces)
+        # The first piece is implicitly bounded by the view's own extent
+        # (low holds only p <= 100), so no upper compensation appears; the
+        # second piece starts where the first view's extent ends.
+        assert "(low.p >= 50)" in first
+        assert "<=" not in first
+        assert "(high.p <= 150)" in second
+
+    def test_no_union_when_coverage_has_a_gap(self, catalog):
+        views = make_views(
+            catalog,
+            {
+                "low": LOW,
+                "high": "select l_orderkey as k, l_partkey as p, l_quantity as q "
+                "from lineitem where l_partkey > 120",
+            },
+        )
+        query = describe(
+            catalog.bind_sql(
+                "select l_orderkey from lineitem "
+                "where l_partkey >= 50 and l_partkey <= 150"
+            ),
+            catalog,
+        )
+        assert find_union_substitutes(query, views) == []
+
+    def test_overlapping_views_are_cut_disjoint(self, catalog):
+        # mid covers [50,150] and high covers (100,inf): they overlap on
+        # (100,150]. The query needs [60,160], so both are required and the
+        # overlap must be served by exactly one piece.
+        views = make_views(catalog, {"mid": MID, "high": HIGH})
+        query = describe(
+            catalog.bind_sql(
+                "select l_orderkey from lineitem "
+                "where l_partkey >= 60 and l_partkey <= 160"
+            ),
+            catalog,
+        )
+        (substitute,) = find_union_substitutes(query, views)
+        assert len(substitute.pieces) == 2
+        first, second = (statement_to_sql(p) for p in substitute.pieces)
+        # First piece: the whole of mid's usable range [60, 150].
+        assert "(mid.p >= 60)" in first
+        # Second piece starts strictly after 150 (the stitch point), not at
+        # high's own lower bound 100 -- that is the overlap cut.
+        assert "(high.p > 150)" in second
+
+    def test_single_view_covering_everything_is_not_a_union(self, catalog):
+        views = make_views(catalog, {"mid": MID, "high": HIGH})
+        query = describe(
+            catalog.bind_sql(
+                "select l_orderkey from lineitem "
+                "where l_partkey >= 60 and l_partkey <= 140"
+            ),
+            catalog,
+        )
+        # mid alone covers [60,140]: ordinary matching handles it, the
+        # union finder stays silent.
+        assert find_union_substitutes(query, views) == []
+        assert any(match_view(query, v).matched for v in views)
+
+    def test_single_covering_view_is_not_a_union(self, catalog):
+        views = make_views(catalog, {"mid": MID})
+        query = describe(
+            catalog.bind_sql(
+                "select l_orderkey from lineitem "
+                "where l_partkey >= 60 and l_partkey <= 140"
+            ),
+            catalog,
+        )
+        # A lone view never forms a union (single-view matching covers it).
+        assert find_union_substitutes(query, views) == []
+
+    def test_distinct_query_rejected(self, catalog):
+        # A DISTINCT query whose output omits the split column would get
+        # cross-piece duplicates from UNION ALL; the finder must refuse.
+        views = make_views(catalog, {"low": LOW, "high": HIGH})
+        query = describe(
+            catalog.bind_sql(
+                "select distinct l_orderkey from lineitem "
+                "where l_partkey >= 50 and l_partkey <= 150"
+            ),
+            catalog,
+        )
+        assert find_union_substitutes(query, views) == []
+
+    def test_unconstrained_query_yields_nothing(self, catalog):
+        views = make_views(catalog, {"low": LOW, "high": HIGH})
+        query = describe(
+            catalog.bind_sql("select l_orderkey from lineitem"), catalog
+        )
+        assert find_union_substitutes(query, views) == []
+
+    def test_aggregation_split_on_grouping_column(self, catalog):
+        views = make_views(
+            catalog,
+            {
+                "agg_low": "select l_partkey, sum(l_quantity) as q, "
+                "count_big(*) as cnt from lineitem where l_partkey <= 100 "
+                "group by l_partkey",
+                "agg_high": "select l_partkey, sum(l_quantity) as q, "
+                "count_big(*) as cnt from lineitem where l_partkey > 100 "
+                "group by l_partkey",
+            },
+        )
+        query = describe(
+            catalog.bind_sql(
+                "select l_partkey, sum(l_quantity) from lineitem "
+                "where l_partkey >= 50 and l_partkey <= 150 group by l_partkey"
+            ),
+            catalog,
+        )
+        (substitute,) = find_union_substitutes(query, views)
+        assert len(substitute.pieces) == 2
+
+    def test_aggregation_split_off_grouping_column_rejected(self, catalog):
+        views = make_views(
+            catalog,
+            {
+                "agg_low": "select l_orderkey, sum(l_quantity) as q, "
+                "count_big(*) as cnt from lineitem where l_partkey <= 100 "
+                "group by l_orderkey",
+                "agg_high": "select l_orderkey, sum(l_quantity) as q, "
+                "count_big(*) as cnt from lineitem where l_partkey > 100 "
+                "group by l_orderkey",
+            },
+        )
+        # Groups straddle the split class (l_partkey is not in the
+        # group-by), so a UNION ALL of per-piece groups would double-count.
+        query = describe(
+            catalog.bind_sql(
+                "select l_orderkey, sum(l_quantity) from lineitem "
+                "where l_partkey >= 50 and l_partkey <= 150 group by l_orderkey"
+            ),
+            catalog,
+        )
+        assert find_union_substitutes(query, views) == []
+
+    def test_three_piece_union(self, catalog):
+        views = make_views(
+            catalog,
+            {
+                "a": "select l_orderkey as k, l_partkey as p from lineitem "
+                "where l_partkey <= 60",
+                "b": "select l_orderkey as k, l_partkey as p from lineitem "
+                "where l_partkey > 60 and l_partkey <= 120",
+                "c": "select l_orderkey as k, l_partkey as p from lineitem "
+                "where l_partkey > 120",
+            },
+        )
+        query = describe(
+            catalog.bind_sql(
+                "select l_orderkey from lineitem "
+                "where l_partkey >= 10 and l_partkey <= 180"
+            ),
+            catalog,
+        )
+        (substitute,) = find_union_substitutes(query, views)
+        assert len(substitute.pieces) == 3
+
+
+class TestMatcherFacade:
+    def test_union_substitutes_through_matcher(self, catalog):
+        from repro.core import ViewMatcher
+
+        matcher = ViewMatcher(catalog)
+        matcher.register_view("low", catalog.bind_sql(LOW))
+        matcher.register_view("high", catalog.bind_sql(HIGH))
+        query = catalog.bind_sql(
+            "select l_orderkey, l_quantity from lineitem "
+            "where l_partkey >= 50 and l_partkey <= 150"
+        )
+        assert matcher.substitutes(query) == []
+        (union,) = matcher.union_substitutes(query)
+        assert set(union.view_names) == {"low", "high"}
+
+    def test_filter_tree_passes_partial_range_views(self, catalog):
+        # The filter must not prune views that only partially cover the
+        # query's range -- they are exactly the union finder's inputs.
+        from repro.core import ViewMatcher
+
+        matcher = ViewMatcher(catalog, use_filter_tree=True)
+        matcher.register_view("low", catalog.bind_sql(LOW))
+        query = matcher.describe_query(
+            catalog.bind_sql(
+                "select l_orderkey, l_quantity from lineitem "
+                "where l_partkey >= 50 and l_partkey <= 150"
+            )
+        )
+        assert [v.name for v in matcher.candidates(query)] == ["low"]
+
+
+class TestExecutionSoundness:
+    def run_case(self, catalog, tiny_db, definitions, query_sql):
+        database = Database()
+        for name in tiny_db.names():
+            relation = tiny_db.relation(name)
+            database.store(name, relation.columns, relation.rows)
+        views = []
+        for name, sql in definitions.items():
+            statement = catalog.bind_sql(sql)
+            views.append(describe(statement, catalog, name=name))
+            materialize_view(name, statement, database)
+        query = describe(catalog.bind_sql(query_sql), catalog)
+        substitutes = find_union_substitutes(query, views)
+        assert substitutes, "expected a union substitute"
+        expected = execute(catalog.bind_sql(query_sql), database)
+        for substitute in substitutes:
+            actual = substitute.execute(database)
+            assert expected.bag_equals(actual, float_digits=9)
+
+    def test_spj_union_execution(self, catalog, tiny_db):
+        self.run_case(
+            catalog,
+            tiny_db,
+            {"low": LOW, "high": HIGH},
+            "select l_orderkey, l_quantity from lineitem "
+            "where l_partkey >= 50 and l_partkey <= 150",
+        )
+
+    def test_overlapping_views_no_duplicates(self, catalog, tiny_db):
+        # The views overlap on (100, 150]; a naive union would return those
+        # rows twice. The stitched pieces must not.
+        self.run_case(
+            catalog,
+            tiny_db,
+            {"mid": MID, "high": HIGH},
+            "select l_orderkey from lineitem "
+            "where l_partkey >= 60 and l_partkey <= 160",
+        )
+
+    def test_aggregate_union_execution(self, catalog, tiny_db):
+        self.run_case(
+            catalog,
+            tiny_db,
+            {
+                "agg_low": "select l_partkey, sum(l_quantity) as q, "
+                "count_big(*) as cnt from lineitem where l_partkey <= 100 "
+                "group by l_partkey",
+                "agg_high": "select l_partkey, sum(l_quantity) as q, "
+                "count_big(*) as cnt from lineitem where l_partkey > 100 "
+                "group by l_partkey",
+            },
+            "select l_partkey, sum(l_quantity) from lineitem "
+            "where l_partkey >= 50 and l_partkey <= 150 group by l_partkey",
+        )

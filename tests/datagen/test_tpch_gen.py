@@ -1,0 +1,104 @@
+"""Data generator tests: determinism, integrity, domains."""
+
+from repro.datagen import DATE_MAX, DATE_MIN, TpchScale, generate_tpch
+
+
+class TestShape:
+    def test_all_tables_generated(self, tiny_db):
+        for table in (
+            "region", "nation", "supplier", "customer",
+            "part", "partsupp", "orders", "lineitem",
+        ):
+            assert tiny_db.has(table)
+            assert tiny_db.row_count(table) > 0
+
+    def test_fixed_small_tables(self, tiny_db):
+        assert tiny_db.row_count("region") == 5
+        assert tiny_db.row_count("nation") == 25
+
+    def test_scale_controls_cardinality(self):
+        small = generate_tpch(scale=0.0005, seed=1)
+        large = generate_tpch(scale=0.002, seed=1)
+        assert large.row_count("orders") > small.row_count("orders")
+        assert large.row_count("lineitem") > small.row_count("lineitem")
+
+    def test_scale_object(self):
+        sizes = TpchScale.of(0.001)
+        assert sizes.orders == 1500
+        assert sizes.customer == 150
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_tpch(scale=0.0005, seed=9)
+        b = generate_tpch(scale=0.0005, seed=9)
+        for table in a.names():
+            assert a.relation(table).rows == b.relation(table).rows
+
+    def test_different_seeds_differ(self):
+        a = generate_tpch(scale=0.0005, seed=1)
+        b = generate_tpch(scale=0.0005, seed=2)
+        assert a.relation("orders").rows != b.relation("orders").rows
+
+
+class TestReferentialIntegrity:
+    def fk_values_exist(self, db, child, fk_cols, parent, parent_cols):
+        child_rel = db.relation(child)
+        parent_rel = db.relation(parent)
+        parent_positions = [parent_rel.column_position(c) for c in parent_cols]
+        parent_keys = {
+            tuple(row[i] for i in parent_positions) for row in parent_rel.rows
+        }
+        child_positions = [child_rel.column_position(c) for c in fk_cols]
+        for row in child_rel.rows:
+            key = tuple(row[i] for i in child_positions)
+            assert key in parent_keys, (child, fk_cols, key)
+
+    def test_every_declared_fk_holds(self, tiny_db, catalog):
+        for table in catalog.tables():
+            for fk in table.foreign_keys:
+                self.fk_values_exist(
+                    tiny_db, table.name, fk.columns, fk.parent_table, fk.parent_columns
+                )
+
+    def test_primary_keys_unique(self, tiny_db, catalog):
+        for table in catalog.tables():
+            relation = tiny_db.relation(table.name)
+            positions = [relation.column_position(c) for c in table.primary_key]
+            keys = [tuple(row[i] for i in positions) for row in relation.rows]
+            assert len(keys) == len(set(keys)), table.name
+
+
+class TestDomains:
+    def test_dates_in_range(self, tiny_db):
+        orders = tiny_db.relation("orders")
+        position = orders.column_position("o_orderdate")
+        for row in orders.rows:
+            assert DATE_MIN <= row[position] <= DATE_MAX
+
+    def test_shipdate_after_orderdate(self, tiny_db):
+        lineitem = tiny_db.relation("lineitem")
+        orders = tiny_db.relation("orders")
+        order_dates = {
+            row[orders.column_position("o_orderkey")]: row[
+                orders.column_position("o_orderdate")
+            ]
+            for row in orders.rows
+        }
+        ship_position = lineitem.column_position("l_shipdate")
+        key_position = lineitem.column_position("l_orderkey")
+        for row in lineitem.rows:
+            assert row[ship_position] > order_dates[row[key_position]]
+
+    def test_quantity_domain(self, tiny_db):
+        lineitem = tiny_db.relation("lineitem")
+        position = lineitem.column_position("l_quantity")
+        values = {row[position] for row in lineitem.rows}
+        assert min(values) >= 1.0
+        assert max(values) <= 50.0
+
+    def test_no_nulls_anywhere(self, tiny_db):
+        # TPC-H columns are all NOT NULL.
+        for table in tiny_db.names():
+            for row in tiny_db.relation(table).rows:
+                assert None not in row

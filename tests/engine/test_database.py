@@ -1,0 +1,65 @@
+"""Database/Relation storage tests."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ExecutionError
+
+
+class TestDatabase:
+    def test_store_and_lookup(self):
+        db = Database()
+        db.store("t", ("a", "b"), [(1, 2), (3, 4)])
+        assert db.has("t")
+        assert db.row_count("t") == 2
+        assert db.names() == ("t",)
+
+    def test_store_replaces(self):
+        db = Database()
+        db.store("t", ("a",), [(1,)])
+        db.store("t", ("a",), [(1,), (2,)])
+        assert db.row_count("t") == 2
+
+    def test_create_empty_then_append_rows(self):
+        db = Database()
+        relation = db.create("t", ("a",))
+        relation.rows.append((5,))
+        assert db.row_count("t") == 1
+
+    def test_create_duplicate_rejected(self):
+        db = Database()
+        db.create("t", ("a",))
+        with pytest.raises(ExecutionError, match="already exists"):
+            db.create("t", ("a",))
+
+    def test_drop(self):
+        db = Database()
+        db.store("t", ("a",), [])
+        db.drop("t")
+        assert not db.has("t")
+        with pytest.raises(ExecutionError):
+            db.drop("t")
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(ExecutionError, match="no relation"):
+            Database().relation("zz")
+
+
+class TestRelation:
+    def test_column_position_and_values(self):
+        db = Database()
+        relation = db.store("t", ("a", "b"), [(1, "x"), (2, "y")])
+        assert relation.column_position("b") == 1
+        assert relation.column_values("b") == ["x", "y"]
+
+    def test_unknown_column_raises(self):
+        db = Database()
+        relation = db.store("t", ("a",), [])
+        with pytest.raises(ExecutionError, match="no column"):
+            relation.column_position("zz")
+
+    def test_iter_dicts_keys(self):
+        db = Database()
+        relation = db.store("t", ("a", "b"), [(1, 2)])
+        (row,) = relation.iter_dicts()
+        assert row == {("t", "a"): 1, ("t", "b"): 2}

@@ -1,0 +1,148 @@
+"""Scalar evaluator tests: three-valued logic, LIKE, arithmetic."""
+
+import pytest
+
+from repro.engine.evaluator import evaluate, predicate_holds
+from repro.errors import ExecutionError
+from repro.sql import parse_expression, parse_predicate
+
+
+def _bind_to_t(expr):
+    from repro.sql import ColumnRef
+
+    return expr.transform(
+        lambda n: ColumnRef("t", n.column) if isinstance(n, ColumnRef) else n
+    )
+
+
+def ev(text, **columns):
+    """Evaluate over a single-table row 't' with the given columns."""
+    row = {("t", name): value for name, value in columns.items()}
+    try:
+        expr = parse_predicate(text)
+    except Exception:
+        expr = parse_expression(text)
+    return evaluate(_bind_to_t(expr), row)
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        assert ev("a + b", a=2, b=3) == 5
+        assert ev("a - b", a=2, b=3) == -1
+        assert ev("a * b", a=2, b=3) == 6
+        assert ev("a / b", a=6, b=3) == 2
+
+    def test_division_by_zero_yields_null(self):
+        assert ev("a / b", a=6, b=0) is None
+
+    def test_modulo(self):
+        assert ev("a % b", a=7, b=3) == 1
+
+    def test_null_propagates_through_arithmetic(self):
+        assert ev("a + b", a=None, b=3) is None
+        assert ev("a * b", a=2, b=None) is None
+
+    def test_unary_minus(self):
+        assert ev("- a", a=5) == -5
+        assert ev("- a", a=None) is None
+
+    def test_non_numeric_arithmetic_raises(self):
+        with pytest.raises(ExecutionError):
+            ev("a + b", a="x", b=1)
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        assert ev("a < b", a=1, b=2) is True
+        assert ev("a <= b", a=2, b=2) is True
+        assert ev("a > b", a=1, b=2) is False
+        assert ev("a >= b", a=2, b=2) is True
+        assert ev("a = b", a=2, b=2) is True
+        assert ev("a <> b", a=1, b=2) is True
+
+    def test_null_comparison_is_unknown(self):
+        assert ev("a = b", a=None, b=2) is None
+        assert ev("a <> b", a=None, b=None) is None
+        assert ev("a < b", a=1, b=None) is None
+
+    def test_string_comparison(self):
+        assert ev("a < b", a="apple", b="banana") is True
+
+
+class TestBooleanLogic:
+    def test_kleene_and(self):
+        assert ev("a = 1 and b = 2", a=1, b=2) is True
+        assert ev("a = 1 and b = 2", a=0, b=None) is False  # False wins
+        assert ev("a = 1 and b = 2", a=1, b=None) is None
+
+    def test_kleene_or(self):
+        assert ev("a = 1 or b = 2", a=1, b=None) is True  # True wins
+        assert ev("a = 1 or b = 2", a=0, b=None) is None
+        assert ev("a = 1 or b = 2", a=0, b=0) is False
+
+    def test_not(self):
+        assert ev("not a = 1", a=0) is True
+        assert ev("not a = 1", a=1) is False
+        assert ev("not a = 1", a=None) is None
+
+
+class TestPredicateForms:
+    def test_like(self):
+        assert ev("a like '%steel%'", a="hot steel wire") is True
+        assert ev("a like '%steel%'", a="copper") is False
+        assert ev("a like 'x_z'", a="xyz") is True
+        assert ev("a like 'x_z'", a="xyyz") is False
+
+    def test_not_like(self):
+        assert ev("a not like '%x%'", a="abc") is True
+
+    def test_like_on_null_is_unknown(self):
+        assert ev("a like '%x%'", a=None) is None
+
+    def test_like_special_characters_escaped(self):
+        assert ev("a like 'a.c'", a="a.c") is True
+        assert ev("a like 'a.c'", a="abc") is False
+
+    def test_is_null(self):
+        assert ev("a is null", a=None) is True
+        assert ev("a is null", a=1) is False
+        assert ev("a is not null", a=1) is True
+
+    def test_in_list(self):
+        assert ev("a in (1, 2, 3)", a=2) is True
+        assert ev("a in (1, 2, 3)", a=9) is False
+        assert ev("a not in (1, 2)", a=3) is True
+
+    def test_in_with_null_operand_unknown(self):
+        assert ev("a in (1, 2)", a=None) is None
+
+    def test_in_with_null_member_unknown_when_no_match(self):
+        assert ev("a in (1, null)", a=5) is None
+        assert ev("a in (1, null)", a=1) is True
+
+    def test_between(self):
+        assert ev("a between 1 and 5", a=3) is True
+        assert ev("a between 1 and 5", a=6) is False
+
+
+class TestPredicateHolds:
+    def test_only_true_passes(self):
+        pred = parse_predicate("a > 5").transform(
+            lambda n: type(n)("t", n.column) if n.__class__.__name__ == "ColumnRef" else n
+        )
+        assert predicate_holds(pred, {("t", "a"): 10})
+        assert not predicate_holds(pred, {("t", "a"): 1})
+        assert not predicate_holds(pred, {("t", "a"): None})  # unknown rejected
+
+    def test_none_predicate_always_holds(self):
+        assert predicate_holds(None, {})
+
+
+class TestErrors:
+    def test_missing_column_raises(self):
+        with pytest.raises(ExecutionError, match="no column"):
+            ev("a = 1")
+
+    def test_aggregate_outside_grouping_raises(self):
+        with pytest.raises(ExecutionError, match="aggregate"):
+            ev("sum(a) > 1", a=1)

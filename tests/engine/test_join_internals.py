@@ -1,0 +1,53 @@
+"""White-box tests for the executor's join machinery."""
+
+from repro.engine.executor import _choose_join_order, _split_equijoin
+from repro.sql import parse_predicate
+
+
+def bound(text):
+    return parse_predicate(text)
+
+
+class TestSplitEquijoin:
+    def test_cross_table_equality(self):
+        sides = _split_equijoin(bound("t.a = u.b"))
+        assert sides is not None
+        assert sides[0].key == ("t", "a")
+        assert sides[1].key == ("u", "b")
+
+    def test_constant_equality_is_not_an_equijoin(self):
+        assert _split_equijoin(bound("t.a = 5")) is None
+
+    def test_inequality_is_not_an_equijoin(self):
+        assert _split_equijoin(bound("t.a <> u.b")) is None
+
+    def test_expression_equality_is_not_an_equijoin(self):
+        assert _split_equijoin(bound("t.a + 1 = u.b")) is None
+
+
+class TestJoinOrder:
+    def conjuncts(self, *texts):
+        return [bound(t) for t in texts]
+
+    def test_two_tables_keep_given_order(self):
+        order = _choose_join_order(("a", "b"), [])
+        assert order == ["a", "b"]
+
+    def test_connected_table_preferred(self):
+        # c connects to a; b is isolated -- c should be joined before b to
+        # avoid an intermediate cross product.
+        order = _choose_join_order(
+            ("a", "b", "c"), self.conjuncts("a.x = c.y")
+        )
+        assert order.index("c") < order.index("b")
+
+    def test_chain_order(self):
+        order = _choose_join_order(
+            ("a", "b", "c", "d"),
+            self.conjuncts("a.x = b.x", "b.y = c.y", "c.z = d.z"),
+        )
+        assert order == ["a", "b", "c", "d"]
+
+    def test_disconnected_tables_still_all_present(self):
+        order = _choose_join_order(("a", "b", "c"), [])
+        assert sorted(order) == ["a", "b", "c"]

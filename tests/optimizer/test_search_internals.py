@@ -1,0 +1,122 @@
+"""White-box tests for the optimizer's search machinery."""
+
+import pytest
+
+from repro.optimizer.optimizer import _Search, Optimizer
+
+
+@pytest.fixture()
+def searcher(catalog, paper_stats):
+    optimizer = Optimizer(catalog, paper_stats)
+
+    def make(sql):
+        return _Search(optimizer, catalog.bind_sql(sql))
+
+    return make
+
+
+class TestJoinGraph:
+    def test_edges_from_equijoins(self, searcher):
+        search = searcher(
+            "select l_orderkey from lineitem, orders, customer "
+            "where l_orderkey = o_orderkey and o_custkey = c_custkey"
+        )
+        assert search._join_edges() == {
+            frozenset({"lineitem", "orders"}),
+            frozenset({"orders", "customer"}),
+        }
+
+    def test_range_predicates_are_not_edges(self, searcher):
+        search = searcher(
+            "select l_orderkey from lineitem, orders "
+            "where l_orderkey = o_orderkey and o_custkey > 5"
+        )
+        assert len(search._join_edges()) == 1
+
+    def test_connected_subsets_of_a_chain(self, searcher):
+        search = searcher(
+            "select l_orderkey from lineitem, orders, customer "
+            "where l_orderkey = o_orderkey and o_custkey = c_custkey"
+        )
+        subsets = search._connected_subsets()
+        # A 3-chain has 3 singletons + 2 pairs + 1 triple = 6.
+        assert len(subsets) == 6
+        assert frozenset({"lineitem", "customer"}) not in subsets
+
+    def test_connected_subsets_of_a_star(self, searcher):
+        search = searcher(
+            "select l_orderkey from lineitem, orders, part, supplier "
+            "where l_orderkey = o_orderkey and l_partkey = p_partkey "
+            "and l_suppkey = s_suppkey"
+        )
+        subsets = search._connected_subsets()
+        # Star with center lineitem: all subsets containing lineitem plus
+        # the four singletons: 8 + 4 = ... center subsets = 2^3 = 8, total 11.
+        assert len(subsets) == 11
+
+    def test_component_detection(self, searcher):
+        search = searcher("select r_name, n_name from region, nation")
+        assert search._component_set() == {
+            frozenset({"region"}),
+            frozenset({"nation"}),
+        }
+
+
+class TestBlockConstruction:
+    def test_local_conjuncts_assignment(self, searcher):
+        search = searcher(
+            "select l_orderkey from lineitem, orders "
+            "where l_orderkey = o_orderkey and l_quantity > 5 and o_custkey < 9"
+        )
+        local = search._local_conjuncts(frozenset({"lineitem"}))
+        assert len(local) == 1  # only the quantity predicate
+
+    def test_needed_columns_cover_join_and_output(self, searcher):
+        search = searcher(
+            "select l_quantity from lineitem, orders where l_orderkey = o_orderkey"
+        )
+        needed = {ref.key for ref in search._needed_columns(frozenset({"lineitem"}))}
+        assert needed == {
+            ("lineitem", "l_quantity"),
+            ("lineitem", "l_orderkey"),
+        }
+
+    def test_needed_columns_include_aggregate_arguments(self, searcher):
+        search = searcher(
+            "select o_custkey, sum(l_quantity) from lineitem, orders "
+            "where l_orderkey = o_orderkey group by o_custkey"
+        )
+        needed = {ref.key for ref in search._needed_columns(frozenset({"lineitem"}))}
+        assert ("lineitem", "l_quantity") in needed
+
+    def test_unreferenced_block_gets_placeholder_column(self, searcher):
+        search = searcher("select r_name from region, nation")
+        needed = search._needed_columns(frozenset({"nation"}))
+        assert len(needed) == 1
+
+    def test_block_statement_shape(self, searcher):
+        search = searcher(
+            "select l_quantity from lineitem, orders "
+            "where l_orderkey = o_orderkey and l_partkey > 5"
+        )
+        block = search._block_statement(frozenset({"lineitem"}))
+        assert block.table_names() == ("lineitem",)
+        assert block.where is not None  # the l_partkey filter
+        assert not block.is_aggregate
+
+
+class TestSplits:
+    def test_splits_partition_and_are_canonical(self, searcher):
+        search = searcher(
+            "select l_orderkey from lineitem, orders, customer "
+            "where l_orderkey = o_orderkey and o_custkey = c_custkey"
+        )
+        for subset in search._connected_subsets():
+            search.best[subset] = object()  # placeholder plans
+        full = frozenset({"lineitem", "orders", "customer"})
+        splits = list(search._splits(full, set()))
+        anchor = sorted(full)[0]
+        for left, right in splits:
+            assert left | right == full
+            assert not (left & right)
+            assert anchor in left

@@ -1,0 +1,244 @@
+"""Parser tests: statements, expressions, predicates, error handling."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError, UnsupportedSqlError
+from repro.sql import (
+    And,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    LikePredicate,
+    Literal,
+    Not,
+    Or,
+    parse,
+    parse_expression,
+    parse_predicate,
+    parse_select,
+    parse_view,
+)
+
+
+class TestSelectStructure:
+    def test_minimal_select(self):
+        stmt = parse_select("select a from t")
+        assert len(stmt.select_items) == 1
+        assert stmt.from_tables[0].name == "t"
+        assert stmt.where is None
+        assert stmt.group_by == ()
+
+    def test_multiple_tables_and_columns(self):
+        stmt = parse_select("select a, b, c from t1, t2")
+        assert [i.expression.column for i in stmt.select_items] == ["a", "b", "c"]
+        assert stmt.table_names() == ("t1", "t2")
+
+    def test_aliases_with_and_without_as(self):
+        stmt = parse_select("select a as x, b y from t")
+        assert stmt.select_items[0].alias == "x"
+        assert stmt.select_items[1].alias == "y"
+
+    def test_table_alias_and_schema(self):
+        stmt = parse_select("select a from dbo.lineitem as l")
+        ref = stmt.from_tables[0]
+        assert ref.schema == "dbo"
+        assert ref.name == "lineitem"
+        assert ref.alias == "l"
+        assert ref.binding_name == "l"
+
+    def test_group_by(self):
+        stmt = parse_select("select a, sum(b) from t group by a")
+        assert stmt.group_by == (ColumnRef(None, "a"),)
+        assert stmt.is_aggregate
+
+    def test_aggregate_without_group_by_is_aggregate(self):
+        stmt = parse_select("select count(*) from t")
+        assert stmt.is_aggregate
+
+    def test_distinct(self):
+        assert parse_select("select distinct a from t").distinct
+
+    def test_where_clause(self):
+        stmt = parse_select("select a from t where a > 5 and b = 3")
+        assert isinstance(stmt.where, And)
+
+    def test_join_on_folds_into_where(self):
+        plain = parse_select("select a from t1, t2 where t1.x = t2.y")
+        joined = parse_select("select a from t1 inner join t2 on t1.x = t2.y")
+        assert joined.from_tables == plain.from_tables
+        assert joined.where == plain.where
+
+    def test_join_on_combines_with_where(self):
+        stmt = parse_select(
+            "select a from t1 join t2 on t1.x = t2.y where t1.a > 5"
+        )
+        assert isinstance(stmt.where, And)
+        assert len(stmt.where.conjuncts) == 2
+
+    def test_semicolon_tolerated(self):
+        parse_select("select a from t;")
+
+    def test_select_star_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_select("select * from t")
+
+    def test_having_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_select("select a from t group by a having a > 1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("select a from t 123")
+
+
+class TestCreateView:
+    def test_with_schemabinding(self):
+        stmt = parse_view("create view v1 with schemabinding as select a from t")
+        assert stmt.name == "v1"
+        assert stmt.schemabinding
+        assert stmt.query.table_names() == ("t",)
+
+    def test_without_schemabinding(self):
+        stmt = parse_view("create view v2 as select a from t")
+        assert not stmt.schemabinding
+
+    def test_parse_dispatches_on_leading_keyword(self):
+        assert parse("create view v as select a from t").name == "v"
+
+    def test_paper_example_1(self):
+        stmt = parse_view(
+            """
+            create view v1 with schemabinding as
+            select p_partkey, p_name, p_retailprice, count_big(*) as cnt,
+                   sum(l_extendedprice*l_quantity) as gross_revenue
+            from dbo.lineitem, dbo.part
+            where p_partkey < 1000 and p_name like '%steel%'
+              and p_partkey = l_partkey
+            group by p_partkey, p_name, p_retailprice
+            """
+        )
+        assert stmt.name == "v1"
+        assert len(stmt.query.group_by) == 3
+        aggregates = stmt.query.aggregate_outputs()
+        assert {a.name for a in aggregates} == {"count_big", "sum"}
+
+
+class TestExpressions:
+    def test_precedence_multiplication_before_addition(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinaryOp)
+        assert expr.left.op == "+"
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinaryOp)
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a * b")
+        assert expr.op == "*"
+
+    def test_literals(self):
+        assert parse_expression("42") == Literal(42)
+        assert parse_expression("3.5") == Literal(3.5)
+        assert parse_expression("'x'") == Literal("x")
+        assert parse_expression("null") == Literal(None)
+        assert parse_expression("true") == Literal(True)
+
+    def test_function_call(self):
+        expr = parse_expression("sum(a * b)")
+        assert isinstance(expr, FuncCall)
+        assert expr.name == "sum"
+        assert not expr.star
+
+    def test_count_star(self):
+        expr = parse_expression("count_big(*)")
+        assert expr.star
+
+    def test_qualified_column(self):
+        assert parse_expression("t.c") == ColumnRef("t", "c")
+
+    def test_schema_qualified_column_drops_schema(self):
+        assert parse_expression("dbo.t.c") == ColumnRef("t", "c")
+
+
+class TestPredicates:
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            pred = parse_predicate(f"a {op} 5")
+            assert isinstance(pred, BinaryOp)
+            assert pred.op == op
+
+    def test_and_or_precedence(self):
+        pred = parse_predicate("a = 1 or b = 2 and c = 3")
+        assert isinstance(pred, Or)
+        assert isinstance(pred.disjuncts[1], And)
+
+    def test_not(self):
+        pred = parse_predicate("not a = 1")
+        assert isinstance(pred, Not)
+
+    def test_parenthesized_predicate(self):
+        pred = parse_predicate("(a = 1 or b = 2) and c = 3")
+        assert isinstance(pred, And)
+        assert isinstance(pred.conjuncts[0], Or)
+
+    def test_like(self):
+        pred = parse_predicate("p_name like '%steel%'")
+        assert isinstance(pred, LikePredicate)
+        assert pred.pattern == "%steel%"
+        assert not pred.negated
+
+    def test_not_like(self):
+        pred = parse_predicate("a not like 'x%'")
+        assert pred.negated
+
+    def test_between_desugars_to_range_conjuncts(self):
+        pred = parse_predicate("a between 1 and 5")
+        assert isinstance(pred, And)
+        low, high = pred.conjuncts
+        assert (low.op, high.op) == (">=", "<=")
+
+    def test_not_between(self):
+        pred = parse_predicate("a not between 1 and 5")
+        assert isinstance(pred, Not)
+
+    def test_in_list(self):
+        pred = parse_predicate("a in (1, 2, 3)")
+        assert isinstance(pred, InList)
+        assert len(pred.items) == 3
+
+    def test_not_in(self):
+        assert parse_predicate("a not in (1)").negated
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse_predicate("a is null").negated
+        assert parse_predicate("a is not null").negated
+
+    def test_arithmetic_inside_comparison(self):
+        pred = parse_predicate("l_quantity * l_extendedprice > 100")
+        assert pred.op == ">"
+        assert isinstance(pred.left, BinaryOp)
+
+    def test_parenthesized_arithmetic_operand(self):
+        pred = parse_predicate("(a + b) > 5")
+        assert isinstance(pred, BinaryOp)
+        assert pred.op == ">"
+
+    def test_predicate_without_comparison_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_predicate("a + b")
+
+    def test_not_without_predicate_suffix_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_predicate("a not 5")

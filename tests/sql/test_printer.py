@@ -1,0 +1,104 @@
+"""Printer tests: SQL rendering round-trips and shallow templates."""
+
+import pytest
+
+from repro.sql import (
+    parse_expression,
+    parse_predicate,
+    parse_select,
+    parse_view,
+    shallow_template,
+    statement_to_sql,
+    to_sql,
+)
+
+
+EXPRESSIONS = [
+    "a",
+    "t.c",
+    "42",
+    "3.5",
+    "'text'",
+    "a + b * c",
+    "(a + b) * c",
+    "sum(a * b)",
+    "count_big(*)",
+    "- a",
+]
+
+PREDICATES = [
+    "a = 5",
+    "a <> b",
+    "a < 5 and b >= 3",
+    "a = 1 or b = 2",
+    "not a = 1",
+    "p_name like '%steel%'",
+    "a not like 'x_y'",
+    "a in (1, 2, 3)",
+    "a is null",
+    "a is not null",
+    "a * b > 100 and c = 'x'",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_expression_roundtrip(self, text):
+        expr = parse_expression(text)
+        assert parse_expression(to_sql(expr)) == expr
+
+    @pytest.mark.parametrize("text", PREDICATES)
+    def test_predicate_roundtrip(self, text):
+        pred = parse_predicate(text)
+        assert parse_predicate(to_sql(pred)) == pred
+
+    def test_select_roundtrip(self):
+        stmt = parse_select(
+            "select a as x, sum(b * c) as s from t1, t2 "
+            "where t1.k = t2.k and a > 5 group by a"
+        )
+        assert parse_select(statement_to_sql(stmt)) == stmt
+
+    def test_create_view_roundtrip(self):
+        stmt = parse_view(
+            "create view v with schemabinding as "
+            "select a, count_big(*) as cnt from t group by a"
+        )
+        assert parse_view(statement_to_sql(stmt)) == stmt
+
+    def test_string_escaping_roundtrip(self):
+        pred = parse_predicate("a = 'it''s'")
+        assert parse_predicate(to_sql(pred)) == pred
+
+    def test_like_pattern_escaping_roundtrip(self):
+        pred = parse_predicate("a like '%it''s%'")
+        assert parse_predicate(to_sql(pred)) == pred
+
+
+class TestShallowTemplate:
+    def test_column_references_are_omitted_in_order(self):
+        template, refs = shallow_template(
+            parse_predicate("t1.a * t2.b > 100")
+        )
+        assert template == "((? * ?) > 100)"
+        assert [(r.table, r.column) for r in refs] == [("t1", "a"), ("t2", "b")]
+
+    def test_same_shape_different_columns_share_template(self):
+        t1, _ = shallow_template(parse_predicate("a + b > 5"))
+        t2, _ = shallow_template(parse_predicate("c + d > 5"))
+        assert t1 == t2
+
+    def test_different_constants_differ(self):
+        t1, _ = shallow_template(parse_predicate("a > 5"))
+        t2, _ = shallow_template(parse_predicate("a > 6"))
+        assert t1 != t2
+
+    def test_like_pattern_is_part_of_template(self):
+        t1, _ = shallow_template(parse_predicate("a like '%x%'"))
+        t2, _ = shallow_template(parse_predicate("a like '%y%'"))
+        assert t1 != t2
+
+    def test_constant_expression_has_no_refs(self):
+        template, refs = shallow_template(parse_expression("1 + 2"))
+        assert refs == ()
+        assert "?" not in template

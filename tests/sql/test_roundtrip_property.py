@@ -1,0 +1,125 @@
+"""Property: printing and re-parsing any expression is the identity.
+
+Random expression and predicate trees are rendered with the printer and
+re-parsed; the results must be structurally equal. This pins down operator
+precedence, parenthesisation, string escaping and keyword handling across
+the whole AST surface.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    LikePredicate,
+    Literal,
+    Not,
+    UnaryMinus,
+    conjunction,
+    disjunction,
+    parse_expression,
+    parse_predicate,
+    to_sql,
+)
+
+# -- scalar expression strategy ----------------------------------------------
+
+_columns = st.sampled_from(["a", "b", "c_long_name"]).map(
+    lambda c: ColumnRef("t", c)
+)
+# Non-negative numerics only: a negative literal prints as "-2", which
+# correctly re-parses as unary minus applied to 2 -- a different (equally
+# valid) tree. Strings exercise the '' escaping.
+_literals = st.one_of(
+    st.integers(min_value=0, max_value=999).map(Literal),
+    st.floats(min_value=0.25, max_value=99.75).map(
+        lambda f: Literal(round(f, 2))
+    ),
+    st.sampled_from(["x", "it's", "%wild%", ""]).map(Literal),
+    st.just(Literal(None)),
+    st.just(Literal(True)),
+)
+
+
+def _expressions(depth: int):
+    base = st.one_of(_columns, _literals)
+    if depth == 0:
+        return base
+    sub = _expressions(depth - 1)
+    numeric_sub = st.one_of(
+        _columns,
+        st.integers(min_value=0, max_value=999).map(Literal),
+        sub,
+    )
+    return st.one_of(
+        base,
+        st.builds(
+            BinaryOp,
+            st.sampled_from(["+", "-", "*", "/", "%"]),
+            numeric_sub,
+            numeric_sub,
+        ),
+        st.builds(UnaryMinus, numeric_sub),
+        st.builds(
+            lambda args: FuncCall("sum", (args,)),
+            numeric_sub,
+        ),
+        st.just(FuncCall("count_big", star=True)),
+    )
+
+
+def _atoms(depth: int):
+    operand = _expressions(depth)
+    return st.one_of(
+        st.builds(
+            BinaryOp,
+            st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+            operand,
+            operand,
+        ),
+        st.builds(
+            LikePredicate,
+            _columns,
+            st.sampled_from(["%x%", "a_b", "100%", "it''s"]),
+            st.booleans(),
+        ),
+        st.builds(IsNull, _columns, st.booleans()),
+        st.builds(
+            InList,
+            _columns,
+            st.lists(_literals, min_size=1, max_size=3).map(tuple),
+            st.booleans(),
+        ),
+    )
+
+
+def _predicates(depth: int):
+    base = _atoms(1)
+    if depth == 0:
+        return base
+    sub = _predicates(depth - 1)
+    pair = st.lists(sub, min_size=2, max_size=3)
+    return st.one_of(
+        base,
+        st.builds(Not, sub),
+        # The smart constructors keep conjunctions/disjunctions flat, which
+        # is the canonical form the parser produces.
+        pair.map(lambda parts: conjunction(parts)),
+        pair.map(lambda parts: disjunction(parts)),
+    )
+
+
+@settings(max_examples=400)
+@given(_expressions(2))
+def test_expression_roundtrip(expression):
+    assert parse_expression(to_sql(expression)) == expression
+
+
+@settings(max_examples=400)
+@given(_predicates(2))
+def test_predicate_roundtrip(predicate):
+    assert parse_predicate(to_sql(predicate)) == predicate

@@ -1,0 +1,67 @@
+"""Statement AST unit tests."""
+
+from repro.sql import ColumnRef, FuncCall, parse_select
+from repro.sql.statements import SelectItem, TableRef
+
+
+class TestSelectItem:
+    def test_name_prefers_alias(self):
+        item = SelectItem(ColumnRef("t", "a"), alias="x")
+        assert item.name == "x"
+
+    def test_name_falls_back_to_column(self):
+        assert SelectItem(ColumnRef("t", "a")).name == "a"
+
+    def test_expression_without_alias_has_no_name(self):
+        item = SelectItem(FuncCall("sum", (ColumnRef("t", "a"),)))
+        assert item.name is None
+
+    def test_str_rendering(self):
+        assert str(SelectItem(ColumnRef("t", "a"), alias="x")) == "t.a AS x"
+        assert str(SelectItem(ColumnRef(None, "a"))) == "a"
+
+
+class TestTableRef:
+    def test_binding_name(self):
+        assert TableRef("t").binding_name == "t"
+        assert TableRef("t", alias="x").binding_name == "x"
+
+    def test_str_rendering(self):
+        assert str(TableRef("t", alias="x", schema="dbo")) == "dbo.t AS x"
+        assert str(TableRef("t")) == "t"
+
+
+class TestSelectStatement:
+    def test_table_names(self):
+        statement = parse_select("select a from t1, t2 as x")
+        assert statement.table_names() == ("t1", "x")
+
+    def test_output_expressions(self):
+        statement = parse_select("select a, b + 1 from t")
+        assert len(statement.output_expressions()) == 2
+
+    def test_expressions_iterates_everything(self):
+        statement = parse_select(
+            "select a, sum(b) from t where c > 1 group by a"
+        )
+        assert len(list(statement.expressions())) == 4  # 2 outputs, where, group
+
+    def test_with_where_replaces_predicate(self):
+        statement = parse_select("select a from t where a > 1")
+        replaced = statement.with_where(None)
+        assert replaced.where is None
+        assert statement.where is not None  # original untouched
+
+    def test_aggregate_outputs_walks_into_expressions(self):
+        statement = parse_select("select a, sum(b) / count_big(*) from t group by a")
+        names = sorted(call.name for call in statement.aggregate_outputs())
+        assert names == ["count_big", "sum"]
+
+    def test_is_aggregate_via_group_by_without_aggregates(self):
+        assert parse_select("select a from t group by a").is_aggregate
+
+    def test_is_aggregate_via_aggregate_without_group_by(self):
+        assert parse_select("select sum(a) from t").is_aggregate
+
+    def test_plain_select_is_not_aggregate(self):
+        assert not parse_select("select a from t").is_aggregate

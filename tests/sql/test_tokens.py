@@ -1,0 +1,124 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.tokens import TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_recognized_case_insensitively(self):
+        for text in ("SELECT", "select", "SeLeCt"):
+            (token,) = tokenize(text)[:-1]
+            assert token.type is TokenType.KEYWORD
+            assert token.value == "select"
+
+    def test_identifiers_are_lowercased(self):
+        (token,) = tokenize("L_OrderKey")[:-1]
+        assert token.type is TokenType.IDENT
+        assert token.value == "l_orderkey"
+
+    def test_identifier_with_underscores_and_digits(self):
+        (token,) = tokenize("tab_1_x")[:-1]
+        assert token.value == "tab_1_x"
+
+    def test_integer_and_float_literals(self):
+        tokens = tokenize("42 3.14")[:-1]
+        assert [t.value for t in tokens] == ["42", "3.14"]
+        assert all(t.type is TokenType.NUMBER for t in tokens)
+
+    def test_qualified_name_tokenizes_as_ident_dot_ident(self):
+        assert kinds("a.b") == [TokenType.IDENT, TokenType.DOT, TokenType.IDENT]
+
+    def test_number_followed_by_dot_ident_is_not_merged(self):
+        # "1.x" would be nonsense SQL; the number stops before the dot.
+        tokens = tokenize("1 .5")[:-1]
+        assert [t.value for t in tokens] == ["1", ".5"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        (token,) = tokenize("'hello'")[:-1]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_doubled_quote_escapes(self):
+        (token,) = tokenize("'it''s'")[:-1]
+        assert token.value == "it's"
+
+    def test_string_preserves_case_and_spaces(self):
+        (token,) = tokenize("'Hello World'")[:-1]
+        assert token.value == "Hello World"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    def test_two_character_operators(self):
+        assert values("<= >= <>") == ["<=", ">=", "<>"]
+
+    def test_bang_equals_normalizes_to_standard_inequality(self):
+        assert values("a != b") == ["a", "<>", "b"]
+
+    def test_single_character_operators(self):
+        assert values("+ - / % < > =") == ["+", "-", "/", "%", "<", ">", "="]
+
+    def test_star_token(self):
+        assert kinds("*") == [TokenType.STAR]
+
+    def test_lone_bang_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a ! b")
+
+    def test_unexpected_character_raises_with_location(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            tokenize("select @")
+        assert info.value.column == 8
+
+
+class TestCommentsAndLines:
+    def test_line_comment_is_skipped(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_line_numbers_advance(self):
+        tokens = tokenize("a\nb\nc")[:-1]
+        assert [t.line for t in tokens] == [1, 2, 3]
+
+    def test_column_positions(self):
+        tokens = tokenize("ab cd")[:-1]
+        assert [t.column for t in tokens] == [1, 4]
+
+    def test_minus_not_starting_comment(self):
+        assert values("a - b") == ["a", "-", "b"]
+
+
+class TestPunctuation:
+    def test_parens_commas_semicolon(self):
+        assert kinds("(a, b);") == [
+            TokenType.LPAREN,
+            TokenType.IDENT,
+            TokenType.COMMA,
+            TokenType.IDENT,
+            TokenType.RPAREN,
+            TokenType.SEMICOLON,
+        ]
+
+    def test_matches_keyword_helper(self):
+        token = tokenize("select")[0]
+        assert token.matches_keyword("select")
+        assert not token.matches_keyword("from")

@@ -1,0 +1,147 @@
+"""Cardinality estimator tests: formulas plus accuracy against real data."""
+
+import pytest
+
+from repro.core import describe
+from repro.core.ranges import Bound, Interval
+from repro.engine import execute
+from repro.stats import (
+    CardinalityEstimator,
+    ColumnStats,
+    equijoin_selectivity,
+    range_selectivity,
+    residual_selectivity,
+)
+from repro.sql import parse_predicate
+
+
+class TestSelectivityFormulas:
+    def test_equijoin_uses_larger_distinct(self):
+        left = ColumnStats(1, 100, 100)
+        right = ColumnStats(1, 1000, 1000)
+        assert equijoin_selectivity(left, right) == pytest.approx(1 / 1000)
+
+    def test_point_range(self):
+        stats = ColumnStats(1, 100, 50)
+        point = Interval(Bound(5, True), Bound(5, True))
+        assert range_selectivity(stats, point) == pytest.approx(1 / 50)
+
+    def test_interval_fraction_of_domain(self):
+        stats = ColumnStats(0, 100, 100)
+        interval = Interval(Bound(25, True), Bound(75, True))
+        assert range_selectivity(stats, interval) == pytest.approx(0.5)
+
+    def test_one_sided_interval(self):
+        stats = ColumnStats(0, 100, 100)
+        interval = Interval(lower=Bound(80, True))
+        assert range_selectivity(stats, interval) == pytest.approx(0.2)
+
+    def test_interval_clamped_to_domain(self):
+        stats = ColumnStats(0, 100, 100)
+        interval = Interval(Bound(-50, True), Bound(200, True))
+        assert range_selectivity(stats, interval) == pytest.approx(1.0)
+
+    def test_empty_interval_near_zero(self):
+        stats = ColumnStats(0, 100, 100)
+        interval = Interval(Bound(50, True), Bound(10, True))
+        assert range_selectivity(stats, interval) < 1e-6
+
+    def test_string_domain_falls_back(self):
+        stats = ColumnStats("a", "z", 100)
+        interval = Interval(lower=Bound("m", True))
+        assert 0 < range_selectivity(stats, interval) <= 1
+
+    def test_residual_defaults(self):
+        assert residual_selectivity(parse_predicate("t.a like 'x%'")) == 0.1
+        assert residual_selectivity(parse_predicate("t.a not like 'x%'")) == 0.9
+        assert residual_selectivity(parse_predicate("t.a <> 5")) == 0.9
+        assert residual_selectivity(parse_predicate("t.a is null")) == 0.1
+        assert residual_selectivity(parse_predicate("t.a is not null")) == 0.9
+        in_sel = residual_selectivity(parse_predicate("t.a in (1,2,3)"))
+        assert in_sel == pytest.approx(0.15)
+
+    def test_or_combines_disjuncts(self):
+        sel = residual_selectivity(parse_predicate("t.a like 'x%' or t.b like 'y%'"))
+        assert sel == pytest.approx(1 - 0.9 * 0.9)
+
+
+class TestEstimatesAgainstRealData:
+    """Estimates should land within an order of magnitude on uniform data."""
+
+    def assert_close(self, estimated, actual, factor=8.0):
+        actual = max(actual, 1.0)
+        assert actual / factor <= max(estimated, 1.0) <= actual * factor, (
+            f"estimate {estimated:.0f} vs actual {actual:.0f}"
+        )
+
+    def run_case(self, catalog, tiny_db, tiny_stats, sql):
+        statement = catalog.bind_sql(sql)
+        estimator = CardinalityEstimator(tiny_stats)
+        estimate = estimator.spj_cardinality(describe(statement, catalog))
+        actual = execute(statement, tiny_db).row_count
+        self.assert_close(estimate, actual)
+
+    def test_single_table_range(self, catalog, tiny_db, tiny_stats):
+        self.run_case(
+            catalog,
+            tiny_db,
+            tiny_stats,
+            "select l_orderkey from lineitem where l_quantity <= 25",
+        )
+
+    def test_fk_join(self, catalog, tiny_db, tiny_stats):
+        self.run_case(
+            catalog,
+            tiny_db,
+            tiny_stats,
+            "select l_orderkey from lineitem, orders where l_orderkey = o_orderkey",
+        )
+
+    def test_join_with_range(self, catalog, tiny_db, tiny_stats):
+        self.run_case(
+            catalog,
+            tiny_db,
+            tiny_stats,
+            "select l_orderkey from lineitem, orders "
+            "where l_orderkey = o_orderkey and o_custkey <= 50",
+        )
+
+    def test_three_way_join(self, catalog, tiny_db, tiny_stats):
+        self.run_case(
+            catalog,
+            tiny_db,
+            tiny_stats,
+            "select l_orderkey from lineitem, orders, customer "
+            "where l_orderkey = o_orderkey and o_custkey = c_custkey",
+        )
+
+
+class TestGroupEstimates:
+    def test_group_count_capped_by_input(self, catalog, tiny_stats):
+        estimator = CardinalityEstimator(tiny_stats)
+        description = describe(
+            catalog.bind_sql(
+                "select l_orderkey, count(*) from lineitem "
+                "where l_quantity <= 2 group by l_orderkey"
+            ),
+            catalog,
+        )
+        assert estimator.group_count(description) <= estimator.spj_cardinality(
+            description
+        )
+
+    def test_global_aggregate_is_one_row(self, catalog, tiny_stats):
+        estimator = CardinalityEstimator(tiny_stats)
+        description = describe(
+            catalog.bind_sql("select count(*) from lineitem"), catalog
+        )
+        assert estimator.output_cardinality(description) == 1.0
+
+    def test_spj_output_cardinality_equals_spj(self, catalog, tiny_stats):
+        estimator = CardinalityEstimator(tiny_stats)
+        description = describe(
+            catalog.bind_sql("select l_orderkey from lineitem"), catalog
+        )
+        assert estimator.output_cardinality(description) == pytest.approx(
+            estimator.spj_cardinality(description)
+        )

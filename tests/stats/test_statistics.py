@@ -1,0 +1,88 @@
+"""Statistics collection and synthetic statistics tests."""
+
+from repro.catalog import Catalog, Column, ColumnType, Table
+from repro.engine import Database
+from repro.stats import ColumnStats, DatabaseStats, synthetic_tpch_stats
+
+
+class TestCollect:
+    def test_collect_exact_values(self):
+        catalog = Catalog()
+        catalog.add_table(
+            Table(
+                name="t",
+                columns=(Column("a"), Column("b", nullable=True)),
+            )
+        )
+        db = Database()
+        db.store("t", ("a", "b"), [(1, 10), (2, None), (2, 30)])
+        stats = DatabaseStats.collect(db, catalog)
+        a = stats.column("t", "a")
+        assert (a.minimum, a.maximum, a.distinct) == (1, 2, 2)
+        b = stats.column("t", "b")
+        assert (b.minimum, b.maximum, b.distinct) == (10, 30, 2)
+        assert b.null_fraction == 1 / 3
+        assert stats.row_count("t") == 3
+
+    def test_all_null_column(self):
+        catalog = Catalog()
+        catalog.add_table(
+            Table(name="t", columns=(Column("a", nullable=True),))
+        )
+        db = Database()
+        db.store("t", ("a",), [(None,), (None,)])
+        stats = DatabaseStats.collect(db, catalog)
+        a = stats.column("t", "a")
+        assert a.distinct == 0
+        assert a.null_fraction == 1.0
+
+    def test_missing_relation_is_skipped(self, catalog):
+        stats = DatabaseStats.collect(Database(), catalog)
+        assert not stats.has_table("lineitem")
+
+    def test_collected_tpch_matches_database(self, tiny_db, tiny_stats):
+        assert tiny_stats.row_count("lineitem") == tiny_db.row_count("lineitem")
+        quantity = tiny_stats.column("lineitem", "l_quantity")
+        assert quantity.minimum >= 1.0
+        assert quantity.maximum <= 50.0
+
+    def test_largest_table_rows(self, tiny_stats):
+        largest = tiny_stats.largest_table_rows(("orders", "lineitem"))
+        assert largest == tiny_stats.row_count("lineitem")
+
+
+class TestColumnStats:
+    def test_width(self):
+        assert ColumnStats(10, 30, 5).width == 20.0
+        assert ColumnStats("a", "z", 5).width is None
+
+
+class TestSynthetic:
+    def test_paper_scale_row_counts(self):
+        stats = synthetic_tpch_stats(0.5)
+        assert stats.row_count("lineitem") == 3_000_000
+        assert stats.row_count("orders") == 750_000
+        assert stats.row_count("region") == 5
+        assert stats.row_count("nation") == 25
+
+    def test_every_tpch_column_has_stats(self, catalog):
+        stats = synthetic_tpch_stats(0.1)
+        for table in catalog.tables():
+            for column in table.columns:
+                column_stats = stats.column(table.name, column.name)
+                assert column_stats.distinct >= 1
+
+    def test_key_domains_scale(self):
+        small = synthetic_tpch_stats(0.01)
+        big = synthetic_tpch_stats(1.0)
+        assert (
+            big.column("orders", "o_orderkey").distinct
+            > small.column("orders", "o_orderkey").distinct
+        )
+
+    def test_fk_domain_matches_parent_key(self):
+        stats = synthetic_tpch_stats(0.5)
+        assert (
+            stats.column("lineitem", "l_orderkey").maximum
+            == stats.column("orders", "o_orderkey").maximum
+        )

@@ -1,0 +1,31 @@
+"""CLI tests: python -m repro."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.cli import run_demo, run_figures
+
+
+class TestCli:
+    def test_demo_succeeds(self, capsys):
+        assert run_demo() == 0
+        captured = capsys.readouterr()
+        assert "substitute" in captured.out
+        assert "bag-equal: True" in captured.out
+
+    def test_figures_tiny(self, capsys):
+        assert run_figures(quick=True, views=20, queries=5) == 0
+        captured = capsys.readouterr()
+        assert "Figure 2" in captured.out
+        assert "Figure 4" in captured.out
+
+    def test_main_dispatch_demo(self, capsys):
+        assert main(["demo"]) == 0
+
+    def test_main_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_main_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

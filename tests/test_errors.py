@@ -1,0 +1,52 @@
+"""Error-hierarchy tests."""
+
+import pytest
+
+from repro.errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    MatchError,
+    ReproError,
+    SqlSyntaxError,
+    UnsupportedSqlError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            SqlSyntaxError,
+            BindError,
+            CatalogError,
+            ExecutionError,
+            UnsupportedSqlError,
+            MatchError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise BindError("nope")
+
+
+class TestSqlSyntaxError:
+    def test_location_formatting(self):
+        error = SqlSyntaxError("bad token", line=3, column=14)
+        assert "line 3" in str(error)
+        assert "column 14" in str(error)
+        assert error.line == 3
+        assert error.column == 14
+
+    def test_line_only(self):
+        error = SqlSyntaxError("bad token", line=3)
+        assert "line 3" in str(error)
+        assert "column" not in str(error)
+
+    def test_no_location(self):
+        error = SqlSyntaxError("bad token")
+        assert str(error) == "bad token"
+        assert error.line is None
