@@ -1,0 +1,63 @@
+"""Serving-layer benchmark: rewrite cache on vs. off under closed-loop load.
+
+Measures what the `repro.service` subsystem exists for: the cache
+hit-rate on a repeated TPC-H workload and the median rewrite latency with
+and without the fingerprinted plan cache. Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI, <10s
+
+Exit status is non-zero when the hit rate falls below the 80 % bar --
+deterministic, since the schedule repeats every query ``--repeat`` times.
+The module is also collectable by pytest (one smoke-sized test) so
+``pytest benchmarks/bench_service.py`` works like the other bench files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro.service import BenchConfig, run_service_benchmark
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced configuration finishing in a few seconds (CI)",
+    )
+    parser.add_argument("--views", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--repeat", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    arguments = parser.parse_args(argv)
+
+    config = BenchConfig.smoke() if arguments.smoke else BenchConfig()
+    overrides = {
+        name: getattr(arguments, name)
+        for name in ("views", "queries", "repeat", "workers", "seed")
+        if getattr(arguments, name) is not None
+    }
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    report = run_service_benchmark(config)
+    if report.hit_rate < 0.8:
+        print(f"FAIL: cache hit-rate {report.hit_rate:.1%} below 80%")
+        return 1
+    return 0
+
+
+def test_serve_bench_smoke():
+    """Pytest entry point: the smoke benchmark meets the hit-rate bar."""
+    report = run_service_benchmark(BenchConfig.smoke(), echo=None)
+    assert report.hit_rate >= 0.8
+    assert report.cached.failures == 0
+    assert report.baseline.failures == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

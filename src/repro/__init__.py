@@ -65,8 +65,16 @@ from .errors import (
     UnsupportedSqlError,
 )
 from .experiments import ExperimentConfig, ExperimentHarness
-from .maintenance import MaintainedView, ViewMaintainer
+from .maintenance import MaintainedView, ViewChangeEvent, ViewMaintainer
 from .optimizer import Optimizer, OptimizerConfig, describe_plan, plan_result
+from .service import (
+    CatalogSnapshot,
+    RewriteCache,
+    ServedResult,
+    SnapshotManager,
+    ViewServer,
+    statement_fingerprint,
+)
 from .sql import parse_select, parse_view, statement_to_sql
 from .stats import CardinalityEstimator, DatabaseStats, synthetic_tpch_stats
 from .workload import WorkloadGenerator, WorkloadParameters
@@ -81,6 +89,7 @@ __all__ = [
     "Catalog",
     "CatalogError",
     "CardinalityEstimator",
+    "CatalogSnapshot",
     "CheckConstraint",
     "Column",
     "ColumnType",
@@ -103,12 +112,17 @@ __all__ = [
     "QueryResult",
     "RejectReason",
     "ReproError",
+    "RewriteCache",
+    "ServedResult",
+    "SnapshotManager",
     "SpjgDescription",
     "SqlSyntaxError",
     "Table",
     "UnsupportedSqlError",
+    "ViewChangeEvent",
     "ViewDefinition",
     "ViewMatcher",
+    "ViewServer",
     "WorkloadGenerator",
     "WorkloadParameters",
     "describe",
@@ -122,6 +136,7 @@ __all__ = [
     "parse_view",
     "plan_result",
     "run_sql",
+    "statement_fingerprint",
     "statement_to_sql",
     "synthetic_tpch_stats",
     "tpch_catalog",

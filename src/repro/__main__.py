@@ -9,6 +9,11 @@ Commands
 ``figures [--quick]``
     Rerun the Section 5 sweep and print the Figure 2-4 tables and the
     filtering statistics.
+``serve-bench [--smoke]``
+    Load-test the concurrent rewrite-serving layer: register a TPC-H
+    view pool, replay a repeated query workload from closed-loop worker
+    threads with the rewrite cache on and off, and print hit-rate and
+    latency statistics.
 """
 
 from __future__ import annotations
@@ -37,6 +42,21 @@ def main(argv: list[str] | None = None) -> int:
     figures.add_argument("--views", type=int, default=None, help="max view count")
     figures.add_argument("--queries", type=int, default=None, help="query batch size")
     figures.add_argument("--seed", type=int, default=42)
+    serve = subparsers.add_parser(
+        "serve-bench", help="load-test the rewrite-serving layer"
+    )
+    serve.add_argument(
+        "--smoke", action="store_true", help="reduced run (a few seconds)"
+    )
+    serve.add_argument("--views", type=int, default=None, help="view pool size")
+    serve.add_argument("--queries", type=int, default=None, help="distinct queries")
+    serve.add_argument(
+        "--repeat", type=int, default=None, help="passes over the query batch"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="closed-loop worker threads"
+    )
+    serve.add_argument("--seed", type=int, default=None)
     arguments = parser.parse_args(argv)
 
     if arguments.command == "demo":
@@ -47,6 +67,17 @@ def main(argv: list[str] | None = None) -> int:
         from .cli import run_examples
 
         return run_examples()
+    if arguments.command == "serve-bench":
+        from .cli import run_serve_bench
+
+        return run_serve_bench(
+            smoke=arguments.smoke,
+            views=arguments.views,
+            queries=arguments.queries,
+            repeat=arguments.repeat,
+            workers=arguments.workers,
+            seed=arguments.seed,
+        )
     from .cli import run_figures
 
     return run_figures(

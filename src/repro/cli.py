@@ -74,6 +74,48 @@ def run_examples() -> int:
     return 0
 
 
+def run_serve_bench(
+    smoke: bool = False,
+    views: int | None = None,
+    queries: int | None = None,
+    repeat: int | None = None,
+    workers: int | None = None,
+    seed: int | None = None,
+) -> int:
+    """Benchmark the rewrite-serving layer (cache on vs. off).
+
+    Prints the cache hit rate and the median rewrite latency of both
+    runs. Returns non-zero when the hit rate lands below 80 % -- a
+    deterministic regression signal (the workload repeats every query
+    ``repeat`` times, so the expected rate is ``(repeat-1)/repeat``);
+    latency numbers are printed but not gated, since they depend on the
+    host.
+    """
+    import dataclasses
+
+    from .service import BenchConfig, run_service_benchmark
+
+    config = BenchConfig.smoke() if smoke else BenchConfig()
+    overrides = {
+        name: value
+        for name, value in (
+            ("views", views),
+            ("queries", queries),
+            ("repeat", repeat),
+            ("workers", workers),
+            ("seed", seed),
+        )
+        if value is not None
+    }
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    report = run_service_benchmark(config)
+    if report.hit_rate < 0.8:
+        print(f"FAIL: cache hit-rate {report.hit_rate:.1%} below 80%")
+        return 1
+    return 0
+
+
 def run_figures(
     quick: bool = False,
     views: int | None = None,

@@ -579,15 +579,34 @@ class FilterTree:
         """Index a view description (computing its hub) into the tree."""
         if description.name is None:
             raise ValueError("only named views can be registered")
-        if description.name in self._registered:
-            raise ValueError(f"view {description.name} already registered")
         view = RegisteredView(
             description=description,
             hub=compute_hub(description, self.options),
         )
-        root = self._aggregate_root if description.is_aggregate else self._spj_root
+        self.register_prebuilt(view)
+        return view
+
+    def register_prebuilt(self, view: RegisteredView) -> RegisteredView:
+        """Index an already-described view, reusing its description and hub.
+
+        Snapshot rebuilds (``repro.service``) re-index hundreds of views on
+        every catalog change; describing a view and computing its hub is
+        the expensive part of registration, so the serving layer keeps the
+        :class:`RegisteredView` objects and replays them into fresh trees
+        through this entry point.
+        """
+        name = view.description.name
+        if name is None:
+            raise ValueError("only named views can be registered")
+        if name in self._registered:
+            raise ValueError(f"view {name} already registered")
+        root = (
+            self._aggregate_root
+            if view.description.is_aggregate
+            else self._spj_root
+        )
         root.add(view)
-        self._registered[description.name] = view
+        self._registered[name] = view
         return view
 
     def unregister(self, name: str) -> None:

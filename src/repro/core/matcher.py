@@ -107,6 +107,27 @@ class ViewMatcher:
         self.filter_tree = FilterTree(options)
         self.statistics = MatcherStatistics()
 
+    @classmethod
+    def from_registered_views(
+        cls,
+        catalog: "Catalog",
+        views,
+        options: MatchOptions = DEFAULT_OPTIONS,
+        use_filter_tree: bool = True,
+    ) -> "ViewMatcher":
+        """Build a matcher by re-indexing already-described views.
+
+        ``views`` is an iterable of :class:`RegisteredView` objects (from a
+        previous matcher's :meth:`registered_views`). Descriptions and hubs
+        are reused verbatim, so constructing a matcher this way costs only
+        the filter-tree inserts -- the epoch-snapshot rebuild path of
+        ``repro.service`` depends on this being cheap.
+        """
+        matcher = cls(catalog, options=options, use_filter_tree=use_filter_tree)
+        for view in views:
+            matcher.filter_tree.register_prebuilt(view)
+        return matcher
+
     # -- registration -------------------------------------------------------
 
     def register_view(self, name: str, statement: SelectStatement) -> RegisteredView:

@@ -143,6 +143,88 @@ class ClassifiedPredicate:
             len(self.equalities) + len(self.range_predicates) + len(self.residuals)
         )
 
+    def canonical(self) -> "ClassifiedPredicate":
+        """A canonically ordered, de-duplicated copy of this classification.
+
+        Conjunction is commutative and column equality is symmetric, so two
+        semantically identical WHERE clauses can classify into differently
+        ordered tuples (``a = b AND c >= 5`` vs ``c >= 5 AND b = a``). This
+        normal form -- each equality pair ordered, then every group sorted
+        under a stable textual key and exact duplicates dropped -- is what
+        fingerprint-keyed caches hash, so conjunct order never splits a
+        cache entry. Matching itself keeps the original order; the
+        canonical form is only for identity.
+        """
+        equalities = tuple(
+            sorted({tuple(sorted(pair)) for pair in self.equalities})
+        )
+        range_predicates = tuple(
+            sorted(
+                set(self.range_predicates),
+                key=lambda rp: (rp.column, rp.op, constant_sort_key(rp.value)),
+            )
+        )
+        residuals = tuple(
+            sorted(set(self.residuals), key=_residual_sort_key)
+        )
+        return ClassifiedPredicate(
+            equalities=equalities,  # type: ignore[arg-type]
+            range_predicates=range_predicates,
+            residuals=residuals,
+        )
+
+    def equivalence_groups(self) -> tuple[tuple[ColumnKey, ...], ...]:
+        """The column-equivalence classes induced by the PE conjuncts.
+
+        Union-find over the equality pairs, each class sorted and the class
+        list sorted. ``a = b AND b = c`` and ``a = c AND c = b`` induce the
+        same classes even though no pairwise reordering makes their PE
+        tuples equal -- fingerprints built on the groups treat them as the
+        same query.
+        """
+        parent: dict[ColumnKey, ColumnKey] = {}
+
+        def find(key: ColumnKey) -> ColumnKey:
+            parent.setdefault(key, key)
+            while parent[key] != key:
+                parent[key] = parent[parent[key]]
+                key = parent[key]
+            return key
+
+        for left, right in self.equalities:
+            root_left, root_right = find(left), find(right)
+            if root_left != root_right:
+                parent[max(root_left, root_right)] = min(root_left, root_right)
+        groups: dict[ColumnKey, list[ColumnKey]] = {}
+        for key in parent:
+            groups.setdefault(find(key), []).append(key)
+        return tuple(
+            tuple(sorted(members)) for _, members in sorted(groups.items())
+        )
+
+
+def constant_sort_key(value: object) -> tuple[str, str]:
+    """A total, type-stable ordering key for predicate constants.
+
+    Numeric constants compare by value (``5`` and ``5.0`` collapse), other
+    types by their repr; the leading tag keeps mixed-type collections
+    sortable without ``TypeError``.
+    """
+    if isinstance(value, bool):
+        return ("bool", repr(value))
+    if isinstance(value, (int, float)):
+        number = float(value)
+        if number.is_integer() and abs(number) < 1e15:
+            return ("num", repr(int(number)))
+        return ("num", repr(number))
+    return (type(value).__name__, repr(value))
+
+
+def _residual_sort_key(conjunct: Expression) -> str:
+    from ..sql.printer import to_sql
+
+    return to_sql(conjunct)
+
 
 def classify_predicate(predicate: Expression | None) -> ClassifiedPredicate:
     """Split a predicate (any form; converted to CNF here) into PE/PR/PU."""
@@ -199,6 +281,7 @@ __all__ = [
     "MAX_CNF_CONJUNCTS",
     "as_column_equality",
     "classified_to_predicate",
+    "constant_sort_key",
     "classify_predicate",
     "conjuncts_of",
     "push_negations",

@@ -1,5 +1,5 @@
 """Incremental maintenance of materialized views (Section 2's motivation)."""
 
-from .maintainer import MaintainedView, ViewMaintainer
+from .maintainer import MaintainedView, ViewChangeEvent, ViewMaintainer
 
-__all__ = ["MaintainedView", "ViewMaintainer"]
+__all__ = ["MaintainedView", "ViewChangeEvent", "ViewMaintainer"]

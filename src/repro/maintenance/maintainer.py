@@ -24,7 +24,7 @@ Algorithm (standard delta propagation, one base-table change at a time):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..catalog.catalog import Catalog
 from ..engine.database import Database, Relation
@@ -54,6 +54,22 @@ class MaintainedView:
     group_positions: tuple[int, ...] = ()
 
 
+@dataclass(frozen=True)
+class ViewChangeEvent:
+    """One maintenance event that changed materialized-view state.
+
+    ``kind`` is ``"register"``, ``"unregister"``, ``"insert"`` or
+    ``"delete"``; ``table`` is the changed base table for data changes and
+    ``None`` for registration events; ``views`` names every view whose
+    stored contents the event touched. The rewrite-serving layer
+    subscribes to these to evict cached rewrites that read stale views.
+    """
+
+    kind: str
+    table: str | None
+    views: tuple[str, ...]
+
+
 class ViewMaintainer:
     """Propagates base-table inserts and deletes into materialized views."""
 
@@ -61,6 +77,32 @@ class ViewMaintainer:
         self.catalog = catalog
         self.database = database
         self._views: dict[str, MaintainedView] = {}
+        self._listeners: list[Callable[[ViewChangeEvent], None]] = []
+
+    # -- staleness signalling -------------------------------------------------
+
+    def add_listener(self, listener: Callable[[ViewChangeEvent], None]) -> None:
+        """Subscribe to :class:`ViewChangeEvent` notifications.
+
+        Listeners fire synchronously after the change is fully applied, in
+        subscription order. A listener that raises propagates to the
+        caller of the mutating operation.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[ViewChangeEvent], None]) -> None:
+        """Unsubscribe a previously added listener (no-op when absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, kind: str, table: str | None, views: Iterable[str]) -> None:
+        if not self._listeners:
+            return
+        event = ViewChangeEvent(kind=kind, table=table, views=tuple(views))
+        for listener in list(self._listeners):
+            listener(event)
 
     # -- registration -------------------------------------------------------
 
@@ -76,6 +118,7 @@ class ViewMaintainer:
 
         materialize_view(name, statement, self.database)
         self._views[name] = view
+        self._notify("register", None, (name,))
         return view
 
     def unregister(self, name: str) -> None:
@@ -83,6 +126,7 @@ class ViewMaintainer:
         del self._views[name]
         if self.database.has(name):
             self.database.drop(name)
+        self._notify("unregister", None, (name,))
 
     def views(self) -> tuple[MaintainedView, ...]:
         """All views currently under maintenance."""
@@ -165,6 +209,7 @@ class ViewMaintainer:
                 view_relation = self.database.relation(view.name)
                 view_relation.rows.extend(delta)
                 view_relation.bump_version()
+        self._notify("insert", table, (view.name for view, _ in deltas))
 
     def delete(self, table: str, rows: Iterable[Sequence[object]]) -> None:
         """Delete specific rows from a base table and propagate.
@@ -193,6 +238,7 @@ class ViewMaintainer:
                 self._merge_aggregate(view, delta, sign=-1)
             else:
                 self._remove_rows(view.name, delta)
+        self._notify("delete", table, (view.name for view, _ in deltas))
 
     def delete_where(self, table: str, predicate) -> int:
         """Delete every row satisfying a row-tuple predicate; returns count."""

@@ -54,9 +54,16 @@ class OptimizerConfig:
     max_tables: int = 10
 
 
-@dataclass
+@dataclass(frozen=True)
 class OptimizationResult:
-    """The chosen plan plus the instrumentation Section 5 reports."""
+    """The chosen plan plus the instrumentation Section 5 reports.
+
+    Frozen so results are safely cacheable and shareable across threads:
+    the rewrite-serving layer (``repro.service``) stores them in a
+    fingerprint-keyed cache and hands one instance to many concurrent
+    readers. ``view_names`` doubles as the cache-invalidation key -- an
+    entry is evicted when any view it reads changes or is dropped.
+    """
 
     plan: PlanNode
     cost: float

@@ -1,0 +1,46 @@
+"""The concurrent rewrite-serving layer.
+
+The paper makes view matching cheap enough to run inside the optimizer on
+every query; this package makes the *reproduction* cheap enough to run as
+a service: a thread-safe front-end (:class:`ViewServer`) that parses,
+fingerprints, matches, and plans concurrent SQL requests against
+epoch-versioned immutable catalog snapshots (:class:`SnapshotManager`),
+short-circuiting repeats through a fingerprint-keyed rewrite cache
+(:class:`RewriteCache`) that is invalidated wholesale on epoch bumps and
+per-entry on view-staleness signals from the maintainer.
+
+Design rule the whole package is built around: **readers never lock**.
+Snapshot access is one attribute read, cache hits are GIL-coherent dict
+probes, metrics are lock-free increments; only catalog mutation and
+cache insertion serialize on writer locks.
+"""
+
+from .cache import CacheStatistics, RewriteCache
+from .fingerprint import canonical_parts, statement_fingerprint
+from .loadgen import (
+    BenchConfig,
+    BenchReport,
+    run_closed_loop,
+    run_service_benchmark,
+)
+from .metrics import Counter, LatencyHistogram, MetricsRegistry
+from .server import ServedResult, ViewServer
+from .snapshot import CatalogSnapshot, SnapshotManager
+
+__all__ = [
+    "BenchConfig",
+    "BenchReport",
+    "CacheStatistics",
+    "CatalogSnapshot",
+    "Counter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "RewriteCache",
+    "ServedResult",
+    "SnapshotManager",
+    "ViewServer",
+    "canonical_parts",
+    "run_closed_loop",
+    "run_service_benchmark",
+    "statement_fingerprint",
+]

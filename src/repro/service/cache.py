@@ -1,0 +1,175 @@
+"""The rewrite cache: fingerprint-keyed, epoch-validated, LRU-bounded.
+
+Entries map a canonical query fingerprint to the
+:class:`~repro.optimizer.optimizer.OptimizationResult` produced for it,
+stamped with the epoch it was computed under. Invalidation is two-tier:
+
+* **wholesale on epoch bump** -- a lookup passes the reader's current
+  epoch; an entry computed under any other epoch is treated as a miss and
+  dropped, so a stale rewrite (one that uses a dropped view, or misses a
+  newly profitable one) is never served. ``purge_stale`` sweeps eagerly.
+* **per-entry on view staleness** -- ``invalidate_views`` evicts every
+  entry whose result reads one of the named views; the serving layer
+  wires it to :class:`~repro.maintenance.maintainer.ViewMaintainer`
+  change events.
+
+The hit path is deliberately lock-free: a ``dict`` probe, an epoch
+comparison, and a recency stamp from a shared :func:`itertools.count` --
+all single bytecode-level operations the GIL keeps coherent. Only
+mutation (insert, eviction, invalidation) takes the writer lock. Recency
+is therefore *approximate* LRU: eviction removes the entries with the
+oldest access stamps, which under concurrency may lag a hair behind true
+access order -- a deliberate trade for a zero-lock read side.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..optimizer.optimizer import OptimizationResult
+
+
+@dataclass
+class _Entry:
+    result: OptimizationResult
+    epoch: int
+    stamp: int
+
+
+@dataclass
+class CacheStatistics:
+    """Counters describing cache effectiveness; read via ``snapshot()``."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    epoch_invalidations: int = 0
+    view_invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of the counters plus the derived hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "epoch_invalidations": self.epoch_invalidations,
+            "view_invalidations": self.view_invalidations,
+        }
+
+
+class RewriteCache:
+    """Bounded cache of optimization results keyed by query fingerprint."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.statistics = CacheStatistics()
+        self._entries: dict[str, _Entry] = {}
+        self._clock = itertools.count()
+        self._write_lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- reader hot path (no locks) -----------------------------------------
+
+    def get(self, fingerprint: str, epoch: int) -> OptimizationResult | None:
+        """Look up a cached result valid for ``epoch``, or ``None``.
+
+        An entry stamped with a different epoch is dropped and reported as
+        a miss: after a view registration or drop the whole prior
+        generation of rewrites is unservable.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.statistics.misses += 1
+            return None
+        if entry.epoch != epoch:
+            self._entries.pop(fingerprint, None)
+            self.statistics.epoch_invalidations += 1
+            self.statistics.misses += 1
+            return None
+        entry.stamp = next(self._clock)
+        self.statistics.hits += 1
+        return entry.result
+
+    # -- writer side ---------------------------------------------------------
+
+    def put(
+        self, fingerprint: str, epoch: int, result: OptimizationResult
+    ) -> None:
+        """Insert a result computed under ``epoch``, evicting LRU overflow."""
+        with self._write_lock:
+            self._entries[fingerprint] = _Entry(
+                result=result, epoch=epoch, stamp=next(self._clock)
+            )
+            self.statistics.insertions += 1
+            overflow = len(self._entries) - self.capacity
+            if overflow > 0:
+                oldest = sorted(
+                    self._entries.items(), key=lambda item: item[1].stamp
+                )[:overflow]
+                for key, _ in oldest:
+                    del self._entries[key]
+                self.statistics.evictions += overflow
+
+    def invalidate_views(self, view_names: Iterable[str]) -> int:
+        """Evict every entry whose plan reads one of the named views.
+
+        Returns the number of entries evicted. This is the per-entry
+        staleness channel: when the maintainer changes a view's contents,
+        rewrites that read it must be recomputed (or at least re-costed),
+        while entries over unaffected views stay hot.
+        """
+        names = frozenset(view_names)
+        if not names:
+            return 0
+        with self._write_lock:
+            victims = [
+                key
+                for key, entry in self._entries.items()
+                if names.intersection(entry.result.view_names)
+            ]
+            for key in victims:
+                del self._entries[key]
+            self.statistics.view_invalidations += len(victims)
+        return len(victims)
+
+    def purge_stale(self, epoch: int) -> int:
+        """Eagerly drop every entry not stamped with ``epoch``.
+
+        The lazy epoch check in :meth:`get` already guarantees stale
+        entries are never *served*; this sweep reclaims their memory as
+        soon as a new epoch is published. Returns the eviction count.
+        """
+        with self._write_lock:
+            victims = [
+                key
+                for key, entry in self._entries.items()
+                if entry.epoch != epoch
+            ]
+            for key in victims:
+                del self._entries[key]
+            self.statistics.epoch_invalidations += len(victims)
+        return len(victims)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._write_lock:
+            self._entries.clear()
+
+
+__all__ = ["CacheStatistics", "RewriteCache"]

@@ -1,0 +1,58 @@
+"""Canonical query fingerprints: the rewrite cache's key function.
+
+A fingerprint identifies a query *up to the rewrites the matcher is
+insensitive to*: conjunct order (AND is commutative), the orientation of
+column equalities (``a = b`` vs ``b = a``), transitive regroupings of the
+equijoin part (``a=b AND b=c`` vs ``a=c AND c=b``), FROM-list order, and
+GROUP BY order. Two statements with the same fingerprint get the same
+cached :class:`~repro.optimizer.optimizer.OptimizationResult`; statements
+that differ anywhere the optimizer could care about -- output list (order
+matters: it shapes the result), range constants, residual predicates,
+DISTINCT -- get different fingerprints.
+
+The canonical form is built from the PE / PR / PU classification of
+:mod:`repro.core.normalize` (via :meth:`ClassifiedPredicate.canonical` and
+:meth:`ClassifiedPredicate.equivalence_groups`), so the cache key and the
+matcher see the query through the same normalization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..core.normalize import constant_sort_key, classify_predicate
+from ..sql.printer import to_sql
+from ..sql.statements import SelectStatement
+
+
+def canonical_parts(statement: SelectStatement) -> tuple:
+    """The hashable canonical decomposition a fingerprint digests.
+
+    Exposed separately from :func:`statement_fingerprint` so tests and
+    diagnostics can see *why* two statements collide or differ.
+    """
+    classified = classify_predicate(statement.where).canonical()
+    return (
+        tuple(sorted(statement.table_names())),
+        classified.equivalence_groups(),
+        tuple(
+            (rp.column, rp.op, constant_sort_key(rp.value))
+            for rp in classified.range_predicates
+        ),
+        tuple(to_sql(conjunct) for conjunct in classified.residuals),
+        tuple(
+            (to_sql(item.expression), item.alias or "")
+            for item in statement.select_items
+        ),
+        tuple(sorted(to_sql(expression) for expression in statement.group_by)),
+        bool(statement.distinct),
+    )
+
+
+def statement_fingerprint(statement: SelectStatement) -> str:
+    """A stable hex fingerprint of a bound SELECT statement."""
+    digest = hashlib.sha256(repr(canonical_parts(statement)).encode("utf-8"))
+    return digest.hexdigest()[:32]
+
+
+__all__ = ["canonical_parts", "statement_fingerprint"]

@@ -1,0 +1,258 @@
+"""Closed-loop load generation for the rewrite-serving benchmark.
+
+Drives a :class:`~repro.service.server.ViewServer` the way `repro
+serve-bench` and ``benchmarks/bench_service.py`` need: generate a TPC-H
+workload (Section 5 generator), register the view pool through the
+server, then replay the query batch for several passes from N concurrent
+closed-loop workers -- each worker keeps exactly one request in flight,
+so offered load adapts to service rate instead of overrunning the queue.
+
+The benchmark runs the same schedule twice, cache enabled and disabled,
+and reports the cache hit rate and the median/percentile rewrite
+latencies of both runs side by side. The first pass over the batch is
+all misses, every later pass should hit, so with ``repeat`` passes the
+expected hit rate is ``(repeat - 1) / repeat``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import statistics as stats_module
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..catalog.tpch import tpch_catalog
+from ..sql.printer import statement_to_sql
+from ..stats.tpch_synthetic import synthetic_tpch_stats
+from ..workload.generator import WorkloadGenerator
+from .server import ServedResult, ViewServer
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs of one serve-bench run."""
+
+    views: int = 100
+    queries: int = 25
+    repeat: int = 8
+    workers: int = 4
+    seed: int = 42
+    scale: float = 0.5
+    cache_size: int = 4096
+
+    @classmethod
+    def smoke(cls) -> "BenchConfig":
+        """A reduced configuration that finishes in a few seconds.
+
+        Used by CI so the serving path cannot silently rot; keeps
+        ``repeat`` high enough that the expected hit rate stays above the
+        80 % acceptance bar.
+        """
+        return cls(views=20, queries=8, repeat=6, workers=2, scale=0.1)
+
+
+@dataclass
+class LoadRunResult:
+    """What one closed-loop run over the schedule produced."""
+
+    results: list[ServedResult] = field(default_factory=list)
+    client_seconds: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def served(self) -> int:
+        """Requests that produced a plan."""
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def failures(self) -> int:
+        """Requests that errored, timed out, or were shed."""
+        return len(self.results) - self.served
+
+    def serve_latencies(self) -> list[float]:
+        """Server-side rewrite latencies (seconds) of successful requests."""
+        return [r.latency_seconds for r in self.results if r.ok]
+
+    def median_latency(self) -> float:
+        """Median server-side rewrite latency in seconds (0.0 when empty)."""
+        latencies = self.serve_latencies()
+        return stats_module.median(latencies) if latencies else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Successful requests per wall-clock second."""
+        return self.served / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def run_closed_loop(
+    server: ViewServer, schedule: list[str], workers: int
+) -> LoadRunResult:
+    """Replay ``schedule`` against ``server`` from N closed-loop threads.
+
+    Each worker repeatedly claims the next schedule index and blocks on
+    ``submit`` until the response arrives -- one outstanding request per
+    worker, the classic closed-loop harness shape.
+    """
+    run = LoadRunResult()
+    next_index = itertools.count()
+    lock = threading.Lock()
+
+    def worker() -> None:
+        local_results: list[ServedResult] = []
+        local_latencies: list[float] = []
+        while True:
+            index = next(next_index)
+            if index >= len(schedule):
+                break
+            started = time.perf_counter()
+            result = server.submit(schedule[index])
+            local_latencies.append(time.perf_counter() - started)
+            local_results.append(result)
+        with lock:
+            run.results.extend(local_results)
+            run.client_seconds.extend(local_latencies)
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}")
+        for i in range(workers)
+    ]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    run.wall_seconds = time.perf_counter() - wall_started
+    return run
+
+
+@dataclass
+class BenchReport:
+    """The serve-bench outcome: both runs plus the derived headline numbers."""
+
+    config: BenchConfig
+    cached: LoadRunResult
+    baseline: LoadRunResult
+    hit_rate: float
+    cached_server_report: str
+
+    @property
+    def median_cached_ms(self) -> float:
+        """Median rewrite latency with the cache enabled, in milliseconds."""
+        return self.cached.median_latency() * 1e3
+
+    @property
+    def median_baseline_ms(self) -> float:
+        """Median rewrite latency with the cache disabled, in milliseconds."""
+        return self.baseline.median_latency() * 1e3
+
+    @property
+    def speedup(self) -> float:
+        """Baseline median over cached median (0.0 when degenerate)."""
+        cached = self.cached.median_latency()
+        return self.baseline.median_latency() / cached if cached else 0.0
+
+    def render(self) -> str:
+        """The benchmark's printed output (headline numbers first)."""
+        c = self.config
+        lines = [
+            f"serve-bench: {c.views} views, {c.queries} queries x "
+            f"{c.repeat} passes, {c.workers} workers, seed {c.seed}",
+            f"cache hit-rate:            {self.hit_rate:.1%}",
+            f"median rewrite latency:    {self.median_cached_ms:.3f} ms "
+            f"(cached) vs {self.median_baseline_ms:.3f} ms (no cache)",
+            f"median latency speedup:    {self.speedup:.1f}x",
+            f"throughput:                {self.cached.throughput:.0f}/s "
+            f"(cached) vs {self.baseline.throughput:.0f}/s (no cache)",
+            f"failures:                  {self.cached.failures} (cached), "
+            f"{self.baseline.failures} (no cache)",
+            "",
+            "-- cached server --",
+            self.cached_server_report,
+        ]
+        return "\n".join(lines)
+
+
+def build_workload(config: BenchConfig) -> tuple[list[tuple[str, str]], list[str]]:
+    """Generate the view pool and query batch as SQL text.
+
+    Returns ``(views, queries)`` where views are ``(name, sql)`` pairs.
+    Queries go through the printer and back through the server's parser,
+    so the benchmark exercises the full serving path including parse and
+    fingerprint stages.
+    """
+    catalog = tpch_catalog()
+    stats = synthetic_tpch_stats(scale=config.scale)
+    generator = WorkloadGenerator(catalog, stats, seed=config.seed)
+    views = [
+        (name, statement_to_sql(generated.statement))
+        for name, generated in generator.generate_views(config.views)
+    ]
+    queries = [
+        statement_to_sql(generated.statement)
+        for generated in generator.generate_queries(config.queries)
+    ]
+    return views, queries
+
+
+def _run_one(
+    config: BenchConfig,
+    views: list[tuple[str, str]],
+    schedule: list[str],
+    cache_enabled: bool,
+) -> tuple[LoadRunResult, ViewServer]:
+    catalog = tpch_catalog()
+    stats = synthetic_tpch_stats(scale=config.scale)
+    server = ViewServer(
+        catalog,
+        stats,
+        workers=config.workers,
+        queue_depth=max(4 * config.workers, 16),
+        cache_size=config.cache_size,
+        cache_enabled=cache_enabled,
+    )
+    try:
+        for name, sql in views:
+            server.register_view(name, sql)
+        run = run_closed_loop(server, schedule, config.workers)
+    finally:
+        server.close()
+    return run, server
+
+
+def run_service_benchmark(
+    config: BenchConfig | None = None, echo=print
+) -> BenchReport:
+    """Run the full serve-bench comparison and print its report.
+
+    Pass ``echo=None`` to suppress printing (tests); the returned
+    :class:`BenchReport` carries every number either way.
+    """
+    config = config or BenchConfig()
+    views, queries = build_workload(config)
+    schedule = queries * config.repeat
+    cached_run, cached_server = _run_one(
+        config, views, schedule, cache_enabled=True
+    )
+    baseline_run, _ = _run_one(config, views, schedule, cache_enabled=False)
+    assert cached_server.cache is not None
+    report = BenchReport(
+        config=config,
+        cached=cached_run,
+        baseline=baseline_run,
+        hit_rate=cached_server.cache.statistics.hit_rate,
+        cached_server_report=cached_server.report(),
+    )
+    if echo is not None:
+        echo(report.render())
+    return report
+
+
+__all__ = [
+    "BenchConfig",
+    "BenchReport",
+    "LoadRunResult",
+    "build_workload",
+    "run_closed_loop",
+    "run_service_benchmark",
+]

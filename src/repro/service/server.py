@@ -1,0 +1,356 @@
+"""The rewrite server: a thread-safe front-end over the optimizer.
+
+:class:`ViewServer.submit` takes raw SQL and returns a
+:class:`ServedResult` -- the optimized (possibly view-rewritten) plan plus
+serving metadata: which epoch answered, whether the rewrite cache hit,
+and the end-to-end latency. Requests run on a bounded
+:class:`~concurrent.futures.ThreadPoolExecutor`; when every queue slot is
+taken the server sheds load by returning a rejected result instead of
+queueing unboundedly, and a per-request deadline expires requests that
+waited too long in the queue.
+
+Request hot path (no locks anywhere):
+
+1. parse + bind the SQL and compute its canonical fingerprint (memoized
+   by exact text, so a repeated query string skips the parser entirely);
+2. read the current :class:`CatalogSnapshot` -- a single attribute read;
+3. probe the :class:`RewriteCache` under (fingerprint, epoch);
+4. on a miss, optimize against the snapshot's immutable matcher and
+   insert the result.
+
+Writers (:meth:`register_view` / :meth:`unregister_view`) build and
+publish a new snapshot under the manager's writer lock and purge the
+cache's previous generation; in-flight readers keep using whatever
+snapshot they already picked up, so matches are never torn.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..catalog.catalog import Catalog
+from ..core.options import DEFAULT_OPTIONS, MatchOptions
+from ..errors import ReproError
+from ..maintenance.maintainer import ViewChangeEvent, ViewMaintainer
+from ..optimizer.optimizer import OptimizationResult, OptimizerConfig
+from ..sql.statements import SelectStatement
+from ..stats.statistics import DatabaseStats
+from .cache import RewriteCache
+from .fingerprint import statement_fingerprint
+from .metrics import MetricsRegistry
+from .snapshot import CatalogSnapshot, SnapshotManager
+
+_STAGE_ORDER = ("parse", "fingerprint", "match", "plan", "hit", "miss", "total")
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """The outcome of one ``submit`` call.
+
+    Exactly one of three shapes: a success (``result`` is set), an error
+    (``error`` is set -- parse/bind/validation failures), or a shed
+    request (``timed_out`` or ``rejected``). ``epoch`` records which
+    snapshot answered; ``view_names`` is empty for plans that read only
+    base tables.
+    """
+
+    sql: str
+    fingerprint: str | None = None
+    epoch: int = -1
+    cache_hit: bool = False
+    result: OptimizationResult | None = None
+    error: str | None = None
+    timed_out: bool = False
+    rejected: bool = False
+    latency_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the request produced a plan."""
+        return self.result is not None
+
+    @property
+    def uses_view(self) -> bool:
+        """True when the chosen plan reads at least one materialized view."""
+        return self.result is not None and self.result.uses_view
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        """The views the chosen plan reads (empty on failure)."""
+        return self.result.view_names if self.result is not None else ()
+
+
+class ViewServer:
+    """Concurrent query-rewrite service over one catalog/statistics pair."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: DatabaseStats,
+        options: MatchOptions = DEFAULT_OPTIONS,
+        optimizer_config: OptimizerConfig | None = None,
+        workers: int = 4,
+        queue_depth: int = 64,
+        cache_size: int = 1024,
+        cache_enabled: bool = True,
+        default_deadline: float | None = None,
+        use_filter_tree: bool = True,
+        index_registry=None,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if queue_depth < 1:
+            raise ValueError("queue depth must be positive")
+        self.catalog = catalog
+        self.snapshots = SnapshotManager(
+            catalog,
+            stats,
+            options=options,
+            optimizer_config=optimizer_config,
+            index_registry=index_registry,
+            use_filter_tree=use_filter_tree,
+        )
+        self.cache: RewriteCache | None = (
+            RewriteCache(cache_size) if cache_enabled else None
+        )
+        self.metrics = MetricsRegistry()
+        self.default_deadline = default_deadline
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._slots = threading.BoundedSemaphore(queue_depth)
+        self._statement_memo: dict[str, tuple[SelectStatement, str]] = {}
+        self._memo_limit = max(4 * cache_size, 256)
+        self._closed = False
+        self.snapshots.add_listener(self._on_publish)
+
+    # -- serving -------------------------------------------------------------
+
+    def submit(self, sql: str, deadline: float | None = None) -> ServedResult:
+        """Serve one SQL query, blocking until its result is ready.
+
+        ``deadline`` (seconds, defaulting to the server-wide
+        ``default_deadline``) bounds how long the request may sit in the
+        worker queue; an expired request is returned ``timed_out`` without
+        being optimized. When every queue slot is occupied the request is
+        immediately ``rejected`` (closed-loop callers should back off).
+        """
+        future = self.submit_async(sql, deadline)
+        return future.result()
+
+    def submit_async(
+        self, sql: str, deadline: float | None = None
+    ) -> "Future[ServedResult]":
+        """Like :meth:`submit` but returns a future immediately."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if deadline is None:
+            deadline = self.default_deadline
+        if not self._slots.acquire(blocking=False):
+            self.metrics.counter("rejected").increment()
+            future: Future[ServedResult] = Future()
+            future.set_result(ServedResult(sql=sql, rejected=True))
+            return future
+        enqueued = time.perf_counter()
+        try:
+            return self._pool.submit(self._serve_slot, sql, deadline, enqueued)
+        except BaseException:
+            self._slots.release()
+            raise
+
+    def _serve_slot(
+        self, sql: str, deadline: float | None, enqueued: float
+    ) -> ServedResult:
+        try:
+            if (
+                deadline is not None
+                and time.perf_counter() - enqueued > deadline
+            ):
+                self.metrics.counter("timeouts").increment()
+                return ServedResult(sql=sql, timed_out=True)
+            return self.serve(sql)
+        finally:
+            self._slots.release()
+
+    def serve(self, sql: str) -> ServedResult:
+        """The synchronous serving path (what pool workers execute).
+
+        Callable directly for single-threaded use; ``submit`` adds the
+        queue, deadline, and backpressure semantics around it.
+        """
+        started = time.perf_counter()
+        self.metrics.counter("requests").increment()
+        try:
+            statement, fingerprint = self._bind(sql)
+        except (ReproError, ValueError) as exc:
+            self.metrics.counter("errors").increment()
+            latency = time.perf_counter() - started
+            self.metrics.histogram("total").record(latency)
+            return ServedResult(
+                sql=sql, error=str(exc), latency_seconds=latency
+            )
+        snapshot = self.snapshots.current  # the one lock-free snapshot read
+        if self.cache is not None:
+            cached = self.cache.get(fingerprint, snapshot.epoch)
+            if cached is not None:
+                latency = time.perf_counter() - started
+                self.metrics.counter("cache_hits").increment()
+                self.metrics.histogram("hit").record(latency)
+                self.metrics.histogram("total").record(latency)
+                return ServedResult(
+                    sql=sql,
+                    fingerprint=fingerprint,
+                    epoch=snapshot.epoch,
+                    cache_hit=True,
+                    result=cached,
+                    latency_seconds=latency,
+                )
+            self.metrics.counter("cache_misses").increment()
+        result = self._optimize(snapshot, statement)
+        if self.cache is not None:
+            self.cache.put(fingerprint, snapshot.epoch, result)
+        latency = time.perf_counter() - started
+        self.metrics.histogram("miss").record(latency)
+        self.metrics.histogram("total").record(latency)
+        if result.uses_view:
+            self.metrics.counter("rewrites").increment()
+        return ServedResult(
+            sql=sql,
+            fingerprint=fingerprint,
+            epoch=snapshot.epoch,
+            cache_hit=False,
+            result=result,
+            latency_seconds=latency,
+        )
+
+    def _bind(self, sql: str) -> tuple[SelectStatement, str]:
+        memo = self._statement_memo.get(sql)
+        if memo is not None:
+            return memo
+        parse_started = time.perf_counter()
+        statement = self.catalog.bind_sql(sql)
+        self.metrics.histogram("parse").record(
+            time.perf_counter() - parse_started
+        )
+        fingerprint_started = time.perf_counter()
+        fingerprint = statement_fingerprint(statement)
+        self.metrics.histogram("fingerprint").record(
+            time.perf_counter() - fingerprint_started
+        )
+        if len(self._statement_memo) < self._memo_limit:
+            self._statement_memo[sql] = (statement, fingerprint)
+        return statement, fingerprint
+
+    def _optimize(
+        self, snapshot: CatalogSnapshot, statement: SelectStatement
+    ) -> OptimizationResult:
+        result = snapshot.optimizer.optimize(statement)
+        self.metrics.histogram("match").record(result.matching_seconds)
+        self.metrics.histogram("plan").record(
+            max(result.optimize_seconds - result.matching_seconds, 0.0)
+        )
+        return result
+
+    # -- catalog mutation ----------------------------------------------------
+
+    def register_view(
+        self, name: str, definition: str | SelectStatement
+    ) -> int:
+        """Register a view (SQL text or bound statement); returns the epoch.
+
+        Publishing the new snapshot bumps the epoch, which wholesale
+        invalidates the cache's previous generation.
+        """
+        if isinstance(definition, str):
+            definition = self.catalog.bind_sql(definition)
+        snapshot = self.snapshots.register_view(name, definition)
+        return snapshot.epoch
+
+    def unregister_view(self, name: str) -> int:
+        """Drop a view from the served catalog; returns the new epoch."""
+        snapshot = self.snapshots.unregister_view(name)
+        return snapshot.epoch
+
+    def _on_publish(self, snapshot: CatalogSnapshot) -> None:
+        self.metrics.counter("epoch_bumps").increment()
+        if self.cache is not None:
+            self.cache.purge_stale(snapshot.epoch)
+
+    def attach_maintainer(self, maintainer: ViewMaintainer) -> None:
+        """Subscribe to a maintainer's staleness signals.
+
+        Base-table inserts/deletes propagated by the maintainer evict
+        exactly the cache entries whose plans read an affected view --
+        the per-entry invalidation channel (epoch bumps handle
+        registration changes).
+        """
+        maintainer.add_listener(self._on_view_change)
+
+    def _on_view_change(self, event: ViewChangeEvent) -> None:
+        if self.cache is None or not event.views:
+            return
+        evicted = self.cache.invalidate_views(event.views)
+        if evicted:
+            self.metrics.counter("staleness_evictions").increment(evicted)
+
+    # -- introspection & lifecycle ------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The currently served epoch."""
+        return self.snapshots.epoch
+
+    def stats(self) -> dict:
+        """A structured snapshot of every serving metric.
+
+        Keys: ``epoch``, ``views`` (registered count), ``cache`` (counter
+        dict, or ``None`` with caching disabled), ``counters``, and
+        ``latency`` (per-stage histogram summaries in seconds).
+        """
+        metrics = self.metrics.snapshot()
+        return {
+            "epoch": self.snapshots.epoch,
+            "views": self.snapshots.current.view_count,
+            "cache": (
+                self.cache.statistics.snapshot()
+                if self.cache is not None
+                else None
+            ),
+            "counters": metrics["counters"],
+            "latency": metrics["latency"],
+        }
+
+    def report(self) -> str:
+        """Human-readable serving report (counters + stage latencies)."""
+        stats = self.stats()
+        lines = [
+            f"epoch {stats['epoch']}, {stats['views']} views registered"
+        ]
+        if stats["cache"] is not None:
+            cache = stats["cache"]
+            lines.append(
+                f"cache: {cache['hits']} hits / {cache['misses']} misses "
+                f"(hit rate {cache['hit_rate']:.1%}), "
+                f"{cache['evictions']} evictions, "
+                f"{cache['epoch_invalidations']} epoch + "
+                f"{cache['view_invalidations']} staleness invalidations"
+            )
+        lines.append(self.metrics.report(histogram_order=_STAGE_ORDER))
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        """Stop accepting work and shut the worker pool down."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ViewServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["ServedResult", "ViewServer"]

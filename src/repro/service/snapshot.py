@@ -1,0 +1,196 @@
+"""Epoch-versioned catalog snapshots: lock-free reads, serialized writes.
+
+The matcher's registry (:class:`~repro.core.filtertree.FilterTree`) is a
+mutable index; mutating it while reader threads search it would tear
+matches. The serving layer therefore never mutates a published tree.
+Instead, every view registration or drop builds a **new** filter tree /
+matcher / optimizer triple from prebuilt :class:`RegisteredView` objects
+(cheap: descriptions and hubs are reused, only tree inserts are replayed)
+and publishes it atomically as a :class:`CatalogSnapshot` with the next
+epoch number.
+
+Readers obtain the current snapshot with a single attribute read -- no
+lock, no reference counting -- and keep matching against that immutable
+snapshot for the whole request even if a writer publishes ten epochs
+meanwhile. Writers serialize on one lock; epochs increase monotonically,
+which is what lets the rewrite cache discard every pre-bump entry with an
+integer comparison.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..catalog.catalog import Catalog
+from ..core.describe import describe, validate_view_description
+from ..core.fkgraph import compute_hub
+from ..core.filtertree import RegisteredView
+from ..core.matcher import ViewMatcher
+from ..core.options import DEFAULT_OPTIONS, MatchOptions
+from ..optimizer.cost import DEFAULT_COST_MODEL, CostModel
+from ..optimizer.optimizer import Optimizer, OptimizerConfig
+from ..sql.statements import SelectStatement
+from ..stats.statistics import DatabaseStats
+
+
+@dataclass(frozen=True)
+class CatalogSnapshot:
+    """One immutable epoch of the served view catalog.
+
+    Everything a reader needs for a whole request: the matcher (and its
+    filter tree) over exactly the views registered as of ``epoch``, and an
+    optimizer bound to that matcher. Snapshots are never mutated after
+    publication; concurrent readers share them freely.
+    """
+
+    epoch: int
+    matcher: ViewMatcher
+    optimizer: Optimizer
+    view_names: frozenset[str]
+
+    @property
+    def view_count(self) -> int:
+        """Number of views registered in this epoch."""
+        return len(self.view_names)
+
+
+class SnapshotManager:
+    """Builds, publishes, and hands out :class:`CatalogSnapshot` epochs.
+
+    Mutations (``register_view`` / ``unregister_view``) run under a writer
+    lock: they copy the prebuilt view registry, replay it into a fresh
+    filter tree, and publish the new snapshot with a single attribute
+    assignment. ``current`` is that attribute read -- the reader hot path
+    takes no lock and can never observe a half-built tree.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: DatabaseStats,
+        options: MatchOptions = DEFAULT_OPTIONS,
+        optimizer_config: OptimizerConfig | None = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        index_registry=None,
+        use_filter_tree: bool = True,
+    ):
+        self.catalog = catalog
+        self.stats = stats
+        self.options = options
+        self.optimizer_config = optimizer_config or OptimizerConfig()
+        self.cost_model = cost_model
+        self.index_registry = index_registry
+        self.use_filter_tree = use_filter_tree
+        self._write_lock = threading.Lock()
+        self._views: dict[str, RegisteredView] = {}
+        self._listeners: list[Callable[[CatalogSnapshot], None]] = []
+        self._snapshot = self._build(0, self._views)
+
+    # -- reader side ---------------------------------------------------------
+
+    @property
+    def current(self) -> CatalogSnapshot:
+        """The latest published snapshot (lock-free: one attribute read)."""
+        return self._snapshot
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch number."""
+        return self._snapshot.epoch
+
+    # -- writer side ---------------------------------------------------------
+
+    def register_view(
+        self, name: str, statement: SelectStatement
+    ) -> CatalogSnapshot:
+        """Describe, validate, and publish a view; returns the new snapshot.
+
+        The expensive work (describe + hub) happens before the writer lock
+        is taken; only the registry copy, tree replay, and publish are
+        serialized. Raises :class:`~repro.errors.MatchError` for view
+        definitions outside the indexable class and :class:`ValueError`
+        for duplicate names.
+        """
+        description = describe(
+            statement, self.catalog, name=name, options=self.options
+        )
+        validate_view_description(description)
+        view = RegisteredView(
+            description=description, hub=compute_hub(description, self.options)
+        )
+        with self._write_lock:
+            if name in self._views:
+                raise ValueError(f"view {name} already registered")
+            views = dict(self._views)
+            views[name] = view
+            return self._publish(views)
+
+    def unregister_view(self, name: str) -> CatalogSnapshot:
+        """Drop a view and publish the successor snapshot.
+
+        Raises :class:`KeyError` when the view is not registered.
+        """
+        with self._write_lock:
+            if name not in self._views:
+                raise KeyError(f"view {name} not registered")
+            views = dict(self._views)
+            del views[name]
+            return self._publish(views)
+
+    def add_listener(
+        self, listener: Callable[[CatalogSnapshot], None]
+    ) -> None:
+        """Subscribe to snapshot publications.
+
+        Listeners run synchronously under the writer lock, immediately
+        after the new snapshot becomes visible to readers -- so by the time
+        a listener (e.g. the rewrite cache's epoch purge) fires, no reader
+        can still pick up the previous epoch.
+        """
+        self._listeners.append(listener)
+
+    # -- internals -----------------------------------------------------------
+
+    def _publish(self, views: dict[str, RegisteredView]) -> CatalogSnapshot:
+        # Caller holds the writer lock. Epochs only ever increase.
+        snapshot = self._build(self._snapshot.epoch + 1, views)
+        self._views = views
+        self._snapshot = snapshot  # the atomic publication point
+        for listener in list(self._listeners):
+            listener(snapshot)
+        return snapshot
+
+    def _build(
+        self, epoch: int, views: dict[str, RegisteredView]
+    ) -> CatalogSnapshot:
+        matcher = ViewMatcher.from_registered_views(
+            self.catalog,
+            views.values(),
+            options=self.options,
+            use_filter_tree=self.use_filter_tree,
+        )
+        optimizer = Optimizer(
+            self.catalog,
+            self.stats,
+            matcher=matcher,
+            config=self.optimizer_config,
+            cost_model=self.cost_model,
+            index_registry=self.index_registry,
+        )
+        return CatalogSnapshot(
+            epoch=epoch,
+            matcher=matcher,
+            optimizer=optimizer,
+            view_names=frozenset(views),
+        )
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._snapshot.view_names)
+
+    def __len__(self) -> int:
+        return len(self._snapshot.view_names)
+
+
+__all__ = ["CatalogSnapshot", "SnapshotManager"]

@@ -183,3 +183,72 @@ def test_classification_roundtrip_preserves_semantics(predicate, row):
     rebuilt = classified_to_predicate(classified)
     assert rebuilt is not None
     assert evaluate(rebuilt, row) == evaluate(predicate, row)
+
+
+class TestCanonicalization:
+    """Canonical conjunct ordering: the identity behind query fingerprints."""
+
+    def canon(self, text):
+        return classify_predicate(pred(text)).canonical()
+
+    def test_commutative_conjuncts_reorder_to_same_form(self):
+        assert self.canon("a = b and c >= 5") == self.canon("c >= 5 and a = b")
+
+    def test_equality_orientation_normalized(self):
+        assert self.canon("a = b") == self.canon("b = a")
+
+    def test_range_predicate_order_normalized(self):
+        assert self.canon("a >= 1 and b <= 9") == self.canon("b <= 9 and a >= 1")
+
+    def test_residual_order_normalized(self):
+        left = self.canon("a like 'x%' and b <> c + 1")
+        right = self.canon("b <> c + 1 and a like 'x%'")
+        assert left == right
+
+    def test_duplicate_conjuncts_collapse(self):
+        assert self.canon("a = b and b = a and a >= 5") == self.canon(
+            "a >= 5 and a = b"
+        )
+
+    def test_different_constants_stay_distinct(self):
+        assert self.canon("a >= 5") != self.canon("a >= 6")
+
+    def test_different_operators_stay_distinct(self):
+        assert self.canon("a >= 5") != self.canon("a > 5")
+
+    def test_canonical_preserves_semantics(self):
+        original = pred("c >= 5 and b = a and a like 'x%'")
+        canonical = classified_to_predicate(classify_predicate(original).canonical())
+        for row in (
+            {("t", "a"): "x1", ("t", "b"): "x1", ("t", "c"): 7},
+            {("t", "a"): "x1", ("t", "b"): "y2", ("t", "c"): 7},
+            {("t", "a"): None, ("t", "b"): "x1", ("t", "c"): 2},
+        ):
+            assert evaluate(canonical, row) == evaluate(original, row)
+
+    def test_equivalence_groups_transitive_regrouping(self):
+        left = classify_predicate(pred("a = b and b = c"))
+        right = classify_predicate(pred("a = c and c = b"))
+        assert left.equalities != right.equalities  # pairs differ...
+        assert left.equivalence_groups() == right.equivalence_groups()
+
+    def test_equivalence_groups_are_sorted_partitions(self):
+        groups = classify_predicate(pred("b = a and c = d")).equivalence_groups()
+        assert groups == (
+            ((("t", "a"), ("t", "b"))),
+            ((("t", "c"), ("t", "d"))),
+        )
+
+
+@settings(max_examples=200)
+@given(_predicates())
+def test_canonical_is_idempotent_and_order_insensitive(predicate):
+    classified = classify_predicate(predicate)
+    canonical = classified.canonical()
+    assert canonical.canonical() == canonical
+    reversed_form = type(classified)(
+        equalities=tuple(reversed(classified.equalities)),
+        range_predicates=tuple(reversed(classified.range_predicates)),
+        residuals=tuple(reversed(classified.residuals)),
+    )
+    assert reversed_form.canonical() == canonical

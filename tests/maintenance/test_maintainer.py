@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 from repro.catalog import Catalog, Column, ColumnType, Table
 from repro.engine import Database, execute
 from repro.errors import ExecutionError, MatchError
-from repro.maintenance import ViewMaintainer
+from repro.maintenance import ViewChangeEvent, ViewMaintainer
 
 
 @pytest.fixture()
@@ -252,6 +252,59 @@ class TestRegistrationRules:
         maintainer.unregister("mv")
         assert not database.has("mv")
         assert maintainer.views() == ()
+
+
+class TestChangeEvents:
+    """Listener notifications: the staleness channel the serving layer uses."""
+
+    def test_register_and_unregister_events(self, setup):
+        catalog, _database, maintainer = setup
+        events: list[ViewChangeEvent] = []
+        maintainer.add_listener(events.append)
+        maintainer.register("mv", catalog.bind_sql("select k as k from t"))
+        maintainer.unregister("mv")
+        assert [(e.kind, e.views) for e in events] == [
+            ("register", ("mv",)),
+            ("unregister", ("mv",)),
+        ]
+
+    def test_insert_event_names_affected_views_and_table(self, setup):
+        catalog, _database, maintainer = setup
+        maintainer.register(
+            "mv_t", catalog.bind_sql("select k as k from t where g = 0")
+        )
+        maintainer.register(
+            "mv_d", catalog.bind_sql("select dk as dk from d")
+        )
+        events: list[ViewChangeEvent] = []
+        maintainer.add_listener(events.append)
+        maintainer.insert("t", [(5, 0, 50.0, "c")])
+        (event,) = events
+        assert event.kind == "insert"
+        assert event.table == "t"
+        assert "mv_t" in event.views
+        assert "mv_d" not in event.views
+
+    def test_delete_event_fires_after_propagation(self, setup):
+        catalog, database, maintainer = setup
+        maintainer.register(
+            "mv", catalog.bind_sql("select k as k from t where g = 0")
+        )
+        counts: list[int] = []
+        maintainer.add_listener(
+            lambda event: counts.append(database.row_count("mv"))
+        )
+        maintainer.delete("t", [(2, 0, 20.0, "b")])
+        # The view already reflects the delete when the listener runs.
+        assert counts == [1]
+
+    def test_removed_listener_stops_firing(self, setup):
+        catalog, _database, maintainer = setup
+        events: list[ViewChangeEvent] = []
+        maintainer.add_listener(events.append)
+        maintainer.remove_listener(events.append)
+        maintainer.register("mv", catalog.bind_sql("select k as k from t"))
+        assert events == []
 
 
 class TestMaintenanceMatchesRecomputation:

@@ -1,0 +1,117 @@
+"""Rewrite-cache unit tests: LRU bounds, epoch and view invalidation."""
+
+import pytest
+
+from repro.optimizer.optimizer import OptimizationResult
+from repro.service import RewriteCache
+
+
+def result(*views: str) -> OptimizationResult:
+    return OptimizationResult(
+        plan=None,
+        cost=1.0,
+        uses_view=bool(views),
+        view_names=tuple(views),
+        invocations=0,
+        substitutes_produced=0,
+        candidates_considered=0,
+        optimize_seconds=0.0,
+        matching_seconds=0.0,
+    )
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = RewriteCache(capacity=4)
+        assert cache.get("q1", epoch=1) is None
+        r = result("v1")
+        cache.put("q1", epoch=1, result=r)
+        assert cache.get("q1", epoch=1) is r
+        stats = cache.statistics
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_put_overwrites(self):
+        cache = RewriteCache(capacity=4)
+        cache.put("q1", epoch=1, result=result("v1"))
+        replacement = result("v2")
+        cache.put("q1", epoch=1, result=replacement)
+        assert cache.get("q1", epoch=1) is replacement
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RewriteCache(capacity=0)
+
+    def test_clear_preserves_counters(self):
+        cache = RewriteCache(capacity=4)
+        cache.put("q1", epoch=1, result=result())
+        cache.get("q1", epoch=1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.statistics.hits == 1
+        assert cache.statistics.insertions == 1
+
+
+class TestLru:
+    def test_overflow_evicts_least_recently_used(self):
+        cache = RewriteCache(capacity=3)
+        for key in ("q1", "q2", "q3"):
+            cache.put(key, epoch=1, result=result())
+        cache.get("q1", epoch=1)  # refresh q1: q2 is now oldest
+        cache.put("q4", epoch=1, result=result())
+        assert cache.get("q2", epoch=1) is None
+        assert cache.get("q1", epoch=1) is not None
+        assert cache.get("q3", epoch=1) is not None
+        assert cache.get("q4", epoch=1) is not None
+        assert cache.statistics.evictions == 1
+        assert len(cache) == 3
+
+    def test_size_never_exceeds_capacity(self):
+        cache = RewriteCache(capacity=5)
+        for i in range(50):
+            cache.put(f"q{i}", epoch=1, result=result())
+            assert len(cache) <= 5
+
+
+class TestEpochInvalidation:
+    def test_stale_epoch_is_miss_and_dropped(self):
+        cache = RewriteCache(capacity=4)
+        cache.put("q1", epoch=1, result=result("v1"))
+        assert cache.get("q1", epoch=2) is None
+        assert cache.statistics.epoch_invalidations == 1
+        assert len(cache) == 0
+        # And a subsequent lookup at the old epoch cannot resurrect it.
+        assert cache.get("q1", epoch=1) is None
+
+    def test_purge_stale_sweeps_old_generation(self):
+        cache = RewriteCache(capacity=8)
+        cache.put("q1", epoch=1, result=result())
+        cache.put("q2", epoch=1, result=result())
+        cache.put("q3", epoch=2, result=result())
+        assert cache.purge_stale(epoch=2) == 2
+        assert len(cache) == 1
+        assert cache.get("q3", epoch=2) is not None
+        assert cache.statistics.epoch_invalidations == 2
+
+
+class TestViewInvalidation:
+    def test_only_entries_reading_named_views_evicted(self):
+        cache = RewriteCache(capacity=8)
+        cache.put("q1", epoch=1, result=result("v1"))
+        cache.put("q2", epoch=1, result=result("v2"))
+        cache.put("q3", epoch=1, result=result("v1", "v2"))
+        cache.put("q4", epoch=1, result=result())  # no views: never evicted
+        assert cache.invalidate_views(["v1"]) == 2
+        assert cache.get("q1", epoch=1) is None
+        assert cache.get("q3", epoch=1) is None
+        assert cache.get("q2", epoch=1) is not None
+        assert cache.get("q4", epoch=1) is not None
+        assert cache.statistics.view_invalidations == 2
+
+    def test_empty_name_set_is_noop(self):
+        cache = RewriteCache(capacity=4)
+        cache.put("q1", epoch=1, result=result("v1"))
+        assert cache.invalidate_views([]) == 0
+        assert len(cache) == 1

@@ -1,0 +1,134 @@
+"""Query-fingerprint stability: semantic identity, syntactic insensitivity."""
+
+from repro.service import canonical_parts, statement_fingerprint
+
+
+def fp(catalog, sql):
+    return statement_fingerprint(catalog.bind_sql(sql))
+
+
+class TestFingerprintStability:
+    def test_identical_sql_same_fingerprint(self, catalog):
+        sql = (
+            "select l_partkey, l_quantity from lineitem, part "
+            "where l_partkey = p_partkey and p_retailprice >= 100"
+        )
+        assert fp(catalog, sql) == fp(catalog, sql)
+
+    def test_conjunct_order_irrelevant(self, catalog):
+        a = fp(
+            catalog,
+            "select l_partkey from lineitem, part "
+            "where l_partkey = p_partkey and p_retailprice >= 100",
+        )
+        b = fp(
+            catalog,
+            "select l_partkey from lineitem, part "
+            "where p_retailprice >= 100 and l_partkey = p_partkey",
+        )
+        assert a == b
+
+    def test_equality_orientation_irrelevant(self, catalog):
+        a = fp(
+            catalog,
+            "select l_partkey from lineitem, part where l_partkey = p_partkey",
+        )
+        b = fp(
+            catalog,
+            "select l_partkey from lineitem, part where p_partkey = l_partkey",
+        )
+        assert a == b
+
+    def test_from_list_order_irrelevant(self, catalog):
+        a = fp(
+            catalog,
+            "select l_partkey from lineitem, part where l_partkey = p_partkey",
+        )
+        b = fp(
+            catalog,
+            "select l_partkey from part, lineitem where l_partkey = p_partkey",
+        )
+        assert a == b
+
+    def test_transitive_equality_regrouping_irrelevant(self, catalog):
+        a = fp(
+            catalog,
+            "select l_orderkey from lineitem, orders, customer "
+            "where l_orderkey = o_orderkey and o_custkey = c_custkey "
+            "and l_suppkey = l_suppkey",
+        )
+        b = fp(
+            catalog,
+            "select l_orderkey from lineitem, orders, customer "
+            "where o_orderkey = l_orderkey and c_custkey = o_custkey "
+            "and l_suppkey = l_suppkey",
+        )
+        assert a == b
+
+    def test_group_by_order_irrelevant(self, catalog):
+        a = fp(
+            catalog,
+            "select l_partkey, l_suppkey, sum(l_quantity) from lineitem "
+            "group by l_partkey, l_suppkey",
+        )
+        b = fp(
+            catalog,
+            "select l_partkey, l_suppkey, sum(l_quantity) from lineitem "
+            "group by l_suppkey, l_partkey",
+        )
+        assert a == b
+
+
+class TestFingerprintDiscrimination:
+    def test_output_order_matters(self, catalog):
+        a = fp(catalog, "select l_partkey, l_suppkey from lineitem")
+        b = fp(catalog, "select l_suppkey, l_partkey from lineitem")
+        assert a != b
+
+    def test_range_constant_matters(self, catalog):
+        a = fp(catalog, "select l_partkey from lineitem where l_partkey >= 5")
+        b = fp(catalog, "select l_partkey from lineitem where l_partkey >= 6")
+        assert a != b
+
+    def test_operator_matters(self, catalog):
+        a = fp(catalog, "select l_partkey from lineitem where l_partkey >= 5")
+        b = fp(catalog, "select l_partkey from lineitem where l_partkey > 5")
+        assert a != b
+
+    def test_tables_matter(self, catalog):
+        a = fp(catalog, "select l_partkey from lineitem")
+        b = fp(
+            catalog,
+            "select l_partkey from lineitem, part where l_partkey = p_partkey",
+        )
+        assert a != b
+
+    def test_distinct_matters(self, catalog):
+        a = fp(catalog, "select l_partkey from lineitem")
+        b = fp(catalog, "select distinct l_partkey from lineitem")
+        assert a != b
+
+    def test_aggregation_matters(self, catalog):
+        a = fp(
+            catalog,
+            "select l_partkey, sum(l_quantity) from lineitem group by l_partkey",
+        )
+        b = fp(catalog, "select l_partkey, l_quantity from lineitem")
+        assert a != b
+
+
+class TestCanonicalParts:
+    def test_parts_are_hashable_and_repr_stable(self, catalog):
+        statement = catalog.bind_sql(
+            "select l_partkey from lineitem, part "
+            "where l_partkey = p_partkey and p_retailprice >= 100"
+        )
+        parts = canonical_parts(statement)
+        assert hash(parts) == hash(canonical_parts(statement))
+        assert repr(parts) == repr(canonical_parts(statement))
+
+    def test_tables_sorted(self, catalog):
+        statement = catalog.bind_sql(
+            "select l_partkey from part, lineitem where l_partkey = p_partkey"
+        )
+        assert canonical_parts(statement)[0] == ("lineitem", "part")

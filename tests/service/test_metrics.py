@@ -1,0 +1,79 @@
+"""Metrics-registry units: counters, log-bucket histograms, reporting."""
+
+import pytest
+
+from repro.service import Counter, LatencyHistogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("requests")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot(self):
+        snapshot = LatencyHistogram("total").snapshot()
+        assert snapshot == {
+            "count": 0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_exact_aggregates(self):
+        histogram = LatencyHistogram("total")
+        for value in (0.001, 0.002, 0.003):
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(0.002)
+        assert histogram.minimum == pytest.approx(0.001)
+        assert histogram.maximum == pytest.approx(0.003)
+
+    def test_percentiles_within_bucket_error(self):
+        # Log buckets at 10/decade have ~26% relative width; the estimate
+        # must land within one bucket of the true value.
+        histogram = LatencyHistogram("total")
+        for i in range(1, 101):
+            histogram.record(i / 1000.0)  # 1ms .. 100ms uniform
+        assert histogram.percentile(0.50) == pytest.approx(0.050, rel=0.30)
+        assert histogram.percentile(0.90) == pytest.approx(0.090, rel=0.30)
+        assert histogram.percentile(0.99) == pytest.approx(0.099, rel=0.30)
+
+    def test_extremes_clamp_to_edge_buckets(self):
+        histogram = LatencyHistogram("total")
+        histogram.record(-1.0)  # clamps to 0: below the 1us floor
+        histogram.record(1e-9)
+        histogram.record(500.0)  # above the 100s ceiling
+        assert histogram.count == 3
+        assert histogram.percentile(0.01) > 0
+        assert histogram.percentile(1.0) == pytest.approx(500.0)
+
+
+class TestMetricsRegistry:
+    def test_counter_and_histogram_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("y") is registry.histogram("y")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").increment(3)
+        registry.histogram("total").record(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"requests": 3}
+        assert snapshot["latency"]["total"]["count"] == 1
+
+    def test_report_orders_stages_then_alphabetical(self):
+        registry = MetricsRegistry()
+        registry.histogram("zeta").record(0.01)
+        registry.histogram("parse").record(0.01)
+        registry.histogram("alpha").record(0.01)
+        report = registry.report(histogram_order=("parse",))
+        lines = [line.split()[0] for line in report.splitlines()[1:]]
+        assert lines == ["parse", "alpha", "zeta"]

@@ -1,0 +1,207 @@
+"""ViewServer behaviour: serving paths, load shedding, invalidation."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType, Table
+from repro.engine import Database
+from repro.maintenance import ViewMaintainer
+from repro.service import ViewServer
+from repro.stats import DatabaseStats
+
+VIEW = "select l_partkey, l_quantity from lineitem where l_quantity >= 10"
+QUERY = "select l_partkey from lineitem where l_quantity >= 20"
+BASE_ONLY = "select o_orderkey from orders where o_orderkey >= 1"
+
+
+@pytest.fixture()
+def server(catalog, paper_stats):
+    with ViewServer(catalog, paper_stats, workers=2, queue_depth=8) as srv:
+        yield srv
+
+
+class TestServingPaths:
+    def test_successful_submit(self, server):
+        result = server.submit(BASE_ONLY)
+        assert result.ok
+        assert result.error is None
+        assert result.epoch == 0
+        assert not result.cache_hit
+        assert not result.uses_view
+        assert result.view_names == ()
+        assert result.latency_seconds > 0
+
+    def test_second_submit_hits_cache(self, server):
+        first = server.submit(BASE_ONLY)
+        second = server.submit(BASE_ONLY)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.result is first.result  # the same frozen plan object
+        assert server.stats()["cache"]["hits"] == 1
+
+    def test_semantically_equal_sql_shares_cache_entry(self, server):
+        first = server.submit(
+            "select l_partkey from lineitem, part "
+            "where l_partkey = p_partkey and p_retailprice >= 100"
+        )
+        second = server.submit(
+            "select l_partkey from part, lineitem "
+            "where p_retailprice >= 100 and p_partkey = l_partkey"
+        )
+        assert first.fingerprint == second.fingerprint
+        assert second.cache_hit
+
+    def test_view_rewrite_served(self, server):
+        server.register_view("v_cheap", VIEW)
+        result = server.submit(QUERY)
+        assert result.ok
+        assert result.uses_view
+        assert "v_cheap" in result.view_names
+        assert server.stats()["counters"]["rewrites"] >= 1
+
+    def test_parse_error_is_reported_not_raised(self, server):
+        result = server.submit("select from nothing at all")
+        assert not result.ok
+        assert result.error
+        assert server.stats()["counters"]["errors"] == 1
+
+    def test_unknown_table_is_reported_not_raised(self, server):
+        result = server.submit("select x from no_such_table")
+        assert not result.ok
+        assert result.error
+
+    def test_cache_disabled_never_hits(self, catalog, paper_stats):
+        with ViewServer(
+            catalog, paper_stats, workers=1, cache_enabled=False
+        ) as server:
+            assert not server.submit(BASE_ONLY).cache_hit
+            assert not server.submit(BASE_ONLY).cache_hit
+            assert server.stats()["cache"] is None
+
+
+class TestLoadShedding:
+    def test_rejected_when_queue_full(self, server):
+        # Deterministically exhaust every queue slot, then submit.
+        held = 0
+        while server._slots.acquire(blocking=False):
+            held += 1
+        try:
+            result = server.submit(BASE_ONLY)
+            assert result.rejected
+            assert not result.ok
+            assert server.stats()["counters"]["rejected"] == 1
+        finally:
+            for _ in range(held):
+                server._slots.release()
+        # Slots released: the next request is served normally.
+        assert server.submit(BASE_ONLY).ok
+
+    def test_expired_deadline_times_out(self, server):
+        result = server.submit(BASE_ONLY, deadline=0.0)
+        assert result.timed_out
+        assert not result.ok
+        assert server.stats()["counters"]["timeouts"] == 1
+
+    def test_closed_server_rejects_submissions(self, catalog, paper_stats):
+        server = ViewServer(catalog, paper_stats, workers=1)
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(BASE_ONLY)
+
+
+class TestEpochInvalidation:
+    def test_register_bumps_epoch_and_retires_cache(self, server):
+        warm = server.submit(QUERY)
+        assert server.submit(QUERY).cache_hit
+        assert server.register_view("v_cheap", VIEW) == 1
+        after = server.submit(QUERY)
+        assert not after.cache_hit  # previous generation retired
+        assert after.epoch == 1
+        assert after.uses_view  # re-optimized against the new view
+        assert not warm.uses_view
+
+    def test_unregister_bumps_epoch_and_stops_serving_view(self, server):
+        server.register_view("v_cheap", VIEW)
+        assert server.submit(QUERY).uses_view
+        assert server.unregister_view("v_cheap") == 2
+        result = server.submit(QUERY)
+        assert not result.cache_hit
+        assert not result.uses_view
+        assert result.epoch == 2
+
+    def test_duplicate_registration_rejected(self, server):
+        server.register_view("v_cheap", VIEW)
+        with pytest.raises(ValueError, match="already registered"):
+            server.register_view("v_cheap", VIEW)
+        assert server.epoch == 1
+
+
+class TestMaintainerIntegration:
+    @pytest.fixture()
+    def stack(self):
+        catalog = Catalog()
+        catalog.add_table(
+            Table(
+                name="t",
+                columns=(
+                    Column("k"),
+                    Column("g"),
+                    Column("v", ColumnType.FLOAT),
+                ),
+                primary_key=("k",),
+            )
+        )
+        database = Database()
+        database.store(
+            "t", ("k", "g", "v"), [(1, 0, 10.0), (2, 0, 20.0), (3, 1, 30.0)]
+        )
+        maintainer = ViewMaintainer(catalog, database)
+        stats = DatabaseStats.collect(database, catalog)
+        server = ViewServer(catalog, stats, workers=1)
+        server.attach_maintainer(maintainer)
+        yield catalog, maintainer, server
+        server.close()
+
+    def test_base_table_change_evicts_affected_entries(self, stack):
+        catalog, maintainer, server = stack
+        sql = "select k as k, v as v from t where g = 0"
+        maintainer.register("mv", catalog.bind_sql(sql))
+        server.register_view("mv", sql)
+        query = "select k from t where g = 0"
+        assert server.submit(query).uses_view
+        assert server.submit(query).cache_hit
+        maintainer.insert("t", [(4, 0, 40.0)])
+        # The maintainer's change event evicted the cached rewrite.
+        refreshed = server.submit(query)
+        assert not refreshed.cache_hit
+        assert server.stats()["counters"]["staleness_evictions"] >= 1
+        assert server.stats()["cache"]["view_invalidations"] >= 1
+
+    def test_untouched_views_stay_cached(self, stack):
+        catalog, maintainer, server = stack
+        maintainer.register(
+            "mv", catalog.bind_sql("select k as k from t where g = 1")
+        )
+        unrelated = "select k from t where g = 0"
+        server.submit(unrelated)
+        maintainer.insert("t", [(5, 1, 50.0)])  # touches mv only
+        assert server.submit(unrelated).cache_hit
+
+
+class TestIntrospection:
+    def test_stats_shape(self, server):
+        server.submit(BASE_ONLY)
+        stats = server.stats()
+        assert stats["epoch"] == 0
+        assert stats["views"] == 0
+        assert stats["counters"]["requests"] == 1
+        assert "total" in stats["latency"]
+        assert stats["latency"]["total"]["count"] == 1
+        assert stats["latency"]["total"]["p50"] > 0
+
+    def test_report_mentions_key_figures(self, server):
+        server.submit(BASE_ONLY)
+        server.submit(BASE_ONLY)
+        report = server.report()
+        assert "epoch 0" in report
+        assert "hit rate" in report
+        assert "total" in report

@@ -52,6 +52,13 @@ class TestExamples:
         output = run_example("incremental_maintenance.py")
         assert "view answer still exact: True" in output
 
+    def test_serving_demo(self):
+        output = run_example("serving_demo.py")
+        assert "registered 12 views" in output
+        assert "hit rate" in output
+        assert "answered from views" in output
+        assert "cache_hit=False" in output  # epoch bump retired the cache
+
     def test_scaling_experiment_quick(self):
         output = run_example("scaling_experiment.py", "--quick")
         assert "Figure 2" in output

@@ -25,6 +25,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.maintenance",
     "repro.advisor",
+    "repro.service",
 ]
 
 
@@ -65,11 +66,21 @@ class TestDocstrings:
         )
 
     def test_public_methods_of_key_classes_documented(self):
-        from repro import Optimizer, ViewMatcher
+        from repro import Optimizer, ViewMatcher, ViewServer
         from repro.core import FilterTree, LatticeIndex
         from repro.maintenance import ViewMaintainer
+        from repro.service import RewriteCache, SnapshotManager
 
-        for cls in (ViewMatcher, Optimizer, FilterTree, LatticeIndex, ViewMaintainer):
+        for cls in (
+            ViewMatcher,
+            Optimizer,
+            FilterTree,
+            LatticeIndex,
+            ViewMaintainer,
+            ViewServer,
+            RewriteCache,
+            SnapshotManager,
+        ):
             for name, member in inspect.getmembers(cls):
                 if name.startswith("_"):
                     continue
