@@ -1,0 +1,113 @@
+"""Hot-path benchmark: bitset-interned candidate filtering, before/after.
+
+Times one filter-tree ``candidates`` call and one full ``match``
+invocation at 100/500/1000 registered views, comparing the interned
+bitset path and registration-time match contexts against the frozenset
+reference path with per-invocation context rebuilds. Both modes are
+cross-checked to return identical candidate sets and matcher statistics
+before anything is timed. Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py                 # full sweep
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke         # CI, seconds
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke \\
+        --check-baseline BENCH_matching.json                          # CI gate
+
+``--output`` writes the machine-readable report (the repository commits
+it as ``BENCH_matching.json``); ``--check-baseline`` exits non-zero when
+candidate filtering at the largest shared view count is more than 2x
+slower than the committed baseline. The module is also collectable by
+pytest (one smoke-sized test), like the other bench files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import (
+    HotpathConfig,
+    check_against_baseline,
+    run_hotpath_benchmark,
+)
+from repro.experiments.hotpath import write_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced configuration finishing in seconds (CI); still "
+        "measures the gated 1000-view point",
+    )
+    parser.add_argument(
+        "--views",
+        type=int,
+        nargs="+",
+        default=None,
+        help="view counts to sweep (default 100 500 1000)",
+    )
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report to this path"
+    )
+    parser.add_argument(
+        "--check-baseline",
+        default=None,
+        metavar="JSON",
+        help="committed BENCH_matching.json to gate regressions against",
+    )
+    arguments = parser.parse_args(argv)
+
+    config = HotpathConfig.smoke() if arguments.smoke else HotpathConfig()
+    import dataclasses
+
+    overrides = {}
+    if arguments.views is not None:
+        overrides["view_counts"] = tuple(arguments.views)
+    if arguments.queries is not None:
+        overrides["query_count"] = arguments.queries
+    if arguments.seed is not None:
+        overrides["seed"] = arguments.seed
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    report = run_hotpath_benchmark(config)
+    if arguments.output:
+        write_report(report, arguments.output)
+        print(f"report written to {arguments.output}")
+
+    if arguments.check_baseline:
+        with open(arguments.check_baseline) as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(report, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            return 1
+    return 0
+
+
+def test_hotpath_bench_smoke():
+    """Pytest entry point: modes agree and interning is not slower."""
+    config = HotpathConfig(
+        view_counts=(60,),
+        query_count=6,
+        filter_repetitions=3,
+        filter_runs=1,
+        match_repetitions=1,
+    )
+    report = run_hotpath_benchmark(config, echo=None)
+    (entry,) = report["sizes"]
+    assert entry["modes_identical"]
+    assert entry["funnel"]["invocations"] == 6
+    # Identical-result verification ran inside run_hotpath_benchmark; a
+    # timing assertion here would be flaky, so only sanity-check shape.
+    assert entry["candidate_filter_us"]["interned"] > 0
+    assert entry["candidate_filter_us"]["reference"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,10 @@ Commands
     view pool, replay a repeated query workload from closed-loop worker
     threads with the rewrite cache on and off, and print hit-rate and
     latency statistics.
+``bench-hotpath [--smoke]``
+    Time the matching hot path before/after the bitset-interned filter
+    tree and registration-time match contexts, cross-checking that both
+    configurations return identical candidates and match statistics.
 """
 
 from __future__ import annotations
@@ -57,6 +61,24 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=None, help="closed-loop worker threads"
     )
     serve.add_argument("--seed", type=int, default=None)
+    hotpath = subparsers.add_parser(
+        "bench-hotpath", help="time the matching hot path before/after interning"
+    )
+    hotpath.add_argument(
+        "--smoke", action="store_true", help="reduced run (seconds)"
+    )
+    hotpath.add_argument(
+        "--views", type=int, nargs="+", default=None, help="view counts to sweep"
+    )
+    hotpath.add_argument("--queries", type=int, default=None)
+    hotpath.add_argument("--seed", type=int, default=None)
+    hotpath.add_argument("--output", default=None, help="write JSON report here")
+    hotpath.add_argument(
+        "--check-baseline",
+        default=None,
+        metavar="JSON",
+        help="gate against a committed BENCH_matching.json",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.command == "demo":
@@ -67,6 +89,17 @@ def main(argv: list[str] | None = None) -> int:
         from .cli import run_examples
 
         return run_examples()
+    if arguments.command == "bench-hotpath":
+        from .cli import run_bench_hotpath
+
+        return run_bench_hotpath(
+            smoke=arguments.smoke,
+            views=tuple(arguments.views) if arguments.views else None,
+            queries=arguments.queries,
+            seed=arguments.seed,
+            output=arguments.output,
+            check_baseline=arguments.check_baseline,
+        )
     if arguments.command == "serve-bench":
         from .cli import run_serve_bench
 

@@ -116,6 +116,58 @@ def run_serve_bench(
     return 0
 
 
+def run_bench_hotpath(
+    smoke: bool = False,
+    views: tuple[int, ...] | None = None,
+    queries: int | None = None,
+    seed: int | None = None,
+    output: str | None = None,
+    check_baseline: str | None = None,
+) -> int:
+    """Benchmark the matching hot path (bitset interning, match contexts).
+
+    Times candidate filtering and full matching in the interned and
+    reference configurations, verifying both return identical results.
+    ``output`` writes the machine-readable report; ``check_baseline``
+    gates against a committed ``BENCH_matching.json`` and returns
+    non-zero on a >2x candidate-filter regression at the largest shared
+    view count.
+    """
+    import dataclasses
+    import json
+
+    from .experiments import (
+        HotpathConfig,
+        check_against_baseline,
+        run_hotpath_benchmark,
+    )
+    from .experiments.hotpath import write_report
+
+    config = HotpathConfig.smoke() if smoke else HotpathConfig()
+    overrides = {}
+    if views is not None:
+        overrides["view_counts"] = tuple(views)
+    if queries is not None:
+        overrides["query_count"] = queries
+    if seed is not None:
+        overrides["seed"] = seed
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    report = run_hotpath_benchmark(config)
+    if output:
+        write_report(report, output)
+        print(f"report written to {output}")
+    if check_baseline:
+        with open(check_baseline) as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(report, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            return 1
+    return 0
+
+
 def run_figures(
     quick: bool = False,
     views: int | None = None,

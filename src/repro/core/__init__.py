@@ -4,10 +4,11 @@ from .describe import SpjgDescription, describe, validate_view_description
 from .equivalence import ColumnKey, EquivalenceClasses
 from .filtertree import FilterTree, QueryProbe, RegisteredView
 from .fkgraph import FkEdge, build_fk_join_graph, compute_hub, eliminate_tables
+from .interning import KeyInterner
 from .intervalsets import IntervalSet, OrRangePredicate, as_or_range
 from .lattice import LatticeIndex, LatticeNode
 from .matcher import MatcherStatistics, ViewMatcher, matcher_for_catalog
-from .matching import MatchResult, RejectReason, match_view
+from .matching import MatchResult, RejectReason, ViewMatchContext, match_view
 from .normalize import ClassifiedPredicate, classify_predicate, to_cnf
 from .options import DEFAULT_OPTIONS, MatchOptions
 from .ranges import Bound, Interval, RangePredicate, as_range_predicate, derive_ranges
@@ -24,6 +25,7 @@ __all__ = [
     "FkEdge",
     "Interval",
     "IntervalSet",
+    "KeyInterner",
     "OrRangePredicate",
     "as_or_range",
     "LatticeIndex",
@@ -38,6 +40,7 @@ __all__ = [
     "ShallowForm",
     "SpjgDescription",
     "UnionSubstitute",
+    "ViewMatchContext",
     "ViewMatcher",
     "as_range_predicate",
     "build_fk_join_graph",

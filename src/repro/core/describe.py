@@ -12,6 +12,7 @@ indexes on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING
 
 from ..errors import MatchError, UnsupportedSqlError
@@ -151,9 +152,13 @@ class SpjgDescription:
 
     # -- output metadata -------------------------------------------------------
 
-    @property
+    @cached_property
     def simple_output_map(self) -> dict[ColumnKey, str]:
-        """Output name per directly-exposed column (first exposure wins)."""
+        """Output name per directly-exposed column (first exposure wins).
+
+        Cached: descriptions are immutable after construction and this
+        map backs every output-mapping step of the matcher.
+        """
         mapping: dict[ColumnKey, str] = {}
         for info in self.outputs:
             expr = info.expression
@@ -161,7 +166,7 @@ class SpjgDescription:
                 mapping.setdefault(expr.key, info.name)
         return mapping
 
-    @property
+    @cached_property
     def expression_outputs(self) -> tuple[OutputInfo, ...]:
         """Non-simple, non-constant output items (expressions, aggregates)."""
         return tuple(

@@ -34,7 +34,9 @@ from ..sql.expressions import ColumnRef, Expression, FuncCall, Literal
 from .describe import SpjgDescription, normalized_aggregate_template
 from .equivalence import ColumnKey
 from .fkgraph import compute_hub
+from .interning import KeyInterner
 from .lattice import Key, LatticeIndex
+from .matching import ViewMatchContext
 from .normalize import classify_predicate
 from .options import DEFAULT_OPTIONS, MatchOptions
 from .residual import ShallowForm
@@ -62,10 +64,19 @@ def _templates_key(templates: Iterable[str]) -> Key:
 
 @dataclass(frozen=True)
 class RegisteredView:
-    """A view plus the registration-time metadata the filter tree keys on."""
+    """A view plus the registration-time metadata the filter tree keys on.
+
+    ``match_context`` carries the precomputed per-view matching state
+    (:class:`~repro.core.matching.ViewMatchContext`) built once at
+    registration; it rides along through snapshot rebuilds so epoch
+    replays never re-derive it. ``None`` only for views constructed
+    outside the registration entry points -- ``match_view`` then rebuilds
+    the context per invocation.
+    """
 
     description: SpjgDescription
     hub: frozenset[str]
+    match_context: ViewMatchContext | None = None
 
     @property
     def name(self) -> str:
@@ -93,6 +104,122 @@ class OutputRequirement:
         return all(group & key for group in self.column_groups)
 
 
+def _bind_requirement(
+    requirement: OutputRequirement, interner: KeyInterner
+) -> tuple[int, tuple[int, ...]]:
+    """Compile one :class:`OutputRequirement` to ``(templates_mask, group_masks)``.
+
+    Probe atoms the interner has never seen are dropped from the masks:
+    every registered key atom *is* interned, so an unknown probe atom can
+    never witness an intersection with a view key, and dropping it is
+    exact. The pair is consumed by :func:`_requirements_satisfied_bits`,
+    which replicates :meth:`OutputRequirement.satisfied` on bitmasks.
+    """
+    templates_mask, _ = interner.known_mask(requirement.templates)
+    group_masks = tuple(
+        interner.known_mask(group)[0] for group in requirement.column_groups
+    )
+    return templates_mask, group_masks
+
+
+def _requirements_satisfied_bits(
+    pairs: tuple[tuple[int, tuple[int, ...]], ...], key_bits: int
+) -> bool:
+    """True when every bound requirement holds against ``key_bits``."""
+    for templates_mask, group_masks in pairs:
+        if templates_mask & key_bits:
+            continue
+        if not group_masks:
+            return False
+        for mask in group_masks:
+            if not (mask & key_bits):
+                return False
+    return True
+
+
+def _classes_hit_bits(
+    key: Key,
+    probe: "QueryProbe",
+    bound: "_BoundProbe",
+    interner: KeyInterner,
+) -> bool:
+    """Range-constraint full condition on interned class-member masks.
+
+    Every equivalence class in ``key`` must intersect the query's
+    range-constrained columns. A class whose members are all interned is
+    tested exactly by the mask (an un-interned probe column can never
+    equal an interned member); classes with un-interned members fall back
+    to the frozenset intersection. Per-class masks are memoized on the
+    bound probe.
+    """
+    range_mask = bound.range_mask
+    class_masks = bound.class_masks
+    constrained = None
+    for cls in key:
+        entry = class_masks.get(cls)
+        if entry is None:
+            entry = interner.known_mask(cls)
+            class_masks[cls] = entry
+        mask, complete = entry
+        if mask & range_mask:
+            continue
+        if complete:
+            return False
+        if constrained is None:
+            constrained = probe.range_constrained_columns
+        if not (cls & constrained):
+            return False
+    return True
+
+
+class _BoundProbe:
+    """A :class:`QueryProbe` encoded as bitmasks against one interner.
+
+    Built once per filter-tree search (both subtrees share the tree's
+    interner) and reused by every lattice index the search touches.
+    ``class_masks`` memoizes the per-equivalence-class masks the
+    range-constraint level's full condition needs.
+    """
+
+    __slots__ = (
+        "tables_mask",
+        "tables_complete",
+        "residual_mask",
+        "range_mask",
+        "aggregate_mask",
+        "aggregate_complete",
+        "grouping_mask",
+        "grouping_complete",
+        "output_requirements",
+        "grouping_requirements",
+        "class_masks",
+    )
+
+    def __init__(self, probe: "QueryProbe", interner: KeyInterner):
+        self.tables_mask, self.tables_complete = interner.known_mask(
+            probe.tables
+        )
+        self.residual_mask, _ = interner.known_mask(probe.residual_templates)
+        self.range_mask, _ = interner.known_mask(
+            probe.range_constrained_columns
+        )
+        self.aggregate_mask, self.aggregate_complete = interner.known_mask(
+            probe.aggregate_templates
+        )
+        self.grouping_mask, self.grouping_complete = interner.known_mask(
+            probe.grouping_templates
+        )
+        self.output_requirements = tuple(
+            _bind_requirement(req, interner)
+            for req in probe.output_requirements
+        )
+        self.grouping_requirements = tuple(
+            _bind_requirement(req, interner)
+            for req in probe.grouping_requirements
+        )
+        self.class_masks: dict[Key, tuple[int, bool]] = {}
+
+
 @dataclass
 class QueryProbe:
     """The query-side search keys, computed once per filter-tree search."""
@@ -105,6 +232,38 @@ class QueryProbe:
     grouping_templates: Key
     grouping_requirements: tuple[OutputRequirement, ...]
     is_aggregate: bool
+    _bindings: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def bind(self, interner: KeyInterner) -> _BoundProbe:
+        """The probe's bitmask encoding under ``interner`` (memoized)."""
+        bound = self._bindings.get(interner)
+        if bound is None:
+            bound = _BoundProbe(self, interner)
+            self._bindings[interner] = bound
+        return bound
+
+    @classmethod
+    def cached_of(
+        cls,
+        query: SpjgDescription,
+        options: MatchOptions = DEFAULT_OPTIONS,
+    ) -> "QueryProbe":
+        """Like :meth:`of` but memoized on the description object.
+
+        A description is derived once per rule invocation; every filter
+        tree probing it with the same options (e.g. the reference and
+        interned trees of the hot-path benchmark, or repeated probes of
+        one served request) shares the derived keys.
+        """
+        cache = getattr(query, "_probe_cache", None)
+        if cache is None:
+            cache = {}
+            query._probe_cache = cache
+        probe = cache.get(options)
+        if probe is None:
+            probe = cls.of(query, options)
+            cache[options] = probe
+        return probe
 
     @classmethod
     def of(
@@ -288,7 +447,18 @@ class _Level:
     def projection(self, key: Key) -> Key:
         return key
 
-    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+    def search(
+        self,
+        index: LatticeIndex,
+        probe: QueryProbe,
+        bound: _BoundProbe | None = None,
+    ) -> list:
+        """Lattice search for the level's condition.
+
+        ``bound`` is the probe's bitmask encoding under the index's
+        interner, bound once per tree search; ``None`` selects the plain
+        frozenset search path.
+        """
         raise NotImplementedError
 
     def qualifies(self, key: Key, probe: QueryProbe) -> bool:
@@ -300,6 +470,24 @@ class _Level:
         """
         raise NotImplementedError
 
+    def match_bits(
+        self,
+        node,
+        probe: QueryProbe,
+        bound: "_BoundProbe",
+        interner: KeyInterner,
+    ) -> bool:
+        """The level's condition on one lattice node's bitmask encoding.
+
+        Must agree with :meth:`qualifies` on every stored key. The tree
+        search uses it to test singleton indexes directly -- most internal
+        lattice indexes hold exactly one node, where even the flat-scan
+        lattice search costs more than a single bit test. The default
+        falls back to the exact key predicate so custom levels stay
+        correct without a bits implementation.
+        """
+        return self.qualifies(node.key, probe)
+
 
 class HubLevel(_Level):
     """Section 4.2.2: the view's hub must be a subset of the query tables."""
@@ -309,11 +497,21 @@ class HubLevel(_Level):
     def view_key(self, view: RegisteredView) -> Key:
         return _tables_key(view.hub)
 
-    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+    def search(
+        self,
+        index: LatticeIndex,
+        probe: QueryProbe,
+        bound: _BoundProbe | None = None,
+    ) -> list:
+        if bound is not None:
+            return index.subsets_of(probe.tables, probe_bits=bound.tables_mask)
         return index.subsets_of(probe.tables)
 
     def qualifies(self, key: Key, probe: QueryProbe) -> bool:
         return key <= probe.tables
+
+    def match_bits(self, node, probe, bound, interner) -> bool:
+        return node.order_bits & bound.tables_mask == node.order_bits
 
 
 class SourceTableLevel(_Level):
@@ -324,11 +522,26 @@ class SourceTableLevel(_Level):
     def view_key(self, view: RegisteredView) -> Key:
         return _tables_key(view.description.tables)
 
-    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+    def search(
+        self,
+        index: LatticeIndex,
+        probe: QueryProbe,
+        bound: _BoundProbe | None = None,
+    ) -> list:
+        if bound is not None:
+            return index.supersets_of(
+                probe.tables,
+                probe_bits=bound.tables_mask,
+                probe_complete=bound.tables_complete,
+            )
         return index.supersets_of(probe.tables)
 
     def qualifies(self, key: Key, probe: QueryProbe) -> bool:
         return key >= probe.tables
+
+    def match_bits(self, node, probe, bound, interner) -> bool:
+        mask = bound.tables_mask
+        return bound.tables_complete and node.order_bits & mask == mask
 
 
 class OutputExpressionLevel(_Level):
@@ -339,11 +552,26 @@ class OutputExpressionLevel(_Level):
     def view_key(self, view: RegisteredView) -> Key:
         return _templates_key(view.description.output_templates())
 
-    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+    def search(
+        self,
+        index: LatticeIndex,
+        probe: QueryProbe,
+        bound: _BoundProbe | None = None,
+    ) -> list:
+        if bound is not None:
+            return index.supersets_of(
+                probe.aggregate_templates,
+                probe_bits=bound.aggregate_mask,
+                probe_complete=bound.aggregate_complete,
+            )
         return index.supersets_of(probe.aggregate_templates)
 
     def qualifies(self, key: Key, probe: QueryProbe) -> bool:
         return key >= probe.aggregate_templates
+
+    def match_bits(self, node, probe, bound, interner) -> bool:
+        mask = bound.aggregate_mask
+        return bound.aggregate_complete and node.order_bits & mask == mask
 
 
 class OutputColumnLevel(_Level):
@@ -357,16 +585,32 @@ class OutputColumnLevel(_Level):
             description.output_templates()
         )
 
-    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+    def search(
+        self,
+        index: LatticeIndex,
+        probe: QueryProbe,
+        bound: _BoundProbe | None = None,
+    ) -> list:
+        if bound is not None:
+            pairs = bound.output_requirements
+            return index.descend_monotone(
+                self._qualify(probe),
+                qualify_bits=lambda key_bits: _requirements_satisfied_bits(
+                    pairs, key_bits
+                ),
+            )
+        return index.descend_monotone(self._qualify(probe))
+
+    @staticmethod
+    def _qualify(probe: QueryProbe):
         requirements = probe.output_requirements
-
-        def qualify(key: Key) -> bool:
-            return all(req.satisfied(key) for req in requirements)
-
-        return index.descend_monotone(qualify)
+        return lambda key: all(req.satisfied(key) for req in requirements)
 
     def qualifies(self, key: Key, probe: QueryProbe) -> bool:
         return all(req.satisfied(key) for req in probe.output_requirements)
+
+    def match_bits(self, node, probe, bound, interner) -> bool:
+        return _requirements_satisfied_bits(bound.output_requirements, node.bits)
 
 
 class ResidualLevel(_Level):
@@ -377,11 +621,23 @@ class ResidualLevel(_Level):
     def view_key(self, view: RegisteredView) -> Key:
         return _templates_key(view.description.residual_templates())
 
-    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+    def search(
+        self,
+        index: LatticeIndex,
+        probe: QueryProbe,
+        bound: _BoundProbe | None = None,
+    ) -> list:
+        if bound is not None:
+            return index.subsets_of(
+                probe.residual_templates, probe_bits=bound.residual_mask
+            )
         return index.subsets_of(probe.residual_templates)
 
     def qualifies(self, key: Key, probe: QueryProbe) -> bool:
         return key <= probe.residual_templates
+
+    def match_bits(self, node, probe, bound, interner) -> bool:
+        return node.order_bits & bound.residual_mask == node.order_bits
 
 
 class RangeConstraintLevel(_Level):
@@ -406,7 +662,12 @@ class RangeConstraintLevel(_Level):
                 reduced.update(cls)
         return frozenset(reduced)
 
-    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+    def search(
+        self,
+        index: LatticeIndex,
+        probe: QueryProbe,
+        bound: _BoundProbe | None = None,
+    ) -> list:
         constrained = probe.range_constrained_columns
 
         def weak_qualify(order_key: Key) -> bool:
@@ -415,10 +676,31 @@ class RangeConstraintLevel(_Level):
         def qualify(key: Key) -> bool:
             return all(cls & constrained for cls in key)
 
+        interner = index.interner
+        if bound is not None and interner is not None:
+            range_mask = bound.range_mask
+
+            def weak_qualify_bits(order_bits: int) -> bool:
+                return order_bits & range_mask == order_bits
+
+            def qualify_interned(key: Key) -> bool:
+                return _classes_hit_bits(key, probe, bound, interner)
+
+            return index.ascend_weak(
+                weak_qualify,
+                qualify_interned,
+                weak_qualify_bits=weak_qualify_bits,
+            )
         return index.ascend_weak(weak_qualify, qualify)
 
     def qualifies(self, key: Key, probe: QueryProbe) -> bool:
         return all(cls & probe.range_constrained_columns for cls in key)
+
+    def match_bits(self, node, probe, bound, interner) -> bool:
+        # The order key is the union of the trivial classes' columns, so
+        # the weak order-key test is implied by the full condition and
+        # testing the full condition alone is exact.
+        return _classes_hit_bits(node.key, probe, bound, interner)
 
 
 class GroupingExpressionLevel(_Level):
@@ -429,11 +711,26 @@ class GroupingExpressionLevel(_Level):
     def view_key(self, view: RegisteredView) -> Key:
         return _templates_key(view.description.grouping_templates())
 
-    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+    def search(
+        self,
+        index: LatticeIndex,
+        probe: QueryProbe,
+        bound: _BoundProbe | None = None,
+    ) -> list:
+        if bound is not None:
+            return index.supersets_of(
+                probe.grouping_templates,
+                probe_bits=bound.grouping_mask,
+                probe_complete=bound.grouping_complete,
+            )
         return index.supersets_of(probe.grouping_templates)
 
     def qualifies(self, key: Key, probe: QueryProbe) -> bool:
         return key >= probe.grouping_templates
+
+    def match_bits(self, node, probe, bound, interner) -> bool:
+        mask = bound.grouping_mask
+        return bound.grouping_complete and node.order_bits & mask == mask
 
 
 class GroupingColumnLevel(_Level):
@@ -447,16 +744,34 @@ class GroupingColumnLevel(_Level):
             description.extended_grouping_columns()
         ) | _templates_key(description.grouping_templates())
 
-    def search(self, index: LatticeIndex, probe: QueryProbe) -> list:
+    def search(
+        self,
+        index: LatticeIndex,
+        probe: QueryProbe,
+        bound: _BoundProbe | None = None,
+    ) -> list:
         requirements = probe.grouping_requirements
 
         def qualify(key: Key) -> bool:
             return all(req.satisfied(key) for req in requirements)
 
+        if bound is not None:
+            pairs = bound.grouping_requirements
+            return index.descend_monotone(
+                qualify,
+                qualify_bits=lambda key_bits: _requirements_satisfied_bits(
+                    pairs, key_bits
+                ),
+            )
         return index.descend_monotone(qualify)
 
     def qualifies(self, key: Key, probe: QueryProbe) -> bool:
         return all(req.satisfied(key) for req in probe.grouping_requirements)
+
+    def match_bits(self, node, probe, bound, interner) -> bool:
+        return _requirements_satisfied_bits(
+            bound.grouping_requirements, node.bits
+        )
 
 
 SPJ_LEVELS: tuple[_Level, ...] = (
@@ -490,17 +805,19 @@ class _TreeNode:
 
     levels: tuple[_Level, ...]
     depth: int
+    interner: KeyInterner | None = None
     index: LatticeIndex = field(init=False)
     views: list[RegisteredView] = field(default_factory=list)  # leaves only
 
     def __post_init__(self) -> None:
-        if self.depth < len(self.levels):
+        # Plain attribute, not a property: the recursive search tests it
+        # once per visited node and the tree shape never changes.
+        self.is_leaf = self.depth >= len(self.levels)
+        if not self.is_leaf:
             level = self.levels[self.depth]
-            self.index = LatticeIndex(projection=level.projection)
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.depth >= len(self.levels)
+            self.index = LatticeIndex(
+                projection=level.projection, interner=self.interner
+            )
 
     def add(self, view: RegisteredView) -> None:
         if self.is_leaf:
@@ -510,7 +827,7 @@ class _TreeNode:
         key = level.view_key(view)
         node = self.index.node(key)
         if node is None or not node.payloads:
-            child = _TreeNode(self.levels, self.depth + 1)
+            child = _TreeNode(self.levels, self.depth + 1, self.interner)
             self.index.insert(key, child)
         else:
             child = node.payloads[0]
@@ -535,14 +852,40 @@ class _TreeNode:
             return not self.views
         return len(self.index) == 0
 
-    def search(self, probe: QueryProbe, out: list[RegisteredView]) -> None:
-        if self.is_leaf:
-            out.extend(self.views)
-            return
-        level = self.levels[self.depth]
-        for node in level.search(self.index, probe):
-            for child in node.payloads:
-                child.search(probe, out)
+    def search(
+        self,
+        probe: QueryProbe,
+        bound: "_BoundProbe | None",
+        out: list[RegisteredView],
+    ) -> None:
+        """Collect every registered view under this node that passes all
+        remaining levels.
+
+        Iterative depth-first walk: Python call frames per visited tree
+        node are a measurable share of filter cost. Interned singleton
+        indexes -- the overwhelming majority once the tree fans out -- are
+        tested with one direct ``match_bits`` call instead of a full
+        lattice search.
+        """
+        interner = self.interner
+        stack = [self]
+        while stack:
+            tree_node = stack.pop()
+            if tree_node.is_leaf:
+                out.extend(tree_node.views)
+                continue
+            level = tree_node.levels[tree_node.depth]
+            index = tree_node.index
+            if bound is not None:
+                node = index.sole
+                if node is not None:
+                    if level.match_bits(node, probe, bound, interner):
+                        stack.extend(node.payloads)
+                    continue
+            # Reversed push keeps the depth-first visit order of the
+            # recursive formulation (first search result explored first).
+            for node in reversed(level.search(index, probe, bound)):
+                stack.extend(node.payloads)
 
 
 class FilterTree:
@@ -558,6 +901,8 @@ class FilterTree:
         options: MatchOptions = DEFAULT_OPTIONS,
         spj_levels: tuple[_Level, ...] | None = None,
         aggregate_levels: tuple[_Level, ...] | None = None,
+        interner: KeyInterner | None = None,
+        use_interning: bool = True,
     ):
         """Build an empty tree.
 
@@ -566,22 +911,39 @@ class FilterTree:
         can be composed in any order", and the level-ordering ablation
         benchmark exercises exactly this hook. Every ordering yields the
         same candidate sets; only search cost differs.
+
+        ``interner`` shares an existing :class:`KeyInterner` (the serving
+        layer passes one across epoch rebuilds so bit assignments are
+        stable); by default each tree creates its own. ``use_interning=
+        False`` drops to plain frozenset keys everywhere -- the reference
+        configuration of the hot-path benchmark and property tests.
         """
         self.options = options
-        self._spj_root = _TreeNode(spj_levels or SPJ_LEVELS, 0)
-        self._aggregate_root = _TreeNode(aggregate_levels or AGGREGATE_LEVELS, 0)
+        if interner is None and use_interning:
+            interner = KeyInterner()
+        self.interner = interner
+        self._spj_root = _TreeNode(spj_levels or SPJ_LEVELS, 0, interner)
+        self._aggregate_root = _TreeNode(
+            aggregate_levels or AGGREGATE_LEVELS, 0, interner
+        )
         self._registered: dict[str, RegisteredView] = {}
 
     def __len__(self) -> int:
         return len(self._registered)
 
     def register(self, description: SpjgDescription) -> RegisteredView:
-        """Index a view description (computing its hub) into the tree."""
+        """Index a view description into the tree.
+
+        Computes the hub and the view's :class:`ViewMatchContext` here,
+        once -- re-registering a name after :meth:`unregister` therefore
+        always yields a fresh context for the new description.
+        """
         if description.name is None:
             raise ValueError("only named views can be registered")
         view = RegisteredView(
             description=description,
             hub=compute_hub(description, self.options),
+            match_context=ViewMatchContext.of(description, self.options),
         )
         self.register_prebuilt(view)
         return view
@@ -627,12 +989,34 @@ class FilterTree:
 
     def candidates(self, query: SpjgDescription) -> list[RegisteredView]:
         """Views passing all filter conditions for the query expression."""
-        probe = QueryProbe.of(query, self.options)
+        probe = QueryProbe.cached_of(query, self.options)
+        # Bind the probe to the tree's interner once; every lattice index
+        # in both subtrees shares it.
+        bound = probe.bind(self.interner) if self.interner is not None else None
         found: list[RegisteredView] = []
-        self._spj_root.search(probe, found)
+        self._spj_root.search(probe, bound, found)
         if query.is_aggregate:
-            self._aggregate_root.search(probe, found)
+            self._aggregate_root.search(probe, bound, found)
         return found
+
+    def lattice_node_count(self) -> int:
+        """Total lattice nodes across every index of both subtrees.
+
+        A diagnostic for register/unregister churn tests: dropping views
+        must splice their nodes out of every level, so the count returns
+        to its prior value after a register/unregister round trip.
+        """
+
+        def count(tree_node: _TreeNode) -> int:
+            if tree_node.is_leaf:
+                return 0
+            total = len(tree_node.index)
+            for lattice_node in tree_node.index.nodes():
+                for child in lattice_node.payloads:
+                    total += count(child)
+            return total
+
+        return count(self._spj_root) + count(self._aggregate_root)
 
     def filter_statistics(self, query: SpjgDescription) -> list[tuple[str, int]]:
         """Per-level survivor counts for one query (diagnostics).
@@ -643,7 +1027,7 @@ class FilterTree:
         tree consistently reduced the candidate set to less than 0.4%".
         The final count equals ``len(candidates(query))``.
         """
-        probe = QueryProbe.of(query, self.options)
+        probe = QueryProbe.cached_of(query, self.options)
         spj_views = [
             v for v in self._registered.values() if not v.description.is_aggregate
         ]

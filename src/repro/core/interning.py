@@ -1,0 +1,85 @@
+"""Key-atom interning: lattice keys as integer bitmasks.
+
+The filter tree's lattice keys are frozensets of tagged atoms -- table
+names, column keys, expression templates, whole equivalence classes. The
+subset/superset partial order the lattice searches walk only ever *compares*
+those sets, so the atoms themselves are opaque; what matters is fast
+``A ⊆ B`` tests. A :class:`KeyInterner` assigns each distinct atom one bit
+position, encoding any key as a single (arbitrary-precision) integer whose
+subset test is ``a & b == a`` -- one machine-word operation per 64 atoms
+instead of a per-element hash probe.
+
+Two access modes matter for the concurrent serving layer:
+
+* **Interning** (``mask``) assigns fresh bits to unseen atoms. It runs on
+  the registration path only, which the serving layer serializes under its
+  writer lock.
+* **Lookup** (``known_mask``) never mutates: query-side probes are encoded
+  against the bits already assigned. Probe atoms the interner has never
+  seen cannot occur in any registered key, so a subset search simply drops
+  them while a superset search can return empty immediately. Keeping the
+  read path mutation-free means unbounded query diversity cannot grow the
+  interner, and lock-free readers race only against GIL-atomic dict reads.
+
+One interner is shared by every lattice index of a filter tree, and the
+serving layer's :class:`~repro.service.snapshot.SnapshotManager` shares a
+single interner across all epoch rebuilds, so bit assignments (and the
+integer key encodings cached on registered views) survive snapshot churn.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["KeyInterner"]
+
+
+class KeyInterner:
+    """Assigns each distinct hashable atom a single-bit integer mask."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self) -> None:
+        self._bits: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        """Number of distinct atoms interned so far."""
+        return len(self._bits)
+
+    def __contains__(self, atom: Hashable) -> bool:
+        return atom in self._bits
+
+    def mask(self, atoms: Iterable[Hashable]) -> int:
+        """The bitmask of ``atoms``, interning any not yet seen.
+
+        Registration-side only: callers must serialize interning writes
+        (the filter tree mutators and the serving layer's writer lock do).
+        """
+        bits = self._bits
+        encoded = 0
+        for atom in atoms:
+            bit = bits.get(atom)
+            if bit is None:
+                bit = 1 << len(bits)
+                bits[atom] = bit
+            encoded |= bit
+        return encoded
+
+    def known_mask(self, atoms: Iterable[Hashable]) -> tuple[int, bool]:
+        """``(mask of already-interned atoms, whether all were interned)``.
+
+        Read-only: never assigns bits, so it is safe on the lock-free
+        query path. An atom the interner has not seen belongs to no
+        registered key; the boolean lets superset-style searches fail
+        fast while subset-style searches may ignore it.
+        """
+        bits = self._bits
+        encoded = 0
+        complete = True
+        for atom in atoms:
+            bit = bits.get(atom)
+            if bit is None:
+                complete = False
+            else:
+                encoded |= bit
+        return encoded, complete

@@ -16,7 +16,14 @@ filter-tree levels:
   range-constraint level orders nodes by the *reduced* constraint list
   while keys carry the full list -- exactly the trick of Section 4.2.5).
 
-Keys are frozensets of arbitrary hashable elements.
+Keys are frozensets of arbitrary hashable elements. When the index is
+given a :class:`~repro.core.interning.KeyInterner`, every key is also
+encoded as an integer bitmask at insert time, and all order comparisons --
+linking, extreme maintenance, and the four searches -- become ``a & b``
+integer tests with popcount-ordered minimal/maximal selection. Without an
+interner the index falls back to plain frozenset comparisons; the two
+modes are observably identical (property-tested), which is also what the
+hot-path benchmark uses as its before/after pair.
 """
 
 from __future__ import annotations
@@ -24,16 +31,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
 
+from .interning import KeyInterner
+
 Key = frozenset
 T = TypeVar("T")
 
+# Interned indexes at or below this size answer searches with one flat
+# pass of ``a & b`` tests over all nodes instead of walking the Hasse
+# diagram: the bit test is so much cheaper than the traversal's
+# pointer-chasing and visited-set bookkeeping that pruning only pays off
+# on larger indexes. Both strategies return exactly the same node set
+# (every search is a pure filter; the diagram is only a pruning device).
+_FLAT_SCAN_LIMIT = 48
 
-@dataclass
+
+@dataclass(eq=False)
 class LatticeNode:
-    """One stored key set with its payloads and Hasse-diagram neighbours."""
+    """One stored key set with its payloads and Hasse-diagram neighbours.
+
+    ``bits`` / ``order_bits`` are the interned bitmask encodings of
+    ``key`` / ``order_key`` (0 when the index has no interner).
+    Nodes compare and hash by identity (``eq=False``): the searches keep
+    visited sets of nodes on their hot path, and structural equality over
+    the cyclic neighbour lists would be meaningless anyway.
+    """
 
     key: Key
     order_key: Key
+    bits: int = 0
+    order_bits: int = 0
     payloads: list = field(default_factory=list)
     supersets: list["LatticeNode"] = field(default_factory=list)
     subsets: list["LatticeNode"] = field(default_factory=list)
@@ -45,11 +71,21 @@ class LatticeNode:
 class LatticeIndex:
     """A lattice-ordered index from key sets to payload lists."""
 
-    def __init__(self, projection: Callable[[Key], Key] | None = None):
+    def __init__(
+        self,
+        projection: Callable[[Key], Key] | None = None,
+        interner: KeyInterner | None = None,
+    ):
         self._projection = projection or (lambda key: key)
+        self.interner = interner
         self._nodes: dict[Key, LatticeNode] = {}
         self.tops: list[LatticeNode] = []
         self.roots: list[LatticeNode] = []
+        # The index's only node when it holds exactly one, else None.
+        # Most filter-tree indexes stay singletons once the tree fans
+        # out; the tree search tests this attribute to bypass the lattice
+        # machinery entirely for them.
+        self.sole: LatticeNode | None = None
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -74,21 +110,46 @@ class LatticeIndex:
             existing.payloads.append(payload)
             return existing
         node = LatticeNode(key=key, order_key=self._projection(key))
+        if self.interner is not None:
+            node.bits = self.interner.mask(key)
+            node.order_bits = self.interner.mask(node.order_key)
         node.payloads.append(payload)
         self._link(node)
         self._nodes[key] = node
+        self.sole = node if len(self._nodes) == 1 else None
         return node
 
     def _link(self, node: LatticeNode) -> None:
-        order = node.order_key
-        strict_supersets = [
-            other for other in self._nodes.values() if order < other.order_key
-        ]
-        strict_subsets = [
-            other for other in self._nodes.values() if other.order_key < order
-        ]
-        parents = _minimal(strict_supersets)
-        children = _maximal(strict_subsets)
+        if self.interner is not None:
+            order = node.order_bits
+            strict_supersets = [
+                other
+                for other in self._nodes.values()
+                if order != other.order_bits
+                and order & other.order_bits == order
+            ]
+            strict_subsets = [
+                other
+                for other in self._nodes.values()
+                if order != other.order_bits
+                and other.order_bits & order == other.order_bits
+            ]
+            parents = _minimal_bits(strict_supersets)
+            children = _maximal_bits(strict_subsets)
+        else:
+            order_key = node.order_key
+            strict_supersets = [
+                other
+                for other in self._nodes.values()
+                if order_key < other.order_key
+            ]
+            strict_subsets = [
+                other
+                for other in self._nodes.values()
+                if other.order_key < order_key
+            ]
+            parents = _minimal(strict_supersets)
+            children = _maximal(strict_subsets)
         # A direct parent-child edge that the new node now sits between is
         # replaced by the two edges through the new node.
         for parent in parents:
@@ -128,15 +189,19 @@ class LatticeIndex:
         if node.payloads:
             return
         del self._nodes[key]
+        self.sole = (
+            next(iter(self._nodes.values())) if len(self._nodes) == 1 else None
+        )
         # Splice the node out: its parents adopt its children when no other
         # path exists between them.
+        use_bits = self.interner is not None
         for parent in node.supersets:
             parent.subsets.remove(node)
         for child in node.subsets:
             child.supersets.remove(node)
         for parent in node.supersets:
             for child in node.subsets:
-                if not _reachable_downward(parent, child):
+                if not _reachable_downward(parent, child, use_bits):
                     parent.subsets.append(child)
                     child.supersets.append(parent)
         if node in self.tops:
@@ -152,66 +217,160 @@ class LatticeIndex:
 
     # -- searches ----------------------------------------------------------------
 
-    def subsets_of(self, search_key: Key) -> list[LatticeNode]:
+    def subsets_of(
+        self, search_key: Key, probe_bits: int | None = None
+    ) -> list[LatticeNode]:
         """All nodes whose order key is a subset of (or equal to) the search key.
 
         Starts from the roots and follows superset pointers, pruning as soon
         as a node's key stops being a subset (all its supersets fail too).
+        ``probe_bits`` is an optional precomputed ``known_mask`` of the
+        search key (atoms the interner has never seen belong to no stored
+        key, so dropping them cannot change the result).
         """
-        found: list[LatticeNode] = []
-        seen: set[int] = set()
+        if self.interner is not None:
+            if probe_bits is None:
+                probe_bits, _ = self.interner.known_mask(search_key)
+            nodes = self._nodes
+            if len(nodes) <= _FLAT_SCAN_LIMIT:
+                return [
+                    node
+                    for node in nodes.values()
+                    if node.order_bits & probe_bits == node.order_bits
+                ]
+            found: list[LatticeNode] = []
+            seen: set[LatticeNode] = set()
+            stack = [
+                root
+                for root in self.roots
+                if root.order_bits & probe_bits == root.order_bits
+            ]
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                found.append(node)
+                for parent in node.supersets:
+                    if (
+                        parent not in seen
+                        and parent.order_bits & probe_bits == parent.order_bits
+                    ):
+                        stack.append(parent)
+            return found
+        found = []
+        seen = set()
         stack = [root for root in self.roots if root.order_key <= search_key]
         while stack:
             node = stack.pop()
-            if id(node) in seen:
+            if node in seen:
                 continue
-            seen.add(id(node))
+            seen.add(node)
             found.append(node)
             for parent in node.supersets:
-                if id(parent) not in seen and parent.order_key <= search_key:
+                if parent not in seen and parent.order_key <= search_key:
                     stack.append(parent)
         return found
 
-    def supersets_of(self, search_key: Key) -> list[LatticeNode]:
+    def supersets_of(
+        self,
+        search_key: Key,
+        probe_bits: int | None = None,
+        probe_complete: bool | None = None,
+    ) -> list[LatticeNode]:
         """All nodes whose order key is a superset of (or equal to) the search key.
 
         Starts from the tops and follows subset pointers, pruning when a
-        node's key stops being a superset.
+        node's key stops being a superset. A search key containing an atom
+        the interner has never seen matches nothing (``probe_complete``
+        False short-circuits to empty).
         """
-        found: list[LatticeNode] = []
-        seen: set[int] = set()
+        if self.interner is not None:
+            if probe_bits is None or probe_complete is None:
+                probe_bits, probe_complete = self.interner.known_mask(search_key)
+            if not probe_complete:
+                return []
+            nodes = self._nodes
+            if len(nodes) <= _FLAT_SCAN_LIMIT:
+                return [
+                    node
+                    for node in nodes.values()
+                    if node.order_bits & probe_bits == probe_bits
+                ]
+            found: list[LatticeNode] = []
+            seen: set[LatticeNode] = set()
+            stack = [
+                top
+                for top in self.tops
+                if top.order_bits & probe_bits == probe_bits
+            ]
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                found.append(node)
+                for child in node.subsets:
+                    if (
+                        child not in seen
+                        and child.order_bits & probe_bits == probe_bits
+                    ):
+                        stack.append(child)
+            return found
+        found = []
+        seen = set()
         stack = [top for top in self.tops if top.order_key >= search_key]
         while stack:
             node = stack.pop()
-            if id(node) in seen:
+            if node in seen:
                 continue
-            seen.add(id(node))
+            seen.add(node)
             found.append(node)
             for child in node.subsets:
-                if id(child) not in seen and child.order_key >= search_key:
+                if child not in seen and child.order_key >= search_key:
                     stack.append(child)
         return found
 
-    def descend_monotone(self, qualify: Callable[[Key], bool]) -> list[LatticeNode]:
+    def descend_monotone(
+        self,
+        qualify: Callable[[Key], bool],
+        qualify_bits: Callable[[int], bool] | None = None,
+    ) -> list[LatticeNode]:
         """All nodes satisfying a condition that is monotone in the key.
 
         ``qualify`` must be upward-closed: if a key qualifies, so does every
         superset. The search starts at the tops and prunes an entire
         down-set as soon as a node fails (its subsets must fail too).
         Used for the output-column and grouping-column conditions
-        (Sections 4.2.3 / 4.2.4).
+        (Sections 4.2.3 / 4.2.4). When the index is interned, callers may
+        supply ``qualify_bits`` evaluating the same condition on the key's
+        bitmask encoding; it takes precedence over ``qualify``.
         """
-        found: list[LatticeNode] = []
-        seen: set[int] = set()
+        if qualify_bits is not None and self.interner is not None:
+            nodes = self._nodes
+            if len(nodes) <= _FLAT_SCAN_LIMIT:
+                return [node for node in nodes.values() if qualify_bits(node.bits)]
+            found: list[LatticeNode] = []
+            seen: set[LatticeNode] = set(self.tops)  # tops inspected exactly once
+            stack = [top for top in self.tops if qualify_bits(top.bits)]
+            while stack:
+                node = stack.pop()
+                found.append(node)
+                for child in node.subsets:
+                    if child not in seen:
+                        seen.add(child)
+                        if qualify_bits(child.bits):
+                            stack.append(child)
+            return found
+        found = []
+        seen = set(self.tops)
         stack = [top for top in self.tops if qualify(top.key)]
-        for top in self.tops:
-            seen.add(id(top))  # tops are all inspected exactly once
         while stack:
             node = stack.pop()
             found.append(node)
             for child in node.subsets:
-                if id(child) not in seen:
-                    seen.add(id(child))
+                if child not in seen:
+                    seen.add(child)
                     if qualify(child.key):
                         stack.append(child)
         return found
@@ -220,6 +379,7 @@ class LatticeIndex:
         self,
         weak_qualify: Callable[[Key], bool],
         qualify: Callable[[Key], bool],
+        weak_qualify_bits: Callable[[int], bool] | None = None,
     ) -> list[LatticeNode]:
         """The range-constraint search (Section 4.2.5).
 
@@ -227,22 +387,44 @@ class LatticeIndex:
         downward-closed (if a node fails, all supersets fail): it drives
         pruning while ascending from the roots. ``qualify`` is the full
         condition on the identity key; only nodes passing it are returned,
-        but failing it does not prune the ascent.
+        but failing it does not prune the ascent. ``weak_qualify_bits``
+        is the bitmask-encoded form of ``weak_qualify`` for interned
+        indexes (the full condition inspects the inside of key atoms, so
+        it stays a key callable).
         """
-        found: list[LatticeNode] = []
-        seen: set[int] = set()
-        stack = []
-        for root in self.roots:
-            seen.add(id(root))
-            if weak_qualify(root.order_key):
-                stack.append(root)
+        if weak_qualify_bits is not None and self.interner is not None:
+            nodes = self._nodes
+            if len(nodes) <= _FLAT_SCAN_LIMIT:
+                return [
+                    node
+                    for node in nodes.values()
+                    if weak_qualify_bits(node.order_bits) and qualify(node.key)
+                ]
+            found: list[LatticeNode] = []
+            seen: set[LatticeNode] = set(self.roots)
+            stack = [
+                root for root in self.roots if weak_qualify_bits(root.order_bits)
+            ]
+            while stack:
+                node = stack.pop()
+                if qualify(node.key):
+                    found.append(node)
+                for parent in node.supersets:
+                    if parent not in seen:
+                        seen.add(parent)
+                        if weak_qualify_bits(parent.order_bits):
+                            stack.append(parent)
+            return found
+        found = []
+        seen = set(self.roots)
+        stack = [root for root in self.roots if weak_qualify(root.order_key)]
         while stack:
             node = stack.pop()
             if qualify(node.key):
                 found.append(node)
             for parent in node.supersets:
-                if id(parent) not in seen:
-                    seen.add(id(parent))
+                if parent not in seen:
+                    seen.add(parent)
                     if weak_qualify(parent.order_key):
                         stack.append(parent)
         return found
@@ -270,18 +452,65 @@ def _maximal(nodes: list[LatticeNode]) -> list[LatticeNode]:
     ]
 
 
-def _reachable_downward(start: LatticeNode, target: LatticeNode) -> bool:
+def _minimal_bits(nodes: list[LatticeNode]) -> list[LatticeNode]:
+    """Popcount-ordered minimal selection over bitmask order keys.
+
+    Processing candidates by ascending popcount means any strict subset of
+    the node under test is already in ``result`` (or dominated by one that
+    is), so one pass with subset tests against the kept nodes suffices.
+    """
+    result: list[LatticeNode] = []
+    for a in sorted(nodes, key=lambda n: n.order_bits.bit_count()):
+        bits = a.order_bits
+        if not any(
+            kept.order_bits != bits and kept.order_bits & bits == kept.order_bits
+            for kept in result
+        ):
+            result.append(a)
+    return result
+
+
+def _maximal_bits(nodes: list[LatticeNode]) -> list[LatticeNode]:
+    result: list[LatticeNode] = []
+    for a in sorted(nodes, key=lambda n: -n.order_bits.bit_count()):
+        bits = a.order_bits
+        if not any(
+            kept.order_bits != bits and bits & kept.order_bits == bits
+            for kept in result
+        ):
+            result.append(a)
+    return result
+
+
+def _reachable_downward(
+    start: LatticeNode, target: LatticeNode, use_bits: bool
+) -> bool:
     """True when ``target`` is reachable from ``start`` via subset pointers."""
     stack = list(start.subsets)
-    seen: set[int] = set()
+    seen: set[LatticeNode] = set()
+    if use_bits:
+        target_bits = target.order_bits
+        while stack:
+            node = stack.pop()
+            if node is target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            # Only descend through nodes that could still lead to the target.
+            if (
+                target_bits != node.order_bits
+                and target_bits & node.order_bits == target_bits
+            ):
+                stack.extend(node.subsets)
+        return False
     while stack:
         node = stack.pop()
         if node is target:
             return True
-        if id(node) in seen:
+        if node in seen:
             continue
-        seen.add(id(node))
-        # Only descend through nodes that could still lead to the target.
+        seen.add(node)
         if target.order_key < node.order_key:
             stack.extend(node.subsets)
     return False

@@ -20,6 +20,7 @@ from ..errors import MatchError
 from ..sql.statements import SelectStatement
 from .describe import SpjgDescription, describe, validate_view_description
 from .filtertree import FilterTree, RegisteredView
+from .interning import KeyInterner
 from .matching import MatchResult, RejectReason, match_view
 from .options import DEFAULT_OPTIONS, MatchOptions
 
@@ -100,12 +101,30 @@ class ViewMatcher:
         catalog: "Catalog",
         options: MatchOptions = DEFAULT_OPTIONS,
         use_filter_tree: bool = True,
+        interner: KeyInterner | None = None,
+        use_interning: bool = True,
+        use_match_contexts: bool = True,
     ):
+        """``interner`` shares key-atom bit assignments with other trees
+        (the serving layer reuses one across epoch rebuilds).
+        ``use_interning=False`` / ``use_match_contexts=False`` disable the
+        bitset keys and the precomputed per-view contexts respectively --
+        the "before" configurations the hot-path benchmark compares
+        against; production callers leave both on.
+        """
         self.catalog = catalog
         self.options = options
         self.use_filter_tree = use_filter_tree
-        self.filter_tree = FilterTree(options)
+        self.use_match_contexts = use_match_contexts
+        self.filter_tree = FilterTree(
+            options, interner=interner, use_interning=use_interning
+        )
         self.statistics = MatcherStatistics()
+
+    @property
+    def interner(self) -> KeyInterner | None:
+        """The filter tree's key interner (None in reference mode)."""
+        return self.filter_tree.interner
 
     @classmethod
     def from_registered_views(
@@ -114,16 +133,24 @@ class ViewMatcher:
         views,
         options: MatchOptions = DEFAULT_OPTIONS,
         use_filter_tree: bool = True,
+        interner: KeyInterner | None = None,
     ) -> "ViewMatcher":
         """Build a matcher by re-indexing already-described views.
 
         ``views`` is an iterable of :class:`RegisteredView` objects (from a
-        previous matcher's :meth:`registered_views`). Descriptions and hubs
-        are reused verbatim, so constructing a matcher this way costs only
-        the filter-tree inserts -- the epoch-snapshot rebuild path of
-        ``repro.service`` depends on this being cheap.
+        previous matcher's :meth:`registered_views`). Descriptions, hubs,
+        and match contexts are reused verbatim, so constructing a matcher
+        this way costs only the filter-tree inserts -- the epoch-snapshot
+        rebuild path of ``repro.service`` depends on this being cheap, and
+        passes its long-lived ``interner`` so key encodings stay stable
+        across rebuilds.
         """
-        matcher = cls(catalog, options=options, use_filter_tree=use_filter_tree)
+        matcher = cls(
+            catalog,
+            options=options,
+            use_filter_tree=use_filter_tree,
+            interner=interner,
+        )
         for view in views:
             matcher.filter_tree.register_prebuilt(view)
         return matcher
@@ -196,7 +223,14 @@ class ViewMatcher:
         results: list[MatchResult] = []
         for candidate in self.candidates(query):
             stats.views_considered += 1
-            result = match_view(query, candidate.description, self.options)
+            result = match_view(
+                query,
+                candidate.description,
+                self.options,
+                context=(
+                    candidate.match_context if self.use_match_contexts else None
+                ),
+            )
             if result.matched:
                 stats.matches += 1
                 stats.substitutes += 1

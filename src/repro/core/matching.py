@@ -20,6 +20,7 @@ experiment harness can report where candidates die.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from enum import Enum, auto
 
@@ -217,35 +218,83 @@ class _BackjoinState:
             for predicate in self.joined[table]
         )
 
-    def expression_output_for(
-        self, form: ShallowForm, eqclasses: EquivalenceClasses
-    ) -> ColumnRef | None:
-        """A view output column computing exactly this expression."""
-        for candidate, name in self.expressions:
-            if candidate.matches(form, eqclasses):
-                return ColumnRef(self.view_name, name)
-        return None
 
-    def sum_output_for(
-        self, argument: Expression, eqclasses: EquivalenceClasses
-    ) -> ColumnRef | None:
-        """The view's SUM output over an equivalent argument expression."""
-        wanted = ShallowForm.of(FuncCall("sum", (argument,)))
-        for candidate, name in self.aggregates:
-            if candidate.matches(wanted, eqclasses):
-                return ColumnRef(self.view_name, name)
-        return None
+@dataclass(frozen=True)
+class ViewMatchContext:
+    """Frozen per-view matching state, built once at registration time.
+
+    ``match_view`` used to re-derive all of this on every invocation:
+    the output lookup structures, the view-side interval sets, the
+    classified check-constraint predicates of every view table, and the
+    foreign-key join graph for extra-table elimination. None of it
+    depends on the query, so the filter tree builds one context per view
+    at registration (:meth:`~repro.core.filtertree.FilterTree.register`)
+    and the serving layer's epoch rebuilds carry it along inside
+    :class:`~repro.core.filtertree.RegisteredView`. Per invocation only
+    the query-side derivation and the subsumption tests remain.
+    """
+
+    view: SpjgDescription
+    options: MatchOptions
+    outputs: _ViewOutputs  # backjoins is always None here; copied per match
+    range_items: tuple[tuple[ColumnKey, IntervalSet], ...]
+    check_ranges: tuple[RangePredicate, ...]
+    check_or_ranges: tuple[OrRangePredicate, ...]
+    check_residuals: tuple[ShallowForm, ...]
+    fk_edges: tuple[FkEdge, ...]
+
+    @classmethod
+    def of(
+        cls, view: SpjgDescription, options: MatchOptions = DEFAULT_OPTIONS
+    ) -> "ViewMatchContext":
+        if view.name is None:
+            raise ValueError("view description must carry a view name")
+        check_ranges, check_or_ranges, check_residuals = (
+            _check_constraint_predicates(view, options)
+        )
+        return cls(
+            view=view,
+            options=options,
+            outputs=_ViewOutputs.of(view),
+            range_items=_range_items(
+                view.classified.range_predicates, view.or_ranges
+            ),
+            check_ranges=check_ranges,
+            check_or_ranges=check_or_ranges,
+            check_residuals=check_residuals,
+            fk_edges=tuple(
+                build_fk_join_graph(
+                    view.tables, view.eqclasses, view.catalog, options
+                )
+            ),
+        )
+
+    def fresh_outputs(self) -> _ViewOutputs:
+        """A per-invocation copy safe to attach backjoin state to."""
+        return copy.copy(self.outputs)
 
 
 def match_view(
     query: SpjgDescription,
     view: SpjgDescription,
     options: MatchOptions = DEFAULT_OPTIONS,
+    context: ViewMatchContext | None = None,
 ) -> MatchResult:
-    """Match one query expression against one materialized view."""
+    """Match one query expression against one materialized view.
+
+    ``context`` is the view's precomputed :class:`ViewMatchContext`; when
+    absent (or built under different options) an equivalent one is derived
+    on the fly, so direct callers need not manage contexts.
+    """
     result = MatchResult(view=view)
     try:
-        _match(query, view, options, result)
+        if (
+            context is None
+            or context.options != options
+            or context.view is not view
+        ):
+            context = ViewMatchContext.of(view, options)
+        _match(query, view, options, context, result)
     except _Reject as reject:
         result.substitute = None
         result.reject_reason = reject.reason
@@ -257,6 +306,7 @@ def _match(
     query: SpjgDescription,
     view: SpjgDescription,
     options: MatchOptions,
+    context: ViewMatchContext,
     result: MatchResult,
 ) -> None:
     if view.name is None:
@@ -273,7 +323,7 @@ def _match(
     extras = view.tables - query.tables
     augmented = query.eqclasses.copy()
     if extras:
-        used_edges = _eliminate_extras(query, view, extras, options)
+        used_edges = _eliminate_extras(query, view, extras, context.fk_edges)
         result.eliminated_tables = tuple(sorted(extras))
         for table in sorted(extras):
             for column in view.catalog.table(table).column_names:
@@ -288,12 +338,10 @@ def _match(
     equality_partitions = _equality_partitions(view, augmented)
 
     # ---- Step 3: range subsumption -------------------------------------------
-    check_ranges, check_or_ranges, check_residuals = _check_constraint_predicates(
-        view, options
-    )
-    view_sets = _interval_sets(
-        view.classified.range_predicates, view.or_ranges, augmented
-    )
+    check_ranges = context.check_ranges
+    check_or_ranges = context.check_or_ranges
+    check_residuals = context.check_residuals
+    view_sets = _interval_sets_from_items(context.range_items, augmented)
     query_test_sets = _interval_sets(
         tuple(query.classified.range_predicates) + check_ranges,
         tuple(query.or_ranges) + check_or_ranges,
@@ -308,7 +356,7 @@ def _match(
                 f"{query_set}",
             )
     range_compensations, or_range_compensations = _range_compensations(
-        query, view, augmented
+        query, view, augmented, context.range_items
     )
 
     # ---- Step 4: residual subsumption ----------------------------------------
@@ -317,7 +365,7 @@ def _match(
     )
 
     # ---- Step 5: build and map compensating predicates ------------------------
-    outputs = _ViewOutputs.of(view)
+    outputs = context.fresh_outputs()
     if options.allow_backjoins and not view.is_aggregate:
         backjoins = _BackjoinState(view, augmented)
         backjoins.outputs = outputs
@@ -391,10 +439,9 @@ def _eliminate_extras(
     query: SpjgDescription,
     view: SpjgDescription,
     extras: frozenset[str],
-    options: MatchOptions,
+    edges: tuple[FkEdge, ...],
 ) -> tuple[FkEdge, ...]:
-    edges = build_fk_join_graph(view.tables, view.eqclasses, view.catalog, options)
-    elimination = eliminate_tables(view.tables, edges, removable=extras)
+    elimination = eliminate_tables(view.tables, list(edges), removable=extras)
     if not elimination.eliminated_all(extras):
         leftover = extras & elimination.remaining
         raise _Reject(
@@ -509,30 +556,56 @@ def _map_equality_partition(
     ]
 
 
+def _range_items(
+    range_predicates: tuple[RangePredicate, ...],
+    or_ranges: tuple[OrRangePredicate, ...],
+) -> tuple[tuple[ColumnKey, IntervalSet], ...]:
+    """Each range-bearing conjunct as a ``(column, interval set)`` pair.
+
+    The equivalence-class grouping depends on the (query-augmented)
+    classes of one match, but the per-conjunct interval sets do not --
+    precomputing them at registration leaves only the group-and-intersect
+    step per invocation.
+    """
+    items = [
+        (predicate.column, IntervalSet.of([predicate.interval()]))
+        for predicate in range_predicates
+    ]
+    items.extend(
+        (or_range.column, or_range.interval_set) for or_range in or_ranges
+    )
+    return tuple(items)
+
+
+def _interval_sets_from_items(
+    items: tuple[tuple[ColumnKey, IntervalSet], ...],
+    eqclasses: EquivalenceClasses,
+) -> dict[ColumnKey, IntervalSet]:
+    """Group per-conjunct interval sets by class and intersect."""
+    sets: dict[ColumnKey, IntervalSet] = {}
+    for column, interval_set in items:
+        representative = eqclasses.find(column)
+        current = sets.get(representative, UNBOUNDED_SET)
+        sets[representative] = current.intersect(interval_set)
+    return sets
+
+
 def _interval_sets(
     range_predicates: tuple[RangePredicate, ...],
     or_ranges: tuple[OrRangePredicate, ...],
     eqclasses: EquivalenceClasses,
 ) -> dict[ColumnKey, IntervalSet]:
     """Per-class interval sets: plain bounds intersected with disjunctions."""
-    sets: dict[ColumnKey, IntervalSet] = {}
-    for predicate in range_predicates:
-        representative = eqclasses.find(predicate.column)
-        current = sets.get(representative, UNBOUNDED_SET)
-        sets[representative] = current.intersect(
-            IntervalSet.of([predicate.interval()])
-        )
-    for or_range in or_ranges:
-        representative = eqclasses.find(or_range.column)
-        current = sets.get(representative, UNBOUNDED_SET)
-        sets[representative] = current.intersect(or_range.interval_set)
-    return sets
+    return _interval_sets_from_items(
+        _range_items(range_predicates, or_ranges), eqclasses
+    )
 
 
 def _range_compensations(
     query: SpjgDescription,
     view: SpjgDescription,
     augmented: EquivalenceClasses,
+    view_range_items: tuple[tuple[ColumnKey, IntervalSet], ...],
 ) -> tuple[list[tuple[ColumnKey, str, object]], list["Expression"]]:
     """Compensating range predicates, assuming containment already holds.
 
@@ -564,9 +637,7 @@ def _range_compensations(
         query_sets = _interval_sets(
             query.classified.range_predicates, query.or_ranges, augmented
         )
-        view_sets = _interval_sets(
-            view.classified.range_predicates, view.or_ranges, augmented
-        )
+        view_sets = _interval_sets_from_items(view_range_items, augmented)
         for representative in sorted(or_representatives):
             query_set = query_sets.get(representative)
             if query_set is None:

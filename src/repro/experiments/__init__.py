@@ -18,6 +18,12 @@ from .harness import (
     ExperimentResult,
     MeasurementPoint,
 )
+from .hotpath import (
+    HotpathConfig,
+    HotpathMismatchError,
+    check_against_baseline,
+    run_hotpath_benchmark,
+)
 from .reporting import render_table
 
 __all__ = [
@@ -26,7 +32,11 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentHarness",
     "ExperimentResult",
+    "HotpathConfig",
+    "HotpathMismatchError",
     "MeasurementPoint",
+    "check_against_baseline",
+    "run_hotpath_benchmark",
     "figure2",
     "figure3",
     "figure4",

@@ -1,0 +1,289 @@
+"""Hot-path benchmark: bitset-interned filtering vs. the reference path.
+
+Measures the two costs the interning work targets, before and after, on
+the same registered view pool:
+
+* **candidate filtering** -- one :meth:`FilterTree.candidates` call with a
+  warm probe cache, comparing the bitset-interned tree against the plain
+  frozenset reference tree (``use_interning=False``);
+* **full matching** -- one :meth:`ViewMatcher.match` invocation, comparing
+  registration-time :class:`ViewMatchContext` reuse against per-invocation
+  context rebuilds (``use_match_contexts=False``).
+
+Both comparisons run the *same* queries against the *same* views and the
+engine verifies the two modes agree exactly: identical candidate sets per
+query and identical matcher funnel statistics (candidates considered,
+matches, substitutes, rejection reasons). A speed number from a mode that
+returned different answers would be meaningless.
+
+The report serializes to ``BENCH_matching.json``; the committed copy is
+the regression baseline the CI smoke job checks new runs against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from dataclasses import dataclass
+
+from ..catalog import tpch_catalog
+from ..core import ViewMatcher
+from ..core.filtertree import QueryProbe
+from ..stats import synthetic_tpch_stats
+from ..workload import WorkloadGenerator
+
+# Latency regression tolerance for the CI gate: a fresh run may be at
+# most this many times slower than the committed baseline at the largest
+# measured view count (absorbs host-speed differences between the
+# machine that committed the baseline and the CI runner).
+REGRESSION_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class HotpathConfig:
+    """Benchmark sizes. The defaults mirror the Section 5 sweep shape."""
+
+    view_counts: tuple[int, ...] = (100, 500, 1000)
+    query_count: int = 25
+    seed: int = 42
+    scale: float = 0.5
+    filter_repetitions: int = 40  # candidate-filter passes per timing run
+    filter_runs: int = 3          # timing runs (best-of)
+    match_repetitions: int = 3    # full-match passes per mode
+
+    @classmethod
+    def smoke(cls) -> "HotpathConfig":
+        """CI-sized: still 1000 views (the gated point), fewer queries."""
+        return cls(
+            view_counts=(1000,),
+            query_count=8,
+            filter_repetitions=10,
+            filter_runs=2,
+            match_repetitions=1,
+        )
+
+
+class HotpathMismatchError(AssertionError):
+    """The before/after modes disagreed on candidates or match results."""
+
+
+def _build_matcher(catalog, views, *, use_interning, use_match_contexts):
+    matcher = ViewMatcher(
+        catalog,
+        use_interning=use_interning,
+        use_match_contexts=use_match_contexts,
+    )
+    for name, view in views:
+        matcher.register_view(name, view.statement)
+    return matcher
+
+
+def _time_filter(tree, descriptions, repetitions: int, runs: int) -> float:
+    """Best-of-``runs`` mean latency (us) of one ``candidates`` call."""
+    for description in descriptions:  # warm probe + binding caches
+        tree.candidates(description)
+    best = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            for description in descriptions:
+                tree.candidates(description)
+        elapsed = time.perf_counter() - start
+        per_call = elapsed / (repetitions * len(descriptions)) * 1e6
+        best = per_call if best is None else min(best, per_call)
+    return best
+
+
+def _time_match(matcher, descriptions, repetitions: int) -> float:
+    """Mean latency (us) of one full ``match`` invocation."""
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        for description in descriptions:
+            matcher.match(description)
+    elapsed = time.perf_counter() - start
+    return elapsed / (repetitions * len(descriptions)) * 1e6
+
+
+def _funnel(matcher) -> dict:
+    statistics = matcher.statistics
+    return {
+        "invocations": statistics.invocations,
+        "considered": statistics.views_considered,
+        "matches": statistics.matches,
+        "substitutes": statistics.substitutes,
+        "rejects_by_reason": dict(sorted(statistics.rejects_by_reason.items())),
+    }
+
+
+def _verify_modes(interned, reference, descriptions) -> tuple[dict, dict]:
+    """Cross-check the two modes; returns both funnels (must be equal)."""
+    for description in descriptions:
+        fast = sorted(v.name for v in interned.filter_tree.candidates(description))
+        slow = sorted(v.name for v in reference.filter_tree.candidates(description))
+        if fast != slow:
+            raise HotpathMismatchError(
+                f"candidate sets diverge: interned {fast} vs reference {slow}"
+            )
+    interned.statistics.reset()
+    reference.statistics.reset()
+    for description in descriptions:
+        interned.match(description)
+        reference.match(description)
+    interned_funnel = _funnel(interned)
+    reference_funnel = _funnel(reference)
+    if interned_funnel != reference_funnel:
+        raise HotpathMismatchError(
+            "matcher statistics diverge: "
+            f"{interned_funnel} vs {reference_funnel}"
+        )
+    return interned_funnel, reference_funnel
+
+
+def run_hotpath_benchmark(
+    config: HotpathConfig | None = None, echo=print
+) -> dict:
+    """Run the sweep; returns the JSON-serializable report dict."""
+    config = config or HotpathConfig()
+    catalog = tpch_catalog()
+    stats = synthetic_tpch_stats(scale=config.scale)
+    generator = WorkloadGenerator(catalog, stats, seed=config.seed)
+    views = generator.generate_views(max(config.view_counts))
+    queries = [
+        q.statement for q in generator.generate_queries(config.query_count)
+    ]
+
+    sizes = []
+    for view_count in config.view_counts:
+        pool = views[:view_count]
+        interned = _build_matcher(
+            catalog, pool, use_interning=True, use_match_contexts=True
+        )
+        reference = _build_matcher(
+            catalog, pool, use_interning=False, use_match_contexts=False
+        )
+        descriptions = [interned.describe_query(q) for q in queries]
+
+        # Probe building is shared by both modes (cached per description);
+        # report it separately so the filter numbers are pure search time.
+        probe_start = time.perf_counter()
+        for description in descriptions:
+            QueryProbe.cached_of(description, interned.options)
+        probe_us = (
+            (time.perf_counter() - probe_start) / len(descriptions) * 1e6
+        )
+
+        funnel, _ = _verify_modes(interned, reference, descriptions)
+
+        interned_filter = _time_filter(
+            interned.filter_tree,
+            descriptions,
+            config.filter_repetitions,
+            config.filter_runs,
+        )
+        reference_filter = _time_filter(
+            reference.filter_tree,
+            descriptions,
+            config.filter_repetitions,
+            config.filter_runs,
+        )
+        interned_match = _time_match(
+            interned, descriptions, config.match_repetitions
+        )
+        reference_match = _time_match(
+            reference, descriptions, config.match_repetitions
+        )
+
+        mean_candidates = sum(
+            len(interned.filter_tree.candidates(d)) for d in descriptions
+        ) / len(descriptions)
+        entry = {
+            "views": view_count,
+            "queries": len(descriptions),
+            "mean_candidates": round(mean_candidates, 2),
+            "probe_build_us": round(probe_us, 2),
+            "candidate_filter_us": {
+                "interned": round(interned_filter, 2),
+                "reference": round(reference_filter, 2),
+                "speedup": round(reference_filter / interned_filter, 2),
+            },
+            "full_match_us": {
+                "with_contexts": round(interned_match, 2),
+                "rebuilt_contexts": round(reference_match, 2),
+                "speedup": round(reference_match / interned_match, 2),
+            },
+            "funnel": funnel,
+            "modes_identical": True,  # _verify_modes raised otherwise
+        }
+        sizes.append(entry)
+        if echo is not None:
+            filt = entry["candidate_filter_us"]
+            full = entry["full_match_us"]
+            echo(
+                f"{view_count:5d} views: filter {filt['interned']:8.1f}us "
+                f"vs {filt['reference']:8.1f}us ({filt['speedup']:.2f}x)   "
+                f"match {full['with_contexts']:8.1f}us vs "
+                f"{full['rebuilt_contexts']:8.1f}us ({full['speedup']:.2f}x)"
+            )
+
+    return {
+        "benchmark": "hotpath-matching",
+        "config": dataclasses.asdict(config),
+        "python": platform.python_version(),
+        "sizes": sizes,
+    }
+
+
+def check_against_baseline(
+    report: dict, baseline: dict, echo=print
+) -> list[str]:
+    """Regression check for CI; returns a list of failure messages.
+
+    Compares the interned candidate-filter latency at the largest view
+    count measured by *both* reports; a fresh run more than
+    ``REGRESSION_FACTOR`` times slower than the committed baseline fails.
+    The interned-vs-reference speedup is reported but not gated (it is
+    already asserted to be computed from identical results).
+    """
+    failures: list[str] = []
+    fresh_by_views = {entry["views"]: entry for entry in report["sizes"]}
+    base_by_views = {entry["views"]: entry for entry in baseline["sizes"]}
+    shared = sorted(set(fresh_by_views) & set(base_by_views))
+    if not shared:
+        return [
+            "no common view count between fresh run "
+            f"{sorted(fresh_by_views)} and baseline {sorted(base_by_views)}"
+        ]
+    views = shared[-1]
+    fresh_us = fresh_by_views[views]["candidate_filter_us"]["interned"]
+    base_us = base_by_views[views]["candidate_filter_us"]["interned"]
+    limit = base_us * REGRESSION_FACTOR
+    if echo is not None:
+        echo(
+            f"baseline check at {views} views: fresh {fresh_us:.1f}us, "
+            f"baseline {base_us:.1f}us, limit {limit:.1f}us"
+        )
+    if fresh_us > limit:
+        failures.append(
+            f"candidate filtering at {views} views regressed: "
+            f"{fresh_us:.1f}us > {REGRESSION_FACTOR:g}x baseline "
+            f"({base_us:.1f}us)"
+        )
+    return failures
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+__all__ = [
+    "HotpathConfig",
+    "HotpathMismatchError",
+    "REGRESSION_FACTOR",
+    "check_against_baseline",
+    "run_hotpath_benchmark",
+    "write_report",
+]

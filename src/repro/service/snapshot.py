@@ -27,7 +27,9 @@ from ..catalog.catalog import Catalog
 from ..core.describe import describe, validate_view_description
 from ..core.fkgraph import compute_hub
 from ..core.filtertree import RegisteredView
+from ..core.interning import KeyInterner
 from ..core.matcher import ViewMatcher
+from ..core.matching import ViewMatchContext
 from ..core.options import DEFAULT_OPTIONS, MatchOptions
 from ..optimizer.cost import DEFAULT_COST_MODEL, CostModel
 from ..optimizer.optimizer import Optimizer, OptimizerConfig
@@ -84,6 +86,11 @@ class SnapshotManager:
         self.index_registry = index_registry
         self.use_filter_tree = use_filter_tree
         self._write_lock = threading.Lock()
+        # One interner for the manager's whole lifetime: every epoch's
+        # filter tree shares it, so key-atom bit assignments (and the
+        # bound-probe encodings readers cache) stay valid across rebuilds.
+        # It only ever grows on the serialized writer path.
+        self._interner = KeyInterner()
         self._views: dict[str, RegisteredView] = {}
         self._listeners: list[Callable[[CatalogSnapshot], None]] = []
         self._snapshot = self._build(0, self._views)
@@ -107,9 +114,9 @@ class SnapshotManager:
     ) -> CatalogSnapshot:
         """Describe, validate, and publish a view; returns the new snapshot.
 
-        The expensive work (describe + hub) happens before the writer lock
-        is taken; only the registry copy, tree replay, and publish are
-        serialized. Raises :class:`~repro.errors.MatchError` for view
+        The expensive work (describe + hub + match context) happens before
+        the writer lock is taken; only the registry copy, tree replay, and
+        publish are serialized. Raises :class:`~repro.errors.MatchError` for view
         definitions outside the indexable class and :class:`ValueError`
         for duplicate names.
         """
@@ -118,7 +125,9 @@ class SnapshotManager:
         )
         validate_view_description(description)
         view = RegisteredView(
-            description=description, hub=compute_hub(description, self.options)
+            description=description,
+            hub=compute_hub(description, self.options),
+            match_context=ViewMatchContext.of(description, self.options),
         )
         with self._write_lock:
             if name in self._views:
@@ -170,6 +179,7 @@ class SnapshotManager:
             views.values(),
             options=self.options,
             use_filter_tree=self.use_filter_tree,
+            interner=self._interner,
         )
         optimizer = Optimizer(
             self.catalog,

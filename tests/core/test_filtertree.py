@@ -347,3 +347,58 @@ class TestCompleteness:
                     assert view.name in candidates, (
                         f"filter tree pruned matching view {view.name}"
                     )
+
+
+class TestChurnNodeCounts:
+    """Unregister must splice every lattice node back out (no stale leaks).
+
+    ``lattice_node_count`` totals the nodes of every per-tree-node index;
+    a register/unregister round trip that leaves the count elevated means
+    ``LatticeIndex.remove_payload`` stranded an empty node somewhere.
+    """
+
+    @pytest.mark.parametrize("use_interning", [True, False])
+    def test_bulk_round_trip_returns_to_empty(self, catalog, use_interning):
+        stats = synthetic_tpch_stats(0.5)
+        generator = WorkloadGenerator(catalog, stats, seed=77)
+        tree = FilterTree(use_interning=use_interning)
+        assert tree.lattice_node_count() == 0
+        views = list(generator.generate_views(40))
+        for name, view in views:
+            tree.register(describe(view.statement, catalog, name=name))
+        assert tree.lattice_node_count() > 0
+        for name, _ in views:
+            tree.unregister(name)
+        assert len(tree) == 0
+        assert tree.lattice_node_count() == 0
+
+    def test_interleaved_churn_holds_count_at_baseline(self, catalog):
+        stats = synthetic_tpch_stats(0.5)
+        generator = WorkloadGenerator(catalog, stats, seed=78)
+        views = list(generator.generate_views(30))
+        tree = FilterTree()
+        for name, view in views[:20]:
+            tree.register(describe(view.statement, catalog, name=name))
+        resident = tree.lattice_node_count()
+        # Churning transient views through a populated tree must never
+        # move the node count: each one splices fully back out.
+        for name, view in views[20:]:
+            tree.register(describe(view.statement, catalog, name=name))
+            tree.unregister(name)
+            assert tree.lattice_node_count() == resident
+        assert len(tree) == 20
+
+    def test_shared_path_nodes_survive_partial_unregister(self, catalog):
+        tree = FilterTree()
+        sql = "select l_orderkey as k from lineitem where l_quantity >= 10"
+        register(tree, catalog, "twin_a", sql)
+        shared = tree.lattice_node_count()
+        # An identical twin shares every lattice node along the path.
+        register(tree, catalog, "twin_b", sql)
+        assert tree.lattice_node_count() == shared
+        tree.unregister("twin_a")
+        # Dropping one twin must not tear down nodes the survivor uses.
+        assert tree.lattice_node_count() == shared
+        assert candidate_names(tree, catalog, sql) == {"twin_b"}
+        tree.unregister("twin_b")
+        assert tree.lattice_node_count() == 0

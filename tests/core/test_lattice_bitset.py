@@ -1,0 +1,190 @@
+"""Bitset-interned lattice searches agree with the frozenset reference.
+
+The interned index answers every search with ``a & b`` mask tests (and,
+below :data:`_FLAT_SCAN_LIMIT`, a flat scan instead of the Hasse-diagram
+walk). These properties pin the observable-equivalence claim: on random
+lattices, every search of the interned index returns exactly the node set
+of the plain frozenset index and of brute force -- including probes with
+atoms the interner has never seen, projections, mixed-type atoms, and
+interleaved removals. Both traversal strategies are exercised by forcing
+the flat-scan limit to zero in half the cases.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.interning import KeyInterner
+from repro.core.lattice import LatticeIndex
+import repro.core.lattice as lattice_module
+
+
+def build_pair(keys, projection=None):
+    """The same key multiset in an interned and a reference index."""
+    interned = LatticeIndex(projection=projection, interner=KeyInterner())
+    reference = LatticeIndex(projection=projection)
+    for i, key in enumerate(keys):
+        interned.insert(frozenset(key), f"p{i}")
+        reference.insert(frozenset(key), f"p{i}")
+    return interned, reference
+
+
+def keys_of(nodes):
+    return {node.key for node in nodes}
+
+
+@pytest.fixture(params=["flat-scan", "diagram-walk"])
+def traversal(request, monkeypatch):
+    """Run each property under both interned traversal strategies."""
+    if request.param == "diagram-walk":
+        monkeypatch.setattr(lattice_module, "_FLAT_SCAN_LIMIT", 0)
+    return request.param
+
+
+# Mixed-type atoms: plain strings and the tagged tuples the filter tree
+# actually interns (("t", table), ("c", table, column), ...).
+elements = st.sampled_from(
+    ["A", "B", "C", ("t", "orders"), ("c", "lineitem", "l_qty"), ("x", "f(#1)")]
+)
+key_sets = st.frozensets(elements, max_size=4)
+# Probes may contain atoms never inserted -- unknown to the interner.
+probe_elements = st.sampled_from(
+    ["A", "B", "C", "Z", ("t", "orders"), ("t", "nation"), ("c", "lineitem", "l_qty")]
+)
+probe_sets = st.frozensets(probe_elements, max_size=5)
+
+
+@settings(max_examples=200, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.lists(key_sets, max_size=15), probe_sets)
+def test_subsets_agree_with_reference_and_brute_force(traversal, keys, probe):
+    interned, reference = build_pair(keys)
+    expected = {frozenset(k) for k in keys if frozenset(k) <= probe}
+    found = keys_of(interned.subsets_of(probe))
+    assert found == expected
+    assert found == keys_of(reference.subsets_of(probe))
+
+
+@settings(max_examples=200, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.lists(key_sets, max_size=15), probe_sets)
+def test_supersets_agree_with_reference_and_brute_force(traversal, keys, probe):
+    interned, reference = build_pair(keys)
+    expected = {frozenset(k) for k in keys if frozenset(k) >= probe}
+    found = keys_of(interned.supersets_of(probe))
+    assert found == expected
+    assert found == keys_of(reference.supersets_of(probe))
+
+
+@settings(max_examples=200, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.lists(key_sets, max_size=15), probe_sets)
+def test_descend_monotone_agrees_with_reference(traversal, keys, required):
+    interned, reference = build_pair(keys)
+
+    def qualify(key):
+        return key >= required
+
+    # Encode the same condition on masks the way the filter-tree levels
+    # do: a probe atom the interner has never seen cannot be contained in
+    # any stored key, so the whole condition is unsatisfiable.
+    required_mask, complete = interned.interner.known_mask(required)
+    if complete:
+        def qualify_bits(bits):
+            return bits & required_mask == required_mask
+    else:
+        def qualify_bits(bits):
+            return False
+
+    expected = {frozenset(k) for k in keys if frozenset(k) >= required}
+    found = keys_of(interned.descend_monotone(qualify, qualify_bits=qualify_bits))
+    assert found == expected
+    assert found == keys_of(reference.descend_monotone(qualify))
+
+
+@settings(max_examples=200, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.lists(key_sets, max_size=15), probe_sets, key_sets)
+def test_ascend_weak_agrees_with_reference(traversal, keys, constrained, marker):
+    # Order by a projection (atoms also present in `marker`), mirroring
+    # the range level's reduced-key ordering.
+    def projection(key):
+        return key & marker
+
+    interned, reference = build_pair(keys, projection=projection)
+
+    def weak_qualify(order_key):
+        return order_key <= constrained
+
+    def qualify(key):
+        return bool(key & constrained) or not key
+
+    constrained_mask, _ = interned.interner.known_mask(constrained)
+
+    def weak_qualify_bits(order_bits):
+        return order_bits & constrained_mask == order_bits
+
+    expected = {
+        frozenset(k)
+        for k in keys
+        if projection(frozenset(k)) <= constrained and qualify(frozenset(k))
+    }
+    found = keys_of(
+        interned.ascend_weak(
+            weak_qualify, qualify, weak_qualify_bits=weak_qualify_bits
+        )
+    )
+    assert found == expected
+    assert found == keys_of(reference.ascend_weak(weak_qualify, qualify))
+
+
+@settings(max_examples=150, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.lists(key_sets, min_size=1, max_size=12), st.data())
+def test_interned_searches_survive_removals(traversal, keys, data):
+    interned, reference = build_pair(keys)
+    survivors = dict(enumerate(keys))
+    removal_count = data.draw(st.integers(0, len(keys)))
+    for _ in range(removal_count):
+        victim = data.draw(st.sampled_from(sorted(survivors)))
+        key = frozenset(survivors.pop(victim))
+        interned.remove_payload(key, f"p{victim}")
+        reference.remove_payload(key, f"p{victim}")
+    probe = data.draw(probe_sets)
+    expected_sub = {
+        frozenset(k) for k in survivors.values() if frozenset(k) <= probe
+    }
+    assert keys_of(interned.subsets_of(probe)) == expected_sub
+    assert keys_of(interned.subsets_of(probe)) == keys_of(
+        reference.subsets_of(probe)
+    )
+    expected_sup = {
+        frozenset(k) for k in survivors.values() if frozenset(k) >= probe
+    }
+    assert keys_of(interned.supersets_of(probe)) == expected_sup
+
+
+def test_large_index_uses_diagram_walk_and_agrees():
+    """A deterministic index above the flat-scan limit (DAG path live)."""
+    import random
+
+    rng = random.Random(7)
+    pool = [f"e{i}" for i in range(12)]
+    keys = {frozenset(rng.sample(pool, rng.randint(1, 6))) for _ in range(120)}
+    keys = sorted(keys, key=sorted)
+    assert len(keys) > lattice_module._FLAT_SCAN_LIMIT
+    interned, reference = build_pair(keys)
+    for _ in range(50):
+        probe = frozenset(rng.sample(pool + ["zz"], rng.randint(0, 7)))
+        assert keys_of(interned.subsets_of(probe)) == keys_of(
+            reference.subsets_of(probe)
+        )
+        assert keys_of(interned.supersets_of(probe)) == keys_of(
+            reference.supersets_of(probe)
+        )
+
+
+def test_shared_interner_across_indexes():
+    """Two indexes on one interner assign consistent bits (serving layer)."""
+    interner = KeyInterner()
+    first = LatticeIndex(interner=interner)
+    second = LatticeIndex(interner=interner)
+    first.insert(frozenset("AB"), "x")
+    second.insert(frozenset("BC"), "y")
+    assert first.node(frozenset("AB")).bits & second.node(frozenset("BC")).bits
+    assert len(interner) == 3  # A, B, C interned once across both

@@ -1,0 +1,182 @@
+"""ViewMatchContext lifecycle: built at registration, never stale.
+
+The context is frozen per-view matching state computed once when a view
+is registered. These tests pin the invalidation contract: re-registering
+a name after unregister rebuilds the context for the *new* definition,
+snapshot rebuilds reuse surviving contexts by identity but never
+resurrect dropped ones, and matching with contexts on agrees exactly
+with deriving everything per invocation.
+"""
+
+import pytest
+
+from repro.core import ViewMatcher, describe, match_view
+from repro.core.filtertree import FilterTree
+from repro.core.matching import ViewMatchContext
+from repro.service import SnapshotManager
+
+
+def described(catalog, sql, name=None):
+    return describe(catalog.bind_sql(sql), catalog, name=name)
+
+
+class TestRegistrationBuildsContext:
+    def test_register_attaches_context_for_the_description(self, catalog):
+        tree = FilterTree()
+        view = tree.register(
+            described(catalog, "select l_orderkey as k from lineitem", "v")
+        )
+        assert isinstance(view.match_context, ViewMatchContext)
+        assert view.match_context.view is view.description
+
+    def test_reregistering_same_name_builds_fresh_context(self, catalog):
+        tree = FilterTree()
+        first = tree.register(
+            described(
+                catalog,
+                "select l_orderkey as k from lineitem where l_quantity >= 10",
+                "v",
+            )
+        )
+        tree.unregister("v")
+        second = tree.register(
+            described(
+                catalog,
+                "select l_partkey as k from lineitem where l_quantity >= 99",
+                "v",
+            )
+        )
+        # Same name, new definition: the context must reflect the new
+        # statement, not the stale one.
+        assert second.match_context is not first.match_context
+        assert second.match_context.view is second.description
+        (registered,) = tree.views()
+        assert registered.match_context is second.match_context
+
+    def test_query_with_stale_context_would_mismatch(self, catalog):
+        """The context carries real per-view state, so reuse must be exact.
+
+        Matching a query against view B while passing view A's context
+        must not silently succeed -- this is what makes the rebuild-on-
+        re-register contract load-bearing rather than cosmetic.
+        """
+        narrow = described(
+            catalog,
+            "select l_orderkey as k, l_quantity as q from lineitem "
+            "where l_quantity >= 99",
+            "v",
+        )
+        wide = described(
+            catalog,
+            "select l_orderkey as k, l_quantity as q from lineitem "
+            "where l_quantity >= 10",
+            "v",
+        )
+        query = described(
+            catalog, "select l_orderkey from lineitem where l_quantity >= 50"
+        )
+        assert not match_view(query, narrow).matched
+        assert match_view(query, wide).matched
+        fresh = match_view(query, wide, context=ViewMatchContext.of(wide))
+        assert fresh.matched
+        assert (
+            fresh.substitute is not None
+        )  # context path produces a real substitute
+
+
+class TestMatcherModesAgree:
+    VIEWS = {
+        "v_range": (
+            "select l_orderkey, l_quantity from lineitem "
+            "where l_quantity >= 10 and l_quantity <= 90"
+        ),
+        "v_agg": (
+            "select l_partkey, sum(l_quantity) as total, count_big(*) as cnt "
+            "from lineitem group by l_partkey"
+        ),
+        "v_join": (
+            "select l_orderkey, o_orderdate from lineitem, orders "
+            "where l_orderkey = o_orderkey"
+        ),
+    }
+    QUERIES = (
+        "select l_orderkey from lineitem where l_quantity >= 20 and l_quantity <= 80",
+        "select l_partkey, sum(l_quantity) from lineitem group by l_partkey",
+        "select o_orderdate from lineitem, orders where l_orderkey = o_orderkey",
+    )
+
+    def test_contexts_on_and_off_return_identical_results(self, catalog):
+        with_ctx = ViewMatcher(catalog, use_match_contexts=True)
+        without_ctx = ViewMatcher(catalog, use_match_contexts=False)
+        for name, sql in self.VIEWS.items():
+            with_ctx.register_view(name, catalog.bind_sql(sql))
+            without_ctx.register_view(name, catalog.bind_sql(sql))
+        for sql in self.QUERIES:
+            fast = {
+                (r.view.name, r.matched, r.reject_reason)
+                for r in with_ctx.match(catalog.bind_sql(sql))
+            }
+            slow = {
+                (r.view.name, r.matched, r.reject_reason)
+                for r in without_ctx.match(catalog.bind_sql(sql))
+            }
+            assert fast == slow
+
+
+class TestSnapshotRebuilds:
+    VIEW_SQL = {
+        "v_cheap": "select l_partkey, l_quantity from lineitem where l_quantity >= 10",
+        "v_parts": "select p_partkey, p_retailprice from part "
+        "where p_retailprice >= 100",
+    }
+
+    @pytest.fixture()
+    def manager(self, catalog, paper_stats):
+        return SnapshotManager(catalog, paper_stats)
+
+    def context_of(self, snapshot, name):
+        (view,) = [
+            v
+            for v in snapshot.matcher.registered_views()
+            if v.description.name == name
+        ]
+        return view.match_context
+
+    def test_epoch_rebuilds_reuse_context_by_identity(self, manager, catalog):
+        first = manager.register_view(
+            "v_cheap", catalog.bind_sql(self.VIEW_SQL["v_cheap"])
+        )
+        kept = self.context_of(first, "v_cheap")
+        second = manager.register_view(
+            "v_parts", catalog.bind_sql(self.VIEW_SQL["v_parts"])
+        )
+        # The rebuild replays prebuilt RegisteredView objects: the
+        # surviving view's context is the same object, not a re-derivation.
+        assert self.context_of(second, "v_cheap") is kept
+
+    def test_dropped_context_is_not_resurrected(self, manager, catalog):
+        manager.register_view(
+            "v_cheap", catalog.bind_sql(self.VIEW_SQL["v_cheap"])
+        )
+        dropped = self.context_of(manager.current, "v_cheap")
+        manager.unregister_view("v_cheap")
+        assert "v_cheap" not in manager.current.view_names
+        # Re-register the name with a different definition: the new
+        # epoch must carry a context for the new statement only.
+        revived = manager.register_view(
+            "v_cheap", catalog.bind_sql(self.VIEW_SQL["v_parts"])
+        )
+        reborn = self.context_of(revived, "v_cheap")
+        assert reborn is not dropped
+        assert reborn.view.tables != dropped.view.tables
+
+    def test_interner_persists_across_epochs(self, manager, catalog):
+        before = manager.current.matcher.interner
+        assert before is manager._interner
+        manager.register_view(
+            "v_cheap", catalog.bind_sql(self.VIEW_SQL["v_cheap"])
+        )
+        manager.unregister_view("v_cheap")
+        # Every epoch's tree shares the manager-lifetime interner, so bit
+        # assignments stay stable across rebuilds.
+        assert manager.current.matcher.interner is before
