@@ -15,8 +15,11 @@ before anything is timed. Run directly::
 ``--output`` writes the machine-readable report (the repository commits
 it as ``BENCH_matching.json``); ``--check-baseline`` exits non-zero when
 candidate filtering at the largest shared view count is more than 2x
-slower than the committed baseline. The module is also collectable by
-pytest (one smoke-sized test), like the other bench files.
+slower than the committed baseline. ``--check-overhead`` applies the
+much tighter disabled-tracing guard (calibration-normalized; run the
+full sweep, not ``--smoke``, so the configuration matches the
+baseline's). The module is also collectable by pytest (one smoke-sized
+test), like the other bench files.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ import sys
 from repro.experiments import (
     HotpathConfig,
     check_against_baseline,
+    check_tracing_overhead,
     run_hotpath_benchmark,
 )
 from repro.experiments.hotpath import write_report
@@ -59,6 +63,21 @@ def main(argv: list[str] | None = None) -> int:
         metavar="JSON",
         help="committed BENCH_matching.json to gate regressions against",
     )
+    parser.add_argument(
+        "--check-overhead",
+        default=None,
+        metavar="JSON",
+        help="baseline for the disabled-tracing overhead guard "
+        "(calibration-normalized; needs matching sweep configuration)",
+    )
+    parser.add_argument(
+        "--overhead-tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="override the overhead budget (default 0.05; CI uses more "
+        "to absorb shared-runner scheduling noise)",
+    )
     arguments = parser.parse_args(argv)
 
     config = HotpathConfig.smoke() if arguments.smoke else HotpathConfig()
@@ -79,15 +98,23 @@ def main(argv: list[str] | None = None) -> int:
         write_report(report, arguments.output)
         print(f"report written to {arguments.output}")
 
+    failures = []
     if arguments.check_baseline:
         with open(arguments.check_baseline) as handle:
             baseline = json.load(handle)
-        failures = check_against_baseline(report, baseline)
-        for failure in failures:
-            print(f"FAIL: {failure}")
-        if failures:
-            return 1
-    return 0
+        failures += check_against_baseline(report, baseline)
+    if arguments.check_overhead:
+        with open(arguments.check_overhead) as handle:
+            baseline = json.load(handle)
+        kwargs = (
+            {}
+            if arguments.overhead_tolerance is None
+            else {"tolerance": arguments.overhead_tolerance}
+        )
+        failures += check_tracing_overhead(report, baseline, **kwargs)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 def test_hotpath_bench_smoke():

@@ -18,6 +18,10 @@ Commands
     Time the matching hot path before/after the bitset-interned filter
     tree and registration-time match contexts, cross-checking that both
     configurations return identical candidates and match statistics.
+``explain-rewrite <sql> [--json]``
+    Trace one query through the rewrite path and print the match-funnel
+    report: filter-tree narrowing per level, each candidate's reject
+    reason or compensation steps, and the plan cost comparison.
 """
 
 from __future__ import annotations
@@ -79,7 +83,56 @@ def main(argv: list[str] | None = None) -> int:
         metavar="JSON",
         help="gate against a committed BENCH_matching.json",
     )
+    hotpath.add_argument(
+        "--check-overhead",
+        default=None,
+        metavar="JSON",
+        help=(
+            "fail if the null-tracer hot path is >5%% slower than the "
+            "committed baseline (load-normalized)"
+        ),
+    )
+    hotpath.add_argument(
+        "--overhead-tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "override the overhead budget; shared CI runners need "
+            "headroom above the 0.05 default for scheduling noise"
+        ),
+    )
+    explain = subparsers.add_parser(
+        "explain-rewrite",
+        help="trace one query's rewrite path and print the match funnel",
+    )
+    explain.add_argument("sql", help="the SELECT statement to explain")
+    explain.add_argument(
+        "--view",
+        action="append",
+        default=None,
+        metavar="NAME=SQL",
+        help="register this view instead of the demo pool (repeatable)",
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="emit the JSON trace export"
+    )
+    explain.add_argument(
+        "--validate",
+        action="store_true",
+        help="check the export against the trace schema (exit 1 on mismatch)",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.command == "explain-rewrite":
+        from .cli import run_explain_rewrite
+
+        return run_explain_rewrite(
+            arguments.sql,
+            views=tuple(arguments.view) if arguments.view else (),
+            json_output=arguments.json,
+            validate=arguments.validate,
+        )
 
     if arguments.command == "demo":
         from .cli import run_demo
@@ -99,6 +152,8 @@ def main(argv: list[str] | None = None) -> int:
             seed=arguments.seed,
             output=arguments.output,
             check_baseline=arguments.check_baseline,
+            check_overhead=arguments.check_overhead,
+            overhead_tolerance=arguments.overhead_tolerance,
         )
     if arguments.command == "serve-bench":
         from .cli import run_serve_bench

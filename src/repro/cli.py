@@ -53,6 +53,121 @@ def run_demo() -> int:
     return 0 if equal else 1
 
 
+_DEMO_VIEWS: tuple[tuple[str, str], ...] = (
+    (
+        "part_revenue",
+        """
+        select l_partkey, sum(l_extendedprice * l_quantity) as revenue,
+               count_big(*) as cnt
+        from lineitem, part
+        where l_partkey = p_partkey and p_partkey <= 150
+        group by l_partkey
+        """,
+    ),
+    (
+        "cheap_lineitems",
+        """
+        select l_orderkey, l_partkey, l_extendedprice
+        from lineitem
+        where l_extendedprice <= 1000
+        """,
+    ),
+    (
+        "order_totals",
+        """
+        select o_custkey, sum(o_totalprice) as total, count_big(*) as cnt
+        from orders
+        group by o_custkey
+        """,
+    ),
+)
+
+
+def run_explain_rewrite(
+    sql: str,
+    views: tuple[str, ...] = (),
+    json_output: bool = False,
+    validate: bool = False,
+) -> int:
+    """Trace one query through the full rewrite path and explain it.
+
+    Optimizes ``sql`` over the TPC-H catalog with a
+    :class:`~repro.obs.RewriteTracer` installed, then prints the
+    match-funnel report: per-level filter-tree narrowing, every
+    candidate's fate (reject reason or compensation steps), and the
+    final cost comparison. ``views`` is a list of ``name=SQL``
+    registrations; without it a small demo pool is used. ``--json``
+    emits the machine-readable trace instead; ``--validate``
+    additionally checks it against the frozen export schema (non-zero
+    exit on mismatch).
+    """
+    import json
+
+    from .catalog import tpch_catalog
+    from .core.matcher import ViewMatcher
+    from .errors import ReproError
+    from .obs import (
+        RewriteTracer,
+        render_trace,
+        tracing,
+        validate_trace_dict,
+    )
+    from .optimizer import Optimizer
+    from .stats import synthetic_tpch_stats
+
+    catalog = tpch_catalog()
+    matcher = ViewMatcher(catalog)
+    definitions = list(_DEMO_VIEWS)
+    if views:
+        definitions = []
+        for spec in views:
+            name, separator, view_sql = spec.partition("=")
+            if not separator or not name.strip():
+                print(f"bad --view (expected NAME=SQL): {spec!r}")
+                return 2
+            definitions.append((name.strip(), view_sql))
+    for name, view_sql in definitions:
+        try:
+            matcher.register_view(name, catalog.bind_sql(view_sql))
+        except (ReproError, ValueError) as exc:
+            print(f"cannot register view {name}: {exc}")
+            return 2
+    optimizer = Optimizer(catalog, synthetic_tpch_stats(scale=0.5), matcher)
+
+    tracer = RewriteTracer(sql=sql)
+    error: str | None = None
+    with tracing(tracer):
+        try:
+            with tracer.span("parse"):
+                statement = catalog.bind_sql(sql)
+            optimizer.optimize(statement)
+        except (ReproError, ValueError) as exc:
+            error = str(exc)
+    trace = tracer.finish(error=error)
+
+    if json_output or validate:
+        payload = trace.to_dict()
+        if validate:
+            problems = validate_trace_dict(
+                json.loads(json.dumps(payload))
+            )
+            if problems:
+                for problem in problems:
+                    print(f"schema violation: {problem}")
+                return 1
+        if json_output:
+            print(json.dumps(payload, indent=2))
+        else:
+            print("trace validates against the export schema")
+    else:
+        print(render_trace(trace))  # includes the error line, if any
+    if error is not None:
+        if json_output or validate:
+            print(f"error: {error}")
+        return 1
+    return 0
+
+
 def run_examples() -> int:
     """The paper's Examples 1-4 (delegates to the examples script)."""
     import importlib.util
@@ -123,6 +238,8 @@ def run_bench_hotpath(
     seed: int | None = None,
     output: str | None = None,
     check_baseline: str | None = None,
+    check_overhead: str | None = None,
+    overhead_tolerance: float | None = None,
 ) -> int:
     """Benchmark the matching hot path (bitset interning, match contexts).
 
@@ -131,7 +248,11 @@ def run_bench_hotpath(
     ``output`` writes the machine-readable report; ``check_baseline``
     gates against a committed ``BENCH_matching.json`` and returns
     non-zero on a >2x candidate-filter regression at the largest shared
-    view count.
+    view count. ``check_overhead`` applies the much tighter
+    disabled-tracing guard (default 5 %) against the same baseline: the
+    whole run executes with the null tracer installed, so any regression
+    it reports is overhead the tracing instrumentation added to the
+    disabled path.
     """
     import dataclasses
     import json
@@ -139,6 +260,7 @@ def run_bench_hotpath(
     from .experiments import (
         HotpathConfig,
         check_against_baseline,
+        check_tracing_overhead,
         run_hotpath_benchmark,
     )
     from .experiments.hotpath import write_report
@@ -157,15 +279,22 @@ def run_bench_hotpath(
     if output:
         write_report(report, output)
         print(f"report written to {output}")
+    failures = []
     if check_baseline:
         with open(check_baseline) as handle:
             baseline = json.load(handle)
-        failures = check_against_baseline(report, baseline)
-        for failure in failures:
-            print(f"FAIL: {failure}")
-        if failures:
-            return 1
-    return 0
+        failures += check_against_baseline(report, baseline)
+    if check_overhead:
+        with open(check_overhead) as handle:
+            baseline = json.load(handle)
+        overhead_kwargs = (
+            {} if overhead_tolerance is None
+            else {"tolerance": overhead_tolerance}
+        )
+        failures += check_tracing_overhead(report, baseline, **overhead_kwargs)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 def run_figures(

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
+from ..obs.trace import current_tracer
 from ..sql.expressions import ColumnRef, Expression, FuncCall, Literal
 from .describe import SpjgDescription, normalized_aggregate_template
 from .equivalence import ColumnKey
@@ -997,6 +998,9 @@ class FilterTree:
         self._spj_root.search(probe, bound, found)
         if query.is_aggregate:
             self._aggregate_root.search(probe, bound, found)
+        tracer = current_tracer()
+        if tracer.active:
+            tracer.on_filter_tree(self, query, found)
         return found
 
     def lattice_node_count(self) -> int:
@@ -1018,14 +1022,19 @@ class FilterTree:
 
         return count(self._spj_root) + count(self._aggregate_root)
 
-    def filter_statistics(self, query: SpjgDescription) -> list[tuple[str, int]]:
-        """Per-level survivor counts for one query (diagnostics).
+    def level_attribution(
+        self, query: SpjgDescription
+    ) -> list[tuple[str, int, int, tuple[str, ...]]]:
+        """Per-level narrowing attribution for one query (diagnostics).
 
         Evaluates each level's condition directly on every registered
-        view's key, in tree order, and reports how many views survive
-        after each level -- the attribution behind Section 5's "the filter
-        tree consistently reduced the candidate set to less than 0.4%".
-        The final count equals ``len(candidates(query))``.
+        view's key, in tree order, and reports for every level the
+        ``(name, entering, survivors, pruned_view_names)`` tuple -- which
+        views each level eliminated, not just how many survived. This is
+        the data behind :meth:`filter_statistics`, the rewrite-path
+        tracer's filter funnel, and the experiment harness's per-level
+        narrowing report. The final survivor count equals
+        ``len(candidates(query))``.
         """
         probe = QueryProbe.cached_of(query, self.options)
         spj_views = [
@@ -1036,13 +1045,13 @@ class FilterTree:
             if query.is_aggregate
             else []
         )
-        statistics: list[tuple[str, int]] = [
-            ("registered", len(spj_views) + len(aggregate_views))
-        ]
+        attribution: list[tuple[str, int, int, tuple[str, ...]]] = []
         max_depth = max(
             len(self._spj_root.levels), len(self._aggregate_root.levels)
         )
         for depth in range(max_depth):
+            entering = len(spj_views) + len(aggregate_views)
+            pruned: list[str] = []
             for views, levels in (
                 (spj_views, self._spj_root.levels),
                 (aggregate_views, self._aggregate_root.levels),
@@ -1050,14 +1059,39 @@ class FilterTree:
                 if depth >= len(levels):
                     continue
                 level = levels[depth]
-                views[:] = [
-                    v for v in views if level.qualifies(level.view_key(v), probe)
-                ]
+                kept = []
+                for view in views:
+                    if level.qualifies(level.view_key(view), probe):
+                        kept.append(view)
+                    else:
+                        pruned.append(view.name)
+                views[:] = kept
             names = set()
             for levels in (self._spj_root.levels, self._aggregate_root.levels):
                 if depth < len(levels):
                     names.add(levels[depth].name)
-            statistics.append(
-                ("+".join(sorted(names)), len(spj_views) + len(aggregate_views))
+            attribution.append(
+                (
+                    "+".join(sorted(names)),
+                    entering,
+                    len(spj_views) + len(aggregate_views),
+                    tuple(sorted(pruned)),
+                )
             )
+        return attribution
+
+    def filter_statistics(self, query: SpjgDescription) -> list[tuple[str, int]]:
+        """Per-level survivor counts for one query (diagnostics).
+
+        The counts-only view of :meth:`level_attribution` -- the
+        attribution behind Section 5's "the filter tree consistently
+        reduced the candidate set to less than 0.4%". The final count
+        equals ``len(candidates(query))``.
+        """
+        attribution = self.level_attribution(query)
+        registered = attribution[0][1] if attribution else len(self._registered)
+        statistics: list[tuple[str, int]] = [("registered", registered)]
+        statistics.extend(
+            (name, survivors) for name, _, survivors, _ in attribution
+        )
         return statistics

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..errors import MatchError
+from ..obs.trace import current_tracer
 from ..sql.statements import SelectStatement
 from .describe import SpjgDescription, describe, validate_view_description
 from .filtertree import FilterTree, RegisteredView
@@ -220,8 +221,9 @@ class ViewMatcher:
         stats = self.statistics
         stats.invocations += 1
         stats.views_registered_total += self.view_count
+        candidates = self.candidates(query)
         results: list[MatchResult] = []
-        for candidate in self.candidates(query):
+        for candidate in candidates:
             stats.views_considered += 1
             result = match_view(
                 query,
@@ -237,6 +239,9 @@ class ViewMatcher:
             elif result.reject_reason is not None:
                 stats.record_rejection(result.reject_reason)
             results.append(result)
+        tracer = current_tracer()
+        if tracer.active:
+            tracer.on_match_invocation(self.view_count, candidates, results)
         return results
 
     def substitutes(

@@ -84,6 +84,44 @@ class MatchResult:
     def matched(self) -> bool:
         return self.substitute is not None
 
+    def compensation_steps(self) -> list[str]:
+        """Human-readable summary of what the substitute had to compensate.
+
+        One line per compensation kind actually applied (extra-table FK
+        elimination, backjoins, equality/range/residual predicates,
+        group-by rollup); the rewrite-path tracer records these for the
+        winning view of each match invocation.
+        """
+        steps: list[str] = []
+        if self.eliminated_tables:
+            steps.append(
+                "extra-table FK elimination: "
+                + ", ".join(self.eliminated_tables)
+            )
+        if self.backjoined_tables:
+            steps.append(
+                "backjoined base tables: " + ", ".join(self.backjoined_tables)
+            )
+        if self.compensating_equalities:
+            steps.append(
+                f"{self.compensating_equalities} compensating column "
+                "equalities"
+            )
+        if self.compensating_ranges:
+            steps.append(
+                f"{self.compensating_ranges} compensating range predicates"
+            )
+        if self.compensating_residuals:
+            steps.append(
+                f"{self.compensating_residuals} compensating residual "
+                "predicates"
+            )
+        if self.regrouped:
+            steps.append("group-by rollup (compensating aggregation)")
+        if not steps and self.matched:
+            steps.append("exact match, no compensation")
+        return steps
+
 
 class _Reject(Exception):
     """Internal control flow: abandon the match with a reason."""

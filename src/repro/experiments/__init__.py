@@ -4,6 +4,7 @@ from .figures import (
     figure2,
     figure3,
     figure4,
+    funnel_statistics,
     render_all,
     render_figure2,
     render_figure3,
@@ -22,6 +23,7 @@ from .hotpath import (
     HotpathConfig,
     HotpathMismatchError,
     check_against_baseline,
+    check_tracing_overhead,
     run_hotpath_benchmark,
 )
 from .reporting import render_table
@@ -36,10 +38,12 @@ __all__ = [
     "HotpathMismatchError",
     "MeasurementPoint",
     "check_against_baseline",
+    "check_tracing_overhead",
     "run_hotpath_benchmark",
     "figure2",
     "figure3",
     "figure4",
+    "funnel_statistics",
     "render_all",
     "render_figure2",
     "render_figure3",

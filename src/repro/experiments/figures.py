@@ -200,6 +200,61 @@ def section5_statistics(result: ExperimentResult) -> str:
     )
 
 
+def funnel_statistics(result: ExperimentResult) -> str:
+    """Aggregated match-funnel report for the largest Alt & Filter cell.
+
+    Two tables: candidate narrowing per filter-tree level (total
+    survivors entering each level, summed over the query batch) and the
+    RejectReason histogram from the full matching tests -- the
+    workload-level view of what ``explain-rewrite`` shows per query.
+    """
+    view_counts = [v for v in result.config.view_counts if v > 0]
+    if not view_counts:
+        return ""
+    point = result.point(max(view_counts), _ALT_FILTER)
+    parts = []
+    if point.level_survivors:
+        registered = point.level_survivors[0][1]
+        body = [
+            [
+                name,
+                survivors,
+                f"{survivors / registered:.2%}" if registered else "-",
+            ]
+            for name, survivors in point.level_survivors
+        ]
+        parts.append(
+            render_table(
+                title=(
+                    f"Candidate narrowing per filter-tree level "
+                    f"({point.view_count} views, summed over "
+                    f"{point.query_count} queries)"
+                ),
+                headers=["level", "survivors", "of registered"],
+                rows=body,
+            )
+        )
+    if point.rejects_by_reason:
+        total = sum(point.rejects_by_reason.values())
+        body = [
+            [reason.lower(), count, f"{count / total:.0%}"]
+            for reason, count in sorted(
+                point.rejects_by_reason.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        parts.append(
+            render_table(
+                title=(
+                    f"Full-matching reject reasons "
+                    f"({point.view_count} views, Alt & Filter)"
+                ),
+                headers=["reason", "count", "share"],
+                rows=body,
+            )
+        )
+    return "\n\n".join(parts)
+
+
 def render_all(result: ExperimentResult) -> str:
     """All figure tables and the Section 5 statistics, concatenated."""
     parts = [
@@ -208,6 +263,9 @@ def render_all(result: ExperimentResult) -> str:
         render_figure4(result),
         section5_statistics(result),
     ]
+    funnel = funnel_statistics(result)
+    if funnel:
+        parts.append(funnel)
     return "\n\n".join(parts)
 
 
@@ -219,6 +277,7 @@ __all__ = [
     "figure2",
     "figure3",
     "figure4",
+    "funnel_statistics",
     "render_all",
     "render_figure2",
     "render_figure3",

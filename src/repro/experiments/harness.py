@@ -67,6 +67,12 @@ class MeasurementPoint:
     substitutes: int
     candidate_fraction: float
     candidate_success_rate: float
+    # Aggregated match funnel for the cell: how often full matching
+    # rejected a candidate for each RejectReason, and the per-level
+    # filter-tree narrowing (total survivors entering each level, summed
+    # over the query batch; first entry is the registered count).
+    rejects_by_reason: dict[str, int] = field(default_factory=dict)
+    level_survivors: tuple[tuple[str, int], ...] = ()
 
     @property
     def seconds_per_query(self) -> float:
@@ -197,7 +203,33 @@ class ExperimentHarness:
             substitutes=substitutes,
             candidate_fraction=stats.candidate_fraction if stats else 0.0,
             candidate_success_rate=stats.candidate_success_rate if stats else 0.0,
+            rejects_by_reason=dict(stats.rejects_by_reason) if stats else {},
+            level_survivors=self._level_survivors(matcher, configuration),
         )
+
+    def _level_survivors(
+        self, matcher: ViewMatcher | None, configuration: Configuration
+    ) -> tuple[tuple[str, int], ...]:
+        """Per-level narrowing totals over the query batch (one cell).
+
+        Runs *after* the timed loop so the attribution pass (which
+        re-evaluates every level per query) never pollutes the Figure 2/3
+        timings. Only meaningful with the filter tree on.
+        """
+        if matcher is None or not configuration.use_filter_tree:
+            return ()
+        totals: dict[str, int] = {}
+        order: list[str] = []
+        for query in self.queries:
+            description = matcher.describe_query(query.statement)
+            for name, survivors in matcher.filter_tree.filter_statistics(
+                description
+            ):
+                if name not in totals:
+                    totals[name] = 0
+                    order.append(name)
+                totals[name] += survivors
+        return tuple((name, totals[name]) for name in order)
 
     def run(self) -> ExperimentResult:
         points = [

@@ -1,0 +1,64 @@
+"""Observability for the rewrite path: tracing, funnels, exposition.
+
+``repro.obs`` answers the questions the aggregate counters in
+``repro.service.metrics`` cannot: *why* did a specific view fail to
+match, *where* in the filter tree did candidates get narrowed out, and
+*how* did the winning rewrite's cost compare to the base plan. One
+:class:`RewriteTrace` per traced request, recorded through a
+contextvar-scoped tracer that is a strict no-op when disabled (the
+module-level :data:`NULL_TRACER`).
+
+Entry points:
+
+* :func:`tracing` / :class:`RewriteTracer` -- record a trace around any
+  matcher/optimizer call.
+* :class:`TraceSampler` -- deterministic 1-in-N sampling for the
+  serving layer (``ViewServer(trace_sample_rate=...)``).
+* :func:`render_trace` / :func:`trace_to_json` /
+  :func:`validate_trace_dict` -- the ``explain-rewrite`` output formats
+  and the frozen export schema.
+"""
+
+from .render import (
+    TRACE_SCHEMA,
+    render_trace,
+    trace_to_json,
+    validate_trace_dict,
+)
+from .trace import (
+    NULL_TRACER,
+    CandidateTrace,
+    FilterLevelTrace,
+    MatchInvocationTrace,
+    NullTracer,
+    PlanAlternative,
+    RewriteTrace,
+    RewriteTracer,
+    Span,
+    TraceSampler,
+    activate,
+    current_tracer,
+    deactivate,
+    tracing,
+)
+
+__all__ = [
+    "CandidateTrace",
+    "FilterLevelTrace",
+    "MatchInvocationTrace",
+    "NULL_TRACER",
+    "NullTracer",
+    "PlanAlternative",
+    "RewriteTrace",
+    "RewriteTracer",
+    "Span",
+    "TRACE_SCHEMA",
+    "TraceSampler",
+    "activate",
+    "current_tracer",
+    "deactivate",
+    "render_trace",
+    "trace_to_json",
+    "tracing",
+    "validate_trace_dict",
+]

@@ -28,6 +28,7 @@ from itertools import combinations
 from ..catalog.catalog import Catalog
 from ..core.describe import SpjgDescription, describe
 from ..core.matcher import ViewMatcher
+from ..obs.trace import PlanAlternative, current_tracer
 from ..sql.expressions import (
     BinaryOp,
     ColumnRef,
@@ -519,7 +520,27 @@ class _Search:
 
         if statement.is_aggregate and self.optimizer.config.enable_preaggregation:
             candidates.extend(self._preaggregation_plans(output_rows))
-        return min(candidates, key=lambda plan: plan.cost)
+        best = min(candidates, key=lambda plan: plan.cost)
+        tracer = current_tracer()
+        if tracer.active:
+            tracer.on_plan_choice(
+                [
+                    PlanAlternative(
+                        kind=(
+                            "base"
+                            if index == 0
+                            else "view"
+                            if isinstance(plan, DirectNode)
+                            else "preaggregation"
+                        ),
+                        cost=plan.cost,
+                        views=plan.view_names(),
+                        chosen=plan is best,
+                    )
+                    for index, plan in enumerate(candidates)
+                ]
+            )
+        return best
 
     # -- pre-aggregation (Example 4) -------------------------------------------------
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -35,6 +36,14 @@ from ..catalog.catalog import Catalog
 from ..core.options import DEFAULT_OPTIONS, MatchOptions
 from ..errors import ReproError
 from ..maintenance.maintainer import ViewChangeEvent, ViewMaintainer
+from ..obs.trace import (
+    RewriteTrace,
+    RewriteTracer,
+    TraceSampler,
+    activate,
+    current_tracer,
+    deactivate,
+)
 from ..optimizer.optimizer import OptimizationResult, OptimizerConfig
 from ..sql.statements import SelectStatement
 from ..stats.statistics import DatabaseStats
@@ -99,7 +108,15 @@ class ViewServer:
         default_deadline: float | None = None,
         use_filter_tree: bool = True,
         index_registry=None,
+        trace_sample_rate: float = 0.0,
+        trace_capacity: int = 64,
     ):
+        """``trace_sample_rate`` turns on rewrite-path tracing for a
+        deterministic 1-in-N fraction of served requests (0 disables it
+        entirely; the hot path then costs one contextvar read per stage).
+        The most recent ``trace_capacity`` traces are retained and
+        available through :meth:`traces`.
+        """
         if workers < 1:
             raise ValueError("need at least one worker")
         if queue_depth < 1:
@@ -124,6 +141,9 @@ class ViewServer:
         self._slots = threading.BoundedSemaphore(queue_depth)
         self._statement_memo: dict[str, tuple[SelectStatement, str]] = {}
         self._memo_limit = max(4 * cache_size, 256)
+        self._sampler = TraceSampler(trace_sample_rate)
+        self._traces: deque[RewriteTrace] = deque(maxlen=trace_capacity)
+        self._traces_lock = threading.Lock()
         self._closed = False
         self.snapshots.add_listener(self._on_publish)
 
@@ -179,8 +199,30 @@ class ViewServer:
         """The synchronous serving path (what pool workers execute).
 
         Callable directly for single-threaded use; ``submit`` adds the
-        queue, deadline, and backpressure semantics around it.
+        queue, deadline, and backpressure semantics around it. When the
+        sampler elects this request, a :class:`RewriteTracer` is scoped
+        to it (contextvar, so concurrent workers never share one) and
+        the finished trace lands in the :meth:`traces` ring.
         """
+        if not self._sampler.should_sample():
+            return self._serve(sql)
+        tracer = RewriteTracer(sql=sql)
+        token = activate(tracer)
+        try:
+            result = self._serve(sql)
+        finally:
+            deactivate(token)
+        trace = tracer.finish(
+            cache_hit=result.cache_hit if result.ok else None,
+            epoch=result.epoch if result.epoch >= 0 else None,
+            error=result.error,
+        )
+        with self._traces_lock:
+            self._traces.append(trace)
+        self.metrics.counter("traces_sampled").increment()
+        return result
+
+    def _serve(self, sql: str) -> ServedResult:
         started = time.perf_counter()
         self.metrics.counter("requests").increment()
         try:
@@ -193,8 +235,17 @@ class ViewServer:
                 sql=sql, error=str(exc), latency_seconds=latency
             )
         snapshot = self.snapshots.current  # the one lock-free snapshot read
+        tracer = current_tracer()
         if self.cache is not None:
+            probe_started = time.perf_counter() if tracer.active else 0.0
             cached = self.cache.get(fingerprint, snapshot.epoch)
+            if tracer.active:
+                tracer.record_span(
+                    "cache probe",
+                    time.perf_counter() - probe_started,
+                    hit=cached is not None,
+                    epoch=snapshot.epoch,
+                )
             if cached is not None:
                 latency = time.perf_counter() - started
                 self.metrics.counter("cache_hits").increment()
@@ -227,19 +278,23 @@ class ViewServer:
         )
 
     def _bind(self, sql: str) -> tuple[SelectStatement, str]:
+        tracer = current_tracer()
         memo = self._statement_memo.get(sql)
         if memo is not None:
+            if tracer.active:
+                tracer.record_span("parse", 0.0, memoized=True)
             return memo
         parse_started = time.perf_counter()
         statement = self.catalog.bind_sql(sql)
-        self.metrics.histogram("parse").record(
-            time.perf_counter() - parse_started
-        )
+        parse_seconds = time.perf_counter() - parse_started
+        self.metrics.histogram("parse").record(parse_seconds)
         fingerprint_started = time.perf_counter()
         fingerprint = statement_fingerprint(statement)
-        self.metrics.histogram("fingerprint").record(
-            time.perf_counter() - fingerprint_started
-        )
+        fingerprint_seconds = time.perf_counter() - fingerprint_started
+        self.metrics.histogram("fingerprint").record(fingerprint_seconds)
+        if tracer.active:
+            tracer.record_span("parse", parse_seconds, memoized=False)
+            tracer.record_span("fingerprint", fingerprint_seconds)
         if len(self._statement_memo) < self._memo_limit:
             self._statement_memo[sql] = (statement, fingerprint)
         return statement, fingerprint
@@ -252,6 +307,15 @@ class ViewServer:
         self.metrics.histogram("plan").record(
             max(result.optimize_seconds - result.matching_seconds, 0.0)
         )
+        tracer = current_tracer()
+        if tracer.active:
+            tracer.record_span(
+                "optimize",
+                result.optimize_seconds,
+                matching_seconds=result.matching_seconds,
+                invocations=result.invocations,
+                substitutes=result.substitutes_produced,
+            )
         return result
 
     # -- catalog mutation ----------------------------------------------------
@@ -303,6 +367,11 @@ class ViewServer:
         """The currently served epoch."""
         return self.snapshots.epoch
 
+    def traces(self) -> tuple[RewriteTrace, ...]:
+        """The most recent sampled traces, oldest first."""
+        with self._traces_lock:
+            return tuple(self._traces)
+
     def stats(self) -> dict:
         """A structured snapshot of every serving metric.
 
@@ -322,6 +391,48 @@ class ViewServer:
             "counters": metrics["counters"],
             "latency": metrics["latency"],
         }
+
+    def prometheus_metrics(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition for this server.
+
+        Combines the registry's counters and stage histograms with
+        serving gauges (epoch, registered views), the rewrite cache's
+        counters, and the current snapshot matcher's reject-reason
+        tallies (labelled ``{prefix}_match_rejects_total{{reason=...}}``).
+        Suitable for a ``/metrics`` scrape endpoint or a one-shot dump.
+        """
+        snapshot = self.snapshots.current
+        lines = []
+        body = self.metrics.to_prometheus(prefix=prefix)
+        if body:
+            lines.append(body.rstrip("\n"))
+        lines.append(f"# TYPE {prefix}_epoch gauge")
+        lines.append(f"{prefix}_epoch {snapshot.epoch}")
+        lines.append(f"# TYPE {prefix}_views_registered gauge")
+        lines.append(f"{prefix}_views_registered {snapshot.view_count}")
+        if self.cache is not None:
+            # Named rewrite_cache_* so they cannot collide with the
+            # registry's cache_hits/cache_misses request counters.
+            cache = self.cache.statistics.snapshot()
+            for key in (
+                "hits",
+                "misses",
+                "evictions",
+                "epoch_invalidations",
+                "view_invalidations",
+            ):
+                metric = f"{prefix}_rewrite_cache_{key}_total"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {cache[key]}")
+        rejects = snapshot.matcher.statistics.rejects_by_reason
+        if rejects:
+            metric = f"{prefix}_match_rejects_total"
+            lines.append(f"# TYPE {metric} counter")
+            for reason, count in sorted(rejects.items()):
+                lines.append(
+                    f'{metric}{{reason="{reason.lower()}"}} {count}'
+                )
+        return "\n".join(lines) + "\n"
 
     def report(self) -> str:
         """Human-readable serving report (counters + stage latencies)."""

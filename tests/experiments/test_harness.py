@@ -110,3 +110,33 @@ class TestRenderTable:
         assert "long_header" in lines[2]
         # All data lines share the same width.
         assert len(set(len(l) for l in lines[1:])) == 1
+
+
+class TestFunnelStatistics:
+    def test_points_carry_funnel_fields(self, small_result):
+        point = small_result.point(60, ALT_FILTER)
+        assert point.level_survivors, "per-level survivor counts missing"
+        names = [name for name, _ in point.level_survivors]
+        assert names[0] == "registered"
+        assert names[1] == "hub"
+        # Survivor counts can only shrink down the funnel per query, so
+        # the per-level sums must be non-increasing too.
+        counts = [count for _, count in point.level_survivors]
+        assert counts == sorted(counts, reverse=True)
+        assert isinstance(point.rejects_by_reason, dict)
+
+    def test_zero_views_have_empty_funnel(self, small_result):
+        point = small_result.point(0, ALT_FILTER)
+        assert all(count == 0 for _, count in point.level_survivors)
+        assert point.rejects_by_reason == {}
+
+    def test_funnel_statistics_renders(self, small_result):
+        from repro.experiments import funnel_statistics
+
+        text = funnel_statistics(small_result)
+        assert "Candidate narrowing per filter-tree level" in text
+        assert "hub" in text
+        assert "registered" in text
+
+    def test_render_all_includes_funnel(self, small_result):
+        assert "Candidate narrowing" in render_all(small_result)

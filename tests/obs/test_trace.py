@@ -1,0 +1,266 @@
+"""Tracer units: trace model, both tracer implementations, scoping, sampling."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    CandidateTrace,
+    FilterLevelTrace,
+    MatchInvocationTrace,
+    NullTracer,
+    PlanAlternative,
+    RewriteTrace,
+    RewriteTracer,
+    Span,
+    TraceSampler,
+    activate,
+    current_tracer,
+    deactivate,
+    tracing,
+)
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in; advance() moves time forward."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeResult:
+    """The slice of MatchResult the invocation hook reads."""
+
+    def __init__(self, name, matched, reason=None, detail="", steps=()):
+        self.view = type("V", (), {"name": name})()
+        self.matched = matched
+        self.reject_reason = reason
+        self.reject_detail = detail
+        self._steps = list(steps)
+
+    def compensation_steps(self):
+        return self._steps
+
+
+class FakeReason:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestNullTracer:
+    def test_contract(self):
+        assert NULL_TRACER.active is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        with NULL_TRACER.span("parse", anything=1) as span:
+            span.annotate(more=2)  # no-op, no error
+        assert NULL_TRACER.record_span("x", 0.5) is None
+        assert NULL_TRACER.on_filter_tree(None, None, None) is None
+        assert NULL_TRACER.on_match_invocation(0, (), ()) is None
+        assert NULL_TRACER.on_plan_choice(()) is None
+
+    def test_is_the_default(self):
+        assert current_tracer() is NULL_TRACER
+
+
+class TestRewriteTracerSpans:
+    def test_span_timing_with_fake_clock(self):
+        clock = FakeClock()
+        tracer = RewriteTracer(sql="select 1", clock=clock)
+        clock.advance(0.5)
+        with tracer.span("parse", memoized=False):
+            clock.advance(0.25)
+        (span,) = tracer.trace.spans
+        assert span.name == "parse"
+        assert span.started == pytest.approx(0.5)
+        assert span.duration == pytest.approx(0.25)
+        assert span.attributes == {"memoized": False}
+
+    def test_annotate_inside_span(self):
+        tracer = RewriteTracer(clock=FakeClock())
+        with tracer.span("cache") as span:
+            span.annotate(hit=True, epoch=3)
+        assert tracer.trace.spans[0].attributes == {"hit": True, "epoch": 3}
+
+    def test_record_span_backdates_start(self):
+        clock = FakeClock()
+        tracer = RewriteTracer(clock=clock)
+        clock.advance(1.0)
+        tracer.record_span("optimize", 0.4, substitutes=2)
+        (span,) = tracer.trace.spans
+        assert span.duration == pytest.approx(0.4)
+        assert span.started == pytest.approx(0.6)
+        assert span.attributes == {"substitutes": 2}
+
+    def test_record_span_clamps_start_to_zero(self):
+        tracer = RewriteTracer(clock=FakeClock())
+        tracer.record_span("weird", 5.0)  # longer than the trace has existed
+        assert tracer.trace.spans[0].started == 0.0
+
+    def test_finish_seals_total_and_metadata(self):
+        clock = FakeClock()
+        tracer = RewriteTracer(sql="q", clock=clock)
+        clock.advance(2.0)
+        trace = tracer.finish(cache_hit=True, epoch=7)
+        assert trace.total_seconds == pytest.approx(2.0)
+        assert trace.cache_hit is True
+        assert trace.epoch == 7
+        assert trace.error is None
+
+
+class TestRewriteTracerHooks:
+    def test_invocation_hook_summarizes_results(self):
+        tracer = RewriteTracer(clock=FakeClock())
+        results = [
+            FakeResult("winner", True, steps=["exact match, no compensation"]),
+            FakeResult("loser", False, FakeReason("RANGE"), "too narrow"),
+        ]
+        tracer.on_match_invocation(10, ("winner", "loser"), results)
+        (invocation,) = tracer.trace.invocations
+        assert invocation.registered == 10
+        assert invocation.candidates == 2
+        assert invocation.matches == 1
+        winner, loser = invocation.funnel
+        assert winner.matched and winner.compensation == (
+            "exact match, no compensation",
+        )
+        assert loser.reject_reason == "RANGE"
+        assert loser.reject_detail == "too narrow"
+        assert loser.compensation == ()
+
+    def test_pending_levels_attach_to_next_invocation_only(self):
+        tracer = RewriteTracer(clock=FakeClock())
+        tracer._pending_levels = (
+            FilterLevelTrace(level="hub", entering=5, survivors=2,
+                             pruned=("a", "b", "c")),
+        )
+        tracer.on_match_invocation(5, (), [])
+        tracer.on_match_invocation(5, (), [])
+        first, second = tracer.trace.invocations
+        assert first.levels[0].level == "hub"
+        assert first.levels[0].pruned_count == 3
+        assert second.levels == ()
+
+    def test_plan_choice_extends(self):
+        tracer = RewriteTracer(clock=FakeClock())
+        tracer.on_plan_choice([PlanAlternative(kind="base", cost=10.0)])
+        tracer.on_plan_choice(
+            [PlanAlternative(kind="view", cost=2.0, views=("v",), chosen=True)]
+        )
+        assert [a.kind for a in tracer.trace.plan_alternatives] == [
+            "base",
+            "view",
+        ]
+
+
+class TestTraceModel:
+    def make_trace(self):
+        return RewriteTrace(
+            sql="select 1",
+            spans=[Span(name="parse", started=0.0, duration=0.001)],
+            invocations=[
+                MatchInvocationTrace(
+                    registered=4,
+                    candidates=2,
+                    funnel=(
+                        CandidateTrace(view="v1", matched=True),
+                        CandidateTrace(
+                            view="v2",
+                            matched=False,
+                            reject_reason="RANGE",
+                            reject_detail="d",
+                        ),
+                        CandidateTrace(
+                            view="v3",
+                            matched=False,
+                            reject_reason="RANGE",
+                            reject_detail="d2",
+                        ),
+                    ),
+                )
+            ],
+            plan_alternatives=[
+                PlanAlternative(kind="base", cost=10.0),
+                PlanAlternative(
+                    kind="view", cost=1.0, views=("v1",), chosen=True
+                ),
+            ],
+            total_seconds=0.002,
+        )
+
+    def test_reject_tallies(self):
+        assert self.make_trace().reject_tallies() == {"RANGE": 2}
+
+    def test_chosen_alternative(self):
+        chosen = self.make_trace().chosen_alternative()
+        assert chosen is not None and chosen.views == ("v1",)
+        assert RewriteTrace(sql="").chosen_alternative() is None
+
+    def test_to_dict_shape(self):
+        data = self.make_trace().to_dict()
+        assert data["trace_version"] == 1
+        assert data["invocations"][0]["matches"] == 1
+        assert data["reject_tallies"] == {"RANGE": 2}
+        assert data["plan_alternatives"][1]["chosen"] is True
+
+
+class TestScoping:
+    def test_activate_deactivate(self):
+        tracer = RewriteTracer()
+        token = activate(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            deactivate(token)
+        assert current_tracer() is NULL_TRACER
+
+    def test_tracing_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with tracing() as tracer:
+                assert current_tracer() is tracer
+                raise RuntimeError("boom")
+        assert current_tracer() is NULL_TRACER
+
+    def test_threads_do_not_share_tracers(self):
+        seen = {}
+
+        def worker():
+            seen["other"] = current_tracer()
+
+        with tracing():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["other"] is NULL_TRACER
+
+
+class TestTraceSampler:
+    def test_zero_rate_never_samples(self):
+        sampler = TraceSampler(0.0)
+        assert sampler.period == 0
+        assert not any(sampler.should_sample() for _ in range(50))
+
+    def test_full_rate_always_samples(self):
+        sampler = TraceSampler(1.0)
+        assert sampler.period == 1
+        assert all(sampler.should_sample() for _ in range(50))
+
+    def test_fractional_rate_is_periodic_and_deterministic(self):
+        sampler = TraceSampler(0.25)
+        picks = [sampler.should_sample() for _ in range(8)]
+        assert picks == [True, False, False, False] * 2
+
+    def test_one_in_hundred(self):
+        sampler = TraceSampler(0.01)
+        assert sampler.period == 100
+        assert sum(sampler.should_sample() for _ in range(1000)) == 10
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSampler(-0.1)

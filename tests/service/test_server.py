@@ -205,3 +205,105 @@ class TestIntrospection:
         assert "epoch 0" in report
         assert "hit rate" in report
         assert "total" in report
+
+
+class TestTracing:
+    @pytest.fixture()
+    def traced_server(self, catalog, paper_stats):
+        with ViewServer(
+            catalog,
+            paper_stats,
+            workers=2,
+            queue_depth=8,
+            trace_sample_rate=1.0,
+            trace_capacity=4,
+        ) as srv:
+            srv.register_view("v", VIEW)
+            yield srv
+
+    def test_disabled_by_default_records_nothing(self, server):
+        server.submit(BASE_ONLY)
+        assert server.traces() == ()
+        assert server.stats()["counters"].get("traces_sampled", 0) == 0
+
+    def test_sampled_request_produces_full_trace(self, traced_server):
+        result = traced_server.serve(QUERY)
+        assert result.uses_view
+        (trace,) = [t for t in traced_server.traces() if t.sql == QUERY]
+        span_names = [span.name for span in trace.spans]
+        assert "parse" in span_names
+        assert "fingerprint" in span_names
+        assert "cache probe" in span_names
+        assert "optimize" in span_names
+        assert trace.cache_hit is False
+        assert trace.epoch == 1
+        assert trace.total_seconds > 0
+        assert any(c.matched for inv in trace.invocations for c in inv.funnel)
+        assert trace.chosen_alternative() is not None
+
+    def test_cache_hit_trace_skips_optimize(self, traced_server):
+        traced_server.serve(QUERY)
+        traced_server.serve(QUERY)
+        hit_trace = traced_server.traces()[-1]
+        assert hit_trace.cache_hit is True
+        assert "optimize" not in [s.name for s in hit_trace.spans]
+        assert hit_trace.invocations == []
+
+    def test_capacity_bounds_the_ring(self, traced_server):
+        for i in range(8):
+            traced_server.serve(f"select o_orderkey from orders where o_orderkey >= {i}")
+        assert len(traced_server.traces()) == 4  # trace_capacity
+
+    def test_sampling_period_skips_requests(self, catalog, paper_stats):
+        with ViewServer(
+            catalog, paper_stats, trace_sample_rate=0.5
+        ) as srv:
+            for _ in range(6):
+                srv.serve(BASE_ONLY)
+            assert len(srv.traces()) == 3
+            assert srv.stats()["counters"]["traces_sampled"] == 3
+
+    def test_error_request_still_traced(self, traced_server):
+        result = traced_server.serve("select nope from nowhere")
+        assert not result.ok
+        trace = traced_server.traces()[-1]
+        assert trace.error is not None
+
+
+class TestPrometheusExposition:
+    def test_counters_histograms_and_gauges(self, server):
+        server.register_view("v", VIEW)
+        server.submit(QUERY)
+        server.submit(QUERY)
+        text = server.prometheus_metrics()
+        lines = text.splitlines()
+        assert "repro_requests_total 2" in lines
+        assert "repro_epoch 1" in lines
+        assert "repro_views_registered 1" in lines
+        assert "repro_rewrite_cache_hits_total 1" in lines
+        assert any(
+            line.startswith("repro_total_seconds_bucket{le=") for line in lines
+        )
+        assert 'repro_total_seconds_bucket{le="+Inf"} 2' in lines
+        assert "repro_total_seconds_count 2" in lines
+
+    def test_reject_reasons_exported_with_labels(self, server):
+        server.register_view("v", VIEW)
+        # A query over the viewed table whose range the view cannot cover:
+        # full matching runs and rejects, populating the funnel counters.
+        server.submit("select l_partkey from lineitem where l_quantity >= 5")
+        text = server.prometheus_metrics()
+        assert 'repro_match_rejects_total{reason="range"}' in text
+
+    def test_custom_prefix(self, server):
+        server.submit(BASE_ONLY)
+        text = server.prometheus_metrics(prefix="mv")
+        assert "mv_requests_total 1" in text
+        assert "repro_" not in text
+
+    def test_help_and_type_headers(self, server):
+        server.submit(BASE_ONLY)
+        text = server.prometheus_metrics()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_total_seconds histogram" in text
+        assert "# TYPE repro_epoch gauge" in text

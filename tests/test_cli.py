@@ -29,3 +29,66 @@ class TestCli:
     def test_main_rejects_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["nope"])
+
+
+AGG_QUERY = """
+    select l_partkey, sum(l_extendedprice * l_quantity)
+    from lineitem, part
+    where l_partkey = p_partkey and p_partkey >= 50 and p_partkey <= 100
+    group by l_partkey
+"""
+
+
+class TestExplainRewrite:
+    def test_human_report_shows_funnel(self, capsys):
+        from repro.cli import run_explain_rewrite
+
+        assert run_explain_rewrite(AGG_QUERY) == 0
+        out = capsys.readouterr().out
+        assert "match invocation" in out
+        assert "level hub" in out
+        assert "+ part_revenue: MATCHED" in out
+        assert "compensation:" in out
+        assert "cost comparison:" in out
+
+    def test_json_validates_against_schema(self, capsys):
+        import json
+
+        from repro.cli import run_explain_rewrite
+        from repro.obs import validate_trace_dict
+
+        assert run_explain_rewrite(AGG_QUERY, json_output=True, validate=True) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_version"] == 1
+        assert validate_trace_dict(payload) == []
+        assert payload["invocations"]
+
+    def test_bad_query_exits_nonzero_with_error_line(self, capsys):
+        from repro.cli import run_explain_rewrite
+
+        assert run_explain_rewrite("select nope from nowhere") == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_custom_view_pool(self, capsys):
+        from repro.cli import run_explain_rewrite
+
+        view = (
+            "v=select l_orderkey, l_partkey, l_extendedprice "
+            "from lineitem where l_extendedprice <= 1000"
+        )
+        query = (
+            "select l_orderkey from lineitem where l_extendedprice <= 500"
+        )
+        assert run_explain_rewrite(query, views=(view,)) == 0
+        out = capsys.readouterr().out
+        assert "+ v: MATCHED" in out
+
+    def test_bad_view_spec_exits_two(self, capsys):
+        from repro.cli import run_explain_rewrite
+
+        assert run_explain_rewrite("select 1", views=("no-equals-sign",)) == 2
+        assert "bad --view" in capsys.readouterr().out
+
+    def test_main_dispatch(self, capsys):
+        assert main(["explain-rewrite", AGG_QUERY]) == 0
+        assert "cost comparison:" in capsys.readouterr().out

@@ -59,6 +59,16 @@ class TestExamples:
         assert "answered from views" in output
         assert "cache_hit=False" in output  # epoch bump retired the cache
 
+    def test_tracing_demo(self):
+        output = run_example("tracing_demo.py")
+        assert "sampled 20 traces" in output
+        assert "MATCHED" in output
+        assert "compensation:" in output
+        assert "rejected RANGE" in output
+        assert "cost comparison:" in output
+        assert "repro_traces_sampled_total 20" in output
+        assert 'repro_match_rejects_total{reason="range"}' in output
+
     def test_scaling_experiment_quick(self):
         output = run_example("scaling_experiment.py", "--quick")
         assert "Figure 2" in output
