@@ -54,6 +54,12 @@ from .core import (
     matcher_for_catalog,
 )
 from .datagen import generate_tpch
+from .difftest import (
+    DifftestConfig,
+    DifftestReport,
+    run_corpus_case,
+    run_difftest,
+)
 from .engine import Database, QueryResult, execute, materialize_view, run_sql
 from .errors import (
     BindError,
@@ -96,6 +102,8 @@ __all__ = [
     "DEFAULT_OPTIONS",
     "Database",
     "DatabaseStats",
+    "DifftestConfig",
+    "DifftestReport",
     "ExecutionError",
     "ExperimentConfig",
     "ExperimentHarness",
@@ -135,6 +143,8 @@ __all__ = [
     "parse_select",
     "parse_view",
     "plan_result",
+    "run_corpus_case",
+    "run_difftest",
     "run_sql",
     "statement_fingerprint",
     "statement_to_sql",

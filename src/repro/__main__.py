@@ -22,6 +22,13 @@ Commands
     Trace one query through the rewrite path and print the match-funnel
     report: filter-tree narrowing per level, each candidate's reject
     reason or compensation steps, and the plan cost comparison.
+``difftest [--seed N --cases N]``
+    Differential correctness: generate seeded random queries with
+    covering views over small TPC-H data, execute the original and
+    every substitute plan, bag-compare the rows, and shrink any
+    divergence to a minimal repro (``--emit DIR`` writes the repro
+    script, obs trace, and corpus case; ``--corpus DIR`` re-runs the
+    committed regression corpus).
 """
 
 from __future__ import annotations
@@ -122,7 +129,63 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="check the export against the trace schema (exit 1 on mismatch)",
     )
+    difftest = subparsers.add_parser(
+        "difftest",
+        help="execute every rewrite against the engine and compare rows",
+    )
+    difftest.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    difftest.add_argument(
+        "--cases", type=int, default=200, help="random cases to run"
+    )
+    difftest.add_argument(
+        "--views-per-case", type=int, default=3, help="covering views per case"
+    )
+    difftest.add_argument(
+        "--scale", type=float, default=0.0005, help="TPC-H data scale factor"
+    )
+    difftest.add_argument(
+        "--data-seed", type=int, default=11, help="data generator seed"
+    )
+    difftest.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=400,
+        help="oracle calls allowed per divergence shrink (0 disables)",
+    )
+    difftest.add_argument(
+        "--max-divergences",
+        type=int,
+        default=5,
+        help="stop after this many divergences",
+    )
+    difftest.add_argument(
+        "--emit",
+        default=None,
+        metavar="DIR",
+        help="write shrunk repro scripts, traces, and corpus cases here",
+    )
+    difftest.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="also re-run the committed regression corpus in DIR",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.command == "difftest":
+        from .cli import run_difftest
+
+        return run_difftest(
+            seed=arguments.seed,
+            cases=arguments.cases,
+            views_per_case=arguments.views_per_case,
+            scale=arguments.scale,
+            data_seed=arguments.data_seed,
+            shrink_budget=arguments.shrink_budget,
+            max_divergences=arguments.max_divergences,
+            emit=arguments.emit,
+            corpus=arguments.corpus,
+        )
 
     if arguments.command == "explain-rewrite":
         from .cli import run_explain_rewrite

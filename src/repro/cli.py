@@ -297,6 +297,70 @@ def run_bench_hotpath(
     return 1 if failures else 0
 
 
+def run_difftest(
+    seed: int = 0,
+    cases: int = 200,
+    views_per_case: int = 3,
+    scale: float = 0.0005,
+    data_seed: int = 11,
+    shrink_budget: int = 400,
+    max_divergences: int = 5,
+    emit: str | None = None,
+    corpus: str | None = None,
+) -> int:
+    """Differential correctness: execute every rewrite, compare rows.
+
+    Runs the randomized harness (``cases`` seeded random queries with
+    correlated covering views over small generated TPC-H data), executes
+    the original and every substitute plan, and bag-compares the
+    results. Each divergence is shrunk to a minimal (query, view, data)
+    triple within ``shrink_budget`` oracle calls; with ``--emit DIR``
+    the shrunk repro script, the obs trace of the bad rewrite, and a
+    corpus-format case are written there. ``--corpus DIR`` additionally
+    re-runs every committed regression case. Non-zero exit on any
+    divergence or corpus failure.
+    """
+    from .catalog import tpch_catalog
+    from .difftest import (
+        DifftestConfig,
+        load_corpus,
+        run_corpus_case,
+        run_difftest as run_harness,
+        write_divergence_artifacts,
+    )
+
+    catalog = tpch_catalog()
+    failures = 0
+    if corpus is not None:
+        corpus_cases = load_corpus(corpus)
+        print(f"corpus: {len(corpus_cases)} committed cases from {corpus}")
+        for case in corpus_cases:
+            outcome = run_corpus_case(case, catalog)
+            print(f"  {outcome.describe()}")
+            if not outcome.ok:
+                failures += 1
+    config = DifftestConfig(
+        seed=seed,
+        cases=cases,
+        views_per_case=views_per_case,
+        scale=scale,
+        data_seed=data_seed,
+        shrink_budget=shrink_budget,
+        max_divergences=max_divergences,
+    )
+    report = run_harness(config, catalog=catalog)
+    print(report.summary())
+    if emit is not None:
+        for divergence in report.divergences:
+            paths = write_divergence_artifacts(
+                divergence, emit, catalog, float_digits=config.float_digits
+            )
+            for path in paths:
+                print(f"  wrote {path}")
+    failures += len(report.divergences) + report.match_errors
+    return 1 if failures else 0
+
+
 def run_figures(
     quick: bool = False,
     views: int | None = None,

@@ -917,13 +917,19 @@ def _map_aggregation_over_agg_view(
                 )
             group_by.append(mapped)
 
+    # A regrouped *global* aggregation (empty query group-by) must produce
+    # its one output row even when compensation removes every view row;
+    # SUM over that empty input is NULL, so the rolled-up count needs a
+    # COALESCE back to 0 (plain SQL: COUNT over empty input is 0).
+    guard_empty = regroup and not query.statement.group_by
+
     def rollup(
         call: FuncCall,
         eqc: EquivalenceClasses,
         out: _ViewOutputs,
         opts: MatchOptions,
     ) -> Expression | None:
-        return _rollup_aggregate(call, eqc, out, regroup)
+        return _rollup_aggregate(call, eqc, out, regroup, guard_empty)
 
     items: list[SelectItem] = []
     for info in query.outputs:
@@ -944,13 +950,26 @@ def _rollup_aggregate(
     eqclasses: EquivalenceClasses,
     outputs: _ViewOutputs,
     regroup: bool,
+    guard_empty: bool = False,
 ) -> Expression | None:
-    """Derive one query aggregate from an aggregation view's outputs."""
+    """Derive one query aggregate from an aggregation view's outputs.
+
+    ``guard_empty`` marks a regrouped global aggregation, where the
+    compensated view rows may be empty: the rolled-up row count then
+    becomes ``coalesce(sum(cnt), 0)`` so the substitute reports 0 rows
+    (not NULL) exactly as ``count(*)`` over an empty input does, while
+    SUM correctly stays NULL.
+    """
     if call.name in ("count", "count_big") and call.star:
         if outputs.count_big_column is None:
             return None
         counter = ColumnRef(outputs.view_name, outputs.count_big_column)
-        return FuncCall("sum", (counter,)) if regroup else counter
+        if not regroup:
+            return counter
+        summed: Expression = FuncCall("sum", (counter,))
+        if guard_empty:
+            summed = FuncCall("coalesce", (summed, Literal(0)))
+        return summed
     if call.name == "sum":
         reference = outputs.sum_output_for(call.args[0], eqclasses)
         if reference is None:
@@ -961,7 +980,7 @@ def _rollup_aggregate(
             FuncCall("sum", call.args), eqclasses, outputs, regroup
         )
         counter = _rollup_aggregate(
-            FuncCall("count_big", star=True), eqclasses, outputs, regroup
+            FuncCall("count_big", star=True), eqclasses, outputs, regroup, guard_empty
         )
         if total is None or counter is None:
             return None

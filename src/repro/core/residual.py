@@ -14,9 +14,51 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sql.expressions import ColumnRef, Expression
+from ..sql.expressions import BinaryOp, ColumnRef, Expression, Literal
 from ..sql.printer import shallow_template
 from .equivalence import EquivalenceClasses
+
+#: Binary operators whose operands may be reordered without changing the
+#: predicate's meaning. ``=`` and ``<>`` are symmetric comparisons; ``<``
+#: and friends are handled upstream by mirroring, not here.
+_COMMUTATIVE_OPS = frozenset({"+", "*", "=", "<>"})
+
+
+def _operand_key(operand: Expression) -> tuple[int, str, tuple]:
+    """Deterministic sort key for one commutative operand.
+
+    Literals order last so ``a <> 5`` keeps its column-first orientation
+    (matching the literal-right canonicalization of ``normalize``); ties
+    between equal templates break on the referenced column keys.
+    """
+    template, refs = shallow_template(operand)
+    return (
+        1 if isinstance(operand, Literal) else 0,
+        template,
+        tuple(ref.key for ref in refs),
+    )
+
+
+def canonical_operand_order(expression: Expression) -> Expression:
+    """Reorder commutative operands (``+ * = <>``) deterministically.
+
+    ``a = b`` and ``b = a`` — and commutative arithmetic like ``a + b``
+    vs. ``b + a`` — must produce identical shallow templates, or
+    residual/output matching rejects views that differ only in operand
+    order. The rewrite is bottom-up and purely syntactic; it never
+    changes evaluation semantics.
+    """
+
+    def reorder(node: Expression) -> Expression:
+        if (
+            isinstance(node, BinaryOp)
+            and node.op in _COMMUTATIVE_OPS
+            and _operand_key(node.right) < _operand_key(node.left)
+        ):
+            return BinaryOp(node.op, node.right, node.left)
+        return node
+
+    return expression.transform(reorder)
 
 
 @dataclass(frozen=True)
@@ -29,7 +71,7 @@ class ShallowForm:
 
     @classmethod
     def of(cls, expression: Expression) -> "ShallowForm":
-        template, refs = shallow_template(expression)
+        template, refs = shallow_template(canonical_operand_order(expression))
         return cls(template=template, refs=refs, expression=expression)
 
     def matches(self, other: "ShallowForm", eqclasses: EquivalenceClasses) -> bool:

@@ -1,0 +1,53 @@
+"""Differential correctness testing of view-matching rewrites.
+
+The matcher's output is a claim of query equivalence (Sections 3.1-3.3
+of the paper); this package checks the claim by *executing* every
+rewrite against real data and bag-comparing the rows. Entry points:
+
+* :func:`run_difftest` / :class:`DifftestConfig` -- the randomized
+  harness (``python -m repro difftest``);
+* :class:`Shrinker` -- minimizes a diverging (query, view, data) triple;
+* :func:`write_divergence_artifacts` -- repro script + obs trace +
+  corpus case for each caught divergence;
+* :func:`load_corpus` / :func:`run_corpus_case` -- the committed
+  regression corpus under ``tests/difftest/corpus/``.
+"""
+
+from .compare import ResultDiff, compare_results, normalize_row, result_multiset
+from .corpus import (
+    CorpusCase,
+    CorpusOutcome,
+    load_corpus,
+    load_corpus_case,
+    run_corpus_case,
+)
+from .harness import Divergence, DifftestConfig, DifftestReport, run_difftest
+from .report import (
+    capture_trace,
+    corpus_entry,
+    repro_script,
+    write_divergence_artifacts,
+)
+from .shrink import ShrunkCase, Shrinker
+
+__all__ = [
+    "CorpusCase",
+    "CorpusOutcome",
+    "DifftestConfig",
+    "DifftestReport",
+    "Divergence",
+    "ResultDiff",
+    "Shrinker",
+    "ShrunkCase",
+    "capture_trace",
+    "compare_results",
+    "corpus_entry",
+    "load_corpus",
+    "load_corpus_case",
+    "normalize_row",
+    "repro_script",
+    "result_multiset",
+    "run_corpus_case",
+    "run_difftest",
+    "write_divergence_artifacts",
+]

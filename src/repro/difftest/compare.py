@@ -1,0 +1,113 @@
+"""NULL-aware bag comparison of executor results.
+
+The harness compares the original query's rows against the substitute's
+as multisets: SQL results are bags, row order is meaningless, and NULL
+(Python ``None``) is an ordinary value that must compare equal to
+itself. Floats are normalized to a fixed number of significant digits
+first, because a rollup over a pre-aggregated view legitimately
+accumulates floating-point sums in a different order than the direct
+plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.executor import QueryResult
+
+#: Rendered in diff samples so a NULL is visibly distinct from "None"
+#: string data.
+NULL_MARKER = "NULL"
+
+
+def normalize_row(
+    row: tuple[object, ...], float_digits: int | None = None
+) -> tuple[object, ...]:
+    """One row with floats rounded to ``float_digits`` significant digits."""
+    if float_digits is None:
+        return row
+    return tuple(
+        float(f"{value:.{float_digits}g}") if isinstance(value, float) else value
+        for value in row
+    )
+
+
+def result_multiset(
+    result: QueryResult, float_digits: int | None = None
+) -> dict[tuple[object, ...], int]:
+    """Normalized rows with multiplicities."""
+    counts: dict[tuple[object, ...], int] = {}
+    for row in result.rows:
+        key = normalize_row(row, float_digits)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def render_row(row: tuple[object, ...]) -> str:
+    """A row rendered for diff output, NULLs made explicit."""
+    return (
+        "("
+        + ", ".join(
+            NULL_MARKER if value is None else repr(value) for value in row
+        )
+        + ")"
+    )
+
+
+@dataclass
+class ResultDiff:
+    """The outcome of comparing original vs. substitute execution."""
+
+    equal: bool
+    original_rows: int
+    rewritten_rows: int
+    only_original: list[tuple[object, ...]] = field(default_factory=list)
+    only_rewritten: list[tuple[object, ...]] = field(default_factory=list)
+
+    def summary(self, limit: int = 4) -> str:
+        if self.equal:
+            return "results are bag-equal"
+        lines = [
+            f"original {self.original_rows} rows, "
+            f"substitute {self.rewritten_rows} rows"
+        ]
+        for label, rows in (
+            ("only in original", self.only_original),
+            ("only in substitute", self.only_rewritten),
+        ):
+            for row in rows[:limit]:
+                lines.append(f"  {label}: {render_row(row)}")
+            if len(rows) > limit:
+                lines.append(f"  {label}: ... {len(rows) - limit} more")
+        return "\n".join(lines)
+
+
+def compare_results(
+    original: QueryResult,
+    rewritten: QueryResult,
+    float_digits: int | None = 9,
+) -> ResultDiff:
+    """Bag-compare two results, collecting the rows on each side only."""
+    left = result_multiset(original, float_digits)
+    right = result_multiset(rewritten, float_digits)
+    if len(original.columns) == len(rewritten.columns) and left == right:
+        return ResultDiff(
+            equal=True,
+            original_rows=original.row_count,
+            rewritten_rows=rewritten.row_count,
+        )
+    only_original = []
+    only_rewritten = []
+    for row, count in left.items():
+        missing = count - right.get(row, 0)
+        only_original.extend([row] * max(missing, 0))
+    for row, count in right.items():
+        missing = count - left.get(row, 0)
+        only_rewritten.extend([row] * max(missing, 0))
+    return ResultDiff(
+        equal=False,
+        original_rows=original.row_count,
+        rewritten_rows=rewritten.row_count,
+        only_original=only_original,
+        only_rewritten=only_rewritten,
+    )

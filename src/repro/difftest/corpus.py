@@ -1,0 +1,156 @@
+"""The committed regression corpus: load and re-run shrunk cases.
+
+Every divergence the harness has ever caught (and every hand-written
+boundary case) lives as one JSON document under
+``tests/difftest/corpus/``. A corpus case is self-contained -- SQL text
+for the query and views, inline base-table rows -- and carries an
+``expect_rewrite`` flag:
+
+* ``true``  -- the matcher must produce at least one substitute, and
+  every substitute must execute bag-equal to the original (pins
+  soundness *and* completeness of a fixed bug);
+* ``false`` -- the matcher must produce *no* substitute (pins a
+  rejection, e.g. an open view bound at a closed query endpoint); if a
+  regression makes it match anyway, the data still exposes whether the
+  rewrite would also be wrong.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..catalog.catalog import Catalog
+from ..catalog.tpch import tpch_catalog
+from ..core.matcher import ViewMatcher
+from ..engine.database import Database
+from ..engine.executor import execute, materialize_view
+from ..errors import ReproError
+from ..sql.printer import statement_to_sql
+from .compare import compare_results
+
+
+@dataclass
+class CorpusCase:
+    """One self-contained regression case."""
+
+    name: str
+    description: str
+    query: str
+    views: dict[str, str]
+    tables: dict[str, dict]
+    expect_rewrite: bool = True
+    float_digits: int = 9
+    path: Path | None = None
+
+
+@dataclass
+class CorpusOutcome:
+    """The result of re-running one corpus case."""
+
+    case: CorpusCase
+    substitutes: int = 0
+    divergences: list[str] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        if self.error is not None or self.divergences:
+            return False
+        if self.case.expect_rewrite:
+            return self.substitutes > 0
+        return self.substitutes == 0
+
+    def describe(self) -> str:
+        if self.ok:
+            kind = (
+                f"{self.substitutes} substitute(s) verified"
+                if self.case.expect_rewrite
+                else "rejection confirmed"
+            )
+            return f"{self.case.name}: ok ({kind})"
+        lines = [f"{self.case.name}: FAILED"]
+        if self.error is not None:
+            lines.append(f"  error: {self.error}")
+        if self.case.expect_rewrite and self.substitutes == 0:
+            lines.append("  expected a rewrite but the matcher produced none")
+        if not self.case.expect_rewrite and self.substitutes > 0:
+            lines.append(
+                f"  expected no rewrite but got {self.substitutes} substitute(s)"
+            )
+        lines.extend(f"  {line}" for line in self.divergences)
+        return "\n".join(lines)
+
+
+def load_corpus_case(path: str | Path) -> CorpusCase:
+    """Parse one corpus JSON document."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    return CorpusCase(
+        name=payload.get("name", path.stem),
+        description=payload.get("description", ""),
+        query=payload["query"],
+        views=dict(payload["views"]),
+        tables=dict(payload.get("tables", {})),
+        expect_rewrite=bool(payload.get("expect_rewrite", True)),
+        float_digits=int(payload.get("float_digits", 9)),
+        path=path,
+    )
+
+
+def load_corpus(directory: str | Path) -> list[CorpusCase]:
+    """All corpus cases in ``directory``, sorted by file name."""
+    directory = Path(directory)
+    return [
+        load_corpus_case(path) for path in sorted(directory.glob("*.json"))
+    ]
+
+
+def run_corpus_case(
+    case: CorpusCase, catalog: Catalog | None = None
+) -> CorpusOutcome:
+    """Re-run one corpus case end to end."""
+    catalog = catalog or tpch_catalog()
+    outcome = CorpusOutcome(case=case)
+    database = Database()
+    for name, spec in case.tables.items():
+        database.store(
+            name,
+            tuple(spec["columns"]),
+            [tuple(row) for row in spec["rows"]],
+        )
+    matcher = ViewMatcher(catalog)
+    try:
+        for name, sql in case.views.items():
+            statement = catalog.bind_sql(sql)
+            matcher.register_view(name, statement)
+            materialize_view(name, statement, database)
+        query = catalog.bind_sql(case.query)
+        matches = matcher.substitutes(query)
+    except (ReproError, ValueError) as exc:
+        outcome.error = str(exc)
+        return outcome
+    outcome.substitutes = len(matches)
+    if not matches:
+        return outcome
+    try:
+        original = execute(query, database)
+    except (ReproError, ValueError) as exc:
+        outcome.error = f"original execution failed: {exc}"
+        return outcome
+    for match in matches:
+        rendered = statement_to_sql(match.substitute)
+        try:
+            rewritten = execute(match.substitute, database)
+        except (ReproError, ValueError) as exc:
+            outcome.divergences.append(
+                f"substitute failed to execute: {rendered}: {exc}"
+            )
+            continue
+        diff = compare_results(original, rewritten, case.float_digits)
+        if not diff.equal:
+            outcome.divergences.append(
+                f"diverges: {rendered}\n  " + diff.summary().replace("\n", "\n  ")
+            )
+    return outcome

@@ -1,0 +1,193 @@
+"""Divergence artifacts: self-contained repro scripts, traces, corpus.
+
+Each caught divergence is written out three ways:
+
+* ``repro_<seed>.py`` -- a standalone script (only ``repro`` on the
+  path) that loads the shrunk rows, registers the view, re-runs the
+  match and both executions, and exits non-zero while the divergence
+  reproduces;
+* ``trace_<seed>.json`` -- the :mod:`repro.obs` rewrite trace of the
+  bad match, for the match-funnel view of *why* the view was accepted;
+* ``case_<seed>.json`` -- the corpus format of
+  :mod:`repro.difftest.corpus`, ready to commit under
+  ``tests/difftest/corpus/`` as a permanent regression case.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..catalog.catalog import Catalog
+from ..core.matcher import ViewMatcher
+from ..errors import ReproError
+from ..obs import RewriteTracer, tracing
+from ..sql.printer import statement_to_sql
+from .harness import Divergence
+from .shrink import ShrunkCase, TableData
+
+_SCRIPT_TEMPLATE = '''\
+"""Auto-generated differential-test repro (case seed {seed}).
+
+Run with the repro package importable, e.g. from the repository root:
+
+    PYTHONPATH=src python {script_name}
+
+Exits 0 once the rewrite and the original query agree again.
+"""
+
+import json
+import sys
+
+from repro import ViewMatcher, execute, materialize_view, statement_to_sql, tpch_catalog
+from repro.difftest.compare import compare_results
+from repro.engine import Database
+
+QUERY = {query!r}
+
+VIEWS = json.loads("""{views_json}""")
+
+TABLES = json.loads("""{tables_json}""")
+
+FLOAT_DIGITS = {float_digits}
+
+
+def main() -> int:
+    catalog = tpch_catalog()
+    database = Database()
+    for name, spec in TABLES.items():
+        database.store(
+            name, tuple(spec["columns"]), [tuple(row) for row in spec["rows"]]
+        )
+    matcher = ViewMatcher(catalog)
+    for name, sql in VIEWS.items():
+        statement = catalog.bind_sql(sql)
+        matcher.register_view(name, statement)
+        materialize_view(name, statement, database)
+    query = catalog.bind_sql(QUERY)
+    substitutes = matcher.substitutes(query)
+    if not substitutes:
+        print("no substitute produced; the matcher no longer rewrites this case")
+        return 0
+    original = execute(query, database)
+    failures = 0
+    for match in substitutes:
+        print("substitute:", statement_to_sql(match.substitute))
+        try:
+            rewritten = execute(match.substitute, database)
+        except Exception as exc:  # noqa: BLE001 - repro script reports anything
+            print("  substitute execution failed:", exc)
+            failures += 1
+            continue
+        diff = compare_results(original, rewritten, float_digits=FLOAT_DIGITS)
+        print(" ", diff.summary().replace("\\n", "\\n  "))
+        if not diff.equal:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+'''
+
+
+def _tables_payload(tables: TableData) -> dict:
+    return {
+        name: {"columns": list(columns), "rows": [list(row) for row in rows]}
+        for name, (columns, rows) in tables.items()
+    }
+
+
+def repro_script(shrunk: ShrunkCase, script_name: str, seed: int, float_digits: int) -> str:
+    """Render the standalone repro script for one shrunk case."""
+    views_json = json.dumps(
+        {shrunk.view_name: statement_to_sql(shrunk.view)}, indent=2
+    )
+    tables_json = json.dumps(_tables_payload(shrunk.tables), indent=2)
+    return _SCRIPT_TEMPLATE.format(
+        seed=seed,
+        script_name=script_name,
+        query=statement_to_sql(shrunk.query),
+        views_json=views_json,
+        tables_json=tables_json,
+        float_digits=float_digits,
+    )
+
+
+def corpus_entry(
+    shrunk: ShrunkCase,
+    name: str,
+    description: str,
+    float_digits: int,
+    expect_rewrite: bool = True,
+) -> dict:
+    """The corpus-format JSON document for one shrunk case."""
+    return {
+        "name": name,
+        "description": description,
+        "query": statement_to_sql(shrunk.query),
+        "views": {shrunk.view_name: statement_to_sql(shrunk.view)},
+        "tables": _tables_payload(shrunk.tables),
+        "expect_rewrite": expect_rewrite,
+        "float_digits": float_digits,
+    }
+
+
+def capture_trace(
+    catalog: Catalog, divergence: Divergence
+) -> dict:
+    """Re-run the bad match under a tracer; returns the trace export."""
+    tracer = RewriteTracer(sql=statement_to_sql(divergence.query))
+    error: str | None = None
+    with tracing(tracer):
+        try:
+            matcher = ViewMatcher(catalog)
+            matcher.register_view(divergence.view_name, divergence.view)
+            with tracer.span("match"):
+                matcher.match(divergence.query)
+        except (ReproError, ValueError) as exc:
+            error = str(exc)
+    return tracer.finish(error=error).to_dict()
+
+
+def write_divergence_artifacts(
+    divergence: Divergence,
+    directory: str | Path,
+    catalog: Catalog,
+    float_digits: int = 9,
+) -> list[Path]:
+    """Write repro script, trace, and corpus case; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    seed = divergence.case_seed
+    written: list[Path] = []
+    shrunk = divergence.shrunk
+    if shrunk is not None and shrunk.substitute is not None:
+        script_path = directory / f"repro_{seed}.py"
+        script_path.write_text(
+            repro_script(
+                shrunk, script_path.name, seed, float_digits=float_digits
+            )
+        )
+        written.append(script_path)
+        case_path = directory / f"case_{seed}.json"
+        case_path.write_text(
+            json.dumps(
+                corpus_entry(
+                    shrunk,
+                    name=f"divergence_{seed}",
+                    description=(
+                        "Shrunk from a difftest divergence (case seed "
+                        f"{seed}, view {divergence.view_name})."
+                    ),
+                    float_digits=float_digits,
+                ),
+                indent=2,
+            )
+            + "\n"
+        )
+        written.append(case_path)
+    trace_path = directory / f"trace_{seed}.json"
+    trace_path.write_text(json.dumps(capture_trace(catalog, divergence), indent=2))
+    written.append(trace_path)
+    return written

@@ -1,0 +1,269 @@
+"""Shrinking a diverging case to a minimal (query, view, data) triple.
+
+A raw divergence from the harness involves a multi-table query, a
+machine-generated view, and a few thousand base rows -- far too much to
+debug. The shrinker greedily minimizes all three while preserving the
+divergence, re-running the full match-materialize-execute oracle after
+every candidate reduction:
+
+1. drop query WHERE conjuncts, then query output columns;
+2. drop view WHERE conjuncts (view outputs stay: removing one usually
+   just breaks the match, which the oracle rejects anyway);
+3. delta-debug each base table's rows (ddmin) down to the handful that
+   still exhibit the divergence;
+4. one final conjunct pass, since smaller data often unlocks predicate
+   removals that were load-bearing before.
+
+Every oracle call counts against a caller-supplied budget, so shrinking
+always terminates in bounded time even on pathological cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..catalog.catalog import Catalog
+from ..core.matcher import ViewMatcher
+from ..engine.database import Database
+from ..engine.executor import execute, materialize_view
+from ..errors import ReproError
+from ..sql.expressions import conjunction, conjuncts_of
+from ..sql.statements import SelectItem, SelectStatement
+from .compare import ResultDiff, compare_results
+
+#: name -> (columns, rows) of the base tables a shrunk case needs.
+TableData = dict[str, tuple[tuple[str, ...], list[tuple[object, ...]]]]
+
+
+@dataclass
+class ShrunkCase:
+    """The minimized triple plus the final divergence evidence."""
+
+    query: SelectStatement
+    view_name: str
+    view: SelectStatement
+    substitute: SelectStatement | None
+    tables: TableData
+    diff: ResultDiff | None
+    error: str | None = None
+    evaluations: int = 0
+    budget_exhausted: bool = False
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(rows) for _, rows in self.tables.values())
+
+
+class _BudgetExhausted(Exception):
+    pass
+
+
+@dataclass
+class Shrinker:
+    """Budget-bounded greedy shrinker around the differential oracle."""
+
+    catalog: Catalog
+    float_digits: int = 9
+    budget: int = 400
+    evaluations: int = field(default=0, init=False)
+
+    # -- oracle --------------------------------------------------------------
+
+    def _oracle(
+        self,
+        query: SelectStatement,
+        view_name: str,
+        view: SelectStatement,
+        tables: TableData,
+    ) -> tuple[bool, SelectStatement | None, ResultDiff | None, str | None]:
+        """(diverges, substitute, diff, error) for one candidate triple."""
+        if self.evaluations >= self.budget:
+            raise _BudgetExhausted()
+        self.evaluations += 1
+        matcher = ViewMatcher(self.catalog)
+        try:
+            matcher.register_view(view_name, view)
+            matches = [m for m in matcher.match(query) if m.matched]
+        except (ReproError, ValueError):
+            return False, None, None, None
+        if not matches:
+            return False, None, None, None
+        database = Database()
+        for name, (columns, rows) in tables.items():
+            database.store(name, columns, list(rows))
+        try:
+            materialize_view(view_name, view, database)
+            original = execute(query, database)
+        except (ReproError, ValueError):
+            # The reduction broke the case itself, not the rewrite.
+            return False, None, None, None
+        for match in matches:
+            try:
+                rewritten = execute(match.substitute, database)
+            except (ReproError, ValueError) as exc:
+                # A substitute the engine cannot even execute is the
+                # strongest possible divergence; preserve it.
+                return True, match.substitute, None, str(exc)
+            diff = compare_results(original, rewritten, self.float_digits)
+            if not diff.equal:
+                return True, match.substitute, diff, None
+        return False, None, None, None
+
+    # -- reductions ----------------------------------------------------------
+
+    def _shrink_conjuncts(
+        self,
+        query: SelectStatement,
+        view_name: str,
+        view: SelectStatement,
+        tables: TableData,
+        target: str,
+    ) -> tuple[SelectStatement, SelectStatement]:
+        """Greedily drop WHERE conjuncts of the query or the view."""
+        changed = True
+        while changed:
+            changed = False
+            statement = query if target == "query" else view
+            conjuncts = list(conjuncts_of(statement.where))
+            for index in range(len(conjuncts)):
+                trial_conjuncts = conjuncts[:index] + conjuncts[index + 1:]
+                trial = SelectStatement(
+                    select_items=statement.select_items,
+                    from_tables=statement.from_tables,
+                    where=conjunction(trial_conjuncts),
+                    group_by=statement.group_by,
+                )
+                trial_query = trial if target == "query" else query
+                trial_view = view if target == "query" else trial
+                diverges, _, _, _ = self._oracle(
+                    trial_query, view_name, trial_view, tables
+                )
+                if diverges:
+                    query, view = trial_query, trial_view
+                    changed = True
+                    break
+        return query, view
+
+    def _shrink_outputs(
+        self,
+        query: SelectStatement,
+        view_name: str,
+        view: SelectStatement,
+        tables: TableData,
+    ) -> SelectStatement:
+        """Greedily drop query output columns (keeping at least one)."""
+        changed = True
+        while changed and len(query.select_items) > 1:
+            changed = False
+            for index in range(len(query.select_items)):
+                items = (
+                    query.select_items[:index] + query.select_items[index + 1:]
+                )
+                trial = SelectStatement(
+                    select_items=items,
+                    from_tables=query.from_tables,
+                    where=query.where,
+                    group_by=query.group_by,
+                )
+                diverges, _, _, _ = self._oracle(trial, view_name, view, tables)
+                if diverges:
+                    query = trial
+                    changed = True
+                    break
+        return query
+
+    def _shrink_rows(
+        self,
+        query: SelectStatement,
+        view_name: str,
+        view: SelectStatement,
+        tables: TableData,
+    ) -> TableData:
+        """ddmin each table's row list while the divergence persists."""
+        for name in sorted(
+            tables, key=lambda n: len(tables[n][1]), reverse=True
+        ):
+            columns, rows = tables[name]
+
+            def still_diverges(candidate: list[tuple[object, ...]]) -> bool:
+                trial = dict(tables)
+                trial[name] = (columns, candidate)
+                diverges, _, _, _ = self._oracle(query, view_name, view, trial)
+                return diverges
+
+            rows = self._ddmin(rows, still_diverges)
+            tables = dict(tables)
+            tables[name] = (columns, rows)
+        return tables
+
+    def _ddmin(self, rows, test):
+        """Standard delta-debugging minimization of one row list."""
+        granularity = 2
+        while len(rows) >= 2:
+            chunk = max(1, len(rows) // granularity)
+            reduced = False
+            start = 0
+            while start < len(rows):
+                candidate = rows[:start] + rows[start + chunk:]
+                if candidate and test(candidate):
+                    rows = candidate
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                else:
+                    start += chunk
+            if not reduced:
+                if granularity >= len(rows):
+                    break
+                granularity = min(len(rows), granularity * 2)
+        return rows
+
+    # -- entry point ---------------------------------------------------------
+
+    def shrink(
+        self,
+        query: SelectStatement,
+        view_name: str,
+        view: SelectStatement,
+        tables: TableData,
+    ) -> ShrunkCase:
+        """Minimize the triple; returns the best case found within budget."""
+        self.evaluations = 0
+        exhausted = False
+        try:
+            query, view = self._shrink_conjuncts(
+                query, view_name, view, tables, target="query"
+            )
+            query = self._shrink_outputs(query, view_name, view, tables)
+            query, view = self._shrink_conjuncts(
+                query, view_name, view, tables, target="view"
+            )
+            tables = self._shrink_rows(query, view_name, view, tables)
+            query, view = self._shrink_conjuncts(
+                query, view_name, view, tables, target="query"
+            )
+        except _BudgetExhausted:
+            exhausted = True
+        # Drop tables the final statements no longer reference.
+        referenced = set(query.table_names()) | set(view.table_names())
+        tables = {
+            name: data for name, data in tables.items() if name in referenced
+        }
+        # Re-derive the final substitute and diff without budget pressure.
+        self.budget = self.evaluations + 1
+        try:
+            diverges, substitute, diff, error = self._oracle(
+                query, view_name, view, tables
+            )
+        except _BudgetExhausted:  # pragma: no cover - budget was just raised
+            diverges, substitute, diff, error = False, None, None, None
+        return ShrunkCase(
+            query=query,
+            view_name=view_name,
+            view=view,
+            substitute=substitute if diverges else None,
+            tables=tables,
+            diff=diff,
+            error=error,
+            evaluations=self.evaluations,
+            budget_exhausted=exhausted,
+        )

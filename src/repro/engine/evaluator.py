@@ -168,6 +168,14 @@ def evaluate(expression: Expression, row: Row) -> object:
             raise ExecutionError(
                 f"aggregate {expression.name} outside grouping context"
             )
+        if expression.name == "coalesce":
+            if not expression.args:
+                raise ExecutionError("coalesce requires at least one argument")
+            for argument in expression.args:
+                value = evaluate(argument, row)
+                if value is not None:
+                    return value
+            return None
         raise ExecutionError(f"unknown function {expression.name}")
     raise ExecutionError(f"cannot evaluate {type(expression).__name__}")
 

@@ -330,6 +330,16 @@ def _evaluate_output(
             _as_literal(right),
         )
         return evaluate(synthetic, {})
+    if isinstance(expression, FuncCall):
+        # A scalar function (e.g. coalesce) over aggregate sub-expressions:
+        # evaluate each argument in this grouping context first.
+        arguments = tuple(
+            _as_literal(
+                _evaluate_output(argument, aggregate_values, representative)
+            )
+            for argument in expression.args
+        )
+        return evaluate(FuncCall(expression.name, arguments), {})
     raise ExecutionError(
         f"cannot evaluate aggregate output expression {expression}"
     )

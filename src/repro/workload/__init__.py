@@ -1,5 +1,10 @@
 """The Section 5 random workload generator."""
 
+from .covering import (
+    CoveringCaseGenerator,
+    CoveringParameters,
+    DifftestCase,
+)
 from .generator import (
     GeneratedStatement,
     QUERY_TABLE_COUNT_DISTRIBUTION,
@@ -8,6 +13,9 @@ from .generator import (
 )
 
 __all__ = [
+    "CoveringCaseGenerator",
+    "CoveringParameters",
+    "DifftestCase",
     "GeneratedStatement",
     "QUERY_TABLE_COUNT_DISTRIBUTION",
     "WorkloadGenerator",

@@ -1,0 +1,417 @@
+"""Correlated view generation for the differential-correctness harness.
+
+The Section 5 generator draws views and queries *independently*, which is
+right for reproducing the paper's figures but nearly useless for
+differential testing: with a handful of views per case, an independent
+draw almost never produces a view that answers the query, so no rewrite
+is ever executed. This module instead derives each view *from* the query
+it should answer -- same table set (optionally extended through a foreign
+key, exercising Section 3.1.1's extra-table elimination), weakened or
+dropped range predicates (exercising range compensation), residual
+predicates kept verbatim or with commutative operands swapped
+(exercising shallow-form canonicalization), and outputs chosen to cover
+the query's needs (exercising output mapping and aggregate rollup).
+
+Every stochastic choice comes from one seeded ``random.Random``, so a
+case is fully reproducible from ``(data seed, case seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..catalog.catalog import Catalog
+from ..catalog.schema import ColumnType
+from ..core.ranges import as_range_predicate
+from ..sql.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    Literal,
+    conjunction,
+    conjuncts_of,
+)
+from ..sql.statements import SelectItem, SelectStatement, TableRef
+from ..stats.statistics import DatabaseStats
+from .generator import WorkloadGenerator, WorkloadParameters
+
+
+@dataclass(frozen=True)
+class CoveringParameters:
+    """Probability knobs for query mutation and view weakening."""
+
+    #: Drop the grouping list of an aggregate query (global aggregation —
+    #: the empty-input edge case of Section 3.3's rollup).
+    global_aggregate_probability: float = 0.25
+    #: Flip a generated >=/<= range bound to its open form.
+    open_bound_probability: float = 0.3
+    #: Add one residual predicate (arithmetic or <>) to the query.
+    residual_probability: float = 0.6
+    #: Replace a SUM output with AVG (exercises the SUM/count division).
+    avg_probability: float = 0.4
+    #: Keep a query residual in the view (else the view is wider).
+    view_keeps_residual_probability: float = 0.8
+    #: Swap commutative operands when copying a residual into the view.
+    swap_commutative_probability: float = 0.7
+    #: Per-range-conjunct fate: exact copy / same endpoint with flipped
+    #: inclusivity / widened bound / dropped entirely.
+    range_exact_probability: float = 0.3
+    range_endpoint_flip_probability: float = 0.15
+    range_widen_probability: float = 0.35
+    #: Extend the view's table set with one FK parent table.
+    extra_table_probability: float = 0.3
+    #: Make the view an aggregation view when the query aggregates.
+    aggregate_view_probability: float = 0.6
+    #: Keep each needed column as a view output (SPJ views).
+    output_keep_probability: float = 0.92
+    #: Add one extra grouping column beyond what the query needs.
+    extra_grouping_probability: float = 0.5
+
+
+@dataclass
+class DifftestCase:
+    """One generated (query, candidate views) pair."""
+
+    seed: int
+    query: SelectStatement
+    views: dict[str, SelectStatement] = field(default_factory=dict)
+
+
+def _referenced_columns(statement: SelectStatement) -> list[ColumnRef]:
+    """Distinct column references in outputs and grouping, in order."""
+    refs: list[ColumnRef] = []
+    seen: set[tuple[str, str]] = set()
+    for item in statement.select_items:
+        for ref in item.expression.column_refs():
+            if ref.key not in seen:
+                seen.add(ref.key)
+                refs.append(ref)
+    for expression in statement.group_by:
+        for ref in expression.column_refs():
+            if ref.key not in seen:
+                seen.add(ref.key)
+                refs.append(ref)
+    return refs
+
+
+class CoveringCaseGenerator:
+    """Seeded generator of differential-test cases over one catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: DatabaseStats,
+        parameters: CoveringParameters | None = None,
+        workload_parameters: WorkloadParameters | None = None,
+    ):
+        self.catalog = catalog
+        self.stats = stats
+        self.parameters = parameters or CoveringParameters()
+        self.workload_parameters = workload_parameters
+
+    # -- public API ----------------------------------------------------------
+
+    def case(self, seed: int, views: int = 3, prefix: str = "dv") -> DifftestCase:
+        """Generate one query and ``views`` covering-view candidates."""
+        rng = random.Random(seed)
+        generator = WorkloadGenerator(
+            self.catalog, self.stats, seed=seed, parameters=self.workload_parameters
+        )
+        query = generator.generate_query().statement
+        query = self._mutate_query(rng, query)
+        case = DifftestCase(seed=seed, query=query)
+        for index in range(views):
+            case.views[f"{prefix}{seed}_{index}"] = self._covering_view(rng, query)
+        return case
+
+    # -- query mutation ------------------------------------------------------
+
+    def _mutate_query(
+        self, rng: random.Random, query: SelectStatement
+    ) -> SelectStatement:
+        """Widen the generator's query shapes toward known edge cases."""
+        p = self.parameters
+        if query.is_aggregate and rng.random() < p.global_aggregate_probability:
+            items = tuple(
+                item
+                for item in query.select_items
+                if item.expression.contains_aggregate()
+            )
+            if items:
+                query = SelectStatement(
+                    select_items=items,
+                    from_tables=query.from_tables,
+                    where=query.where,
+                    group_by=(),
+                )
+        conjuncts: list[Expression] = []
+        for conjunct in conjuncts_of(query.where):
+            spec = as_range_predicate(conjunct)
+            if (
+                spec is not None
+                and spec.op in (">=", "<=")
+                and rng.random() < p.open_bound_probability
+            ):
+                open_op = {">=": ">", "<=": "<"}[spec.op]
+                conjuncts.append(
+                    BinaryOp(open_op, ColumnRef(*spec.column), Literal(spec.value))
+                )
+            else:
+                conjuncts.append(conjunct)
+        residual = self._residual_for(rng, query)
+        if residual is not None:
+            conjuncts.append(residual)
+        items = []
+        for item in query.select_items:
+            expression = item.expression
+            if (
+                isinstance(expression, FuncCall)
+                and expression.name == "sum"
+                and rng.random() < p.avg_probability
+            ):
+                expression = FuncCall("avg", expression.args)
+            items.append(SelectItem(expression, alias=item.alias))
+        return SelectStatement(
+            select_items=tuple(items),
+            from_tables=query.from_tables,
+            where=conjunction(conjuncts),
+            group_by=query.group_by,
+        )
+
+    def _residual_for(
+        self, rng: random.Random, query: SelectStatement
+    ) -> Expression | None:
+        """One residual predicate on a table of the query, or None."""
+        if rng.random() >= self.parameters.residual_probability:
+            return None
+        for table in query.table_names():
+            columns = self._residual_columns(table)
+            if not columns:
+                continue
+            if len(columns) >= 2 and rng.random() < 0.5:
+                a, b = rng.sample(columns, 2)
+                bound = self._sum_bound(rng, table, a, b)
+                return BinaryOp(
+                    "<=",
+                    BinaryOp("+", ColumnRef(table, a), ColumnRef(table, b)),
+                    Literal(bound),
+                )
+            column = rng.choice(columns)
+            return BinaryOp(
+                "<>",
+                ColumnRef(table, column),
+                Literal(self._point_value(rng, table, column)),
+            )
+        return None
+
+    def _residual_columns(self, table: str) -> list[str]:
+        """Non-key numeric columns with usable statistics."""
+        definition = self.catalog.table(table)
+        keys = set(definition.primary_key)
+        for fk in definition.foreign_keys:
+            keys.update(fk.columns)
+        columns = []
+        for column in definition.columns:
+            if column.name in keys or not column.type.is_numeric:
+                continue
+            stats = self.stats.column(table, column.name)
+            if stats.minimum is None or stats.maximum is None:
+                continue
+            columns.append(column.name)
+        return columns
+
+    def _sum_bound(
+        self, rng: random.Random, table: str, a: str, b: str
+    ) -> float:
+        low = float(self.stats.column(table, a).minimum) + float(  # type: ignore[arg-type]
+            self.stats.column(table, b).minimum  # type: ignore[arg-type]
+        )
+        high = float(self.stats.column(table, a).maximum) + float(  # type: ignore[arg-type]
+            self.stats.column(table, b).maximum  # type: ignore[arg-type]
+        )
+        return round(rng.uniform(low, high), 2)
+
+    def _point_value(self, rng: random.Random, table: str, column: str) -> object:
+        stats = self.stats.column(table, column)
+        if self.catalog.table(table).column(column).type is ColumnType.INTEGER:
+            return rng.randint(int(stats.minimum), int(stats.maximum))  # type: ignore[arg-type]
+        return round(rng.uniform(float(stats.minimum), float(stats.maximum)), 2)  # type: ignore[arg-type]
+
+    # -- view construction ---------------------------------------------------
+
+    def _covering_view(
+        self, rng: random.Random, query: SelectStatement
+    ) -> SelectStatement:
+        """A view over the query's tables that plausibly answers it."""
+        p = self.parameters
+        joins: list[Expression] = []
+        ranges: list[Expression] = []
+        residuals: list[Expression] = []
+        for conjunct in conjuncts_of(query.where):
+            if as_range_predicate(conjunct) is not None:
+                ranges.append(conjunct)
+            elif (
+                isinstance(conjunct, BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                joins.append(conjunct)
+            else:
+                residuals.append(conjunct)
+        predicates = list(joins)
+        for residual in residuals:
+            if rng.random() < p.view_keeps_residual_probability:
+                predicates.append(self._swap_commutative(rng, residual))
+        compensation_columns: set[tuple[str, str]] = set()
+        for conjunct in ranges:
+            spec = as_range_predicate(conjunct)
+            assert spec is not None
+            roll = rng.random()
+            if roll < p.range_exact_probability:
+                predicates.append(conjunct)
+            elif roll < p.range_exact_probability + p.range_endpoint_flip_probability:
+                # Same endpoint, opposite inclusivity: the boundary case of
+                # bound subsumption. Open view bounds must *reject* closed
+                # query bounds at the same endpoint.
+                flipped = {">=": ">", "<=": "<", ">": ">=", "<": "<=", "=": "="}
+                predicates.append(
+                    BinaryOp(
+                        flipped[spec.op],
+                        ColumnRef(*spec.column),
+                        Literal(spec.value),
+                    )
+                )
+                compensation_columns.add(spec.column)
+            elif roll < (
+                p.range_exact_probability
+                + p.range_endpoint_flip_probability
+                + p.range_widen_probability
+            ):
+                delta = abs(float(spec.value)) * rng.uniform(0.05, 0.4) + 1
+                value = (
+                    spec.value - delta
+                    if spec.op in (">", ">=")
+                    else spec.value + delta
+                )
+                if isinstance(spec.value, int):
+                    value = round(value)
+                predicates.append(
+                    BinaryOp(spec.op, ColumnRef(*spec.column), Literal(value))
+                )
+                compensation_columns.add(spec.column)
+            else:
+                compensation_columns.add(spec.column)
+        for residual in residuals:
+            for ref in residual.column_refs():
+                compensation_columns.add(ref.key)
+        needed = {ref.key for ref in _referenced_columns(query)}
+        needed |= compensation_columns
+        if not needed:
+            # A bare count(*) query over fully-kept predicates references
+            # no columns at all; give the view some output anyway.
+            first_table = query.from_tables[0].name
+            first_column = self.catalog.table(first_table).columns[0].name
+            needed.add((first_table, first_column))
+        from_tables = list(query.from_tables)
+        if rng.random() < p.extra_table_probability:
+            extension = self._fk_extension(rng, [t.name for t in from_tables])
+            if extension is not None:
+                child, fk = extension
+                from_tables.append(TableRef(fk.parent_table))
+                for fk_column, parent_column in zip(fk.columns, fk.parent_columns):
+                    predicates.append(
+                        BinaryOp(
+                            "=",
+                            ColumnRef(child, fk_column),
+                            ColumnRef(fk.parent_table, parent_column),
+                        )
+                    )
+        if query.is_aggregate and rng.random() < p.aggregate_view_probability:
+            return self._aggregate_view(
+                rng, query, from_tables, predicates, compensation_columns
+            )
+        items = [
+            SelectItem(ColumnRef(*key), alias=f"c_{key[1]}")
+            for key in sorted(needed)
+            if rng.random() < p.output_keep_probability
+        ]
+        if not items:
+            first = sorted(needed)[0]
+            items = [SelectItem(ColumnRef(*first), alias=f"c_{first[1]}")]
+        return SelectStatement(
+            select_items=tuple(items),
+            from_tables=tuple(from_tables),
+            where=conjunction(predicates),
+        )
+
+    def _aggregate_view(
+        self,
+        rng: random.Random,
+        query: SelectStatement,
+        from_tables: list[TableRef],
+        predicates: list[Expression],
+        compensation_columns: set[tuple[str, str]],
+    ) -> SelectStatement:
+        """An aggregation view whose grouping covers the query's needs."""
+        group_columns: set[tuple[str, str]] = set(compensation_columns)
+        for expression in query.group_by:
+            for ref in expression.column_refs():
+                group_columns.add(ref.key)
+        output_keys = {ref.key for ref in _referenced_columns(query)}
+        if rng.random() < self.parameters.extra_grouping_probability:
+            extra = sorted(output_keys - group_columns)
+            if extra:
+                group_columns.add(rng.choice(extra))
+        sum_arguments: list[Expression] = []
+        for item in query.select_items:
+            for node in item.expression.walk():
+                if (
+                    isinstance(node, FuncCall)
+                    and node.is_aggregate()
+                    and not node.star
+                    and node.args[0] not in sum_arguments
+                ):
+                    sum_arguments.append(node.args[0])
+        items = [
+            SelectItem(ColumnRef(*key), alias=f"g_{key[1]}")
+            for key in sorted(group_columns)
+        ]
+        for index, argument in enumerate(sum_arguments):
+            items.append(SelectItem(FuncCall("sum", (argument,)), alias=f"s_{index}"))
+        items.append(SelectItem(FuncCall("count_big", star=True), alias="cnt"))
+        return SelectStatement(
+            select_items=tuple(items),
+            from_tables=tuple(from_tables),
+            where=conjunction(predicates),
+            group_by=tuple(ColumnRef(*key) for key in sorted(group_columns)),
+        )
+
+    def _swap_commutative(
+        self, rng: random.Random, expression: Expression
+    ) -> Expression:
+        """Randomly reorder commutative operands (tests canonicalization)."""
+
+        def swap(node: Expression) -> Expression:
+            if (
+                isinstance(node, BinaryOp)
+                and node.op in ("+", "*", "=", "<>")
+                and rng.random() < self.parameters.swap_commutative_probability
+            ):
+                return BinaryOp(node.op, node.right, node.left)
+            return node
+
+        return expression.transform(swap)
+
+    def _fk_extension(self, rng: random.Random, tables: list[str]):
+        """A (child, fk) pair extending ``tables`` by one parent table."""
+        options = []
+        for table in tables:
+            for fk in self.catalog.table(table).foreign_keys:
+                if fk.parent_table not in tables:
+                    options.append((table, fk))
+        if not options:
+            return None
+        return rng.choice(options)

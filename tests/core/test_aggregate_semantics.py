@@ -1,0 +1,161 @@
+"""Empty-group NULL semantics of aggregate compensation, engine-executed.
+
+SQL's global aggregates disagree about empty input: ``count(*)`` is 0,
+``sum``/``avg`` are NULL. A rollup over a pre-aggregated view must keep
+those semantics when the compensating predicate filters away every view
+row. These tests run the substitute through the executor -- the
+syntactic shape alone cannot pin the semantics.
+"""
+
+from repro.catalog import tpch_catalog
+from repro.core.equivalence import EquivalenceClasses
+from repro.core.matcher import ViewMatcher
+from repro.core.matching import _rollup_aggregate
+from repro.engine import Database
+from repro.engine.executor import execute, materialize_view
+from repro.sql.expressions import BinaryOp, FuncCall, Literal
+
+AGG_VIEW = (
+    "select o_custkey, sum(o_totalprice) as total, count_big(*) as cnt "
+    "from orders group by o_custkey"
+)
+
+
+def run_rewrite(query_sql, rows):
+    """Execute query and its agg-view substitute over the given orders rows."""
+    catalog = tpch_catalog()
+    database = Database()
+    database.store(
+        "orders",
+        (
+            "o_orderkey",
+            "o_custkey",
+            "o_orderstatus",
+            "o_totalprice",
+            "o_orderdate",
+            "o_orderpriority",
+            "o_clerk",
+            "o_shippriority",
+            "o_comment",
+        ),
+        [
+            (key, cust, "O", price, 9000, "1-URGENT", "clerk", 0, "row")
+            for key, cust, price in rows
+        ],
+    )
+    matcher = ViewMatcher(catalog)
+    view = catalog.bind_sql(AGG_VIEW)
+    matcher.register_view("v_totals", view)
+    materialize_view("v_totals", view, database)
+    query = catalog.bind_sql(query_sql)
+    matches = matcher.substitutes(query)
+    assert matches, "expected the aggregation view to match"
+    original = execute(query, database)
+    rewritten = execute(matches[0].substitute, database)
+    return original.rows, rewritten.rows
+
+
+ROWS = [(1, 10, 100.0), (2, 10, 50.0), (3, 20, 30.0)]
+
+
+class TestEmptyCompensatedGroup:
+    # o_custkey >= 90 keeps no view row: the regrouped global rollup runs
+    # over an empty input and must reproduce direct-plan semantics.
+
+    def test_count_star_is_zero_not_null(self):
+        original, rewritten = run_rewrite(
+            "select count(*) from orders where o_custkey >= 90", ROWS
+        )
+        assert original == [(0,)]
+        assert rewritten == [(0,)]
+
+    def test_sum_is_null_not_zero(self):
+        original, rewritten = run_rewrite(
+            "select sum(o_totalprice) from orders where o_custkey >= 90", ROWS
+        )
+        assert original == [(None,)]
+        assert rewritten == [(None,)]
+
+    def test_avg_is_null_on_zero_count(self):
+        original, rewritten = run_rewrite(
+            "select avg(o_totalprice) from orders where o_custkey >= 90", ROWS
+        )
+        assert original == [(None,)]
+        assert rewritten == [(None,)]
+
+
+class TestNonEmptyRollup:
+    def test_global_count_counts_base_rows(self):
+        # The rollup must sum the per-group counters, not count groups.
+        original, rewritten = run_rewrite("select count(*) from orders", ROWS)
+        assert original == rewritten == [(3,)]
+
+    def test_avg_is_sum_over_count(self):
+        # avg over a regrouped view is a true weighted average: the
+        # naive avg-of-avgs would give (75 + 30) / 2 = 52.5.
+        original, rewritten = run_rewrite(
+            "select avg(o_totalprice) from orders", ROWS
+        )
+        assert original == rewritten == [(60.0,)]
+
+    def test_grouped_regroup_needs_no_guard(self):
+        original, rewritten = run_rewrite(
+            "select o_custkey, count(*) from orders group by o_custkey", ROWS
+        )
+        assert sorted(original) == sorted(rewritten) == [(10, 2), (20, 1)]
+
+
+class _Outputs:
+    """Minimal stand-in for the matcher's view-output index."""
+
+    view_name = "v"
+    count_big_column = "cnt"
+
+
+class TestRollupGuardPlacement:
+    """coalesce appears exactly when the group can come up empty."""
+
+    def rollup(self, regroup, guard_empty):
+        call = FuncCall("count_big", star=True)
+        return _rollup_aggregate(
+            call, EquivalenceClasses(set()), _Outputs(), regroup, guard_empty
+        )
+
+    def test_no_regroup_passes_counter_through(self):
+        from repro.sql.expressions import ColumnRef
+
+        result = self.rollup(regroup=False, guard_empty=False)
+        assert result == ColumnRef("v", "cnt")
+
+    def test_grouped_regroup_is_bare_sum(self):
+        result = self.rollup(regroup=True, guard_empty=False)
+        assert isinstance(result, FuncCall) and result.name == "sum"
+
+    def test_global_regroup_is_coalesced_to_zero(self):
+        result = self.rollup(regroup=True, guard_empty=True)
+        assert isinstance(result, FuncCall) and result.name == "coalesce"
+        inner, default = result.args
+        assert isinstance(inner, FuncCall) and inner.name == "sum"
+        assert default == Literal(0)
+
+    def test_avg_numerator_stays_unguarded(self):
+        # avg = sum(total) / coalesce(sum(cnt), 0): guarding the
+        # numerator would turn NULL/0 into 0/0.
+        class Outputs(_Outputs):
+            def sum_output_for(self, argument, eqclasses):
+                from repro.sql.expressions import ColumnRef
+
+                return ColumnRef("v", "total")
+
+        result = _rollup_aggregate(
+            FuncCall("avg", (Literal(1),)),
+            EquivalenceClasses(set()),
+            Outputs(),
+            regroup=True,
+            guard_empty=True,
+        )
+        assert isinstance(result, BinaryOp) and result.op == "/"
+        assert isinstance(result.left, FuncCall) and result.left.name == "sum"
+        assert (
+            isinstance(result.right, FuncCall) and result.right.name == "coalesce"
+        )

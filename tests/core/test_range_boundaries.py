@@ -1,0 +1,125 @@
+"""Range-endpoint edge cases: open vs. closed bounds, point containment.
+
+The containment test is asymmetric at equal endpoint values: an open
+view bound excludes exactly the row a closed query bound demands, so
+``a < 10`` must never be accepted as covering ``a <= 10``, while
+``a <= 10`` covering ``a < 10`` is fine (the extra row is filtered back
+out by the compensating predicate).
+"""
+
+from repro.core import RejectReason, describe, match_view
+from repro.core.ranges import Bound, Interval, _lower_covers, _upper_covers
+from repro.core.intervalsets import IntervalSet
+
+
+def match(catalog, view_sql, query_sql, name="v"):
+    view = describe(catalog.bind_sql(view_sql), catalog, name=name)
+    query = describe(catalog.bind_sql(query_sql), catalog)
+    return match_view(query, view)
+
+
+class TestBoundCover:
+    def test_equal_value_closed_covers_open(self):
+        assert _upper_covers(Bound(10, True), Bound(10, False))
+        assert _lower_covers(Bound(10, True), Bound(10, False))
+
+    def test_equal_value_open_does_not_cover_closed(self):
+        assert not _upper_covers(Bound(10, False), Bound(10, True))
+        assert not _lower_covers(Bound(10, False), Bound(10, True))
+
+    def test_equal_value_same_inclusivity_covers(self):
+        assert _upper_covers(Bound(10, False), Bound(10, False))
+        assert _lower_covers(Bound(10, True), Bound(10, True))
+
+    def test_unbounded_outer_covers_everything(self):
+        assert _lower_covers(None, Bound(10, True))
+        assert _upper_covers(None, None)
+
+    def test_bounded_outer_never_covers_unbounded_inner(self):
+        assert not _lower_covers(Bound(10, True), None)
+        assert not _upper_covers(Bound(10, True), None)
+
+
+class TestIntervalContainment:
+    def test_open_upper_excludes_the_endpoint_interval(self):
+        view = Interval(lower=None, upper=Bound(10, False))
+        query = Interval(lower=None, upper=Bound(10, True))
+        assert not view.contains(query)
+        assert query.contains(view)
+
+    def test_point_inside_closed_interval(self):
+        box = Interval(lower=Bound(0, True), upper=Bound(10, True))
+        point = Interval(lower=Bound(5, True), upper=Bound(5, True))
+        assert box.contains(point)
+        assert not point.contains(box)
+
+    def test_point_at_open_endpoint_not_contained(self):
+        box = Interval(lower=Bound(0, True), upper=Bound(10, False))
+        endpoint = Interval(lower=Bound(10, True), upper=Bound(10, True))
+        assert not box.contains(endpoint)
+
+    def test_contains_value_respects_inclusivity(self):
+        half_open = Interval(lower=Bound(0, True), upper=Bound(10, False))
+        assert half_open.contains_value(0)
+        assert not half_open.contains_value(10)
+
+    def test_interval_set_union_containment(self):
+        covered = IntervalSet.of(
+            [Interval(lower=Bound(0, True), upper=Bound(10, True))]
+        )
+        split = IntervalSet.of(
+            [
+                Interval(lower=Bound(0, True), upper=Bound(4, True)),
+                Interval(lower=Bound(6, True), upper=Bound(10, True)),
+            ]
+        )
+        assert covered.contains(split)
+        assert not split.contains(covered)
+        assert not split.contains_value(5)
+
+
+class TestMatcherEndpoints:
+    def test_open_view_bound_rejects_closed_query_bound(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey, l_quantity from lineitem where l_quantity < 10",
+            "select l_orderkey from lineitem where l_quantity <= 10",
+        )
+        assert not result.matched
+        assert result.reject_reason is RejectReason.RANGE
+
+    def test_closed_view_bound_accepts_open_query_bound(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey, l_quantity from lineitem where l_quantity <= 10",
+            "select l_orderkey from lineitem where l_quantity < 10",
+        )
+        assert result.matched
+
+    def test_same_open_bound_matches_exactly(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey, l_quantity from lineitem where l_quantity < 10",
+            "select l_orderkey from lineitem where l_quantity < 10",
+        )
+        assert result.matched
+
+    def test_point_query_inside_view_range(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey, l_quantity from lineitem "
+            "where l_quantity >= 0 and l_quantity <= 10",
+            "select l_orderkey from lineitem "
+            "where l_quantity >= 5 and l_quantity <= 5",
+        )
+        assert result.matched
+
+    def test_point_query_at_open_view_endpoint_rejected(self, catalog):
+        result = match(
+            catalog,
+            "select l_orderkey, l_quantity from lineitem where l_quantity > 5",
+            "select l_orderkey from lineitem "
+            "where l_quantity >= 5 and l_quantity <= 5",
+        )
+        assert not result.matched
+        assert result.reject_reason is RejectReason.RANGE

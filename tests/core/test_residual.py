@@ -1,7 +1,11 @@
 """Shallow residual matcher tests."""
 
 from repro.core.equivalence import EquivalenceClasses
-from repro.core.residual import ShallowForm, match_residuals
+from repro.core.residual import (
+    ShallowForm,
+    canonical_operand_order,
+    match_residuals,
+)
 from repro.sql import parse_predicate
 
 
@@ -44,12 +48,61 @@ class TestShallowMatch:
     def test_multi_reference_positional_matching(self):
         eq = classes((("t", "a"), ("u", "x")), (("t", "b"), ("u", "y")))
         assert form("t.a * t.b > 100").matches(form("u.x * u.y > 100"), eq)
-        # Swapped positions: a aligns with y -- not equivalent.
-        assert not form("t.a * t.b > 100").matches(form("u.y * u.x > 100"), eq)
+        # Commutative *: operand order is canonicalized, so the swapped
+        # spelling is the same shallow form and still matches.
+        assert form("t.a * t.b > 100").matches(form("u.y * u.x > 100"), eq)
+
+    def test_non_commutative_positions_stay_significant(self):
+        eq = classes((("t", "a"), ("u", "x")), (("t", "b"), ("u", "y")))
+        assert form("t.a - t.b > 100").matches(form("u.x - u.y > 100"), eq)
+        # Swapped positions under -: a aligns with y -- not equivalent.
+        assert not form("t.a - t.b > 100").matches(form("u.y - u.x > 100"), eq)
 
     def test_same_column_key_matches_without_registration(self):
         eq = classes()
         assert form("t.a + t.a > 2").matches(form("t.a + t.a > 2"), eq)
+
+
+class TestCanonicalOperandOrder:
+    """Both orientations of a commutative operator share one template."""
+
+    @staticmethod
+    def same_form(left, right):
+        # Columns are masked as ? in the template, so a real test needs
+        # both the template and the positional refs to agree.
+        left, right = form(left), form(right)
+        return left.template == right.template and left.refs == right.refs
+
+    def test_equality_both_orientations(self):
+        assert self.same_form("t.a = t.b", "t.b = t.a")
+
+    def test_inequality_both_orientations(self):
+        assert self.same_form("t.a <> t.b", "t.b <> t.a")
+
+    def test_commutative_arithmetic(self):
+        assert self.same_form("t.a + t.b > 1", "t.b + t.a > 1")
+        assert self.same_form("t.a * t.b > 1", "t.b * t.a > 1")
+
+    def test_nested_reorder_is_bottom_up(self):
+        assert self.same_form("(t.b + t.a) * t.c > 1", "t.c * (t.a + t.b) > 1")
+
+    def test_literal_orders_last(self):
+        # Column-first orientation is kept, matching normalize's
+        # literal-mirroring, so `a <> 5` and `5 <> a` converge on it.
+        assert form("5 <> t.a").template == form("t.a <> 5").template
+
+    def test_non_commutative_untouched(self):
+        swapped = parse_predicate("t.b - t.a > 1")
+        assert canonical_operand_order(swapped) == swapped
+        # Columns are masked as ? in templates; positional significance
+        # lives in the refs order, which must keep the source order.
+        assert form("t.a - t.b > 1").refs != form("t.b - t.a > 1").refs
+
+    def test_original_expression_preserved(self):
+        # Canonicalization feeds only the template; the compensation
+        # machinery must still see the user's spelling.
+        expression = parse_predicate("t.b + t.a > 1")
+        assert ShallowForm.of(expression).expression is expression
 
 
 class TestMatchResiduals:

@@ -1,0 +1,90 @@
+"""NULL-aware bag comparison: the harness's equivalence oracle."""
+
+from repro.difftest.compare import (
+    compare_results,
+    normalize_row,
+    render_row,
+    result_multiset,
+)
+from repro.engine.executor import QueryResult
+
+
+def result(columns, rows):
+    return QueryResult(columns=tuple(columns), rows=list(rows))
+
+
+class TestNormalization:
+    def test_floats_rounded_to_significant_digits(self):
+        row = (1.0000000001, 2, "x")
+        assert normalize_row(row, 9) == (1.0, 2, "x")
+
+    def test_none_disables_rounding(self):
+        row = (1.0000000001,)
+        assert normalize_row(row, None) == row
+
+    def test_null_survives_normalization(self):
+        assert normalize_row((None, 1.5), 9) == (None, 1.5)
+
+    def test_ints_left_alone(self):
+        # bools are not floats either; neither must be coerced.
+        assert normalize_row((10**15 + 1, True), 3) == (10**15 + 1, True)
+
+
+class TestMultiset:
+    def test_multiplicity_counted(self):
+        res = result(["a"], [(1,), (1,), (2,)])
+        assert result_multiset(res) == {(1,): 2, (2,): 1}
+
+    def test_null_rows_are_hashable_and_counted(self):
+        res = result(["a"], [(None,), (None,)])
+        assert result_multiset(res) == {(None,): 2}
+
+
+class TestCompare:
+    def test_equal_up_to_row_order(self):
+        left = result(["a", "b"], [(1, "x"), (2, "y")])
+        right = result(["a", "b"], [(2, "y"), (1, "x")])
+        diff = compare_results(left, right)
+        assert diff.equal
+        assert diff.summary() == "results are bag-equal"
+
+    def test_equal_up_to_float_noise(self):
+        left = result(["s"], [(100.00000000001,)])
+        right = result(["s"], [(100.0,)])
+        assert compare_results(left, right, float_digits=9).equal
+        assert not compare_results(left, right, float_digits=None).equal
+
+    def test_null_vs_zero_diverges(self):
+        # The exact shape of the count(*)-over-empty bug: NULL is not 0.
+        left = result(["c"], [(0,)])
+        right = result(["c"], [(None,)])
+        diff = compare_results(left, right)
+        assert not diff.equal
+        assert diff.only_original == [(0,)]
+        assert diff.only_rewritten == [(None,)]
+
+    def test_multiplicity_mismatch_diverges(self):
+        left = result(["a"], [(1,), (1,)])
+        right = result(["a"], [(1,)])
+        diff = compare_results(left, right)
+        assert not diff.equal
+        assert diff.only_original == [(1,)]
+        assert diff.only_rewritten == []
+
+    def test_summary_renders_null_marker(self):
+        left = result(["a"], [(None,)])
+        right = result(["a"], [(3,)])
+        summary = compare_results(left, right).summary()
+        assert "NULL" in summary
+        assert "only in original" in summary
+        assert "only in substitute" in summary
+
+    def test_summary_limits_samples(self):
+        left = result(["a"], [(i,) for i in range(10)])
+        right = result(["a"], [])
+        summary = compare_results(left, right).summary(limit=2)
+        assert "... 8 more" in summary
+
+
+def test_render_row_distinguishes_null_from_string():
+    assert render_row((None, "None")) == "(NULL, 'None')"

@@ -1,0 +1,59 @@
+"""Every committed corpus case must keep passing.
+
+Each JSON document under ``corpus/`` pins one fixed bug or one boundary
+rejection; a failure here means a regression re-introduced it. The
+parametrization is by file name so a failing case is identifiable
+directly from the pytest output.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.difftest.corpus import load_corpus, load_corpus_case, run_corpus_case
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(path.name for path in CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS_FILES) >= 9
+
+
+@pytest.mark.parametrize("filename", CORPUS_FILES)
+def test_corpus_case(filename, catalog):
+    case = load_corpus_case(CORPUS_DIR / filename)
+    outcome = run_corpus_case(case, catalog)
+    assert outcome.ok, outcome.describe()
+
+
+def test_load_corpus_orders_by_file_name():
+    cases = load_corpus(CORPUS_DIR)
+    assert [case.path.name for case in cases] == CORPUS_FILES
+
+
+def test_cases_document_themselves():
+    # The description is the only place a future reader learns what the
+    # case pins; an empty one is a corpus bug.
+    for case in load_corpus(CORPUS_DIR):
+        assert case.name, case.path
+        assert len(case.description) > 20, case.path
+
+
+def test_expectation_failure_is_reported(catalog):
+    # A rejection case flipped to expect_rewrite=True must fail loudly,
+    # not silently pass with zero substitutes.
+    case = load_corpus_case(CORPUS_DIR / "range_open_view_closed_query_reject.json")
+    assert not case.expect_rewrite
+    case.expect_rewrite = True
+    outcome = run_corpus_case(case, catalog)
+    assert not outcome.ok
+    assert "expected a rewrite" in outcome.describe()
+
+
+def test_unparseable_view_becomes_error(catalog):
+    case = load_corpus_case(CORPUS_DIR / "count_star_empty_global.json")
+    case.views = {"broken": "select frobnicate from nowhere"}
+    outcome = run_corpus_case(case, catalog)
+    assert not outcome.ok
+    assert outcome.error is not None
