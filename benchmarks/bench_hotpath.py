@@ -12,14 +12,25 @@ before anything is timed. Run directly::
     PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke \\
         --check-baseline BENCH_matching.json                          # CI gate
 
+Each size point also times single-pass probe compilation against the
+preserved reference pipeline, and the sweep finishes with an end-to-end
+serving comparison: the legacy sequential submit loop against batched
+``rewrite_many`` through the sharded ``ViewServer`` stack.
+
 ``--output`` writes the machine-readable report (the repository commits
 it as ``BENCH_matching.json``); ``--check-baseline`` exits non-zero when
 candidate filtering at the largest shared view count is more than 2x
-slower than the committed baseline. ``--check-overhead`` applies the
-much tighter disabled-tracing guard (calibration-normalized; run the
-full sweep, not ``--smoke``, so the configuration matches the
-baseline's). The module is also collectable by pytest (one smoke-sized
-test), like the other bench files.
+slower than the committed baseline, or probe building more than 25 %
+slower (calibration-normalized). ``--check-overhead`` applies the much
+tighter disabled-tracing guard (calibration-normalized; run the full
+sweep, not ``--smoke``, so the configuration matches the baseline's).
+``--check-speedups`` enforces the absolute floors: probe compilation
+>=2x over the reference pipeline and batched rewriting >=2x over the
+sequential loop (the latter needs a multi-core host; single-core hosts
+only require batching not to lose). ``--profile N`` skips timing and
+prints cProfile top-N tables for the probe-build and full-match phases.
+The module is also collectable by pytest (one smoke-sized test), like
+the other bench files.
 """
 
 from __future__ import annotations
@@ -31,7 +42,9 @@ import sys
 from repro.experiments import (
     HotpathConfig,
     check_against_baseline,
+    check_speedup_gates,
     check_tracing_overhead,
+    profile_hotpath,
     run_hotpath_benchmark,
 )
 from repro.experiments.hotpath import write_report
@@ -78,6 +91,20 @@ def main(argv: list[str] | None = None) -> int:
         help="override the overhead budget (default 0.05; CI uses more "
         "to absorb shared-runner scheduling noise)",
     )
+    parser.add_argument(
+        "--check-speedups",
+        action="store_true",
+        help="fail unless probe building is >=2x the reference pipeline "
+        "and batched rewriting >=2x the sequential loop (needs >=2 cores)",
+    )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        default=None,
+        metavar="N",
+        help="skip the benchmark; print cProfile top-N tables for the "
+        "probe-build and full-match phases",
+    )
     arguments = parser.parse_args(argv)
 
     config = HotpathConfig.smoke() if arguments.smoke else HotpathConfig()
@@ -92,6 +119,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["seed"] = arguments.seed
     if overrides:
         config = dataclasses.replace(config, **overrides)
+
+    if arguments.profile is not None:
+        profile_hotpath(config, top=arguments.profile)
+        return 0
 
     report = run_hotpath_benchmark(config)
     if arguments.output:
@@ -112,6 +143,8 @@ def main(argv: list[str] | None = None) -> int:
             else {"tolerance": arguments.overhead_tolerance}
         )
         failures += check_tracing_overhead(report, baseline, **kwargs)
+    if arguments.check_speedups:
+        failures += check_speedup_gates(report)
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0
@@ -125,6 +158,10 @@ def test_hotpath_bench_smoke():
         filter_repetitions=3,
         filter_runs=1,
         match_repetitions=1,
+        probe_repetitions=3,
+        probe_runs=1,
+        end_to_end_view_counts=(120,),
+        end_to_end_runs=1,
     )
     report = run_hotpath_benchmark(config, echo=None)
     (entry,) = report["sizes"]
@@ -134,6 +171,13 @@ def test_hotpath_bench_smoke():
     # timing assertion here would be flaky, so only sanity-check shape.
     assert entry["candidate_filter_us"]["interned"] > 0
     assert entry["candidate_filter_us"]["reference"] > 0
+    assert entry["probe_build_us"]["fast"] > 0
+    assert entry["probe_build_us"]["reference"] > 0
+    # The batched path must return the same rewrites as the legacy loop
+    # (verified inside _run_end_to_end; an end-to-end timing assertion
+    # would be flaky on shared runners).
+    (served,) = report["end_to_end"]
+    assert served["modes_identical"]
 
 
 if __name__ == "__main__":

@@ -18,6 +18,10 @@ Commands
     Time the matching hot path before/after the bitset-interned filter
     tree and registration-time match contexts, cross-checking that both
     configurations return identical candidates and match statistics.
+    Also times single-pass probe compilation against the reference
+    pipeline and the batched serving path against the sequential loop
+    (``--check-speedups`` gates on the floors, ``--profile N`` prints
+    cProfile tables instead of benchmarking).
 ``explain-rewrite <sql> [--json]``
     Trace one query through the rewrite path and print the match-funnel
     report: filter-tree narrowing per level, each candidate's reject
@@ -28,7 +32,8 @@ Commands
     every substitute plan, bag-compare the rows, and shrink any
     divergence to a minimal repro (``--emit DIR`` writes the repro
     script, obs trace, and corpus case; ``--corpus DIR`` re-runs the
-    committed regression corpus).
+    committed regression corpus; ``--parallel N`` produces the rewrites
+    under test through the sharded parallel matching path).
 """
 
 from __future__ import annotations
@@ -109,6 +114,25 @@ def main(argv: list[str] | None = None) -> int:
             "headroom above the 0.05 default for scheduling noise"
         ),
     )
+    hotpath.add_argument(
+        "--check-speedups",
+        action="store_true",
+        help=(
+            "fail unless probe compilation is >=2x faster than the "
+            "reference pipeline and batched rewriting >=2x faster than "
+            "the sequential loop (end-to-end gate needs >=2 cores)"
+        ),
+    )
+    hotpath.add_argument(
+        "--profile",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "skip the benchmark; print cProfile top-N tables for the "
+            "probe-build and full-match phases instead"
+        ),
+    )
     explain = subparsers.add_parser(
         "explain-rewrite",
         help="trace one query's rewrite path and print the match funnel",
@@ -170,6 +194,17 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also re-run the committed regression corpus in DIR",
     )
+    difftest.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "match each case through a sharded tree with N forked "
+            "workers, so the executed rewrites come from the parallel "
+            "path (sequential fallback without fork)"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.command == "difftest":
@@ -185,6 +220,7 @@ def main(argv: list[str] | None = None) -> int:
             max_divergences=arguments.max_divergences,
             emit=arguments.emit,
             corpus=arguments.corpus,
+            parallel=arguments.parallel,
         )
 
     if arguments.command == "explain-rewrite":
@@ -217,6 +253,8 @@ def main(argv: list[str] | None = None) -> int:
             check_baseline=arguments.check_baseline,
             check_overhead=arguments.check_overhead,
             overhead_tolerance=arguments.overhead_tolerance,
+            check_speedups=arguments.check_speedups,
+            profile=arguments.profile,
         )
     if arguments.command == "serve-bench":
         from .cli import run_serve_bench

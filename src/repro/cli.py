@@ -240,19 +240,28 @@ def run_bench_hotpath(
     check_baseline: str | None = None,
     check_overhead: str | None = None,
     overhead_tolerance: float | None = None,
+    check_speedups: bool = False,
+    profile: int | None = None,
 ) -> int:
     """Benchmark the matching hot path (bitset interning, match contexts).
 
     Times candidate filtering and full matching in the interned and
-    reference configurations, verifying both return identical results.
+    reference configurations, verifying both return identical results,
+    plus probe compilation (single-pass vs reference pipeline) and the
+    batched end-to-end serving path against the legacy sequential loop.
     ``output`` writes the machine-readable report; ``check_baseline``
     gates against a committed ``BENCH_matching.json`` and returns
-    non-zero on a >2x candidate-filter regression at the largest shared
-    view count. ``check_overhead`` applies the much tighter
-    disabled-tracing guard (default 5 %) against the same baseline: the
-    whole run executes with the null tracer installed, so any regression
-    it reports is overhead the tracing instrumentation added to the
-    disabled path.
+    non-zero on a >2x candidate-filter regression or a >25 % probe-build
+    regression at the largest shared view count. ``check_overhead``
+    applies the much tighter disabled-tracing guard (default 5 %)
+    against the same baseline: the whole run executes with the null
+    tracer installed, so any regression it reports is overhead the
+    tracing instrumentation added to the disabled path.
+    ``check_speedups`` enforces the absolute floors: probe compilation
+    >=2x over the reference pipeline, and batched end-to-end rewriting
+    >=2x over the sequential loop on multi-core hosts. ``profile``
+    skips the benchmark entirely and prints cProfile top-N tables for
+    the probe-build and full-match phases instead.
     """
     import dataclasses
     import json
@@ -260,7 +269,9 @@ def run_bench_hotpath(
     from .experiments import (
         HotpathConfig,
         check_against_baseline,
+        check_speedup_gates,
         check_tracing_overhead,
+        profile_hotpath,
         run_hotpath_benchmark,
     )
     from .experiments.hotpath import write_report
@@ -275,6 +286,9 @@ def run_bench_hotpath(
         overrides["seed"] = seed
     if overrides:
         config = dataclasses.replace(config, **overrides)
+    if profile is not None:
+        profile_hotpath(config, top=profile)
+        return 0
     report = run_hotpath_benchmark(config)
     if output:
         write_report(report, output)
@@ -292,6 +306,8 @@ def run_bench_hotpath(
             else {"tolerance": overhead_tolerance}
         )
         failures += check_tracing_overhead(report, baseline, **overhead_kwargs)
+    if check_speedups:
+        failures += check_speedup_gates(report)
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0
@@ -307,6 +323,7 @@ def run_difftest(
     max_divergences: int = 5,
     emit: str | None = None,
     corpus: str | None = None,
+    parallel: int = 1,
 ) -> int:
     """Differential correctness: execute every rewrite, compare rows.
 
@@ -317,8 +334,10 @@ def run_difftest(
     triple within ``shrink_budget`` oracle calls; with ``--emit DIR``
     the shrunk repro script, the obs trace of the bad rewrite, and a
     corpus-format case are written there. ``--corpus DIR`` additionally
-    re-runs every committed regression case. Non-zero exit on any
-    divergence or corpus failure.
+    re-runs every committed regression case. ``--parallel N`` matches
+    every case through a sharded tree fanned across ``N`` forked
+    workers, so the substitutes being executed are exactly the parallel
+    path's output. Non-zero exit on any divergence or corpus failure.
     """
     from .catalog import tpch_catalog
     from .difftest import (
@@ -347,6 +366,7 @@ def run_difftest(
         data_seed=data_seed,
         shrink_budget=shrink_budget,
         max_divergences=max_divergences,
+        parallel_workers=parallel,
     )
     report = run_harness(config, catalog=catalog)
     print(report.summary())

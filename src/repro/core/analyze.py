@@ -1,0 +1,138 @@
+"""Single-pass predicate analysis: the probe-compilation fast path.
+
+Describing a statement used to take several passes over the WHERE clause:
+:func:`~repro.core.normalize.classify_predicate` walked the CNF conjuncts
+once to split them into PE/PR/PU, then ``SpjgDescription`` re-walked the
+classified lists to build equivalence classes, derive per-class range
+intervals, recognise OR-range residuals, and compute residual shallow
+forms -- recomputing :meth:`ShallowForm.of` along the way. At serving
+rates the analysis cost dominates every uncached rewrite (the committed
+``BENCH_matching.json`` put query-side analysis at >20x the candidate
+filter), so this module fuses the whole derivation into **one sweep over
+the CNF conjuncts**:
+
+* equality conjuncts merge equivalence classes immediately,
+* range conjuncts are collected for per-class interval intersection,
+* residual conjuncts are canonicalized, tested for the OR-range
+  extension, and shallow-formed exactly once.
+
+Equivalence classes start from a per-``(catalog, tables)`` seed that is
+built once and copied, instead of re-registering every column of every
+referenced table on each description.
+
+The result feeds :class:`~repro.core.describe.SpjgDescription` and, via
+the description, the fast :meth:`QueryProbe.of` path; the pre-fusion
+implementation survives as ``QueryProbe.of_reference`` so the hot-path
+benchmark can keep measuring the speedup against it from identical
+inputs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import MatchError
+from ..sql.statements import SelectStatement
+from .equivalence import EquivalenceClasses
+from .intervalsets import OrRangePredicate, as_or_range
+from .normalize import (
+    ClassifiedPredicate,
+    _canonicalize_residual,
+    as_column_equality,
+    to_cnf,
+)
+from .options import MatchOptions
+from .ranges import as_range_predicate, derive_ranges
+from .residual import ShallowForm
+
+if TYPE_CHECKING:
+    from ..catalog.catalog import Catalog
+
+__all__ = ["PredicateAnalysis", "analyze_statement"]
+
+
+class PredicateAnalysis:
+    """Everything one sweep over the CNF conjuncts derives."""
+
+    __slots__ = ("classified", "eqclasses", "ranges", "or_ranges", "residual_forms")
+
+    def __init__(self, classified, eqclasses, ranges, or_ranges, residual_forms):
+        self.classified: ClassifiedPredicate = classified
+        self.eqclasses: EquivalenceClasses = eqclasses
+        self.ranges = ranges
+        self.or_ranges: tuple[OrRangePredicate, ...] = or_ranges
+        self.residual_forms: tuple[ShallowForm, ...] = residual_forms
+
+
+def _seed_classes(
+    catalog: "Catalog", tables: frozenset[str]
+) -> EquivalenceClasses:
+    """Fresh equivalence classes with every referenced column registered.
+
+    The trivial-classes starting point depends only on the catalog and the
+    referenced table set, so it is built once per distinct table set and
+    copied -- one dict copy instead of ~60 ``add_column`` calls per
+    description on the TPC-H schema.
+    """
+    seeds = getattr(catalog, "_eqclass_seeds", None)
+    if seeds is None:
+        seeds = {}
+        catalog._eqclass_seeds = seeds
+    seed = seeds.get(tables)
+    if seed is None:
+        seed = EquivalenceClasses()
+        for table in tables:
+            for column in catalog.table(table).column_names:
+                seed.add_column((table, column))
+        seeds[tables] = seed
+    return seed.copy()
+
+
+def analyze_statement(
+    statement: SelectStatement,
+    tables: frozenset[str],
+    catalog: "Catalog",
+    options: MatchOptions,
+) -> PredicateAnalysis:
+    """Analyze a statement's WHERE clause in a single conjunct sweep."""
+    eqclasses = _seed_classes(catalog, tables)
+    equalities = []
+    range_predicates = []
+    residuals = []          # all canonicalized PU conjuncts (classification)
+    or_ranges = []
+    residual_forms = []
+    support_or_ranges = options.support_or_ranges
+    for conjunct in to_cnf(statement.where):
+        equality = as_column_equality(conjunct)
+        if equality is not None:
+            a, b = equality
+            if a not in eqclasses or b not in eqclasses:
+                raise MatchError(f"equality on unbound column: {a} = {b}")
+            eqclasses.add_equality(a, b)
+            equalities.append(equality)
+            continue
+        range_predicate = as_range_predicate(conjunct)
+        if range_predicate is not None:
+            range_predicates.append(range_predicate)
+            continue
+        residual = _canonicalize_residual(conjunct)
+        residuals.append(residual)
+        if support_or_ranges:
+            recognised = as_or_range(residual)
+            if recognised is not None:
+                if not recognised.interval_set.is_unbounded:
+                    or_ranges.append(recognised)
+                continue  # tautologies drop from both derived lists
+        residual_forms.append(ShallowForm.of(residual))
+    classified = ClassifiedPredicate(
+        equalities=tuple(equalities),
+        range_predicates=tuple(range_predicates),
+        residuals=tuple(residuals),
+    )
+    return PredicateAnalysis(
+        classified=classified,
+        eqclasses=eqclasses,
+        ranges=derive_ranges(classified.range_predicates, eqclasses),
+        or_ranges=tuple(or_ranges),
+        residual_forms=tuple(residual_forms),
+    )

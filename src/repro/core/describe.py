@@ -23,11 +23,12 @@ from ..sql.expressions import (
     Literal,
 )
 from ..sql.statements import SelectItem, SelectStatement
-from .equivalence import ColumnKey, EquivalenceClasses
-from .intervalsets import OrRangePredicate, as_or_range
-from .normalize import ClassifiedPredicate, classify_predicate
+from .analyze import analyze_statement
+from .equivalence import ColumnKey
+from .intervalsets import OrRangePredicate
+from .normalize import ClassifiedPredicate
 from .options import DEFAULT_OPTIONS, MatchOptions
-from .ranges import Interval, derive_ranges
+from .ranges import Interval
 from .residual import ShallowForm
 
 if TYPE_CHECKING:
@@ -63,16 +64,20 @@ class OutputInfo:
         return self.item.expression.contains_aggregate()
 
 
-def normalized_aggregate_template(call: FuncCall) -> tuple[str, ...]:
+def normalized_aggregate_template(
+    call: FuncCall, form: ShallowForm | None = None
+) -> tuple[str, ...]:
     """Canonical template strings an aggregate call requires of a view.
 
     COUNT and COUNT_BIG are interchangeable for matching, so both normalize
     to ``count_big``; AVG expands to the SUM and COUNT_BIG it is computed
     from. The returned tuple lists every view output template the call needs.
+    ``form`` passes a precomputed shallow form of the argument so callers
+    that already derived it avoid a second derivation.
     """
     if call.star:
         return ("count_big(*)",)
-    argument_template = ShallowForm.of(call.args[0]).template
+    argument_template = (form or ShallowForm.of(call.args[0])).template
     if call.name == "sum":
         return (f"sum({argument_template})",)
     if call.name in ("count", "count_big"):
@@ -106,28 +111,15 @@ class SpjgDescription:
         if not self.tables:
             raise UnsupportedSqlError("statement references no tables")
 
-        self.classified: ClassifiedPredicate = classify_predicate(statement.where)
-        self.eqclasses = self._build_equivalence_classes()
-        self.ranges: dict[ColumnKey, Interval] = derive_ranges(
-            self.classified.range_predicates, self.eqclasses
-        )
-        residual_conjuncts = list(self.classified.residuals)
-        or_ranges: list[OrRangePredicate] = []
-        if options.support_or_ranges:
-            remaining = []
-            for conjunct in residual_conjuncts:
-                recognised = as_or_range(conjunct)
-                if recognised is None:
-                    remaining.append(conjunct)
-                elif recognised.interval_set.is_unbounded:
-                    continue  # tautology: drop entirely
-                else:
-                    or_ranges.append(recognised)
-            residual_conjuncts = remaining
-        self.or_ranges: tuple[OrRangePredicate, ...] = tuple(or_ranges)
-        self.residual_forms: tuple[ShallowForm, ...] = tuple(
-            ShallowForm.of(conjunct) for conjunct in residual_conjuncts
-        )
+        # One fused sweep over the CNF conjuncts (see repro.core.analyze)
+        # replaces the former classify / build-classes / derive-ranges /
+        # split-or-ranges / shallow-form pass sequence.
+        analysis = analyze_statement(statement, self.tables, catalog, options)
+        self.classified: ClassifiedPredicate = analysis.classified
+        self.eqclasses = analysis.eqclasses
+        self.ranges: dict[ColumnKey, Interval] = analysis.ranges
+        self.or_ranges: tuple[OrRangePredicate, ...] = analysis.or_ranges
+        self.residual_forms: tuple[ShallowForm, ...] = analysis.residual_forms
         self.outputs: tuple[OutputInfo, ...] = tuple(
             OutputInfo(item=item, position=i, form=ShallowForm.of(item.expression))
             for i, item in enumerate(statement.select_items)
@@ -136,19 +128,18 @@ class SpjgDescription:
             ShallowForm.of(expr) for expr in statement.group_by
         )
         self.is_aggregate = statement.is_aggregate
-
-    # -- construction helpers -------------------------------------------------
-
-    def _build_equivalence_classes(self) -> EquivalenceClasses:
-        classes = EquivalenceClasses()
-        for table in self.tables:
-            for column in self.catalog.table(table).column_names:
-                classes.add_column((table, column))
-        for a, b in self.classified.equalities:
-            if a not in classes or b not in classes:
-                raise MatchError(f"equality on unbound column: {a} = {b}")
-            classes.add_equality(a, b)
-        return classes
+        # Memoized derived key sets. Descriptions are immutable after
+        # construction and these back every probe compilation and filter
+        # tree registration touching this description; writes are
+        # idempotent, so concurrent readers race benignly.
+        self._extended_output_columns: frozenset[ColumnKey] | None = None
+        self._extended_grouping_columns: frozenset[ColumnKey] | None = None
+        self._range_constrained_classes: tuple[frozenset[ColumnKey], ...] | None = None
+        self._extended_range_constrained: frozenset[ColumnKey] | None = None
+        self._reduced_range_constrained: frozenset[ColumnKey] | None = None
+        self._output_templates: frozenset[str] | None = None
+        self._residual_templates: frozenset[str] | None = None
+        self._aggregate_templates: frozenset[str] | None = None
 
     # -- output metadata -------------------------------------------------------
 
@@ -179,26 +170,53 @@ class SpjgDescription:
         """The paper's extended output list (Section 4.2.3).
 
         Every column equivalent (under *this* statement's classes) to a
-        directly-exposed output column.
+        directly-exposed output column. Memoized (one ``class_map`` lookup
+        per output column instead of a per-call class rescan).
         """
-        members: set[ColumnKey] = set()
-        for key in self.simple_output_map:
-            members.update(self.eqclasses.class_of(key))
-        return frozenset(members)
+        cached = self._extended_output_columns
+        if cached is None:
+            class_map = self.eqclasses.class_map()
+            members: set[ColumnKey] = set()
+            for key in self.simple_output_map:
+                members.update(class_map[key])
+            cached = self._extended_output_columns = frozenset(members)
+        return cached
 
     def output_templates(self) -> frozenset[str]:
         """Templates of non-simple outputs, with aggregates normalized."""
-        templates: set[str] = set()
-        for info in self.expression_outputs:
-            expr = info.expression
-            if isinstance(expr, FuncCall) and expr.is_aggregate():
-                templates.update(normalized_aggregate_template(expr))
-            else:
-                templates.add(info.form.template)
-        return frozenset(templates)
+        cached = self._output_templates
+        if cached is None:
+            templates: set[str] = set()
+            for info in self.expression_outputs:
+                expr = info.expression
+                if isinstance(expr, FuncCall) and expr.is_aggregate():
+                    templates.update(normalized_aggregate_template(expr))
+                else:
+                    templates.add(info.form.template)
+            cached = self._output_templates = frozenset(templates)
+        return cached
 
     def residual_templates(self) -> frozenset[str]:
-        return frozenset(form.template for form in self.residual_forms)
+        cached = self._residual_templates
+        if cached is None:
+            cached = self._residual_templates = frozenset(
+                form.template for form in self.residual_forms
+            )
+        return cached
+
+    def aggregate_templates(self) -> frozenset[str]:
+        """Normalized templates of every aggregate call in the output list.
+
+        The query-side counterpart of :meth:`output_templates`: the
+        aggregation subtree's output-expression level probes with these.
+        """
+        cached = self._aggregate_templates
+        if cached is None:
+            templates: set[str] = set()
+            for call in self.statement.aggregate_outputs():
+                templates.update(normalized_aggregate_template(call))
+            cached = self._aggregate_templates = frozenset(templates)
+        return cached
 
     # -- grouping metadata -------------------------------------------------------
 
@@ -212,10 +230,14 @@ class SpjgDescription:
 
     def extended_grouping_columns(self) -> frozenset[ColumnKey]:
         """Extended grouping list (Section 4.2.4), mirroring output columns."""
-        members: set[ColumnKey] = set()
-        for key in self.simple_grouping_columns:
-            members.update(self.eqclasses.class_of(key))
-        return frozenset(members)
+        cached = self._extended_grouping_columns
+        if cached is None:
+            class_map = self.eqclasses.class_map()
+            members: set[ColumnKey] = set()
+            for key in self.simple_grouping_columns:
+                members.update(class_map[key])
+            cached = self._extended_grouping_columns = frozenset(members)
+        return cached
 
     def grouping_templates(self) -> frozenset[str]:
         """Templates of non-simple grouping expressions."""
@@ -240,25 +262,36 @@ class SpjgDescription:
         too: their presence in a view demands a corresponding constraint in
         the query just like a plain bound does.
         """
-        return tuple(
-            self.eqclasses.class_of(rep)
-            for rep in sorted(self._constrained_representatives())
-        )
+        cached = self._range_constrained_classes
+        if cached is None:
+            class_map = self.eqclasses.class_map()
+            cached = self._range_constrained_classes = tuple(
+                class_map[rep]
+                for rep in sorted(self._constrained_representatives())
+            )
+        return cached
 
     def extended_range_constrained_columns(self) -> frozenset[ColumnKey]:
         """All columns equivalent to some range-constrained column."""
-        members: set[ColumnKey] = set()
-        for cls in self.range_constrained_classes():
-            members.update(cls)
-        return frozenset(members)
+        cached = self._extended_range_constrained
+        if cached is None:
+            members: set[ColumnKey] = set()
+            for cls in self.range_constrained_classes():
+                members.update(cls)
+            cached = self._extended_range_constrained = frozenset(members)
+        return cached
 
     def reduced_range_constrained_columns(self) -> frozenset[ColumnKey]:
         """Range-constrained columns in *trivial* classes (Section 4.2.5)."""
-        return frozenset(
-            rep
-            for rep in self._constrained_representatives()
-            if len(self.eqclasses.class_of(rep)) == 1
-        )
+        cached = self._reduced_range_constrained
+        if cached is None:
+            class_map = self.eqclasses.class_map()
+            cached = self._reduced_range_constrained = frozenset(
+                rep
+                for rep in self._constrained_representatives()
+                if len(class_map[rep]) == 1
+            )
+        return cached
 
     # -- misc -------------------------------------------------------------------
 

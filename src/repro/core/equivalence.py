@@ -24,6 +24,7 @@ class EquivalenceClasses:
     def __init__(self, columns: Iterable[ColumnKey] = ()) -> None:
         self._parent: dict[ColumnKey, ColumnKey] = {}
         self._rank: dict[ColumnKey, int] = {}
+        self._class_map: dict[ColumnKey, frozenset[ColumnKey]] | None = None
         for column in columns:
             self.add_column(column)
 
@@ -32,6 +33,7 @@ class EquivalenceClasses:
         if column not in self._parent:
             self._parent[column] = column
             self._rank[column] = 0
+            self._class_map = None
 
     def __contains__(self, column: ColumnKey) -> bool:
         return column in self._parent
@@ -68,6 +70,7 @@ class EquivalenceClasses:
         self._parent[root_b] = root_a
         if self._rank[root_a] == self._rank[root_b]:
             self._rank[root_a] += 1
+        self._class_map = None
         return True
 
     def same_class(self, a: ColumnKey, b: ColumnKey) -> bool:
@@ -76,6 +79,28 @@ class EquivalenceClasses:
     def class_of(self, column: ColumnKey) -> frozenset[ColumnKey]:
         root = self.find(column)
         return frozenset(c for c in self._parent if self.find(c) == root)
+
+    def class_map(self) -> dict[ColumnKey, frozenset[ColumnKey]]:
+        """Every column's full class, as one memoized dict.
+
+        ``class_of`` rescans all registered columns per call, which makes
+        the per-output/per-grouping lookups of probe compilation
+        quadratic. This builds the column-to-class mapping once (one
+        linear grouping pass) and caches it until the next mutation;
+        callers must not mutate the returned dict.
+        """
+        mapping = self._class_map
+        if mapping is None:
+            by_root: dict[ColumnKey, list[ColumnKey]] = {}
+            for column in self._parent:
+                by_root.setdefault(self.find(column), []).append(column)
+            mapping = {}
+            for members in by_root.values():
+                cls = frozenset(members)
+                for column in members:
+                    mapping[column] = cls
+            self._class_map = mapping
+        return mapping
 
     def classes(self) -> list[frozenset[ColumnKey]]:
         """All classes, including trivial single-column ones."""

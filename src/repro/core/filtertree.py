@@ -236,12 +236,20 @@ class QueryProbe:
     _bindings: dict = field(default_factory=dict, repr=False, compare=False)
 
     def bind(self, interner: KeyInterner) -> _BoundProbe:
-        """The probe's bitmask encoding under ``interner`` (memoized)."""
-        bound = self._bindings.get(interner)
-        if bound is None:
-            bound = _BoundProbe(self, interner)
-            self._bindings[interner] = bound
-        return bound
+        """The probe's bitmask encoding under ``interner`` (memoized).
+
+        The memo records the interner *version* it was built against and
+        rebuilds when the interner has grown since: registrations after the
+        first bind intern new atoms, and a stale encoding would keep
+        reporting them unknown -- ``tables_complete`` would stay false and
+        the source-table level would silently drop the new views.
+        """
+        version = interner.version
+        entry = self._bindings.get(interner)
+        if entry is None or entry[0] != version:
+            entry = (version, _BoundProbe(self, interner))
+            self._bindings[interner] = entry
+        return entry[1]
 
     @classmethod
     def cached_of(
@@ -272,35 +280,250 @@ class QueryProbe:
         query: SpjgDescription,
         options: MatchOptions = DEFAULT_OPTIONS,
     ) -> "QueryProbe":
-        residual_templates = set(query.residual_templates())
-        constrained = set(query.extended_range_constrained_columns())
+        """Compile the query-side search keys (fast single-pass pipeline).
+
+        Reuses the shallow forms and memoized class map the description
+        already carries, derives every per-column group through one
+        ``class_map`` lookup, and pulls check-constraint keys from a
+        per-catalog cache. ``options.use_fast_probe=False`` dispatches to
+        :meth:`of_reference`, the pre-fusion pipeline kept as the hot-path
+        benchmark's baseline; both build identical probes.
+        """
+        if not options.use_fast_probe:
+            return cls.of_reference(query, options)
+        residual_templates = query.residual_templates()
+        constrained = query.extended_range_constrained_columns()
         if options.use_check_constraints:
-            _add_check_constraint_keys(query, residual_templates, constrained)
+            check_columns, check_templates = _catalog_check_keys(
+                query.catalog, query.options.support_or_ranges
+            )
+            residual_templates = residual_templates | check_templates
+            constrained = constrained | check_columns
         return cls(
             tables=_tables_key(query.tables),
             output_requirements=_output_requirements(query),
             residual_templates=_templates_key(residual_templates),
             range_constrained_columns=_columns_key(constrained),
-            aggregate_templates=_templates_key(_query_aggregate_templates(query)),
+            aggregate_templates=_templates_key(query.aggregate_templates()),
             grouping_templates=_templates_key(query.grouping_templates()),
             grouping_requirements=_grouping_requirements(query),
             is_aggregate=query.is_aggregate,
         )
 
+    @classmethod
+    def of_reference(
+        cls,
+        query: SpjgDescription,
+        options: MatchOptions = DEFAULT_OPTIONS,
+    ) -> "QueryProbe":
+        """The pre-fusion probe pipeline, preserved verbatim.
 
-def _add_check_constraint_keys(
-    query: SpjgDescription,
-    residual_templates: set[str],
-    constrained: set[ColumnKey],
-) -> None:
-    """Widen the probe with check-constraint predicates (extension).
+        Recomputes every derived set from first principles -- per-call
+        ``class_of`` scans, shallow-form rederivation, a fresh catalog
+        check-constraint walk -- exactly as probe compilation worked before
+        the single-pass analyzer. The hot-path benchmark times this against
+        :meth:`of` on identical descriptions so the reported speedup is
+        measured in-run rather than against a stale baseline, and the
+        equivalence property test asserts both pipelines agree.
+        """
+        residual_templates = set(
+            form.template for form in query.residual_forms
+        )
+        constrained = set(_extended_range_constrained_reference(query))
+        if options.use_check_constraints:
+            _add_check_constraint_keys_reference(
+                query, residual_templates, constrained
+            )
+        return cls(
+            tables=_tables_key(query.tables),
+            output_requirements=_output_requirements_reference(query),
+            residual_templates=_templates_key(residual_templates),
+            range_constrained_columns=_columns_key(constrained),
+            aggregate_templates=_templates_key(
+                _query_aggregate_templates_reference(query)
+            ),
+            grouping_templates=_templates_key(query.grouping_templates()),
+            grouping_requirements=_grouping_requirements_reference(query),
+            is_aggregate=query.is_aggregate,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fast probe compilation
+# ---------------------------------------------------------------------------
+
+
+def _catalog_check_keys(
+    catalog: "Catalog", support_or_ranges: bool
+) -> tuple[frozenset[ColumnKey], frozenset[str]]:
+    """Probe keys derived from the catalog's check constraints (cached).
 
     Check constraints strengthen the antecedent, so a view predicate may be
     implied by a check constraint alone; the probe must then include the
     check-derived keys or the filter would prune views the matcher accepts.
     Constraints of *every* catalog table are included because a view's extra
-    tables need not appear in the query.
+    tables need not appear in the query. The derivation depends only on the
+    catalog and the OR-range flag, so it is computed once per catalog
+    instead of once per probe.
     """
+    from .intervalsets import as_or_range
+
+    cache = getattr(catalog, "_check_key_cache", None)
+    if cache is None:
+        cache = {}
+        catalog._check_key_cache = cache
+    entry = cache.get(support_or_ranges)
+    if entry is None:
+        constrained: set[ColumnKey] = set()
+        templates: set[str] = set()
+        for table in catalog.tables():
+            for check in table.check_constraints:
+                classified = classify_predicate(check.predicate)
+                for rp in classified.range_predicates:
+                    constrained.add(rp.column)
+                for conjunct in classified.residuals:
+                    recognised = (
+                        as_or_range(conjunct) if support_or_ranges else None
+                    )
+                    if recognised is not None:
+                        constrained.add(recognised.column)
+                    else:
+                        templates.add(ShallowForm.of(conjunct).template)
+        entry = (frozenset(constrained), frozenset(templates))
+        cache[support_or_ranges] = entry
+    return entry
+
+
+def _output_requirements(query: SpjgDescription) -> tuple[OutputRequirement, ...]:
+    """Availability requirements for every output and grouping item.
+
+    One pass reusing the description's precomputed shallow forms; column
+    groups come from the memoized class map with a per-probe group cache
+    (outputs and groupings overwhelmingly repeat the same columns).
+    """
+    class_map = query.eqclasses.class_map()
+    backjoins = query.options.allow_backjoins
+    catalog = query.catalog
+    group_cache: dict[ColumnKey, Key] = {}
+
+    def column_group(key: ColumnKey) -> Key:
+        group = group_cache.get(key)
+        if group is None:
+            members = set(class_map[key])
+            if backjoins:
+                table = catalog.table(key[0])
+                for unique_key in table.all_unique_keys():
+                    if any(table.is_nullable(column) for column in unique_key):
+                        continue
+                    for column in unique_key:
+                        members |= class_map[(key[0], column)]
+            group = _columns_key(members)
+            group_cache[key] = group
+        return group
+
+    requirements: list[OutputRequirement] = []
+
+    def add_expression(
+        expression: Expression, form: ShallowForm | None = None
+    ) -> None:
+        if isinstance(expression, FuncCall) and expression.is_aggregate():
+            if expression.star:
+                return  # count(*) needs no columns from any view kind
+            argument = expression.args[0]
+            argument_form = ShallowForm.of(argument)
+            templates = set(
+                normalized_aggregate_template(expression, argument_form)
+            )
+            templates.add(argument_form.template)
+            requirements.append(
+                OutputRequirement(
+                    templates=_templates_key(templates),
+                    column_groups=tuple(
+                        column_group(ref.key)
+                        for ref in argument.column_refs()
+                    ),
+                )
+            )
+            return
+        if expression.contains_aggregate():
+            for child in expression.children():
+                add_expression(child)
+            return
+        if isinstance(expression, Literal):
+            return
+        if isinstance(expression, ColumnRef):
+            requirements.append(
+                OutputRequirement(
+                    templates=frozenset(),
+                    column_groups=(column_group(expression.key),),
+                )
+            )
+            return
+        template = (form or ShallowForm.of(expression)).template
+        requirements.append(
+            OutputRequirement(
+                templates=_templates_key({template}),
+                column_groups=tuple(
+                    column_group(ref.key) for ref in expression.column_refs()
+                ),
+            )
+        )
+
+    for info in query.outputs:
+        add_expression(info.expression, info.form)
+    for form, expr in zip(query.group_forms, query.statement.group_by):
+        add_expression(expr, form)
+    return tuple(requirements)
+
+
+def _grouping_requirements(query: SpjgDescription) -> tuple[OutputRequirement, ...]:
+    """Per-item grouping conditions for the grouping-column level."""
+    class_map = query.eqclasses.class_map()
+    requirements: list[OutputRequirement] = []
+    for form, expr in zip(query.group_forms, query.statement.group_by):
+        if isinstance(expr, ColumnRef):
+            requirements.append(
+                OutputRequirement(
+                    templates=frozenset(),
+                    column_groups=(_columns_key(class_map[expr.key]),),
+                )
+            )
+        else:
+            requirements.append(
+                OutputRequirement(
+                    templates=_templates_key({form.template}),
+                    column_groups=(),
+                )
+            )
+    return tuple(requirements)
+
+
+# ---------------------------------------------------------------------------
+# Reference probe compilation (the pre-fusion pipeline, kept verbatim so the
+# hot-path benchmark measures the fast path's speedup from identical inputs;
+# see QueryProbe.of_reference)
+# ---------------------------------------------------------------------------
+
+
+def _extended_range_constrained_reference(
+    query: SpjgDescription,
+) -> set[ColumnKey]:
+    """Pre-fusion extended range-constrained columns (per-call class scans)."""
+    representatives = set(query.ranges)
+    for or_range in query.or_ranges:
+        representatives.add(query.eqclasses.find(or_range.column))
+    members: set[ColumnKey] = set()
+    for rep in representatives:
+        members.update(query.eqclasses.class_of(rep))
+    return members
+
+
+def _add_check_constraint_keys_reference(
+    query: SpjgDescription,
+    residual_templates: set[str],
+    constrained: set[ColumnKey],
+) -> None:
+    """Pre-fusion check-constraint widening (full catalog walk per probe)."""
     from .intervalsets import as_or_range
 
     for table in query.catalog.tables():
@@ -320,14 +543,14 @@ def _add_check_constraint_keys(
                     residual_templates.add(ShallowForm.of(conjunct).template)
 
 
-def _query_aggregate_templates(query: SpjgDescription) -> set[str]:
+def _query_aggregate_templates_reference(query: SpjgDescription) -> set[str]:
     templates: set[str] = set()
     for call in query.statement.aggregate_outputs():
         templates.update(normalized_aggregate_template(call))
     return templates
 
 
-def _column_group(query: SpjgDescription, key: ColumnKey) -> Key:
+def _column_group_reference(query: SpjgDescription, key: ColumnKey) -> Key:
     """Key elements that can make one required column available.
 
     The column's own query equivalence class always qualifies. With the
@@ -346,7 +569,7 @@ def _column_group(query: SpjgDescription, key: ColumnKey) -> Key:
     return _columns_key(group)
 
 
-def _expression_requirement(
+def _expression_requirement_reference(
     query: SpjgDescription, expression: Expression
 ) -> OutputRequirement | None:
     """Availability requirement for one non-aggregate scalar expression."""
@@ -355,16 +578,17 @@ def _expression_requirement(
     if isinstance(expression, ColumnRef):
         return OutputRequirement(
             templates=frozenset(),
-            column_groups=(_column_group(query, expression.key),),
+            column_groups=(_column_group_reference(query, expression.key),),
         )
     templates = {ShallowForm.of(expression).template}
     groups = tuple(
-        _column_group(query, ref.key) for ref in expression.column_refs()
+        _column_group_reference(query, ref.key)
+        for ref in expression.column_refs()
     )
     return OutputRequirement(templates=_templates_key(templates), column_groups=groups)
 
 
-def _aggregate_requirement(
+def _aggregate_requirement_reference(
     query: SpjgDescription, call: FuncCall
 ) -> OutputRequirement | None:
     """Availability requirement for one aggregate call.
@@ -380,17 +604,20 @@ def _aggregate_requirement(
     templates = set(normalized_aggregate_template(call))
     templates.add(argument_form.template)
     groups = tuple(
-        _column_group(query, ref.key) for ref in argument.column_refs()
+        _column_group_reference(query, ref.key)
+        for ref in argument.column_refs()
     )
     return OutputRequirement(templates=_templates_key(templates), column_groups=groups)
 
 
-def _output_requirements(query: SpjgDescription) -> tuple[OutputRequirement, ...]:
+def _output_requirements_reference(
+    query: SpjgDescription,
+) -> tuple[OutputRequirement, ...]:
     requirements: list[OutputRequirement] = []
 
     def add_expression(expression: Expression) -> None:
         if isinstance(expression, FuncCall) and expression.is_aggregate():
-            requirement = _aggregate_requirement(query, expression)
+            requirement = _aggregate_requirement_reference(query, expression)
             if requirement is not None:
                 requirements.append(requirement)
             return
@@ -398,7 +625,7 @@ def _output_requirements(query: SpjgDescription) -> tuple[OutputRequirement, ...
             for child in expression.children():
                 add_expression(child)
             return
-        requirement = _expression_requirement(query, expression)
+        requirement = _expression_requirement_reference(query, expression)
         if requirement is not None:
             requirements.append(requirement)
 
@@ -409,7 +636,9 @@ def _output_requirements(query: SpjgDescription) -> tuple[OutputRequirement, ...
     return tuple(requirements)
 
 
-def _grouping_requirements(query: SpjgDescription) -> tuple[OutputRequirement, ...]:
+def _grouping_requirements_reference(
+    query: SpjgDescription,
+) -> tuple[OutputRequirement, ...]:
     """Per-item grouping conditions for the grouping-column level."""
     requirements: list[OutputRequirement] = []
     for expr in query.statement.group_by:
@@ -928,6 +1157,13 @@ class FilterTree:
             aggregate_levels or AGGREGATE_LEVELS, 0, interner
         )
         self._registered: dict[str, RegisteredView] = {}
+        # Registration sequence numbers: candidate lists are returned in
+        # registration order (a deterministic, index-layout-independent
+        # contract -- sharded trees and worker fan-outs preserve it, so
+        # cost ties in the optimizer break identically however the
+        # registry is partitioned).
+        self._order: dict[str, int] = {}
+        self._next_order = 0
 
     def __len__(self) -> int:
         return len(self._registered)
@@ -970,6 +1206,8 @@ class FilterTree:
         )
         root.add(view)
         self._registered[name] = view
+        self._order[name] = self._next_order
+        self._next_order += 1
         return view
 
     def unregister(self, name: str) -> None:
@@ -977,6 +1215,7 @@ class FilterTree:
         view = self._registered.pop(name, None)
         if view is None:
             raise KeyError(f"view {name} not registered")
+        del self._order[name]
         root = (
             self._aggregate_root
             if view.description.is_aggregate
@@ -988,8 +1227,12 @@ class FilterTree:
         """All registered views, in registration order."""
         return tuple(self._registered.values())
 
+    def view(self, name: str) -> RegisteredView | None:
+        """The registered view under ``name`` (None when absent)."""
+        return self._registered.get(name)
+
     def candidates(self, query: SpjgDescription) -> list[RegisteredView]:
-        """Views passing all filter conditions for the query expression."""
+        """Views passing all filter conditions, in registration order."""
         probe = QueryProbe.cached_of(query, self.options)
         # Bind the probe to the tree's interner once; every lattice index
         # in both subtrees shares it.
@@ -998,6 +1241,8 @@ class FilterTree:
         self._spj_root.search(probe, bound, found)
         if query.is_aggregate:
             self._aggregate_root.search(probe, bound, found)
+        order = self._order
+        found.sort(key=lambda view: order[view.description.name])
         tracer = current_tracer()
         if tracer.active:
             tracer.on_filter_tree(self, query, found)

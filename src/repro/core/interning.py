@@ -46,6 +46,21 @@ class KeyInterner:
         """Number of distinct atoms interned so far."""
         return len(self._bits)
 
+    @property
+    def version(self) -> int:
+        """Monotone counter that advances whenever a new atom is interned.
+
+        Bit assignments are append-only, so a mask computed under version
+        ``v`` is still *correct* for the atoms it covers at any later
+        version -- but ``known_mask`` completeness flags and masks for
+        atoms interned after ``v`` can change. Consumers that memoize
+        encodings (:meth:`QueryProbe.bind`) record the version they were
+        built against and rebuild when it moves; without that check, a
+        probe bound before a registration would keep reporting
+        newly-interned atoms as unknown and silently miss candidates.
+        """
+        return len(self._bits)
+
     def __contains__(self, atom: Hashable) -> bool:
         return atom in self._bits
 

@@ -24,6 +24,8 @@ from .filtertree import FilterTree, RegisteredView
 from .interning import KeyInterner
 from .matching import MatchResult, RejectReason, match_view
 from .options import DEFAULT_OPTIONS, MatchOptions
+from .parallel import fork_available, forked_map
+from .sharding import ShardedFilterTree
 
 if TYPE_CHECKING:
     from ..catalog.catalog import Catalog
@@ -72,6 +74,23 @@ class MatcherStatistics:
         self.substitutes = 0
         self.rejects_by_reason.clear()
 
+    def merge(self, other: "MatcherStatistics") -> None:
+        """Fold another counter set into this one.
+
+        The parallel batch path accumulates statistics in forked workers
+        and merges each worker's counters back into the parent matcher,
+        so funnels stay identical to a sequential run of the same batch.
+        """
+        self.invocations += other.invocations
+        self.views_considered += other.views_considered
+        self.views_registered_total += other.views_registered_total
+        self.matches += other.matches
+        self.substitutes += other.substitutes
+        for reason, count in other.rejects_by_reason.items():
+            self.rejects_by_reason[reason] = (
+                self.rejects_by_reason.get(reason, 0) + count
+            )
+
     def report(self) -> str:
         """A human-readable summary (candidate funnel + rejection reasons)."""
         lines = [
@@ -105,21 +124,35 @@ class ViewMatcher:
         interner: KeyInterner | None = None,
         use_interning: bool = True,
         use_match_contexts: bool = True,
+        shard_count: int = 1,
     ):
         """``interner`` shares key-atom bit assignments with other trees
         (the serving layer reuses one across epoch rebuilds).
         ``use_interning=False`` / ``use_match_contexts=False`` disable the
         bitset keys and the precomputed per-view contexts respectively --
         the "before" configurations the hot-path benchmark compares
-        against; production callers leave both on.
+        against; production callers leave both on. ``shard_count > 1``
+        partitions the registry across that many per-shard filter trees
+        (:class:`~repro.core.sharding.ShardedFilterTree`), the layout the
+        parallel matching fan-out requires; candidate sets and ordering
+        are unchanged.
         """
         self.catalog = catalog
         self.options = options
         self.use_filter_tree = use_filter_tree
         self.use_match_contexts = use_match_contexts
-        self.filter_tree = FilterTree(
-            options, interner=interner, use_interning=use_interning
-        )
+        self.shard_count = shard_count
+        if shard_count > 1:
+            self.filter_tree: FilterTree | ShardedFilterTree = ShardedFilterTree(
+                options,
+                shard_count=shard_count,
+                interner=interner,
+                use_interning=use_interning,
+            )
+        else:
+            self.filter_tree = FilterTree(
+                options, interner=interner, use_interning=use_interning
+            )
         self.statistics = MatcherStatistics()
 
     @property
@@ -135,6 +168,7 @@ class ViewMatcher:
         options: MatchOptions = DEFAULT_OPTIONS,
         use_filter_tree: bool = True,
         interner: KeyInterner | None = None,
+        shard_count: int = 1,
     ) -> "ViewMatcher":
         """Build a matcher by re-indexing already-described views.
 
@@ -151,9 +185,34 @@ class ViewMatcher:
             options=options,
             use_filter_tree=use_filter_tree,
             interner=interner,
+            shard_count=shard_count,
         )
         for view in views:
             matcher.filter_tree.register_prebuilt(view)
+        return matcher
+
+    @classmethod
+    def with_filter_tree(
+        cls,
+        catalog: "Catalog",
+        filter_tree: "FilterTree | ShardedFilterTree",
+        options: MatchOptions = DEFAULT_OPTIONS,
+        use_match_contexts: bool = True,
+    ) -> "ViewMatcher":
+        """Build a matcher around an existing (possibly shared) filter tree.
+
+        The serving layer's copy-on-write epoch rebuild assembles a
+        :class:`ShardedFilterTree` that reuses the unchanged shard trees of
+        the previous epoch and hands it in here; no view is re-indexed.
+        """
+        matcher = cls.__new__(cls)
+        matcher.catalog = catalog
+        matcher.options = options
+        matcher.use_filter_tree = True
+        matcher.use_match_contexts = use_match_contexts
+        matcher.shard_count = getattr(filter_tree, "shard_count", 1)
+        matcher.filter_tree = filter_tree
+        matcher.statistics = MatcherStatistics()
         return matcher
 
     # -- registration -------------------------------------------------------
@@ -208,16 +267,28 @@ class ViewMatcher:
         return list(self.filter_tree.views())
 
     def match(
-        self, query: SpjgDescription | SelectStatement
+        self,
+        query: SpjgDescription | SelectStatement,
+        workers: int | None = None,
     ) -> list[MatchResult]:
         """One view-matching invocation: all match results over candidates.
 
         Returns the full :class:`MatchResult` list (successes and
         rejections) for diagnosability; use :meth:`substitutes` when only
-        the rewrites are wanted.
+        the rewrites are wanted. ``workers > 1`` fans candidate filtering
+        and full matching out across forked workers, one shard group each
+        -- requires a sharded tree and ``fork``; results, ordering, and
+        statistics are identical to a sequential run.
         """
         if isinstance(query, SelectStatement):
             query = self.describe_query(query)
+        if (
+            workers is not None
+            and workers > 1
+            and isinstance(self.filter_tree, ShardedFilterTree)
+            and fork_available()
+        ):
+            return self._match_parallel(query, workers)
         stats = self.statistics
         stats.invocations += 1
         stats.views_registered_total += self.view_count
@@ -243,6 +314,112 @@ class ViewMatcher:
         if tracer.active:
             tracer.on_match_invocation(self.view_count, candidates, results)
         return results
+
+    def _match_parallel(
+        self, query: SpjgDescription, workers: int
+    ) -> list[MatchResult]:
+        """Fan one invocation's filtering and matching across forked workers.
+
+        Each worker filters its assigned shards and runs ``match_view`` on
+        the survivors; the parent merges by global registration sequence,
+        so the result list is ordered exactly like the sequential path's
+        and the statistics funnel is computed from the merged results.
+        """
+        tree = self.filter_tree
+        assert isinstance(tree, ShardedFilterTree)
+        worker_count = max(1, min(workers, tree.shard_count))
+        groups = [
+            tuple(range(start, tree.shard_count, worker_count))
+            for start in range(worker_count)
+        ]
+        options = self.options
+        use_contexts = self.use_match_contexts
+
+        def match_group(
+            shard_indices: tuple[int, ...],
+        ) -> list[tuple[int, RegisteredView, MatchResult]]:
+            return [
+                (
+                    sequence,
+                    candidate,
+                    match_view(
+                        query,
+                        candidate.description,
+                        options,
+                        context=(
+                            candidate.match_context if use_contexts else None
+                        ),
+                    ),
+                )
+                for sequence, candidate in tree.shard_candidates(
+                    query, shard_indices
+                )
+            ]
+
+        merged: list[tuple[int, RegisteredView, MatchResult]] = []
+        for group in forked_map(match_group, groups, worker_count):
+            merged.extend(group)
+        merged.sort(key=lambda entry: entry[0])
+        stats = self.statistics
+        stats.invocations += 1
+        stats.views_registered_total += self.view_count
+        candidates = [candidate for _, candidate, _ in merged]
+        results: list[MatchResult] = []
+        for _, _, result in merged:
+            stats.views_considered += 1
+            if result.matched:
+                stats.matches += 1
+                stats.substitutes += 1
+            elif result.reject_reason is not None:
+                stats.record_rejection(result.reject_reason)
+            results.append(result)
+        tracer = current_tracer()
+        if tracer.active:
+            tracer.on_match_invocation(self.view_count, candidates, results)
+        return results
+
+    def match_many(
+        self,
+        queries,
+        workers: int | None = None,
+    ) -> list[list[MatchResult]]:
+        """Match a batch of queries, one full result list per query.
+
+        With ``workers > 1`` (and ``fork`` available) the batch is split
+        across forked workers, each running the ordinary sequential match
+        for its queries against the copy-on-write shared registry; worker
+        statistics merge back into this matcher so the funnel equals a
+        sequential run of the same batch. Tracer events raised inside
+        workers stay in the worker process.
+        """
+        described = [
+            self.describe_query(query)
+            if isinstance(query, SelectStatement)
+            else query
+            for query in queries
+        ]
+        if not described:
+            return []
+        worker_count = workers or 1
+        if worker_count <= 1 or not fork_available():
+            return [self.match(query) for query in described]
+
+        def match_one(
+            query: SpjgDescription,
+        ) -> tuple[list[MatchResult], MatcherStatistics]:
+            # Child-local statistics: start fresh so the parent can merge
+            # exactly this query's contribution.
+            self.statistics = MatcherStatistics()
+            return self.match(query), self.statistics
+
+        outcomes = forked_map(
+            match_one, described, min(worker_count, len(described))
+        )
+        combined: list[list[MatchResult]] = []
+        for results, stats in outcomes:
+            self.statistics.merge(stats)
+            combined.append(results)
+        return combined
 
     def substitutes(
         self, query: SpjgDescription | SelectStatement

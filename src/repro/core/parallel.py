@@ -1,0 +1,133 @@
+"""Fork-based parallel map over copy-on-write shared state.
+
+The matching fan-out wants workers that share the parent's read-only
+snapshot (filter trees, descriptions, interned bit assignments) without
+serializing it. ``fork(2)`` gives exactly that: children inherit the whole
+address space copy-on-write, so the only data crossing a process boundary
+is each worker's *result*, pickled over a pipe. Threads cannot help here --
+matching is pure Python and GIL-bound -- and spawn-based pools would pay a
+full snapshot pickle per worker.
+
+Children never touch shared mutable service state: they compute, write one
+length-prefixed pickle frame, and ``os._exit``. The parent reads every
+pipe before reaping, so a worker blocked on a full pipe buffer always
+drains. A worker that dies without producing a frame (or that reports an
+exception) fails the whole map with :class:`WorkerError` -- partial results
+are never silently returned.
+
+``fork_available()`` gates every caller: on platforms without ``fork``
+(or when explicitly disabled) callers fall back to sequential execution,
+which is also the required behaviour below their view-count thresholds.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["WorkerError", "default_worker_count", "fork_available", "forked_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+_HEADER = struct.Struct(">BQ")
+_OK = 1
+_FAILED = 0
+
+
+class WorkerError(RuntimeError):
+    """A forked worker raised or died before reporting a result."""
+
+
+def fork_available() -> bool:
+    """True when ``os.fork`` exists (POSIX; never on Windows)."""
+    return hasattr(os, "fork")
+
+
+def default_worker_count() -> int:
+    """Worker count matching the machine's usable cores."""
+    return os.cpu_count() or 1
+
+
+def _child_main(
+    write_fd: int, func: Callable[[_T], _R], items: Sequence[_T], indices: Sequence[int]
+) -> None:
+    """Worker body: compute assigned items, write one frame, exit."""
+    try:
+        try:
+            payload = pickle.dumps(
+                [(index, func(items[index])) for index in indices],
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            status = _OK
+        except BaseException as exc:  # report, never propagate out of the fork
+            payload = pickle.dumps(
+                f"{type(exc).__name__}: {exc}", protocol=pickle.HIGHEST_PROTOCOL
+            )
+            status = _FAILED
+        with os.fdopen(write_fd, "wb") as stream:
+            stream.write(_HEADER.pack(status, len(payload)))
+            stream.write(payload)
+    finally:
+        # _exit skips atexit/finalizers: the child must not run the
+        # parent's cleanup (tracers, metric flushes) a second time.
+        os._exit(0)
+
+
+def forked_map(
+    func: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: int,
+) -> list[_R]:
+    """``[func(item) for item in items]`` fanned out across forked workers.
+
+    Items are assigned round-robin so adjacent (likely similar-cost) items
+    spread across workers; results come back in input order regardless.
+    Falls back to the sequential comprehension when one worker suffices or
+    ``fork`` is unavailable, so callers can invoke it unconditionally.
+    """
+    sequence = list(items)
+    if not sequence:
+        return []
+    workers = max(1, min(workers, len(sequence)))
+    if workers == 1 or not fork_available():
+        return [func(item) for item in sequence]
+
+    children: list[tuple[int, int]] = []
+    for worker in range(workers):
+        indices = range(worker, len(sequence), workers)
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            os.close(read_fd)
+            _child_main(write_fd, func, sequence, indices)
+        os.close(write_fd)
+        children.append((pid, read_fd))
+
+    results: list[_R | None] = [None] * len(sequence)
+    failure: str | None = None
+    for pid, read_fd in children:
+        frame: bytes | None = None
+        status = _FAILED
+        with os.fdopen(read_fd, "rb") as stream:
+            header = stream.read(_HEADER.size)
+            if len(header) == _HEADER.size:
+                status, length = _HEADER.unpack(header)
+                frame = stream.read(length)
+                if len(frame) != length:
+                    frame = None
+        os.waitpid(pid, 0)
+        if frame is None:
+            failure = failure or f"worker {pid} died without reporting a result"
+            continue
+        decoded = pickle.loads(frame)
+        if status != _OK:
+            failure = failure or f"worker {pid} failed: {decoded}"
+            continue
+        for index, value in decoded:
+            results[index] = value
+    if failure is not None:
+        raise WorkerError(failure)
+    return results  # type: ignore[return-value]

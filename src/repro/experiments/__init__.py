@@ -23,7 +23,9 @@ from .hotpath import (
     HotpathConfig,
     HotpathMismatchError,
     check_against_baseline,
+    check_speedup_gates,
     check_tracing_overhead,
+    profile_hotpath,
     run_hotpath_benchmark,
 )
 from .reporting import render_table
@@ -38,7 +40,9 @@ __all__ = [
     "HotpathMismatchError",
     "MeasurementPoint",
     "check_against_baseline",
+    "check_speedup_gates",
     "check_tracing_overhead",
+    "profile_hotpath",
     "run_hotpath_benchmark",
     "figure2",
     "figure3",

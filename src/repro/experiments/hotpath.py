@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
@@ -31,6 +32,9 @@ from dataclasses import dataclass
 from ..catalog import tpch_catalog
 from ..core import ViewMatcher
 from ..core.filtertree import QueryProbe
+from ..core.options import MatchOptions
+from ..core.parallel import default_worker_count, fork_available
+from ..sql.printer import statement_to_sql
 from ..stats import synthetic_tpch_stats
 from ..workload import WorkloadGenerator
 
@@ -39,6 +43,26 @@ from ..workload import WorkloadGenerator
 # measured view count (absorbs host-speed differences between the
 # machine that committed the baseline and the CI runner).
 REGRESSION_FACTOR = 2.0
+
+# The single-pass probe compiler must beat the preserved reference
+# pipeline by at least this factor at the gated view count. Both sides
+# are timed in the same process on the same descriptions, so the gate is
+# host-independent.
+PROBE_SPEEDUP_FLOOR = 2.0
+
+# Calibration-normalized regression budget for the fast probe-build
+# latency against the committed baseline.
+PROBE_REGRESSION_TOLERANCE = 0.25
+
+# Batched serving must beat the legacy sequential loop by this factor at
+# the largest end-to-end point -- enforced where the fork fan-out has
+# cores to use (>= this many); single-core hosts can only parallelize
+# nominally, so there the gate degrades to "batching must not lose"
+# (with measurement-noise headroom: both sides do the same matching
+# work, so repeated runs land within a few percent of parity).
+END_TO_END_SPEEDUP_FLOOR = 2.0
+END_TO_END_MIN_CORES = 2
+END_TO_END_SINGLE_CORE_FLOOR = 0.9
 
 # Tolerance for the tracing-overhead guard: with the null tracer
 # installed (tracing disabled), the instrumented hot path may be at most
@@ -52,7 +76,7 @@ TRACING_OVERHEAD_TOLERANCE = 0.05
 class HotpathConfig:
     """Benchmark sizes. The defaults mirror the Section 5 sweep shape."""
 
-    view_counts: tuple[int, ...] = (100, 500, 1000)
+    view_counts: tuple[int, ...] = (100, 500, 1000, 10000)
     query_count: int = 25
     seed: int = 42
     scale: float = 0.5
@@ -60,10 +84,17 @@ class HotpathConfig:
     filter_runs: int = 3          # timing runs (best-of)
     match_repetitions: int = 3    # full-match passes per timing run
     match_runs: int = 3           # full-match timing runs (best-of)
+    probe_repetitions: int = 20   # probe-build passes per timing run
+    probe_runs: int = 3           # probe-build timing runs (best-of)
+    # End-to-end serving sweep: legacy sequential loop vs. batched
+    # rewrite_many through the full ViewServer stack. () disables it.
+    end_to_end_view_counts: tuple[int, ...] = (1000, 10000)
+    end_to_end_runs: int = 3
 
     @classmethod
     def smoke(cls) -> "HotpathConfig":
-        """CI-sized: still 1000 views (the gated point), fewer queries."""
+        """CI-sized: still the gated points (1000 views for filtering and
+        probe building, 10000 for end-to-end serving), fewer queries."""
         return cls(
             view_counts=(1000,),
             query_count=8,
@@ -71,6 +102,10 @@ class HotpathConfig:
             filter_runs=2,
             match_repetitions=1,
             match_runs=2,
+            probe_repetitions=8,
+            probe_runs=2,
+            end_to_end_view_counts=(10000,),
+            end_to_end_runs=2,
         )
 
 
@@ -152,6 +187,151 @@ def _time_match(matcher, descriptions, repetitions: int, runs: int) -> float:
     return best
 
 
+def _probe_fields(probe) -> dict:
+    """A probe's content, minus its per-interner binding memo."""
+    fields = dataclasses.asdict(probe)
+    fields.pop("_bindings", None)
+    return fields
+
+
+def _time_probe(descriptions, options, builder, repetitions, runs) -> float:
+    """Best-of-``runs`` mean latency (us) of one probe construction.
+
+    ``builder`` is :meth:`QueryProbe.of` (the fused single-pass compiler)
+    or :meth:`QueryProbe.of_reference` (the preserved multi-walk
+    pipeline). A warm-up pass populates the description-level memo fields
+    first so both builders are timed at their steady state.
+    """
+    for description in descriptions:
+        builder(description, options)
+    best = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            for description in descriptions:
+                builder(description, options)
+        elapsed = time.perf_counter() - start
+        per_call = elapsed / (repetitions * len(descriptions)) * 1e6
+        best = per_call if best is None else min(best, per_call)
+    return best
+
+
+def _verify_probes(descriptions, options) -> None:
+    """The fast and reference probe compilers must agree exactly."""
+    for description in descriptions:
+        fast = _probe_fields(QueryProbe.of(description, options))
+        slow = _probe_fields(QueryProbe.of_reference(description, options))
+        if fast != slow:
+            raise HotpathMismatchError(
+                "fast and reference probes diverge for "
+                f"{description.tables}: {fast} vs {slow}"
+            )
+
+
+def _time_serving(serve_batch, runs: int) -> float:
+    """Best-of-``runs`` wall-clock (ms) of serving the whole batch once."""
+    best = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        serve_batch()
+        elapsed = (time.perf_counter() - start) * 1e3
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _run_end_to_end(config, catalog, stats, views, queries, echo) -> list[dict]:
+    """Serve the workload end to end: legacy sequential vs. batched.
+
+    The legacy mode reproduces the pre-fusion serving configuration --
+    multi-walk probe compilation (``use_fast_probe=False``), per-use
+    block descriptions (``share_descriptions=False``), one ``serve`` call
+    per query. The batched mode is the current default stack: single-pass
+    probes, shared descriptions, sharded snapshots, and
+    ``rewrite_many``, optionally fanning batch misses out across forked
+    workers. The rewrite cache is disabled on both sides so every timing
+    run measures real rewrite work, and the modes' results are verified
+    identical before anything is timed.
+    """
+    from ..optimizer.optimizer import OptimizerConfig
+    from ..service import ViewServer
+
+    sqls = [statement_to_sql(query) for query in queries]
+    cpu_count = os.cpu_count() or 1
+    workers = default_worker_count()
+    measure_parallel = fork_available() and cpu_count >= END_TO_END_MIN_CORES
+    entries: list[dict] = []
+    for view_count in config.end_to_end_view_counts:
+        definitions = [
+            (name, view.statement) for name, view in views[:view_count]
+        ]
+        with ViewServer(
+            catalog,
+            stats,
+            options=MatchOptions(use_fast_probe=False),
+            optimizer_config=OptimizerConfig(share_descriptions=False),
+            cache_enabled=False,
+            workers=1,
+        ) as legacy, ViewServer(
+            catalog,
+            stats,
+            cache_enabled=False,
+            workers=1,
+            shard_count=4,
+        ) as batched:
+            legacy.register_views(definitions)
+            batched.register_views(definitions)
+
+            legacy_results = [legacy.serve(sql) for sql in sqls]
+            batched_results = batched.rewrite_many(sqls)
+            for a, b in zip(legacy_results, batched_results):
+                if (a.ok, a.view_names) != (b.ok, b.view_names):
+                    raise HotpathMismatchError(
+                        f"end-to-end modes diverge on {a.sql!r}: "
+                        f"legacy {a.view_names} vs batched {b.view_names}"
+                    )
+
+            legacy_ms = _time_serving(
+                lambda: [legacy.serve(sql) for sql in sqls],
+                config.end_to_end_runs,
+            )
+            batched_ms = _time_serving(
+                lambda: batched.rewrite_many(sqls), config.end_to_end_runs
+            )
+            parallel_ms = None
+            if measure_parallel:
+                parallel_ms = _time_serving(
+                    lambda: batched.rewrite_many(sqls, parallel=workers),
+                    config.end_to_end_runs,
+                )
+        best_ms = min(batched_ms, parallel_ms or batched_ms)
+        entry = {
+            "views": view_count,
+            "queries": len(sqls),
+            "cpu_count": cpu_count,
+            "workers": workers if parallel_ms is not None else 1,
+            "legacy_sequential_ms": round(legacy_ms, 2),
+            "batched_ms": round(batched_ms, 2),
+            "batched_parallel_ms": (
+                round(parallel_ms, 2) if parallel_ms is not None else None
+            ),
+            "speedup": round(legacy_ms / best_ms, 2),
+            "modes_identical": True,  # verified above
+        }
+        entries.append(entry)
+        if echo is not None:
+            parallel = (
+                f"parallel {parallel_ms:8.1f}ms"
+                if parallel_ms is not None
+                else "parallel     (skipped)"
+            )
+            echo(
+                f"{view_count:5d} views end-to-end: legacy "
+                f"{legacy_ms:8.1f}ms   batched {batched_ms:8.1f}ms   "
+                f"{parallel}   ({entry['speedup']:.2f}x)"
+            )
+    return entries
+
+
 def _funnel(matcher) -> dict:
     statistics = matcher.statistics
     return {
@@ -195,7 +375,9 @@ def run_hotpath_benchmark(
     catalog = tpch_catalog()
     stats = synthetic_tpch_stats(scale=config.scale)
     generator = WorkloadGenerator(catalog, stats, seed=config.seed)
-    views = generator.generate_views(max(config.view_counts))
+    views = generator.generate_views(
+        max(config.view_counts + config.end_to_end_view_counts)
+    )
     queries = [
         q.statement for q in generator.generate_queries(config.query_count)
     ]
@@ -212,13 +394,23 @@ def run_hotpath_benchmark(
         )
         descriptions = [interned.describe_query(q) for q in queries]
 
-        # Probe building is shared by both modes (cached per description);
-        # report it separately so the filter numbers are pure search time.
-        probe_start = time.perf_counter()
-        for description in descriptions:
-            QueryProbe.cached_of(description, interned.options)
-        probe_us = (
-            (time.perf_counter() - probe_start) / len(descriptions) * 1e6
+        # Probe compilation, timed both ways on the same descriptions:
+        # the fused single-pass compiler against the preserved multi-walk
+        # reference pipeline (verified to produce identical probes).
+        _verify_probes(descriptions, interned.options)
+        probe_fast = _time_probe(
+            descriptions,
+            interned.options,
+            QueryProbe.of,
+            config.probe_repetitions,
+            config.probe_runs,
+        )
+        probe_reference = _time_probe(
+            descriptions,
+            interned.options,
+            QueryProbe.of_reference,
+            config.probe_repetitions,
+            config.probe_runs,
         )
 
         funnel, _ = _verify_modes(interned, reference, descriptions)
@@ -249,7 +441,11 @@ def run_hotpath_benchmark(
             "views": view_count,
             "queries": len(descriptions),
             "mean_candidates": round(mean_candidates, 2),
-            "probe_build_us": round(probe_us, 2),
+            "probe_build_us": {
+                "fast": round(probe_fast, 2),
+                "reference": round(probe_reference, 2),
+                "speedup": round(probe_reference / probe_fast, 2),
+            },
             "candidate_filter_us": {
                 "interned": round(interned_filter, 2),
                 "reference": round(reference_filter, 2),
@@ -266,21 +462,32 @@ def run_hotpath_benchmark(
         sizes.append(entry)
         calibrations.append(_calibrate())
         if echo is not None:
+            probe = entry["probe_build_us"]
             filt = entry["candidate_filter_us"]
             full = entry["full_match_us"]
             echo(
-                f"{view_count:5d} views: filter {filt['interned']:8.1f}us "
+                f"{view_count:5d} views: probe {probe['fast']:7.1f}us vs "
+                f"{probe['reference']:7.1f}us ({probe['speedup']:.2f}x)   "
+                f"filter {filt['interned']:8.1f}us "
                 f"vs {filt['reference']:8.1f}us ({filt['speedup']:.2f}x)   "
                 f"match {full['with_contexts']:8.1f}us vs "
                 f"{full['rebuilt_contexts']:8.1f}us ({full['speedup']:.2f}x)"
             )
 
+    end_to_end = (
+        _run_end_to_end(config, catalog, stats, views, queries, echo)
+        if config.end_to_end_view_counts
+        else []
+    )
+
     return {
         "benchmark": "hotpath-matching",
         "config": dataclasses.asdict(config),
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
         "calibration_us": round(min(calibrations), 2),
         "sizes": sizes,
+        "end_to_end": end_to_end,
     }
 
 
@@ -292,8 +499,11 @@ def check_against_baseline(
     Compares the interned candidate-filter latency at the largest view
     count measured by *both* reports; a fresh run more than
     ``REGRESSION_FACTOR`` times slower than the committed baseline fails.
-    The interned-vs-reference speedup is reported but not gated (it is
-    already asserted to be computed from identical results).
+    The fast probe-build latency is gated much tighter
+    (``PROBE_REGRESSION_TOLERANCE``) but calibration-normalized, so
+    host-speed differences divide out instead of eating the budget. The
+    interned-vs-reference speedup is reported but not gated here (it is
+    gated absolutely by :func:`check_speedup_gates`).
     """
     failures: list[str] = []
     fresh_by_views = {entry["views"]: entry for entry in report["sizes"]}
@@ -319,6 +529,112 @@ def check_against_baseline(
             f"{fresh_us:.1f}us > {REGRESSION_FACTOR:g}x baseline "
             f"({base_us:.1f}us)"
         )
+    failures.extend(_check_probe_regression(report, baseline, views, echo))
+    return failures
+
+
+def _check_probe_regression(
+    report: dict, baseline: dict, views: int, echo=print
+) -> list[str]:
+    """Probe-build regression vs. the committed baseline (>25 % fails).
+
+    Both latencies are normalized by their own run's ``calibration_us``
+    so the tight budget measures the code, not the host. Baselines from
+    before the fast/reference probe split (scalar ``probe_build_us``)
+    are skipped with a note -- regenerate with ``--output``.
+    """
+    fresh_entry = {e["views"]: e for e in report["sizes"]}[views]
+    base_entry = {e["views"]: e for e in baseline["sizes"]}[views]
+    base_probe = base_entry.get("probe_build_us")
+    fresh_calibration = report.get("calibration_us")
+    base_calibration = baseline.get("calibration_us")
+    if not isinstance(base_probe, dict):
+        if echo is not None:
+            echo(
+                "probe-build check skipped: baseline predates the "
+                "fast/reference split; regenerate with --output"
+            )
+        return []
+    if not fresh_calibration or not base_calibration:
+        return [
+            "probe-build check needs calibration_us in both reports; "
+            "regenerate the baseline with bench-hotpath --output"
+        ]
+    fresh_ratio = fresh_entry["probe_build_us"]["fast"] / fresh_calibration
+    base_ratio = base_probe["fast"] / base_calibration
+    limit = base_ratio * (1.0 + PROBE_REGRESSION_TOLERANCE)
+    if echo is not None:
+        echo(
+            f"probe-build check at {views} views: fresh "
+            f"{fresh_ratio:.3f}x-cal, baseline {base_ratio:.3f}x-cal, "
+            f"limit {limit:.3f}x-cal"
+        )
+    if fresh_ratio > limit:
+        return [
+            f"probe building at {views} views regressed: "
+            f"{fresh_ratio:.3f}x calibration > baseline "
+            f"{base_ratio:.3f}x + {PROBE_REGRESSION_TOLERANCE:.0%}"
+        ]
+    return []
+
+
+def check_speedup_gates(report: dict, echo=print) -> list[str]:
+    """Absolute in-run speedup gates; returns failure messages.
+
+    * Probe building: the single-pass compiler must beat the preserved
+      reference pipeline by ``PROBE_SPEEDUP_FLOOR`` at the 1000-view
+      point (both sides timed in-run, so the gate holds on any host).
+    * End-to-end serving: batched rewriting must beat the legacy
+      sequential loop by ``END_TO_END_SPEEDUP_FLOOR`` at the largest
+      end-to-end point. The headline factor needs the fork fan-out, so
+      the full gate applies on hosts with at least
+      ``END_TO_END_MIN_CORES`` cores (every CI runner); on single-core
+      hosts only the in-process improvements can show up and the gate
+      degrades to "batching must not lose to the sequential loop"
+      (``END_TO_END_SINGLE_CORE_FLOOR``, slightly under parity to
+      absorb measurement noise).
+    """
+    failures: list[str] = []
+    sizes = {entry["views"]: entry for entry in report["sizes"]}
+    if sizes:
+        views = 1000 if 1000 in sizes else max(sizes)
+        speedup = sizes[views]["probe_build_us"]["speedup"]
+        if echo is not None:
+            echo(
+                f"probe-build speedup gate at {views} views: "
+                f"{speedup:.2f}x (floor {PROBE_SPEEDUP_FLOOR:g}x)"
+            )
+        if speedup < PROBE_SPEEDUP_FLOOR:
+            failures.append(
+                f"probe building at {views} views is only {speedup:.2f}x "
+                f"faster than the reference pipeline "
+                f"(floor {PROBE_SPEEDUP_FLOOR:g}x)"
+            )
+    end_to_end = report.get("end_to_end") or []
+    if end_to_end:
+        entry = max(end_to_end, key=lambda item: item["views"])
+        speedup = entry["speedup"]
+        parallel_capable = (
+            entry["cpu_count"] >= END_TO_END_MIN_CORES
+            and entry.get("batched_parallel_ms") is not None
+        )
+        floor = (
+            END_TO_END_SPEEDUP_FLOOR
+            if parallel_capable
+            else END_TO_END_SINGLE_CORE_FLOOR
+        )
+        if echo is not None:
+            note = "" if parallel_capable else " (single-core host)"
+            echo(
+                f"end-to-end speedup gate at {entry['views']} views: "
+                f"{speedup:.2f}x (floor {floor:g}x){note}"
+            )
+        if speedup < floor:
+            failures.append(
+                f"batched end-to-end rewriting at {entry['views']} views "
+                f"is only {speedup:.2f}x the legacy sequential path "
+                f"(floor {floor:g}x)"
+            )
     return failures
 
 
@@ -402,6 +718,66 @@ def check_tracing_overhead(
     return failures
 
 
+def profile_hotpath(
+    config: HotpathConfig | None = None, top: int = 20, echo=print
+) -> None:
+    """``cProfile`` the two gated phases and print the top-``top`` rows.
+
+    Profiles probe building (the fused single-pass compiler) and full
+    matching separately, at the largest configured view count, so a
+    regression flagged by the bench gate can be attributed to a function
+    without re-running anything by hand.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    config = config or HotpathConfig()
+    catalog = tpch_catalog()
+    stats = synthetic_tpch_stats(scale=config.scale)
+    generator = WorkloadGenerator(catalog, stats, seed=config.seed)
+    view_count = max(config.view_counts)
+    views = generator.generate_views(view_count)
+    queries = [
+        q.statement for q in generator.generate_queries(config.query_count)
+    ]
+    matcher = _build_matcher(
+        catalog, views, use_interning=True, use_match_contexts=True
+    )
+    descriptions = [matcher.describe_query(q) for q in queries]
+    options = matcher.options
+
+    def profile_phase(label, body) -> None:
+        body()  # warm caches and memos outside the profile
+        profiler = cProfile.Profile()
+        profiler.enable()
+        body()
+        profiler.disable()
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats(
+            "cumulative"
+        ).print_stats(top)
+        echo(f"--- {label} ({view_count} views, top {top} by cumulative) ---")
+        echo(stream.getvalue().rstrip())
+
+    profile_phase(
+        "probe build",
+        lambda: [
+            QueryProbe.of(description, options)
+            for _ in range(config.probe_repetitions)
+            for description in descriptions
+        ],
+    )
+    profile_phase(
+        "full match",
+        lambda: [
+            matcher.match(description)
+            for _ in range(config.match_repetitions)
+            for description in descriptions
+        ],
+    )
+
+
 def write_report(report: dict, path: str) -> None:
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
@@ -411,10 +787,17 @@ def write_report(report: dict, path: str) -> None:
 __all__ = [
     "HotpathConfig",
     "HotpathMismatchError",
+    "END_TO_END_MIN_CORES",
+    "END_TO_END_SINGLE_CORE_FLOOR",
+    "END_TO_END_SPEEDUP_FLOOR",
+    "PROBE_REGRESSION_TOLERANCE",
+    "PROBE_SPEEDUP_FLOOR",
     "REGRESSION_FACTOR",
     "TRACING_OVERHEAD_TOLERANCE",
     "check_against_baseline",
+    "check_speedup_gates",
     "check_tracing_overhead",
+    "profile_hotpath",
     "run_hotpath_benchmark",
     "write_report",
 ]

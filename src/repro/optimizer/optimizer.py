@@ -53,6 +53,12 @@ class OptimizerConfig:
     produce_substitutes: bool = True   # "Alt" vs "No Alt" in Figure 2
     enable_preaggregation: bool = True
     max_tables: int = 10
+    #: Describe each block once and share the description between the
+    #: cardinality estimator and the view-matching rule (matching accepts
+    #: prebuilt descriptions). Off reproduces the pre-fusion behaviour --
+    #: every estimate and every rule invocation re-describes its block --
+    #: which the hot-path benchmark uses as its end-to-end baseline.
+    share_descriptions: bool = True
 
 
 @dataclass(frozen=True)
@@ -113,10 +119,20 @@ class Optimizer:
 
     # -- public API -----------------------------------------------------------
 
-    def optimize(self, statement: SelectStatement) -> OptimizationResult:
-        """Optimize a bound SPJG statement, returning the cheapest plan."""
+    def optimize(
+        self,
+        statement: SelectStatement,
+        description: SpjgDescription | None = None,
+    ) -> OptimizationResult:
+        """Optimize a bound SPJG statement, returning the cheapest plan.
+
+        ``description`` seeds the search's description memo with an
+        already-built description of ``statement`` (the serving layer
+        reuses fingerprint-cached descriptions across requests); it must
+        describe exactly this statement under the matcher's options.
+        """
         started = time.perf_counter()
-        search = _Search(self, statement)
+        search = _Search(self, statement, description)
         plan = search.run()
         elapsed = time.perf_counter() - started
         return OptimizationResult(
@@ -163,7 +179,12 @@ class Optimizer:
 class _Search:
     """One optimization run: DP over table subsets plus top alternatives."""
 
-    def __init__(self, optimizer: Optimizer, statement: SelectStatement):
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        statement: SelectStatement,
+        description: SpjgDescription | None = None,
+    ):
         self.optimizer = optimizer
         self.statement = statement
         self.catalog = optimizer.catalog
@@ -185,6 +206,31 @@ class _Search:
         self.matching_seconds = 0.0
         self.best: dict[frozenset[str], PlanNode] = {}
         self._block_cardinality: dict[frozenset[str], float] = {}
+        self.share_descriptions = optimizer.config.share_descriptions
+        self._block_statements: dict[frozenset[str], SelectStatement] = {}
+        self._descriptions: dict[int, SpjgDescription] = {}
+        if description is not None and self.share_descriptions:
+            self._descriptions[id(statement)] = description
+
+    # -- shared descriptions ------------------------------------------------------
+
+    def _describe(self, statement: SelectStatement) -> SpjgDescription:
+        """Describe a block once per search (under the matcher's options).
+
+        Keyed by statement identity: block statements are memoized per
+        subset, so the estimator and the view-matching rule hit the same
+        entry instead of re-describing the block.
+        """
+        key = id(statement)
+        cached = self._descriptions.get(key)
+        if cached is None:
+            matcher = self.optimizer.matcher
+            if matcher is not None:
+                cached = matcher.describe_query(statement)
+            else:
+                cached = describe(statement, self.catalog)
+            self._descriptions[key] = cached
+        return cached
 
     # -- view-matching rule ------------------------------------------------------
 
@@ -193,9 +239,10 @@ class _Search:
         matcher = self.optimizer.matcher
         if matcher is None:
             return []
+        query = self._describe(block) if self.share_descriptions else block
         started = time.perf_counter()
         try:
-            results = matcher.match(block)
+            results = matcher.match(query)
         finally:
             self.matching_seconds += time.perf_counter() - started
         self.invocations += 1
@@ -272,6 +319,15 @@ class _Search:
         return [needed[key] for key in sorted(needed)]
 
     def _block_statement(self, subset: frozenset[str]) -> SelectStatement:
+        if not self.share_descriptions:
+            return self._build_block_statement(subset)
+        cached = self._block_statements.get(subset)
+        if cached is None:
+            cached = self._build_block_statement(subset)
+            self._block_statements[subset] = cached
+        return cached
+
+    def _build_block_statement(self, subset: frozenset[str]) -> SelectStatement:
         refs = self._needed_columns(subset)
         return SelectStatement(
             select_items=tuple(SelectItem(ref) for ref in refs),
@@ -282,7 +338,12 @@ class _Search:
     def _block_rows(self, subset: frozenset[str]) -> float:
         cached = self._block_cardinality.get(subset)
         if cached is None:
-            description = describe(self._block_statement(subset), self.catalog)
+            block = self._block_statement(subset)
+            description = (
+                self._describe(block)
+                if self.share_descriptions
+                else describe(block, self.catalog)
+            )
             cached = self.estimator.spj_cardinality(description)
             self._block_cardinality[subset] = cached
         return cached
@@ -485,7 +546,11 @@ class _Search:
         statement = self.statement
         all_tables = frozenset(self.tables)
         spj_rows = self._block_rows(all_tables)
-        query_description = describe(statement, self.catalog)
+        query_description = (
+            self._describe(statement)
+            if self.share_descriptions
+            else describe(statement, self.catalog)
+        )
         output_rows = self.estimator.output_cardinality(query_description)
 
         candidates: list[PlanNode] = []
@@ -625,7 +690,9 @@ class _Search:
         )
         inner_spj_rows = self._block_rows(subset)
         inner_groups = self.estimator.group_count(
-            describe(inner_statement, self.catalog)
+            self._describe(inner_statement)
+            if self.share_descriptions
+            else describe(inner_statement, self.catalog)
         )
         # Direct computation of the inner block from base tables.
         inner_candidates: list[PlanNode] = [

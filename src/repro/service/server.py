@@ -33,7 +33,9 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from ..catalog.catalog import Catalog
+from ..core.describe import SpjgDescription
 from ..core.options import DEFAULT_OPTIONS, MatchOptions
+from ..core.parallel import default_worker_count, fork_available, forked_map
 from ..errors import ReproError
 from ..maintenance.maintainer import ViewChangeEvent, ViewMaintainer
 from ..obs.trace import (
@@ -110,12 +112,18 @@ class ViewServer:
         index_registry=None,
         trace_sample_rate: float = 0.0,
         trace_capacity: int = 64,
+        shard_count: int = 1,
     ):
         """``trace_sample_rate`` turns on rewrite-path tracing for a
         deterministic 1-in-N fraction of served requests (0 disables it
         entirely; the hot path then costs one contextvar read per stage).
         The most recent ``trace_capacity`` traces are retained and
         available through :meth:`traces`.
+
+        ``shard_count > 1`` shards each epoch's filter tree by view name:
+        registrations re-index only the affected shard, and
+        :meth:`rewrite_many` may fan batch misses out across forked
+        workers when the catalog is large enough.
         """
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -129,6 +137,7 @@ class ViewServer:
             optimizer_config=optimizer_config,
             index_registry=index_registry,
             use_filter_tree=use_filter_tree,
+            shard_count=shard_count,
         )
         self.cache: RewriteCache | None = (
             RewriteCache(cache_size) if cache_enabled else None
@@ -140,6 +149,11 @@ class ViewServer:
         )
         self._slots = threading.BoundedSemaphore(queue_depth)
         self._statement_memo: dict[str, tuple[SelectStatement, str]] = {}
+        # Fingerprint-keyed query descriptions: the single-pass analysis of
+        # a query shape is snapshot-independent (it depends only on the
+        # catalog and match options), so a repeated shape skips probe
+        # compilation entirely -- across requests AND across epoch bumps.
+        self._description_memo: dict[str, SpjgDescription] = {}
         self._memo_limit = max(4 * cache_size, 256)
         self._sampler = TraceSampler(trace_sample_rate)
         self._traces: deque[RewriteTrace] = deque(maxlen=trace_capacity)
@@ -260,7 +274,7 @@ class ViewServer:
                     latency_seconds=latency,
                 )
             self.metrics.counter("cache_misses").increment()
-        result = self._optimize(snapshot, statement)
+        result = self._optimize(snapshot, statement, fingerprint)
         if self.cache is not None:
             self.cache.put(fingerprint, snapshot.epoch, result)
         latency = time.perf_counter() - started
@@ -299,10 +313,46 @@ class ViewServer:
             self._statement_memo[sql] = (statement, fingerprint)
         return statement, fingerprint
 
+    def _describe(
+        self,
+        snapshot: CatalogSnapshot,
+        statement: SelectStatement,
+        fingerprint: str,
+    ) -> SpjgDescription | None:
+        """The memoized query description for a fingerprint, or ``None``.
+
+        ``None`` (description sharing disabled, or the statement outside
+        the describable class) makes the optimizer fall back to its own
+        per-search description path.
+        """
+        if not self.snapshots.optimizer_config.share_descriptions:
+            return None
+        description = self._description_memo.get(fingerprint)
+        if description is None:
+            try:
+                description = snapshot.matcher.describe_query(statement)
+            except ReproError:
+                return None
+            if len(self._description_memo) < self._memo_limit:
+                self._description_memo[fingerprint] = description
+        return description
+
     def _optimize(
-        self, snapshot: CatalogSnapshot, statement: SelectStatement
+        self,
+        snapshot: CatalogSnapshot,
+        statement: SelectStatement,
+        fingerprint: str | None = None,
     ) -> OptimizationResult:
-        result = snapshot.optimizer.optimize(statement)
+        description = (
+            self._describe(snapshot, statement, fingerprint)
+            if fingerprint is not None
+            else None
+        )
+        result = snapshot.optimizer.optimize(statement, description=description)
+        self._record_optimized(result)
+        return result
+
+    def _record_optimized(self, result: OptimizationResult) -> None:
         self.metrics.histogram("match").record(result.matching_seconds)
         self.metrics.histogram("plan").record(
             max(result.optimize_seconds - result.matching_seconds, 0.0)
@@ -316,7 +366,166 @@ class ViewServer:
                 invocations=result.invocations,
                 substitutes=result.substitutes_produced,
             )
-        return result
+
+    # -- batched serving -----------------------------------------------------
+
+    def rewrite_many(
+        self, sqls, *, parallel: int | None = None
+    ) -> list[ServedResult]:
+        """Serve a batch of SQL queries, amortizing per-request overheads.
+
+        One snapshot read, one cache probe per *distinct* fingerprint, and
+        one optimization per distinct miss serve the whole batch --
+        duplicate query shapes within the batch are optimized once and the
+        shared result fanned back to every occurrence (``cache_hit`` stays
+        ``False`` on those: they were deduplicated, not cached).
+
+        ``parallel`` forces the worker count for optimizing the distinct
+        misses across forked processes (sharing the snapshot
+        copy-on-write). Left ``None``, misses run in-process unless the
+        catalog and the batch are both large enough for fork fan-out to
+        pay for itself; on platforms without ``fork`` the batch always
+        runs sequentially. Results are returned in input order and each
+        carries the whole batch's wall-clock latency.
+
+        Tracing is likewise amortized: the sampler is consulted once per
+        batch, and an elected batch produces a single trace covering
+        every parse, cache-probe, and optimize span in it.
+        """
+        sqls = list(sqls)
+        if not self._sampler.should_sample():
+            return self._rewrite_many(sqls, parallel)
+        tracer = RewriteTracer(sql=f"<batch of {len(sqls)}>")
+        token = activate(tracer)
+        try:
+            results = self._rewrite_many(sqls, parallel)
+        finally:
+            deactivate(token)
+        epoch = next((r.epoch for r in results if r.epoch >= 0), None)
+        trace = tracer.finish(cache_hit=None, epoch=epoch, error=None)
+        with self._traces_lock:
+            self._traces.append(trace)
+        self.metrics.counter("traces_sampled").increment()
+        return results
+
+    def _rewrite_many(
+        self, sqls: list[str], parallel: int | None
+    ) -> list[ServedResult]:
+        started = time.perf_counter()
+        self.metrics.counter("batch_requests").increment()
+        self.metrics.counter("batch_queries").increment(len(sqls))
+        snapshot = self.snapshots.current  # one snapshot serves the batch
+        bound: list[tuple[SelectStatement, str] | None] = []
+        errors: list[str | None] = []
+        for sql in sqls:
+            try:
+                bound.append(self._bind(sql))
+                errors.append(None)
+            except (ReproError, ValueError) as exc:
+                bound.append(None)
+                errors.append(str(exc))
+                self.metrics.counter("errors").increment()
+        unique: dict[str, SelectStatement] = {}
+        for pair in bound:
+            if pair is not None and pair[1] not in unique:
+                unique[pair[1]] = pair[0]
+        resolved: dict[str, OptimizationResult] = {}
+        hits: set[str] = set()
+        misses: list[tuple[str, SelectStatement]] = []
+        tracer = current_tracer()
+        probe_started = time.perf_counter() if tracer.active else 0.0
+        for fingerprint, statement in unique.items():
+            cached = (
+                self.cache.get(fingerprint, snapshot.epoch)
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                resolved[fingerprint] = cached
+                hits.add(fingerprint)
+                self.metrics.counter("cache_hits").increment()
+            else:
+                misses.append((fingerprint, statement))
+                if self.cache is not None:
+                    self.metrics.counter("cache_misses").increment()
+        if tracer.active:
+            # One amortized probe span for the whole batch.
+            tracer.record_span(
+                "cache probe",
+                time.perf_counter() - probe_started,
+                hit=bool(hits),
+                epoch=snapshot.epoch,
+            )
+        workers = self._batch_workers(parallel, len(misses), snapshot)
+        if workers > 1:
+            # Describe in the parent (warms the shared memo), optimize in
+            # forked children against the copy-on-write shared snapshot.
+            tasks = [
+                (statement, self._describe(snapshot, statement, fingerprint))
+                for fingerprint, statement in misses
+            ]
+
+            def optimize_one(task) -> OptimizationResult:
+                statement, description = task
+                return snapshot.optimizer.optimize(
+                    statement, description=description
+                )
+
+            outcomes = forked_map(optimize_one, tasks, workers)
+            for result in outcomes:
+                self._record_optimized(result)
+        else:
+            outcomes = [
+                self._optimize(snapshot, statement, fingerprint)
+                for fingerprint, statement in misses
+            ]
+        for (fingerprint, _), result in zip(misses, outcomes):
+            resolved[fingerprint] = result
+            if self.cache is not None:
+                self.cache.put(fingerprint, snapshot.epoch, result)
+            if result.uses_view:
+                self.metrics.counter("rewrites").increment()
+        latency = time.perf_counter() - started
+        self.metrics.histogram("batch_total").record(latency)
+        results: list[ServedResult] = []
+        for sql, pair, error in zip(sqls, bound, errors):
+            if pair is None:
+                results.append(
+                    ServedResult(sql=sql, error=error, latency_seconds=latency)
+                )
+                continue
+            statement, fingerprint = pair
+            results.append(
+                ServedResult(
+                    sql=sql,
+                    fingerprint=fingerprint,
+                    epoch=snapshot.epoch,
+                    cache_hit=fingerprint in hits,
+                    result=resolved[fingerprint],
+                    latency_seconds=latency,
+                )
+            )
+        return results
+
+    def _batch_workers(
+        self,
+        parallel: int | None,
+        miss_count: int,
+        snapshot: CatalogSnapshot,
+    ) -> int:
+        """Worker count for a batch's cache misses (1 = in-process).
+
+        Forking pays a fixed cost per worker, so the auto policy stays
+        sequential until both the registry and the miss count are large
+        enough that per-miss matching work dominates it.
+        """
+        if miss_count < 2 or not fork_available():
+            return 1
+        if parallel is not None:
+            return max(1, min(parallel, miss_count))
+        if snapshot.view_count >= 512 and miss_count >= 4:
+            return min(default_worker_count(), miss_count)
+        return 1
 
     # -- catalog mutation ----------------------------------------------------
 
@@ -331,6 +540,25 @@ class ViewServer:
         if isinstance(definition, str):
             definition = self.catalog.bind_sql(definition)
         snapshot = self.snapshots.register_view(name, definition)
+        return snapshot.epoch
+
+    def register_views(self, definitions) -> int:
+        """Register a batch of views in one epoch; returns that epoch.
+
+        ``definitions`` is a mapping or an iterable of ``(name,
+        definition)`` pairs, each definition SQL text or a bound
+        statement. The whole batch publishes a single snapshot, so
+        bulk-loading a large catalog costs one tree build rather than one
+        rebuild per view.
+        """
+        if hasattr(definitions, "items"):
+            definitions = definitions.items()
+        pairs = []
+        for name, definition in definitions:
+            if isinstance(definition, str):
+                definition = self.catalog.bind_sql(definition)
+            pairs.append((name, definition))
+        snapshot = self.snapshots.register_views(pairs)
         return snapshot.epoch
 
     def unregister_view(self, name: str) -> int:

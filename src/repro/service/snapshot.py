@@ -21,16 +21,17 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from ..catalog.catalog import Catalog
 from ..core.describe import describe, validate_view_description
 from ..core.fkgraph import compute_hub
-from ..core.filtertree import RegisteredView
+from ..core.filtertree import FilterTree, RegisteredView
 from ..core.interning import KeyInterner
 from ..core.matcher import ViewMatcher
 from ..core.matching import ViewMatchContext
 from ..core.options import DEFAULT_OPTIONS, MatchOptions
+from ..core.sharding import ShardedFilterTree, shard_index
 from ..optimizer.cost import DEFAULT_COST_MODEL, CostModel
 from ..optimizer.optimizer import Optimizer, OptimizerConfig
 from ..sql.statements import SelectStatement
@@ -77,7 +78,18 @@ class SnapshotManager:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         index_registry=None,
         use_filter_tree: bool = True,
+        shard_count: int = 1,
     ):
+        """``shard_count > 1`` partitions each epoch's registry across that
+        many per-shard filter trees. Shard assignment hashes the view name,
+        so an epoch rebuild re-indexes only the shard the changed view
+        lives on and shares every other shard tree structurally with the
+        previous snapshot (safe: published shards are never mutated). The
+        sharded layout is also what lets readers fan matching out across
+        forked workers.
+        """
+        if shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
         self.catalog = catalog
         self.stats = stats
         self.options = options
@@ -85,6 +97,7 @@ class SnapshotManager:
         self.cost_model = cost_model
         self.index_registry = index_registry
         self.use_filter_tree = use_filter_tree
+        self.shard_count = shard_count
         self._write_lock = threading.Lock()
         # One interner for the manager's whole lifetime: every epoch's
         # filter tree shares it, so key-atom bit assignments (and the
@@ -92,8 +105,13 @@ class SnapshotManager:
         # It only ever grows on the serialized writer path.
         self._interner = KeyInterner()
         self._views: dict[str, RegisteredView] = {}
+        # Global registration order, preserved across epochs so sharded
+        # candidate merging observes the same order as a single tree.
+        self._order: dict[str, int] = {}
+        self._next_seq = 0
         self._listeners: list[Callable[[CatalogSnapshot], None]] = []
-        self._snapshot = self._build(0, self._views)
+        self._snapshot: CatalogSnapshot | None = None
+        self._snapshot = self._build(0, self._views, self._order, None)
 
     # -- reader side ---------------------------------------------------------
 
@@ -120,21 +138,51 @@ class SnapshotManager:
         definitions outside the indexable class and :class:`ValueError`
         for duplicate names.
         """
-        description = describe(
-            statement, self.catalog, name=name, options=self.options
-        )
-        validate_view_description(description)
-        view = RegisteredView(
-            description=description,
-            hub=compute_hub(description, self.options),
-            match_context=ViewMatchContext.of(description, self.options),
-        )
+        view = self._prepare(name, statement)
         with self._write_lock:
             if name in self._views:
                 raise ValueError(f"view {name} already registered")
             views = dict(self._views)
             views[name] = view
-            return self._publish(views)
+            order = dict(self._order)
+            order[name] = self._next_seq
+            return self._publish(views, order, changed={name})
+
+    def register_views(
+        self, definitions: Iterable[tuple[str, SelectStatement]]
+    ) -> CatalogSnapshot:
+        """Register a batch of views with one snapshot publication.
+
+        All descriptions are built and validated before the writer lock is
+        taken, and the whole batch lands in a single epoch -- bulk-loading
+        ``n`` views costs one tree build instead of ``n`` successively
+        larger rebuilds. The batch is atomic: any invalid definition or
+        duplicate name (within the batch or against the registry) raises
+        before anything is published.
+        """
+        prepared: list[tuple[str, RegisteredView]] = []
+        seen: set[str] = set()
+        for name, statement in definitions:
+            if name in seen:
+                raise ValueError(f"view {name} duplicated in batch")
+            seen.add(name)
+            prepared.append((name, self._prepare(name, statement)))
+        with self._write_lock:
+            if not prepared:
+                return self._snapshot
+            for name, _ in prepared:
+                if name in self._views:
+                    raise ValueError(f"view {name} already registered")
+            views = dict(self._views)
+            order = dict(self._order)
+            sequence = self._next_seq
+            for name, view in prepared:
+                views[name] = view
+                order[name] = sequence
+                sequence += 1
+            return self._publish(
+                views, order, changed={name for name, _ in prepared}
+            )
 
     def unregister_view(self, name: str) -> CatalogSnapshot:
         """Drop a view and publish the successor snapshot.
@@ -146,7 +194,9 @@ class SnapshotManager:
                 raise KeyError(f"view {name} not registered")
             views = dict(self._views)
             del views[name]
-            return self._publish(views)
+            order = dict(self._order)
+            del order[name]
+            return self._publish(views, order, changed={name})
 
     def add_listener(
         self, listener: Callable[[CatalogSnapshot], None]
@@ -162,25 +212,58 @@ class SnapshotManager:
 
     # -- internals -----------------------------------------------------------
 
-    def _publish(self, views: dict[str, RegisteredView]) -> CatalogSnapshot:
+    def _prepare(self, name: str, statement: SelectStatement) -> RegisteredView:
+        # The expensive per-view work (describe + hub + match context),
+        # run before the writer lock is taken.
+        description = describe(
+            statement, self.catalog, name=name, options=self.options
+        )
+        validate_view_description(description)
+        return RegisteredView(
+            description=description,
+            hub=compute_hub(description, self.options),
+            match_context=ViewMatchContext.of(description, self.options),
+        )
+
+    def _publish(
+        self,
+        views: dict[str, RegisteredView],
+        order: dict[str, int],
+        changed: set[str],
+    ) -> CatalogSnapshot:
         # Caller holds the writer lock. Epochs only ever increase.
-        snapshot = self._build(self._snapshot.epoch + 1, views)
+        snapshot = self._build(
+            self._snapshot.epoch + 1, views, order, changed
+        )
         self._views = views
+        self._order = order
+        self._next_seq = max(order.values(), default=-1) + 1
         self._snapshot = snapshot  # the atomic publication point
         for listener in list(self._listeners):
             listener(snapshot)
         return snapshot
 
     def _build(
-        self, epoch: int, views: dict[str, RegisteredView]
+        self,
+        epoch: int,
+        views: dict[str, RegisteredView],
+        order: dict[str, int],
+        changed: set[str] | None,
     ) -> CatalogSnapshot:
-        matcher = ViewMatcher.from_registered_views(
-            self.catalog,
-            views.values(),
-            options=self.options,
-            use_filter_tree=self.use_filter_tree,
-            interner=self._interner,
-        )
+        if self.shard_count > 1:
+            tree = self._build_sharded_tree(views, order, changed)
+            matcher = ViewMatcher.with_filter_tree(
+                self.catalog, tree, options=self.options
+            )
+            matcher.use_filter_tree = self.use_filter_tree
+        else:
+            matcher = ViewMatcher.from_registered_views(
+                self.catalog,
+                views.values(),
+                options=self.options,
+                use_filter_tree=self.use_filter_tree,
+                interner=self._interner,
+            )
         optimizer = Optimizer(
             self.catalog,
             self.stats,
@@ -194,6 +277,45 @@ class SnapshotManager:
             matcher=matcher,
             optimizer=optimizer,
             view_names=frozenset(views),
+        )
+
+    def _build_sharded_tree(
+        self,
+        views: dict[str, RegisteredView],
+        order: dict[str, int],
+        changed: set[str] | None,
+    ) -> ShardedFilterTree:
+        """Assemble the epoch's sharded tree, copy-on-write per shard.
+
+        Only the shards a changed view name hashes to are re-indexed; every
+        other shard tree is taken from the previous snapshot unchanged
+        (published shards are immutable, so structural sharing is safe).
+        ``changed=None`` forces a full rebuild.
+        """
+        count = self.shard_count
+        previous = (
+            self._snapshot.matcher.filter_tree
+            if self._snapshot is not None
+            else None
+        )
+        if changed is None or not isinstance(previous, ShardedFilterTree):
+            dirty = set(range(count))
+        else:
+            dirty = {shard_index(name, count) for name in changed}
+        ordered = sorted(views, key=order.__getitem__)
+        shards: list[FilterTree] = []
+        for index in range(count):
+            if index not in dirty:
+                shards.append(previous.shards[index])
+                continue
+            shard = FilterTree(self.options, interner=self._interner)
+            for name in ordered:
+                if shard_index(name, count) == index:
+                    shard.register_prebuilt(views[name])
+            shards.append(shard)
+        next_seq = max(order.values(), default=-1) + 1
+        return ShardedFilterTree.from_shards(
+            shards, self.options, self._interner, dict(order), next_seq
         )
 
     def __iter__(self) -> Iterator[str]:

@@ -1,0 +1,133 @@
+"""Parallel-vs-sequential matching equivalence (satellite of the sharding PR).
+
+Property: for generated covering cases, sharded trees and forked worker
+pools of any size produce identical ``MatchResult`` sets and identical
+reject funnels; the sharded candidate order is the global registration
+order regardless of worker count.
+"""
+
+import pytest
+
+from repro.core.matcher import MatcherStatistics, ViewMatcher
+from repro.core.parallel import WorkerError, fork_available, forked_map
+from repro.stats import synthetic_tpch_stats
+from repro.workload.covering import CoveringCaseGenerator
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="os.fork unavailable on this platform"
+)
+
+
+def _result_row(result):
+    return (
+        result.view.name,
+        result.matched,
+        result.reject_reason,
+        result.regrouped,
+        tuple(sorted(result.eliminated_tables)),
+        tuple(sorted(result.backjoined_tables)),
+    )
+
+
+def _funnel(statistics: MatcherStatistics):
+    return (
+        statistics.views_considered,
+        statistics.matches,
+        statistics.substitutes,
+        dict(statistics.rejects_by_reason),
+    )
+
+
+def _build_case_matchers(catalog, seeds, shard_count):
+    generator = CoveringCaseGenerator(catalog, synthetic_tpch_stats())
+    matcher = ViewMatcher(catalog, shard_count=shard_count)
+    cases = []
+    for seed in seeds:
+        case = generator.case(seed, views=3)
+        cases.append(case)
+        for name, statement in case.views.items():
+            try:
+                matcher.register_view(name, statement)
+            except Exception:
+                continue  # generator occasionally emits non-indexable views
+    return matcher, cases
+
+
+class TestShardedEquivalence:
+    def test_sharded_candidates_match_unsharded(self, catalog):
+        sequential, cases = _build_case_matchers(catalog, range(10), 1)
+        sharded, _ = _build_case_matchers(catalog, range(10), 4)
+        assert sequential.view_count == sharded.view_count
+        for case in cases:
+            plain = {r for r in map(_result_row, sequential.match(case.query))}
+            shard = {r for r in map(_result_row, sharded.match(case.query))}
+            assert plain == shard
+
+    def test_sharded_candidate_order_is_registration_order(self, catalog):
+        sharded, cases = _build_case_matchers(catalog, range(10), 4)
+        order = {
+            view.name: index
+            for index, view in enumerate(sharded.registered_views())
+        }
+        for case in cases:
+            query = sharded.describe_query(case.query)
+            names = [v.name for v in sharded.filter_tree.candidates(query)]
+            assert names == sorted(names, key=order.__getitem__)
+
+
+@needs_fork
+class TestWorkerEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_match_results_and_funnel_across_worker_counts(
+        self, catalog, workers
+    ):
+        sharded, cases = _build_case_matchers(catalog, range(10), 4)
+        baseline_rows = []
+        sharded.statistics.reset()
+        for case in cases:
+            baseline_rows.append(
+                [_result_row(r) for r in sharded.match(case.query)]
+            )
+        baseline_funnel = _funnel(sharded.statistics)
+
+        sharded.statistics.reset()
+        parallel_rows = [
+            [_result_row(r) for r in results]
+            for results in sharded.match_many(
+                [case.query for case in cases], workers=workers
+            )
+        ]
+        assert parallel_rows == baseline_rows
+        assert _funnel(sharded.statistics) == baseline_funnel
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_single_invocation_shard_fanout(self, catalog, workers):
+        sharded, cases = _build_case_matchers(catalog, range(6), 4)
+        for case in cases:
+            sequential = [_result_row(r) for r in sharded.match(case.query)]
+            fanned = [
+                _result_row(r)
+                for r in sharded.match(case.query, workers=workers)
+            ]
+            assert fanned == sequential
+
+
+@needs_fork
+class TestForkedMap:
+    def test_results_in_input_order(self):
+        assert forked_map(lambda x: x * x, range(11), 3) == [
+            x * x for x in range(11)
+        ]
+
+    def test_worker_exception_fails_the_map(self):
+        def explode(x):
+            if x == 5:
+                raise ValueError("boom")
+            return x
+
+        with pytest.raises(WorkerError, match="boom"):
+            forked_map(explode, range(8), 2)
+
+    def test_empty_and_single_worker(self):
+        assert forked_map(lambda x: x + 1, [], 4) == []
+        assert forked_map(lambda x: x + 1, [1, 2], 1) == [2, 3]
