@@ -30,6 +30,15 @@ Quickstart::
 """
 
 from .advisor import CandidateView, Recommendation, ViewAdvisor
+from .cdc import (
+    CdcPipeline,
+    ChangeApplier,
+    ChangeLog,
+    ChangeRecord,
+    FreshnessTracker,
+    StalenessBound,
+    ViewFreshness,
+)
 from .catalog import (
     Catalog,
     CheckConstraint,
@@ -55,8 +64,11 @@ from .core import (
 )
 from .datagen import generate_tpch
 from .difftest import (
+    CdcDifftestConfig,
+    CdcDifftestReport,
     DifftestConfig,
     DifftestReport,
+    run_cdc_difftest,
     run_corpus_case,
     run_difftest,
 )
@@ -90,8 +102,17 @@ __version__ = "1.0.0"
 __all__ = [
     "BindError",
     "CandidateView",
+    "CdcDifftestConfig",
+    "CdcDifftestReport",
+    "CdcPipeline",
+    "ChangeApplier",
+    "ChangeLog",
+    "ChangeRecord",
+    "FreshnessTracker",
     "Recommendation",
+    "StalenessBound",
     "ViewAdvisor",
+    "ViewFreshness",
     "Catalog",
     "CatalogError",
     "CardinalityEstimator",
@@ -143,6 +164,7 @@ __all__ = [
     "parse_select",
     "parse_view",
     "plan_result",
+    "run_cdc_difftest",
     "run_corpus_case",
     "run_difftest",
     "run_sql",

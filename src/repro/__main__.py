@@ -33,7 +33,15 @@ Commands
     divergence to a minimal repro (``--emit DIR`` writes the repro
     script, obs trace, and corpus case; ``--corpus DIR`` re-runs the
     committed regression corpus; ``--parallel N`` produces the rewrites
-    under test through the sharded parallel matching path).
+    under test through the sharded parallel matching path; ``--cdc``
+    appends the CDC interleaving harness, checking deferred view
+    maintenance against full recompute at every checkpoint).
+``cdc-soak [--seed N --steps N]``
+    Fixed-seed CDC soak gate: stream inserts / deletes / predicate
+    deletes through the change log while the applier runs in partial
+    batches, asserting zero torn reads at every checkpoint, strictly
+    monotone LSNs, and bounded applier lag. Non-zero exit on any
+    violation; wired into CI.
 """
 
 from __future__ import annotations
@@ -205,6 +213,48 @@ def main(argv: list[str] | None = None) -> int:
             "path (sequential fallback without fork)"
         ),
     )
+    difftest.add_argument(
+        "--cdc",
+        action="store_true",
+        help=(
+            "also run the CDC interleaving harness: randomized base "
+            "mutations through the change log with partial applier "
+            "batches, recompute- and rewrite-checked at checkpoints"
+        ),
+    )
+    difftest.add_argument(
+        "--cdc-steps",
+        type=int,
+        default=200,
+        metavar="N",
+        help="mutation/scan/merge/churn steps for the --cdc harness",
+    )
+    soak = subparsers.add_parser(
+        "cdc-soak",
+        help="fixed-seed CDC soak: torn reads, LSN order, bounded lag",
+    )
+    soak.add_argument("--seed", type=int, default=0, help="RNG seed")
+    soak.add_argument("--steps", type=int, default=400, help="soak steps")
+    soak.add_argument(
+        "--scale", type=float, default=0.002, help="TPC-H data scale factor"
+    )
+    soak.add_argument(
+        "--data-seed", type=int, default=11, help="data generator seed"
+    )
+    soak.add_argument(
+        "--checkpoint-every", type=int, default=25, help="steps per checkpoint"
+    )
+    soak.add_argument(
+        "--lag-bound",
+        type=int,
+        default=None,
+        metavar="RECORDS",
+        help=(
+            "fail if per-view applier lag exceeds this many log records "
+            "at any checkpoint (default: 2 checkpoint intervals x 3 "
+            "rows/step)"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.command == "difftest":
@@ -221,6 +271,20 @@ def main(argv: list[str] | None = None) -> int:
             emit=arguments.emit,
             corpus=arguments.corpus,
             parallel=arguments.parallel,
+            cdc=arguments.cdc,
+            cdc_steps=arguments.cdc_steps,
+        )
+
+    if arguments.command == "cdc-soak":
+        from .cli import run_cdc_soak
+
+        return run_cdc_soak(
+            seed=arguments.seed,
+            steps=arguments.steps,
+            scale=arguments.scale,
+            data_seed=arguments.data_seed,
+            checkpoint_every=arguments.checkpoint_every,
+            lag_bound=arguments.lag_bound,
         )
 
     if arguments.command == "explain-rewrite":

@@ -324,6 +324,8 @@ def run_difftest(
     emit: str | None = None,
     corpus: str | None = None,
     parallel: int = 1,
+    cdc: bool = False,
+    cdc_steps: int = 200,
 ) -> int:
     """Differential correctness: execute every rewrite, compare rows.
 
@@ -337,7 +339,11 @@ def run_difftest(
     re-runs every committed regression case. ``--parallel N`` matches
     every case through a sharded tree fanned across ``N`` forked
     workers, so the substitutes being executed are exactly the parallel
-    path's output. Non-zero exit on any divergence or corpus failure.
+    path's output. ``--cdc`` appends the CDC interleaving harness
+    (``cdc_steps`` randomized insert / delete / delete_where / partial
+    scan / partial merge / register churn steps with recompute and
+    rewrite checks at every checkpoint) to the same run. Non-zero exit
+    on any divergence or corpus failure.
     """
     from .catalog import tpch_catalog
     from .difftest import (
@@ -378,7 +384,53 @@ def run_difftest(
             for path in paths:
                 print(f"  wrote {path}")
     failures += len(report.divergences) + report.match_errors
+    if cdc:
+        from .difftest import CdcDifftestConfig, run_cdc_difftest
+
+        cdc_config = CdcDifftestConfig(
+            seed=seed, steps=cdc_steps, scale=scale, data_seed=data_seed
+        )
+        cdc_report = run_cdc_difftest(cdc_config, catalog=catalog)
+        print(cdc_report.summary())
+        failures += len(cdc_report.divergences)
     return 1 if failures else 0
+
+
+def run_cdc_soak(
+    seed: int = 0,
+    steps: int = 400,
+    scale: float = 0.002,
+    data_seed: int = 11,
+    checkpoint_every: int = 25,
+    lag_bound: int | None = None,
+) -> int:
+    """Soak the CDC pipeline: torn reads, LSN order, bounded applier lag.
+
+    Runs the fixed-seed CDC interleaving harness with a hard lag gate:
+    besides the per-checkpoint recompute and rewrite checks (a stale
+    view must serve exactly the rows its applied LSN implies -- no torn
+    reads), the run fails if LSNs ever go non-monotone or if the
+    applier's lag exceeds ``lag_bound`` records at any checkpoint
+    (default: two checkpoint intervals' worth of log records). Non-zero
+    exit on any divergence; this is the CI gate for the CDC subsystem.
+    """
+    from .difftest import CdcDifftestConfig, run_cdc_difftest
+
+    if lag_bound is None:
+        lag_bound = 2 * checkpoint_every * 3  # <= 3 rows per step
+    config = CdcDifftestConfig(
+        seed=seed,
+        steps=steps,
+        scale=scale,
+        data_seed=data_seed,
+        checkpoint_every=checkpoint_every,
+        lag_bound_records=lag_bound,
+    )
+    report = run_cdc_difftest(config)
+    print(report.summary())
+    for divergence in report.divergences:
+        print(f"FAIL: {divergence.summary()}")
+    return 1 if not report.ok else 0
 
 
 def run_figures(

@@ -270,6 +270,7 @@ class ViewMatcher:
         self,
         query: SpjgDescription | SelectStatement,
         workers: int | None = None,
+        staleness=None,
     ) -> list[MatchResult]:
         """One view-matching invocation: all match results over candidates.
 
@@ -279,6 +280,14 @@ class ViewMatcher:
         and full matching out across forked workers, one shard group each
         -- requires a sharded tree and ``fork``; results, ordering, and
         statistics are identical to a sequential run.
+
+        ``staleness`` is an optional policy callable (typically a
+        :class:`repro.cdc.StalenessBound`): called with a candidate view's
+        name, it returns ``None`` when the view is usable or a detail
+        string when the view's maintenance lag exceeds the request's
+        bound. Excluded candidates are recorded with the ``STALE`` reject
+        reason -- they still count as considered, so the funnel shows
+        staleness attrition next to the structural reject reasons.
         """
         if isinstance(query, SelectStatement):
             query = self.describe_query(query)
@@ -288,7 +297,7 @@ class ViewMatcher:
             and isinstance(self.filter_tree, ShardedFilterTree)
             and fork_available()
         ):
-            return self._match_parallel(query, workers)
+            return self._match_parallel(query, workers, staleness)
         stats = self.statistics
         stats.invocations += 1
         stats.views_registered_total += self.view_count
@@ -296,14 +305,26 @@ class ViewMatcher:
         results: list[MatchResult] = []
         for candidate in candidates:
             stats.views_considered += 1
-            result = match_view(
-                query,
-                candidate.description,
-                self.options,
-                context=(
-                    candidate.match_context if self.use_match_contexts else None
-                ),
+            stale_detail = (
+                staleness(candidate.description.name)
+                if staleness is not None
+                else None
             )
+            if stale_detail is not None:
+                result = MatchResult(
+                    view=candidate.description,
+                    reject_reason=RejectReason.STALE,
+                    reject_detail=stale_detail,
+                )
+            else:
+                result = match_view(
+                    query,
+                    candidate.description,
+                    self.options,
+                    context=(
+                        candidate.match_context if self.use_match_contexts else None
+                    ),
+                )
             if result.matched:
                 stats.matches += 1
                 stats.substitutes += 1
@@ -316,7 +337,7 @@ class ViewMatcher:
         return results
 
     def _match_parallel(
-        self, query: SpjgDescription, workers: int
+        self, query: SpjgDescription, workers: int, staleness=None
     ) -> list[MatchResult]:
         """Fan one invocation's filtering and matching across forked workers.
 
@@ -324,6 +345,10 @@ class ViewMatcher:
         the survivors; the parent merges by global registration sequence,
         so the result list is ordered exactly like the sequential path's
         and the statistics funnel is computed from the merged results.
+        The staleness policy is applied in the parent after the merge --
+        a stale candidate's result is replaced with a ``STALE`` rejection
+        before statistics are computed, so the funnel matches the
+        sequential path exactly.
         """
         tree = self.filter_tree
         assert isinstance(tree, ShardedFilterTree)
@@ -360,6 +385,24 @@ class ViewMatcher:
         for group in forked_map(match_group, groups, worker_count):
             merged.extend(group)
         merged.sort(key=lambda entry: entry[0])
+        if staleness is not None:
+            merged = [
+                (
+                    sequence,
+                    candidate,
+                    MatchResult(
+                        view=candidate.description,
+                        reject_reason=RejectReason.STALE,
+                        reject_detail=stale_detail,
+                    )
+                    if (
+                        stale_detail := staleness(candidate.description.name)
+                    )
+                    is not None
+                    else result,
+                )
+                for sequence, candidate, result in merged
+            ]
         stats = self.statistics
         stats.invocations += 1
         stats.views_registered_total += self.view_count
@@ -382,6 +425,7 @@ class ViewMatcher:
         self,
         queries,
         workers: int | None = None,
+        staleness=None,
     ) -> list[list[MatchResult]]:
         """Match a batch of queries, one full result list per query.
 
@@ -402,7 +446,9 @@ class ViewMatcher:
             return []
         worker_count = workers or 1
         if worker_count <= 1 or not fork_available():
-            return [self.match(query) for query in described]
+            return [
+                self.match(query, staleness=staleness) for query in described
+            ]
 
         def match_one(
             query: SpjgDescription,
@@ -410,7 +456,7 @@ class ViewMatcher:
             # Child-local statistics: start fresh so the parent can merge
             # exactly this query's contribution.
             self.statistics = MatcherStatistics()
-            return self.match(query), self.statistics
+            return self.match(query, staleness=staleness), self.statistics
 
         outcomes = forked_map(
             match_one, described, min(worker_count, len(described))
@@ -422,10 +468,14 @@ class ViewMatcher:
         return combined
 
     def substitutes(
-        self, query: SpjgDescription | SelectStatement
+        self, query: SpjgDescription | SelectStatement, staleness=None
     ) -> list[MatchResult]:
         """Successful matches only, each carrying its substitute statement."""
-        return [result for result in self.match(query) if result.matched]
+        return [
+            result
+            for result in self.match(query, staleness=staleness)
+            if result.matched
+        ]
 
     def match_sql(self, sql: str) -> list[MatchResult]:
         """Convenience: parse, bind, and match a SELECT statement."""

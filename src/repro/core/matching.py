@@ -63,6 +63,7 @@ class RejectReason(Enum):
     OUTPUT_MAPPING = auto()       # output expression not computable
     GROUPING = auto()             # query group-by not a subset of the view's
     AGGREGATE = auto()            # aggregate not derivable from view outputs
+    STALE = auto()                # view's applied LSN outside the staleness bound
 
 
 @dataclass

@@ -10,9 +10,20 @@ rewrite against real data and bag-comparing the rows. Entry points:
 * :func:`write_divergence_artifacts` -- repro script + obs trace +
   corpus case for each caught divergence;
 * :func:`load_corpus` / :func:`run_corpus_case` -- the committed
-  regression corpus under ``tests/difftest/corpus/``.
+  regression corpus under ``tests/difftest/corpus/``;
+* :func:`run_cdc_difftest` / :class:`CdcDifftestConfig` -- the CDC
+  interleaving harness (``python -m repro difftest --cdc`` and
+  ``python -m repro cdc-soak``): base-table mutations stream through the
+  change log while views are served at a staleness bound, checking
+  deferred maintenance against full recompute at every checkpoint.
 """
 
+from .cdc import (
+    CdcDifftestConfig,
+    CdcDifftestReport,
+    CdcDivergence,
+    run_cdc_difftest,
+)
 from .compare import ResultDiff, compare_results, normalize_row, result_multiset
 from .corpus import (
     CorpusCase,
@@ -31,6 +42,9 @@ from .report import (
 from .shrink import ShrunkCase, Shrinker
 
 __all__ = [
+    "CdcDifftestConfig",
+    "CdcDifftestReport",
+    "CdcDivergence",
     "CorpusCase",
     "CorpusOutcome",
     "DifftestConfig",
@@ -47,6 +61,7 @@ __all__ = [
     "normalize_row",
     "repro_script",
     "result_multiset",
+    "run_cdc_difftest",
     "run_corpus_case",
     "run_difftest",
     "write_divergence_artifacts",

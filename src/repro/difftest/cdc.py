@@ -1,0 +1,409 @@
+"""Differential testing of the CDC path: deltas interleaved with rewrites.
+
+The synchronous difftest (:mod:`repro.difftest.harness`) checks that a
+rewrite returns the same rows as the original query. This module checks
+the *deferred-maintenance* claim layered on top: with base-table writes
+flowing through the :class:`~repro.cdc.CdcPipeline` and views patched
+asynchronously in batches, every stored view must remain exactly what a
+full recompute over the applier's base-table state (its shadow, at the
+scan watermark) would produce, and a query rewritten to read views must
+return the same rows as the original query evaluated at that watermark
+-- a torn read is any divergence between the two.
+
+The loop interleaves ``insert`` / ``delete`` / ``delete_where`` with
+partial applier scans and per-view partial merges (so views lag by
+*different* amounts, the realistic failure surface), plus register /
+unregister churn of a scratch view mid-stream. At fixed checkpoints it:
+
+1. asserts LSN monotonicity (every record's LSN is exactly its
+   predecessor's plus one);
+2. records the worst per-view lag seen (the ``cdc-soak`` gate);
+3. catches every view up to the scan watermark and bag-compares its
+   stored rows against recomputing its query over the shadow;
+4. executes each probe query both ways -- original over the shadow,
+   rewritten substitute over a composite database (shadow base tables +
+   live stored views) -- and bag-compares.
+
+After the final step the pipeline drains completely and the loop
+additionally asserts that the shadow base tables are bag-equal to the
+live base tables (writer and applier agree on history) and that every
+view freshness watermark equals the log head.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..catalog.catalog import Catalog
+from ..catalog.tpch import tpch_catalog
+from ..cdc import CdcPipeline
+from ..core.matcher import ViewMatcher
+from ..datagen.tpch_gen import generate_tpch
+from ..engine.database import Database, Relation
+from ..engine.executor import QueryResult, execute
+from .compare import compare_results
+
+#: One probe view per entry: (name prefix, view SQL template, query SQL
+#: template). Templates are parameterized by the per-run RNG so distinct
+#: seeds exercise distinct predicates; every view is both incrementally
+#: maintainable (count_big, non-nullable sums) and inside the matcher's
+#: indexable class, so each probe query has a view-backed rewrite.
+_PROBES = (
+    (
+        "cdc_orders_rollup",
+        "select o_custkey as ck, sum(o_totalprice) as revenue, "
+        "count_big(*) as cnt from orders where o_custkey <= {bound} "
+        "group by o_custkey",
+        "select o_custkey, sum(o_totalprice) from orders "
+        "where o_custkey <= {probe} group by o_custkey",
+    ),
+    (
+        "cdc_lineitem_rollup",
+        "select l_orderkey as ok, sum(l_quantity) as qty, "
+        "count_big(*) as cnt from lineitem group by l_orderkey",
+        "select l_orderkey, sum(l_quantity) from lineitem "
+        "group by l_orderkey",
+    ),
+    (
+        "cdc_join_spj",
+        "select o_orderkey as ok, o_custkey as ck, l_quantity as q "
+        "from orders, lineitem where o_orderkey = l_orderkey "
+        "and l_quantity > {bound}",
+        "select o_orderkey, l_quantity from orders, lineitem "
+        "where o_orderkey = l_orderkey and l_quantity > {probe}",
+    ),
+    (
+        "cdc_orders_spj",
+        "select o_orderkey as ok, o_custkey as ck, o_totalprice as tp "
+        "from orders where o_totalprice > {bound}",
+        "select o_orderkey, o_totalprice from orders "
+        "where o_totalprice > {probe}",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class CdcDifftestConfig:
+    """Knobs for one CDC difftest / soak run."""
+
+    seed: int = 0
+    steps: int = 200
+    checkpoint_every: int = 25
+    scale: float = 0.002
+    data_seed: int = 11
+    max_scan_batch: int = 4   # partial scans draw 1..max_scan_batch records
+    float_digits: int = 9
+    # Soak gate: worst per-view lag (in log records) observed at any
+    # checkpoint must stay within this bound. None disables the gate
+    # (plain difftest mode). With full catch-ups every
+    # ``checkpoint_every`` steps and at most one log record per step,
+    # lag can only reach the distance since the last checkpoint, so
+    # 2 * checkpoint_every is a generous-but-meaningful ceiling.
+    lag_bound_records: int | None = None
+
+
+@dataclass
+class CdcDivergence:
+    """One broken invariant, with enough detail to reproduce."""
+
+    step: int
+    kind: str  # "lsn-order", "view-recompute", "rewrite", "base-parity", "lag"
+    view: str
+    detail: str
+
+    def summary(self) -> str:
+        return f"step {self.step} [{self.kind}] {self.view}: {self.detail}"
+
+
+@dataclass
+class CdcDifftestReport:
+    """Everything one CDC difftest run measured."""
+
+    config: CdcDifftestConfig
+    steps_run: int = 0
+    records_logged: int = 0
+    rows_written: int = 0
+    checkpoints: int = 0
+    view_checks: int = 0
+    rewrites_checked: int = 0
+    max_lag_records: int = 0
+    final_head_lsn: int = 0
+    divergences: list[CdcDivergence] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held at every checkpoint."""
+        return not self.divergences
+
+    def summary(self) -> str:
+        lines = [
+            f"cdc difftest: {self.steps_run} steps, "
+            f"{self.records_logged} log records "
+            f"({self.rows_written} rows), head lsn {self.final_head_lsn}",
+            f"checkpoints: {self.checkpoints} "
+            f"({self.view_checks} view recomputes, "
+            f"{self.rewrites_checked} rewrites executed, "
+            f"max lag {self.max_lag_records} records)",
+            f"divergences: {len(self.divergences)}",
+            f"elapsed: {self.elapsed_seconds:.1f}s",
+        ]
+        for divergence in self.divergences[:8]:
+            lines.append("  " + divergence.summary())
+        return "\n".join(lines)
+
+
+class _CompositeDatabase:
+    """Shadow base tables overlaid with live stored-view relations.
+
+    What a bounded-staleness reader actually sees: view contents from
+    the live database (as fresh as the applier has made them) joined
+    with base state at the applier's watermark. Executing a rewritten
+    query here against the original on the shadow is the torn-read
+    check.
+    """
+
+    def __init__(self, shadow: Database, live: Database, view_names):
+        self._shadow = shadow
+        self._live = live
+        self._views = frozenset(view_names)
+
+    def relation(self, name: str) -> Relation:
+        if name in self._views:
+            return self._live.relation(name)
+        return self._shadow.relation(name)
+
+    def has(self, name: str) -> bool:
+        return name in self._views or self._shadow.has(name)
+
+
+def _stored_result(database: Database, name: str) -> QueryResult:
+    relation = database.relation(name)
+    return QueryResult(
+        columns=tuple(relation.columns), rows=list(relation.rows)
+    )
+
+
+def run_cdc_difftest(
+    config: CdcDifftestConfig, catalog: Catalog | None = None
+) -> CdcDifftestReport:
+    """Run the interleaved CDC difftest loop; see the module docstring."""
+    started = time.perf_counter()
+    rng = random.Random(config.seed)
+    catalog = catalog or tpch_catalog()
+    live = generate_tpch(scale=config.scale, seed=config.data_seed)
+    pipeline = CdcPipeline(catalog, live)
+    report = CdcDifftestReport(config=config)
+
+    # Parameterize and register the probe views (pipeline for
+    # maintenance, matcher for rewrites) plus their probe queries.
+    custkeys = sorted({row[1] for row in live.relation("orders").rows})
+    prices = sorted(row[3] for row in live.relation("orders").rows)
+    quantities = sorted(row[4] for row in live.relation("lineitem").rows)
+    bounds = {
+        "cdc_orders_rollup": custkeys[
+            rng.randrange(len(custkeys) // 2, len(custkeys))
+        ],
+        "cdc_lineitem_rollup": None,
+        "cdc_join_spj": quantities[rng.randrange(len(quantities) // 2)],
+        "cdc_orders_spj": prices[rng.randrange(len(prices) // 2)],
+    }
+    matcher = ViewMatcher(catalog)
+    probes: list[tuple[str, str]] = []  # (view name, probe SQL)
+    for name, view_template, query_template in _PROBES:
+        bound = bounds[name]
+        view_sql = view_template.format(bound=bound)
+        statement = catalog.bind_sql(view_sql)
+        pipeline.register_view(name, statement)
+        matcher.register_view(name, statement)
+        if name == "cdc_orders_rollup":
+            eligible = [k for k in custkeys if k <= bound]
+            probe = query_template.format(
+                probe=eligible[rng.randrange(len(eligible))]
+            )
+        elif name == "cdc_join_spj":
+            tighter = [q for q in quantities if q > bound]
+            probe = query_template.format(
+                probe=tighter[rng.randrange(len(tighter))] if tighter else bound
+            )
+        elif name == "cdc_orders_spj":
+            tighter = [p for p in prices if p > bounds[name]]
+            probe = query_template.format(
+                probe=tighter[rng.randrange(len(tighter))] if tighter else bound
+            )
+        else:
+            probe = query_template
+        probes.append((name, probe))
+
+    churn_statement = catalog.bind_sql(
+        "select o_clerk as clerk, sum(o_totalprice) as total, "
+        "count_big(*) as cnt from orders group by o_clerk"
+    )
+    churn_registered = False
+
+    def synth_insert(table: str) -> list[tuple[object, ...]]:
+        rows = live.relation(table).rows
+        count = rng.randint(1, 3)
+        return [tuple(rows[rng.randrange(len(rows))]) for _ in range(count)]
+
+    def checkpoint(step: int) -> None:
+        report.checkpoints += 1
+        # (1) LSN monotonicity over the retained window.
+        expected = pipeline.log.base_lsn + 1
+        for record in pipeline.log.records_after(pipeline.log.base_lsn):
+            if record.lsn != expected:
+                report.divergences.append(
+                    CdcDivergence(
+                        step,
+                        "lsn-order",
+                        "<log>",
+                        f"lsn {record.lsn} where {expected} expected",
+                    )
+                )
+            expected = record.lsn + 1
+        # (2) worst per-view lag before the forced catch-up.
+        for freshness in pipeline.freshness.all_freshness():
+            report.max_lag_records = max(
+                report.max_lag_records, freshness.lag_records
+            )
+        # (3) catch every view up to the scan watermark, then compare
+        # stored contents against a recompute over the shadow.
+        pipeline.scan(limit=None)
+        pipeline.merge()
+        shadow = pipeline.applier.shadow_database
+        maintained = {v.name: v for v in pipeline.applier.views()}
+        for name, view in maintained.items():
+            report.view_checks += 1
+            recomputed = execute(view.statement, shadow)
+            diff = compare_results(
+                recomputed,
+                _stored_result(live, name),
+                float_digits=config.float_digits,
+            )
+            if not diff.equal:
+                report.divergences.append(
+                    CdcDivergence(
+                        step, "view-recompute", name, diff.summary()
+                    )
+                )
+        # (4) rewrites: original on the shadow vs. substitute on the
+        # composite (shadow bases + live stored views).
+        composite = _CompositeDatabase(shadow, live, maintained)
+        for name, probe_sql in probes:
+            statement = catalog.bind_sql(probe_sql)
+            matches = [
+                result
+                for result in matcher.substitutes(statement)
+                if result.view.name == name
+            ]
+            if not matches:
+                continue
+            report.rewrites_checked += 1
+            original = execute(statement, shadow)
+            rewritten = execute(
+                matches[0].substitute, composite  # type: ignore[arg-type]
+            )
+            diff = compare_results(
+                original, rewritten, float_digits=config.float_digits
+            )
+            if not diff.equal:
+                report.divergences.append(
+                    CdcDivergence(step, "rewrite", name, diff.summary())
+                )
+
+    for step in range(1, config.steps + 1):
+        report.steps_run = step
+        roll = rng.random()
+        if roll < 0.40:
+            table = rng.choice(("orders", "lineitem"))
+            rows = synth_insert(table)
+            record = pipeline.insert(table, rows)
+            if record is not None:
+                report.records_logged += 1
+                report.rows_written += len(record.rows)
+        elif roll < 0.58:
+            table = rng.choice(("orders", "lineitem"))
+            stored = live.relation(table).rows
+            victim = tuple(stored[rng.randrange(len(stored))])
+            record = pipeline.delete(table, [victim])
+            if record is not None:
+                report.records_logged += 1
+                report.rows_written += len(record.rows)
+        elif roll < 0.68:
+            stored = live.relation("orders").rows
+            key = stored[rng.randrange(len(stored))][0]
+            before = pipeline.head_lsn
+            removed = pipeline.delete_where(
+                "orders", lambda row: row[0] == key
+            )
+            if pipeline.head_lsn > before:
+                report.records_logged += 1
+                report.rows_written += removed
+        elif roll < 0.83:
+            pipeline.scan(rng.randint(1, config.max_scan_batch))
+        elif roll < 0.93:
+            names = [v.name for v in pipeline.applier.views()]
+            if names:
+                pipeline.merge(rng.choice(names), max_deltas=rng.randint(1, 3))
+        else:
+            if churn_registered:
+                pipeline.unregister_view("cdc_churn")
+            else:
+                pipeline.register_view("cdc_churn", churn_statement)
+            churn_registered = not churn_registered
+        if step % config.checkpoint_every == 0:
+            checkpoint(step)
+
+    # Final: drain everything and check writer/applier parity.
+    pipeline.drain()
+    checkpoint(config.steps)
+    shadow = pipeline.applier.shadow_database
+    for table in sorted(shadow.names()):
+        live_rel = _stored_result(live, table)
+        shadow_rel = _stored_result(shadow, table)
+        diff = compare_results(
+            shadow_rel, live_rel, float_digits=config.float_digits
+        )
+        if not diff.equal:
+            report.divergences.append(
+                CdcDivergence(
+                    config.steps, "base-parity", table, diff.summary()
+                )
+            )
+    for freshness in pipeline.freshness.all_freshness():
+        if not freshness.is_fresh:
+            report.divergences.append(
+                CdcDivergence(
+                    config.steps,
+                    "lag",
+                    freshness.view,
+                    f"still lagging {freshness.lag_records} records "
+                    "after a full drain",
+                )
+            )
+    if (
+        config.lag_bound_records is not None
+        and report.max_lag_records > config.lag_bound_records
+    ):
+        report.divergences.append(
+            CdcDivergence(
+                config.steps,
+                "lag",
+                "<applier>",
+                f"worst checkpoint lag {report.max_lag_records} exceeds "
+                f"bound {config.lag_bound_records}",
+            )
+        )
+    report.final_head_lsn = pipeline.head_lsn
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+__all__ = [
+    "CdcDifftestConfig",
+    "CdcDifftestReport",
+    "CdcDivergence",
+    "run_cdc_difftest",
+]

@@ -90,6 +90,17 @@ class HotpathConfig:
     # rewrite_many through the full ViewServer stack. () disables it.
     end_to_end_view_counts: tuple[int, ...] = (1000, 10000)
     end_to_end_runs: int = 3
+    # Maintenance throughput point: rows/sec applied incrementally
+    # through the CDC change log to this many registered rollup views,
+    # against a full-recompute estimate extrapolated from a timed
+    # sample. 0 disables the section. The smoke config keeps the same
+    # values, so the CI baseline gate compares like-for-like work.
+    maintenance_view_count: int = 1000
+    maintenance_scale: float = 0.002
+    maintenance_data_seed: int = 11
+    maintenance_insert_batches: int = 20
+    maintenance_batch_rows: int = 5
+    maintenance_recompute_sample: int = 20
 
     @classmethod
     def smoke(cls) -> "HotpathConfig":
@@ -367,6 +378,128 @@ def _verify_modes(interned, reference, descriptions) -> tuple[dict, dict]:
     return interned_funnel, reference_funnel
 
 
+def _maintenance_view_sql(index: int, group_columns, bounds) -> str:
+    """The ``index``-th distinct single-table rollup over ``orders``."""
+    group = group_columns[index % len(group_columns)]
+    bound = bounds[(index // len(group_columns)) % len(bounds)]
+    return (
+        f"select {group} as g, sum(o_totalprice) as total, "
+        f"count_big(*) as cnt from orders "
+        f"where o_custkey <= {bound} group by {group}"
+    )
+
+
+def _run_maintenance(config: HotpathConfig, catalog, echo) -> dict:
+    """Incremental-vs-recompute maintenance throughput at ``n`` views.
+
+    Registers ``maintenance_view_count`` distinct rollup views over
+    ``orders`` through the CDC pipeline, streams
+    ``maintenance_insert_batches`` insert batches through the change
+    log, and times one full drain: the applier computes each view's
+    delta against its shadow base state and folds it into the stored
+    rows. The alternative -- recomputing every view from scratch per
+    batch -- is estimated by timing ``maintenance_recompute_sample``
+    full view executions and extrapolating, which is exactly what the
+    paper's Section 4 maintenance discussion trades against.
+    """
+    import random
+
+    from ..cdc import CdcPipeline
+    from ..datagen import generate_tpch
+    from ..engine.executor import execute
+
+    database = generate_tpch(
+        scale=config.maintenance_scale, seed=config.maintenance_data_seed
+    )
+    orders = database.relation("orders")
+    custkeys = sorted({row[1] for row in orders.rows})
+    group_columns = (
+        "o_custkey", "o_clerk", "o_orderstatus",
+        "o_orderpriority", "o_shippriority",
+    )
+    per_group = -(-config.maintenance_view_count // len(group_columns))
+    step = max(len(custkeys) // (per_group + 1), 1)
+    bounds = [custkeys[min((i + 1) * step, len(custkeys) - 1)]
+              for i in range(per_group)]
+
+    pipeline = CdcPipeline(catalog, database)
+    statements = [
+        catalog.bind_sql(_maintenance_view_sql(i, group_columns, bounds))
+        for i in range(config.maintenance_view_count)
+    ]
+    start = time.perf_counter()
+    for index, statement in enumerate(statements):
+        pipeline.register_view(f"bench_mv_{index}", statement)
+    register_seconds = time.perf_counter() - start
+
+    # Insert batches: duplicates of sampled orders rows with fresh keys,
+    # appended to the change log via the transactional-outbox path.
+    rng = random.Random(config.seed)
+    key_position = orders.column_position("o_orderkey")
+    next_key = max(row[key_position] for row in orders.rows) + 1
+    batches = []
+    for _ in range(config.maintenance_insert_batches):
+        batch = []
+        for _ in range(config.maintenance_batch_rows):
+            template = list(rng.choice(orders.rows))
+            template[key_position] = next_key
+            next_key += 1
+            batch.append(tuple(template))
+        batches.append(batch)
+    for batch in batches:
+        pipeline.insert("orders", batch)
+
+    start = time.perf_counter()
+    pipeline.drain()
+    incremental_seconds = time.perf_counter() - start
+    rows_applied = sum(len(batch) for batch in batches)
+    stats = pipeline.stats.snapshot()
+
+    # Full-recompute estimate: time a sample of complete view
+    # executions against the live table, extrapolate to the pool.
+    sample_step = max(
+        len(statements) // config.maintenance_recompute_sample, 1
+    )
+    sample = statements[::sample_step][:config.maintenance_recompute_sample]
+    start = time.perf_counter()
+    for statement in sample:
+        execute(statement, database)
+    sample_seconds = time.perf_counter() - start
+    recompute_cycle_seconds = (
+        sample_seconds / len(sample) * len(statements)
+    )
+    per_batch_seconds = incremental_seconds / len(batches)
+    section = {
+        "views": config.maintenance_view_count,
+        "base_rows": len(orders.rows),
+        "insert_batches": len(batches),
+        "rows_applied": rows_applied,
+        "register_seconds": round(register_seconds, 3),
+        "incremental_seconds": round(incremental_seconds, 3),
+        "incremental_rows_per_second": round(
+            rows_applied / incremental_seconds, 1
+        ),
+        "recompute_sample": len(sample),
+        "recompute_cycle_seconds": round(recompute_cycle_seconds, 3),
+        # One insert batch kept every view fresh in per_batch_seconds;
+        # the recompute alternative pays the full cycle per batch.
+        "speedup_vs_recompute": round(
+            recompute_cycle_seconds / per_batch_seconds, 1
+        ),
+        "applier": stats,
+    }
+    if echo is not None:
+        echo(
+            f"maintenance at {section['views']} views: "
+            f"{section['incremental_rows_per_second']:,.0f} rows/s "
+            f"incremental ({incremental_seconds:.2f}s for "
+            f"{rows_applied} rows), full recompute cycle est. "
+            f"{recompute_cycle_seconds:.2f}s "
+            f"({section['speedup_vs_recompute']:.0f}x per batch)"
+        )
+    return section
+
+
 def run_hotpath_benchmark(
     config: HotpathConfig | None = None, echo=print
 ) -> dict:
@@ -480,6 +613,13 @@ def run_hotpath_benchmark(
         else []
     )
 
+    maintenance = (
+        _run_maintenance(config, catalog, echo)
+        if config.maintenance_view_count
+        else None
+    )
+    calibrations.append(_calibrate())
+
     return {
         "benchmark": "hotpath-matching",
         "config": dataclasses.asdict(config),
@@ -488,6 +628,7 @@ def run_hotpath_benchmark(
         "calibration_us": round(min(calibrations), 2),
         "sizes": sizes,
         "end_to_end": end_to_end,
+        "maintenance": maintenance,
     }
 
 
@@ -530,7 +671,66 @@ def check_against_baseline(
             f"({base_us:.1f}us)"
         )
     failures.extend(_check_probe_regression(report, baseline, views, echo))
+    failures.extend(_check_maintenance_regression(report, baseline, echo))
     return failures
+
+
+def _check_maintenance_regression(
+    report: dict, baseline: dict, echo=print
+) -> list[str]:
+    """Incremental maintenance throughput vs. the committed baseline.
+
+    Gates the rows/sec the CDC applier sustained at the benchmark's view
+    count: a fresh run slower than ``1 / REGRESSION_FACTOR`` of the
+    baseline fails. Both throughputs are calibration-normalized
+    (multiplied by their own run's ``calibration_us``) so host speed
+    divides out. Skipped with a note when the baseline predates the
+    maintenance section or measured a different view count -- regenerate
+    with ``--output``.
+    """
+    fresh = report.get("maintenance")
+    base = baseline.get("maintenance")
+    if not fresh:
+        return []
+    if not base:
+        if echo is not None:
+            echo(
+                "maintenance check skipped: baseline has no maintenance "
+                "section; regenerate with --output"
+            )
+        return []
+    if base.get("views") != fresh.get("views"):
+        if echo is not None:
+            echo(
+                "maintenance check skipped: baseline measured "
+                f"{base.get('views')} views, fresh run "
+                f"{fresh.get('views')}"
+            )
+        return []
+    fresh_calibration = report.get("calibration_us")
+    base_calibration = baseline.get("calibration_us")
+    if not fresh_calibration or not base_calibration:
+        return [
+            "maintenance check needs calibration_us in both reports; "
+            "regenerate the baseline with bench-hotpath --output"
+        ]
+    # rows/sec x host-speed proxy: invariant across machines.
+    fresh_norm = fresh["incremental_rows_per_second"] * fresh_calibration
+    base_norm = base["incremental_rows_per_second"] * base_calibration
+    floor = base_norm / REGRESSION_FACTOR
+    if echo is not None:
+        echo(
+            f"maintenance check at {fresh['views']} views: fresh "
+            f"{fresh_norm:,.0f} norm-rows/s, baseline {base_norm:,.0f}, "
+            f"floor {floor:,.0f}"
+        )
+    if fresh_norm < floor:
+        return [
+            f"incremental maintenance at {fresh['views']} views "
+            f"regressed: {fresh_norm:,.0f} normalized rows/s < "
+            f"1/{REGRESSION_FACTOR:g} of baseline ({base_norm:,.0f})"
+        ]
+    return []
 
 
 def _check_probe_regression(

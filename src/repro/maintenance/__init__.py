@@ -1,5 +1,21 @@
 """Incremental maintenance of materialized views (Section 2's motivation)."""
 
-from .maintainer import MaintainedView, ViewChangeEvent, ViewMaintainer
+from .maintainer import (
+    MaintainedView,
+    ViewChangeEvent,
+    ViewMaintainer,
+    analyze_view,
+    apply_view_delta,
+    compute_view_delta,
+    merge_aggregate_delta,
+)
 
-__all__ = ["MaintainedView", "ViewChangeEvent", "ViewMaintainer"]
+__all__ = [
+    "MaintainedView",
+    "ViewChangeEvent",
+    "ViewMaintainer",
+    "analyze_view",
+    "apply_view_delta",
+    "compute_view_delta",
+    "merge_aggregate_delta",
+]

@@ -19,10 +19,17 @@ Algorithm (standard delta propagation, one base-table change at a time):
   zero is removed. Following SQL Server's indexable-view rules, SUM
   arguments must be non-nullable so subtraction is exact; registration
   rejects views violating this.
+
+The delta algebra lives in module-level functions (:func:`analyze_view`,
+:func:`compute_view_delta`, :func:`apply_view_delta`) so that other
+appliers -- notably the deferred change-data-capture applier in
+:mod:`repro.cdc` -- reuse exactly the same maintenance semantics the
+synchronous :class:`ViewMaintainer` implements.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -32,6 +39,8 @@ from ..engine.executor import execute
 from ..errors import ExecutionError, MatchError
 from ..sql.expressions import Expression, FuncCall
 from ..sql.statements import SelectStatement
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -58,16 +67,225 @@ class MaintainedView:
 class ViewChangeEvent:
     """One maintenance event that changed materialized-view state.
 
-    ``kind`` is ``"register"``, ``"unregister"``, ``"insert"`` or
-    ``"delete"``; ``table`` is the changed base table for data changes and
-    ``None`` for registration events; ``views`` names every view whose
-    stored contents the event touched. The rewrite-serving layer
-    subscribes to these to evict cached rewrites that read stale views.
+    ``kind`` is ``"register"``, ``"unregister"``, ``"insert"``,
+    ``"delete"`` or ``"cdc-apply"``; ``table`` is the changed base table
+    for data changes and ``None`` for registration events; ``views``
+    names every view whose stored contents the event touched. For
+    ``"insert"`` and ``"delete"`` events, ``rows`` carries the concrete
+    base-table rows that changed, so an outbox-style subscriber (the CDC
+    change log) can capture the full change stream -- including
+    predicate deletes, which resolve to their victim rows before the
+    event fires. The rewrite-serving layer subscribes to these to evict
+    cached rewrites that read stale views.
     """
 
     kind: str
     table: str | None
     views: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...] = ()
+
+
+# -- reusable delta primitives (shared with the CDC applier) ----------------
+
+
+def analyze_view(
+    catalog: Catalog, name: str, statement: SelectStatement
+) -> MaintainedView:
+    """Validate that ``statement`` is incrementally maintainable.
+
+    Returns the precomputed :class:`MaintainedView` layout. Raises
+    :class:`MatchError` for DISTINCT views, unnamed outputs, unsupported
+    aggregates, nullable SUM arguments, or aggregation views without a
+    ``count_big(*)`` column.
+    """
+    tables = frozenset(statement.table_names())
+    if statement.distinct:
+        # DISTINCT deltas are not additive: an inserted row may already
+        # be represented, a deleted row may still be backed by others.
+        raise MatchError(
+            f"view {name}: DISTINCT views cannot be maintained incrementally"
+        )
+    if not statement.is_aggregate:
+        for item in statement.select_items:
+            if item.name is None:
+                raise MatchError(f"view {name}: every output needs a name")
+        return MaintainedView(
+            name=name, statement=statement, tables=tables, is_aggregate=False
+        )
+    columns: list[_AggregateColumn] = []
+    group_positions: list[int] = []
+    has_count = False
+    for position, item in enumerate(statement.select_items):
+        expr = item.expression
+        if item.name is None:
+            raise MatchError(f"view {name}: every output needs a name")
+        if isinstance(expr, FuncCall) and expr.is_aggregate():
+            if expr.name == "count_big" and expr.star:
+                columns.append(_AggregateColumn(position, "count"))
+                has_count = True
+            elif expr.name == "sum":
+                _require_non_nullable(catalog, name, expr.args[0])
+                columns.append(_AggregateColumn(position, "sum"))
+            else:
+                raise MatchError(
+                    f"view {name}: aggregate {expr.name} is not maintainable"
+                )
+        else:
+            columns.append(_AggregateColumn(position, "group"))
+            group_positions.append(position)
+    if not has_count:
+        raise MatchError(
+            f"view {name}: aggregation views need count_big(*) for "
+            "incremental deletes"
+        )
+    return MaintainedView(
+        name=name,
+        statement=statement,
+        tables=tables,
+        is_aggregate=True,
+        columns=tuple(columns),
+        group_positions=tuple(group_positions),
+    )
+
+
+def _require_non_nullable(
+    catalog: Catalog, name: str, argument: Expression
+) -> None:
+    for ref in argument.column_refs():
+        table = catalog.table(ref.table)  # type: ignore[arg-type]
+        if table.is_nullable(ref.column):
+            raise MatchError(
+                f"view {name}: SUM over nullable column "
+                f"{ref.table}.{ref.column} cannot be maintained exactly"
+            )
+
+
+def compute_view_delta(
+    view: MaintainedView,
+    table: str,
+    delta_rows: list[tuple[object, ...]],
+    database: Database,
+) -> list[tuple[object, ...]]:
+    """Evaluate the view's query with ``table`` replaced by the delta rows.
+
+    Joins see the other tables at their current state in ``database``, so
+    the caller is responsible for sequencing: for inserts, evaluate
+    *before* the delta lands in the base table; for deletes, *after* the
+    victims are removed.
+    """
+    overlay = _OverlayDatabase(database, table, delta_rows)
+    return execute(view.statement, overlay).rows  # type: ignore[arg-type]
+
+
+def extend_view_rows(
+    view_name: str, delta: list[tuple[object, ...]], database: Database
+) -> None:
+    """Append an SPJ insert-delta to the stored view (bag semantics)."""
+    relation = database.relation(view_name)
+    relation.rows.extend(delta)
+    relation.bump_version()
+
+
+def remove_view_rows(
+    view_name: str, delta: list[tuple[object, ...]], database: Database
+) -> None:
+    """Remove one occurrence per SPJ delete-delta row from the stored view."""
+    relation = database.relation(view_name)
+    for row in delta:
+        try:
+            relation.rows.remove(row)
+        except ValueError:
+            raise ExecutionError(
+                f"view {view_name} out of sync: delta row {row} missing"
+            ) from None
+    relation.bump_version()
+
+
+def merge_aggregate_delta(
+    view: MaintainedView,
+    delta: list[tuple[object, ...]],
+    sign: int,
+    database: Database,
+) -> None:
+    """Fold an aggregated delta into the stored view with the given sign.
+
+    Counts and SUMs add (``sign=+1``) or subtract (``sign=-1``) per
+    group; a new group appends; a group whose ``count_big`` reaches zero
+    is removed -- the paper's Section 2 deletion rule.
+    """
+    relation = database.relation(view.name)
+    group_positions = view.group_positions
+    index: dict[tuple[object, ...], int] = {
+        tuple(row[p] for p in group_positions): i
+        for i, row in enumerate(relation.rows)
+    }
+    removed: list[int] = []
+    for delta_row in delta:
+        key = tuple(delta_row[p] for p in group_positions)
+        existing_position = index.get(key)
+        if existing_position is None:
+            if sign < 0:
+                raise ExecutionError(
+                    f"view {view.name} out of sync: deleted group {key} missing"
+                )
+            relation.rows.append(delta_row)
+            index[key] = len(relation.rows) - 1
+            continue
+        merged = _merge_row(
+            view, relation.rows[existing_position], delta_row, sign
+        )
+        if merged is None:
+            removed.append(existing_position)
+            del index[key]
+        else:
+            relation.rows[existing_position] = merged
+    relation.bump_version()
+    for position in sorted(removed, reverse=True):
+        del relation.rows[position]
+
+
+def apply_view_delta(
+    view: MaintainedView,
+    delta: list[tuple[object, ...]],
+    sign: int,
+    database: Database,
+) -> None:
+    """Apply one signed delta to the stored view, aggregate or SPJ."""
+    if view.is_aggregate:
+        merge_aggregate_delta(view, delta, sign, database)
+    elif sign > 0:
+        extend_view_rows(view.name, delta, database)
+    else:
+        remove_view_rows(view.name, delta, database)
+
+
+def _merge_row(
+    view: MaintainedView,
+    current: tuple[object, ...],
+    delta_row: tuple[object, ...],
+    sign: int,
+) -> tuple[object, ...] | None:
+    values = list(current)
+    for column in view.columns:
+        if column.kind == "group":
+            continue
+        delta_value = delta_row[column.position]
+        if column.kind == "count":
+            new_count = values[column.position] + sign * delta_value  # type: ignore[operator]
+            if new_count == 0:
+                return None
+            values[column.position] = new_count
+        else:  # sum: arguments are non-nullable, so deltas are non-null
+            current_value = values[column.position]
+            if delta_value is None:
+                continue  # empty delta group contributes nothing
+            if current_value is None:
+                values[column.position] = sign * delta_value  # type: ignore[operator]
+            else:
+                values[column.position] = (
+                    current_value + sign * delta_value  # type: ignore[operator]
+                )
+    return tuple(values)
 
 
 class ViewMaintainer:
@@ -85,8 +303,9 @@ class ViewMaintainer:
         """Subscribe to :class:`ViewChangeEvent` notifications.
 
         Listeners fire synchronously after the change is fully applied, in
-        subscription order. A listener that raises propagates to the
-        caller of the mutating operation.
+        subscription order. Listener failures are isolated: a raising
+        listener is logged and skipped, so it neither aborts the change
+        (which is already applied) nor starves later listeners.
         """
         self._listeners.append(listener)
 
@@ -97,12 +316,27 @@ class ViewMaintainer:
         except ValueError:
             pass
 
-    def _notify(self, kind: str, table: str | None, views: Iterable[str]) -> None:
+    def _notify(
+        self,
+        kind: str,
+        table: str | None,
+        views: Iterable[str],
+        rows: Sequence[tuple[object, ...]] = (),
+    ) -> None:
         if not self._listeners:
             return
-        event = ViewChangeEvent(kind=kind, table=table, views=tuple(views))
+        event = ViewChangeEvent(
+            kind=kind, table=table, views=tuple(views), rows=tuple(rows)
+        )
         for listener in list(self._listeners):
-            listener(event)
+            try:
+                listener(event)
+            except Exception:
+                logger.exception(
+                    "view-change listener %r failed on %s event; continuing",
+                    listener,
+                    kind,
+                )
 
     # -- registration -------------------------------------------------------
 
@@ -113,7 +347,7 @@ class ViewMaintainer:
         incrementally (nullable SUM argument, unsupported aggregate, or a
         missing ``count_big(*)`` column in an aggregation view).
         """
-        view = self._analyze(name, statement)
+        view = analyze_view(self.catalog, name, statement)
         from ..engine.executor import materialize_view
 
         materialize_view(name, statement, self.database)
@@ -133,63 +367,7 @@ class ViewMaintainer:
         return tuple(self._views.values())
 
     def _analyze(self, name: str, statement: SelectStatement) -> MaintainedView:
-        tables = frozenset(statement.table_names())
-        if statement.distinct:
-            # DISTINCT deltas are not additive: an inserted row may already
-            # be represented, a deleted row may still be backed by others.
-            raise MatchError(
-                f"view {name}: DISTINCT views cannot be maintained incrementally"
-            )
-        if not statement.is_aggregate:
-            for item in statement.select_items:
-                if item.name is None:
-                    raise MatchError(f"view {name}: every output needs a name")
-            return MaintainedView(
-                name=name, statement=statement, tables=tables, is_aggregate=False
-            )
-        columns: list[_AggregateColumn] = []
-        group_positions: list[int] = []
-        has_count = False
-        for position, item in enumerate(statement.select_items):
-            expr = item.expression
-            if item.name is None:
-                raise MatchError(f"view {name}: every output needs a name")
-            if isinstance(expr, FuncCall) and expr.is_aggregate():
-                if expr.name == "count_big" and expr.star:
-                    columns.append(_AggregateColumn(position, "count"))
-                    has_count = True
-                elif expr.name == "sum":
-                    self._require_non_nullable(name, expr.args[0])
-                    columns.append(_AggregateColumn(position, "sum"))
-                else:
-                    raise MatchError(
-                        f"view {name}: aggregate {expr.name} is not maintainable"
-                    )
-            else:
-                columns.append(_AggregateColumn(position, "group"))
-                group_positions.append(position)
-        if not has_count:
-            raise MatchError(
-                f"view {name}: aggregation views need count_big(*) for "
-                "incremental deletes"
-            )
-        return MaintainedView(
-            name=name,
-            statement=statement,
-            tables=tables,
-            is_aggregate=True,
-            columns=tuple(columns),
-            group_positions=tuple(group_positions),
-        )
-
-    def _require_non_nullable(self, name: str, argument: Expression) -> None:
-        for ref in argument.column_refs():
-            table = self.catalog.table(ref.table)  # type: ignore[arg-type]
-            if table.is_nullable(ref.column):
-                raise MatchError(
-                    f"view {name}: SUM over nullable column "
-                    f"{ref.table}.{ref.column} cannot be maintained exactly"
-                )
+        return analyze_view(self.catalog, name, statement)
 
     # -- change application ----------------------------------------------------
 
@@ -203,13 +381,10 @@ class ViewMaintainer:
         relation.rows.extend(rows)
         relation.bump_version()
         for view, delta in deltas:
-            if view.is_aggregate:
-                self._merge_aggregate(view, delta, sign=+1)
-            else:
-                view_relation = self.database.relation(view.name)
-                view_relation.rows.extend(delta)
-                view_relation.bump_version()
-        self._notify("insert", table, (view.name for view, _ in deltas))
+            apply_view_delta(view, delta, +1, self.database)
+        self._notify(
+            "insert", table, (view.name for view, _ in deltas), rows
+        )
 
     def delete(self, table: str, rows: Iterable[Sequence[object]]) -> None:
         """Delete specific rows from a base table and propagate.
@@ -234,14 +409,20 @@ class ViewMaintainer:
         # removed rows.
         deltas = self._view_deltas(table, rows)
         for view, delta in deltas:
-            if view.is_aggregate:
-                self._merge_aggregate(view, delta, sign=-1)
-            else:
-                self._remove_rows(view.name, delta)
-        self._notify("delete", table, (view.name for view, _ in deltas))
+            apply_view_delta(view, delta, -1, self.database)
+        self._notify(
+            "delete", table, (view.name for view, _ in deltas), rows
+        )
 
     def delete_where(self, table: str, predicate) -> int:
-        """Delete every row satisfying a row-tuple predicate; returns count."""
+        """Delete every row satisfying a row-tuple predicate; returns count.
+
+        Resolves the predicate to its concrete victim rows first and then
+        routes through :meth:`delete`, so subscribers observe exactly the
+        same ``ViewChangeEvent`` stream (kind, views, and victim rows) a
+        direct ``delete`` of those rows would have produced -- the CDC log
+        never misses a predicate delete.
+        """
         relation = self.database.relation(table)
         victims = [row for row in relation.rows if predicate(row)]
         self.delete(table, victims)
@@ -254,30 +435,13 @@ class ViewMaintainer:
     ) -> list[tuple[MaintainedView, list[tuple[object, ...]]]]:
         """Evaluate each affected view's query over the delta rows."""
         affected = [v for v in self._views.values() if table in v.tables]
-        if not affected:
-            return []
-        overlay = _OverlayDatabase(self.database, table, delta_rows)
-        deltas = []
-        for view in affected:
-            result = execute(view.statement, overlay)  # type: ignore[arg-type]
-            if view.is_aggregate:
-                # Re-aggregate per group happens in merge; the executor
-                # already grouped the delta, which is exactly what we need.
-                deltas.append((view, result.rows))
-            else:
-                deltas.append((view, result.rows))
-        return deltas
+        return [
+            (view, compute_view_delta(view, table, delta_rows, self.database))
+            for view in affected
+        ]
 
     def _remove_rows(self, view_name: str, delta: list[tuple[object, ...]]) -> None:
-        relation = self.database.relation(view_name)
-        for row in delta:
-            try:
-                relation.rows.remove(row)
-            except ValueError:
-                raise ExecutionError(
-                    f"view {view_name} out of sync: delta row {row} missing"
-                ) from None
-        relation.bump_version()
+        remove_view_rows(view_name, delta, self.database)
 
     def _merge_aggregate(
         self,
@@ -285,69 +449,7 @@ class ViewMaintainer:
         delta: list[tuple[object, ...]],
         sign: int,
     ) -> None:
-        relation = self.database.relation(view.name)
-        group_positions = view.group_positions
-        index: dict[tuple[object, ...], int] = {
-            tuple(row[p] for p in group_positions): i
-            for i, row in enumerate(relation.rows)
-        }
-        removed: list[int] = []
-        for delta_row in delta:
-            key = tuple(delta_row[p] for p in group_positions)
-            existing_position = index.get(key)
-            if existing_position is None:
-                if sign < 0:
-                    raise ExecutionError(
-                        f"view {view.name} out of sync: deleted group {key} missing"
-                    )
-                relation.rows.append(delta_row)
-                index[key] = len(relation.rows) - 1
-                continue
-            merged = self._merge_row(
-                view, relation.rows[existing_position], delta_row, sign
-            )
-            if merged is None:
-                removed.append(existing_position)
-                del index[key]
-            else:
-                relation.rows[existing_position] = merged
-        relation.bump_version()
-        for position in sorted(removed, reverse=True):
-            del relation.rows[position]
-            # Rebuild positions affected by the removal.
-            index = {
-                tuple(row[p] for p in group_positions): i
-                for i, row in enumerate(relation.rows)
-            }
-
-    def _merge_row(
-        self,
-        view: MaintainedView,
-        current: tuple[object, ...],
-        delta_row: tuple[object, ...],
-        sign: int,
-    ) -> tuple[object, ...] | None:
-        values = list(current)
-        for column in view.columns:
-            if column.kind == "group":
-                continue
-            delta_value = delta_row[column.position]
-            if column.kind == "count":
-                new_count = values[column.position] + sign * delta_value  # type: ignore[operator]
-                if new_count == 0:
-                    return None
-                values[column.position] = new_count
-            else:  # sum: arguments are non-nullable, so deltas are non-null
-                current_value = values[column.position]
-                if delta_value is None:
-                    continue  # empty delta group contributes nothing
-                if current_value is None:
-                    values[column.position] = sign * delta_value  # type: ignore[operator]
-                else:
-                    values[column.position] = (
-                        current_value + sign * delta_value  # type: ignore[operator]
-                    )
-        return tuple(values)
+        merge_aggregate_delta(view, delta, sign, self.database)
 
 
 class _OverlayDatabase:

@@ -123,6 +123,7 @@ class Optimizer:
         self,
         statement: SelectStatement,
         description: SpjgDescription | None = None,
+        staleness=None,
     ) -> OptimizationResult:
         """Optimize a bound SPJG statement, returning the cheapest plan.
 
@@ -130,9 +131,12 @@ class Optimizer:
         already-built description of ``statement`` (the serving layer
         reuses fingerprint-cached descriptions across requests); it must
         describe exactly this statement under the matcher's options.
+        ``staleness`` is forwarded to every view-matching invocation (see
+        :meth:`repro.core.ViewMatcher.match`): candidates outside the
+        bound are rejected as ``STALE`` and never enter plan search.
         """
         started = time.perf_counter()
-        search = _Search(self, statement, description)
+        search = _Search(self, statement, description, staleness=staleness)
         plan = search.run()
         elapsed = time.perf_counter() - started
         return OptimizationResult(
@@ -184,9 +188,11 @@ class _Search:
         optimizer: Optimizer,
         statement: SelectStatement,
         description: SpjgDescription | None = None,
+        staleness=None,
     ):
         self.optimizer = optimizer
         self.statement = statement
+        self.staleness = staleness
         self.catalog = optimizer.catalog
         self.cost_model = optimizer.cost_model
         self.estimator = optimizer.estimator
@@ -242,7 +248,7 @@ class _Search:
         query = self._describe(block) if self.share_descriptions else block
         started = time.perf_counter()
         try:
-            results = matcher.match(query)
+            results = matcher.match(query, staleness=self.staleness)
         finally:
             self.matching_seconds += time.perf_counter() - started
         self.invocations += 1

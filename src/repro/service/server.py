@@ -77,6 +77,9 @@ class ServedResult:
     timed_out: bool = False
     rejected: bool = False
     latency_seconds: float = 0.0
+    # The staleness bound (seconds) this request was served under, or
+    # None for the default fully-synchronous-freshness semantics.
+    max_staleness: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -159,6 +162,7 @@ class ViewServer:
         self._traces: deque[RewriteTrace] = deque(maxlen=trace_capacity)
         self._traces_lock = threading.Lock()
         self._closed = False
+        self._cdc = None
         self.snapshots.add_listener(self._on_publish)
 
     # -- serving -------------------------------------------------------------
@@ -209,7 +213,9 @@ class ViewServer:
         finally:
             self._slots.release()
 
-    def serve(self, sql: str) -> ServedResult:
+    def serve(
+        self, sql: str, max_staleness: float | None = None
+    ) -> ServedResult:
         """The synchronous serving path (what pool workers execute).
 
         Callable directly for single-threaded use; ``submit`` adds the
@@ -217,13 +223,16 @@ class ViewServer:
         sampler elects this request, a :class:`RewriteTracer` is scoped
         to it (contextvar, so concurrent workers never share one) and
         the finished trace lands in the :meth:`traces` ring.
+
+        ``max_staleness`` bounds how stale (seconds of maintenance lag) a
+        view may be and still rewrite this query; see :meth:`rewrite`.
         """
         if not self._sampler.should_sample():
-            return self._serve(sql)
+            return self._serve(sql, max_staleness)
         tracer = RewriteTracer(sql=sql)
         token = activate(tracer)
         try:
-            result = self._serve(sql)
+            result = self._serve(sql, max_staleness)
         finally:
             deactivate(token)
         trace = tracer.finish(
@@ -236,7 +245,34 @@ class ViewServer:
         self.metrics.counter("traces_sampled").increment()
         return result
 
-    def _serve(self, sql: str) -> ServedResult:
+    def rewrite(
+        self, sql: str, *, max_staleness: float | None = None
+    ) -> ServedResult:
+        """Serve one query, optionally bounding acceptable view staleness.
+
+        With a CDC pipeline attached (:meth:`attach_cdc`), stored views
+        may lag the base tables; ``max_staleness`` says how much lag this
+        caller tolerates:
+
+        * ``None`` (default) -- staleness-unaware: every registered view
+          is eligible, exactly as without CDC.
+        * ``0`` -- demand perfect freshness: a view whose applied LSN
+          trails the change-log head is skipped (``STALE`` in the match
+          funnel), so the plan never reads data the applier has not
+          caught up with.
+        * ``t > 0`` -- a view is eligible while its maintenance lag is at
+          most ``t`` seconds -- the stale-but-cheap rewrite still wins
+          when the data is recent enough for this caller.
+
+        Bounded requests bypass the rewrite cache: eligibility varies
+        with the applier's progress, which a (fingerprint, epoch) cache
+        key cannot represent.
+        """
+        return self.serve(sql, max_staleness=max_staleness)
+
+    def _serve(
+        self, sql: str, max_staleness: float | None = None
+    ) -> ServedResult:
         started = time.perf_counter()
         self.metrics.counter("requests").increment()
         try:
@@ -249,6 +285,30 @@ class ViewServer:
                 sql=sql, error=str(exc), latency_seconds=latency
             )
         snapshot = self.snapshots.current  # the one lock-free snapshot read
+        if max_staleness is not None:
+            # Bounded-staleness requests skip the cache both ways: an
+            # entry cached here would leak a lag-dependent plan to
+            # unbounded callers, and a cached unbounded plan may read
+            # views this bound excludes.
+            self.metrics.counter("bounded_requests").increment()
+            staleness = snapshot.staleness_bound(max_staleness)
+            result = self._optimize(
+                snapshot, statement, fingerprint, staleness=staleness
+            )
+            latency = time.perf_counter() - started
+            self.metrics.histogram("miss").record(latency)
+            self.metrics.histogram("total").record(latency)
+            if result.uses_view:
+                self.metrics.counter("rewrites").increment()
+            return ServedResult(
+                sql=sql,
+                fingerprint=fingerprint,
+                epoch=snapshot.epoch,
+                cache_hit=False,
+                result=result,
+                latency_seconds=latency,
+                max_staleness=max_staleness,
+            )
         tracer = current_tracer()
         if self.cache is not None:
             probe_started = time.perf_counter() if tracer.active else 0.0
@@ -342,13 +402,16 @@ class ViewServer:
         snapshot: CatalogSnapshot,
         statement: SelectStatement,
         fingerprint: str | None = None,
+        staleness=None,
     ) -> OptimizationResult:
         description = (
             self._describe(snapshot, statement, fingerprint)
             if fingerprint is not None
             else None
         )
-        result = snapshot.optimizer.optimize(statement, description=description)
+        result = snapshot.optimizer.optimize(
+            statement, description=description, staleness=staleness
+        )
         self._record_optimized(result)
         return result
 
@@ -370,7 +433,11 @@ class ViewServer:
     # -- batched serving -----------------------------------------------------
 
     def rewrite_many(
-        self, sqls, *, parallel: int | None = None
+        self,
+        sqls,
+        *,
+        parallel: int | None = None,
+        max_staleness: float | None = None,
     ) -> list[ServedResult]:
         """Serve a batch of SQL queries, amortizing per-request overheads.
 
@@ -391,14 +458,19 @@ class ViewServer:
         Tracing is likewise amortized: the sampler is consulted once per
         batch, and an elected batch produces a single trace covering
         every parse, cache-probe, and optimize span in it.
+
+        ``max_staleness`` applies one staleness bound (see
+        :meth:`rewrite`) to the whole batch: the policy is frozen once
+        against the batch's snapshot, and bounded batches bypass the
+        rewrite cache entirely.
         """
         sqls = list(sqls)
         if not self._sampler.should_sample():
-            return self._rewrite_many(sqls, parallel)
+            return self._rewrite_many(sqls, parallel, max_staleness)
         tracer = RewriteTracer(sql=f"<batch of {len(sqls)}>")
         token = activate(tracer)
         try:
-            results = self._rewrite_many(sqls, parallel)
+            results = self._rewrite_many(sqls, parallel, max_staleness)
         finally:
             deactivate(token)
         epoch = next((r.epoch for r in results if r.epoch >= 0), None)
@@ -409,12 +481,21 @@ class ViewServer:
         return results
 
     def _rewrite_many(
-        self, sqls: list[str], parallel: int | None
+        self,
+        sqls: list[str],
+        parallel: int | None,
+        max_staleness: float | None = None,
     ) -> list[ServedResult]:
         started = time.perf_counter()
         self.metrics.counter("batch_requests").increment()
         self.metrics.counter("batch_queries").increment(len(sqls))
         snapshot = self.snapshots.current  # one snapshot serves the batch
+        staleness = None
+        use_cache = self.cache is not None
+        if max_staleness is not None:
+            self.metrics.counter("bounded_requests").increment()
+            staleness = snapshot.staleness_bound(max_staleness)
+            use_cache = False  # lag-dependent plans must not be cached
         bound: list[tuple[SelectStatement, str] | None] = []
         errors: list[str | None] = []
         for sql in sqls:
@@ -437,7 +518,7 @@ class ViewServer:
         for fingerprint, statement in unique.items():
             cached = (
                 self.cache.get(fingerprint, snapshot.epoch)
-                if self.cache is not None
+                if use_cache
                 else None
             )
             if cached is not None:
@@ -446,7 +527,7 @@ class ViewServer:
                 self.metrics.counter("cache_hits").increment()
             else:
                 misses.append((fingerprint, statement))
-                if self.cache is not None:
+                if use_cache:
                     self.metrics.counter("cache_misses").increment()
         if tracer.active:
             # One amortized probe span for the whole batch.
@@ -468,7 +549,7 @@ class ViewServer:
             def optimize_one(task) -> OptimizationResult:
                 statement, description = task
                 return snapshot.optimizer.optimize(
-                    statement, description=description
+                    statement, description=description, staleness=staleness
                 )
 
             outcomes = forked_map(optimize_one, tasks, workers)
@@ -476,12 +557,14 @@ class ViewServer:
                 self._record_optimized(result)
         else:
             outcomes = [
-                self._optimize(snapshot, statement, fingerprint)
+                self._optimize(
+                    snapshot, statement, fingerprint, staleness=staleness
+                )
                 for fingerprint, statement in misses
             ]
         for (fingerprint, _), result in zip(misses, outcomes):
             resolved[fingerprint] = result
-            if self.cache is not None:
+            if use_cache:
                 self.cache.put(fingerprint, snapshot.epoch, result)
             if result.uses_view:
                 self.metrics.counter("rewrites").increment()
@@ -503,6 +586,7 @@ class ViewServer:
                     cache_hit=fingerprint in hits,
                     result=resolved[fingerprint],
                     latency_seconds=latency,
+                    max_staleness=max_staleness,
                 )
             )
         return results
@@ -588,6 +672,20 @@ class ViewServer:
         if evicted:
             self.metrics.counter("staleness_evictions").increment(evicted)
 
+    def attach_cdc(self, pipeline) -> None:
+        """Wire a :class:`repro.cdc.CdcPipeline` into serving.
+
+        Three effects: snapshots carry the pipeline's freshness tracker
+        (enabling ``max_staleness`` on :meth:`rewrite` /
+        :meth:`rewrite_many`), applier merges evict cached rewrites that
+        read the views whose contents just moved, and
+        :meth:`prometheus_metrics` / :meth:`stats` export per-view lag
+        and applier throughput.
+        """
+        self._cdc = pipeline
+        pipeline.add_listener(self._on_view_change)
+        self.snapshots.attach_freshness(pipeline.freshness)
+
     # -- introspection & lifecycle ------------------------------------------
 
     @property
@@ -608,7 +706,7 @@ class ViewServer:
         ``latency`` (per-stage histogram summaries in seconds).
         """
         metrics = self.metrics.snapshot()
-        return {
+        stats = {
             "epoch": self.snapshots.epoch,
             "views": self.snapshots.current.view_count,
             "cache": (
@@ -619,6 +717,20 @@ class ViewServer:
             "counters": metrics["counters"],
             "latency": metrics["latency"],
         }
+        if self._cdc is not None:
+            stats["cdc"] = {
+                "head_lsn": self._cdc.head_lsn,
+                "applier": self._cdc.stats.snapshot(),
+                "views": {
+                    f.view: {
+                        "applied_lsn": f.applied_lsn,
+                        "lag_records": f.lag_records,
+                        "lag_seconds": f.lag_seconds,
+                    }
+                    for f in self._cdc.freshness.all_freshness()
+                },
+            }
+        return stats
 
     def prometheus_metrics(self, prefix: str = "repro") -> str:
         """Prometheus text exposition for this server.
@@ -627,7 +739,10 @@ class ViewServer:
         serving gauges (epoch, registered views), the rewrite cache's
         counters, and the current snapshot matcher's reject-reason
         tallies (labelled ``{prefix}_match_rejects_total{{reason=...}}``).
-        Suitable for a ``/metrics`` scrape endpoint or a one-shot dump.
+        With a CDC pipeline attached, also exports per-view freshness
+        gauges (``{prefix}_cdc_view_lag_records{{view=...}}`` and
+        friends) plus applier throughput counters. Suitable for a
+        ``/metrics`` scrape endpoint or a one-shot dump.
         """
         snapshot = self.snapshots.current
         lines = []
@@ -660,6 +775,44 @@ class ViewServer:
                 lines.append(
                     f'{metric}{{reason="{reason.lower()}"}} {count}'
                 )
+        if self._cdc is not None:
+            lines.append(f"# TYPE {prefix}_cdc_head_lsn gauge")
+            lines.append(f"{prefix}_cdc_head_lsn {self._cdc.head_lsn}")
+            lag_records = f"{prefix}_cdc_view_lag_records"
+            lag_seconds = f"{prefix}_cdc_view_lag_seconds"
+            applied = f"{prefix}_cdc_view_applied_lsn"
+            freshness = self._cdc.freshness.all_freshness()
+            if freshness:
+                lines.append(f"# TYPE {applied} gauge")
+                lines.append(f"# TYPE {lag_records} gauge")
+                lines.append(f"# TYPE {lag_seconds} gauge")
+                for f in freshness:
+                    lines.append(
+                        f'{applied}{{view="{f.view}"}} {f.applied_lsn}'
+                    )
+                    lines.append(
+                        f'{lag_records}{{view="{f.view}"}} {f.lag_records}'
+                    )
+                    lines.append(
+                        f'{lag_seconds}{{view="{f.view}"}} '
+                        f"{format(f.lag_seconds, '.6g')}"
+                    )
+            applier = self._cdc.stats
+            lines.append(f"# TYPE {prefix}_cdc_records_scanned_total counter")
+            lines.append(
+                f"{prefix}_cdc_records_scanned_total "
+                f"{applier.records_scanned}"
+            )
+            lines.append(f"# TYPE {prefix}_cdc_rows_applied_total counter")
+            lines.append(
+                f"{prefix}_cdc_rows_applied_total "
+                f"{applier.base_rows_scanned}"
+            )
+            lines.append(f"# TYPE {prefix}_cdc_apply_rows_per_second gauge")
+            lines.append(
+                f"{prefix}_cdc_apply_rows_per_second "
+                f"{format(applier.rows_per_second, '.6g')}"
+            )
         return "\n".join(lines) + "\n"
 
     def report(self) -> str:

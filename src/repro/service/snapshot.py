@@ -52,11 +52,29 @@ class CatalogSnapshot:
     matcher: ViewMatcher
     optimizer: Optimizer
     view_names: frozenset[str]
+    # Freshness state for bounded-staleness serving: a
+    # :class:`repro.cdc.FreshnessTracker` (or None when no CDC pipeline is
+    # attached). The tracker itself is shared across epochs -- freshness
+    # is a property of view *contents*, which move independently of the
+    # registration epoch; the snapshot carries it so a request resolves
+    # its staleness policy against the same catalog it matches with.
+    freshness: object | None = None
 
     @property
     def view_count(self) -> int:
         """Number of views registered in this epoch."""
         return len(self.view_names)
+
+    def staleness_bound(self, max_seconds: float):
+        """Freeze a staleness policy for one request, or ``None``.
+
+        Returns ``None`` when no freshness tracker is attached -- every
+        view is then implicitly fresh, because view maintenance is
+        synchronous without a CDC pipeline.
+        """
+        if self.freshness is None:
+            return None
+        return self.freshness.bound(max_seconds)
 
 
 class SnapshotManager:
@@ -110,6 +128,7 @@ class SnapshotManager:
         self._order: dict[str, int] = {}
         self._next_seq = 0
         self._listeners: list[Callable[[CatalogSnapshot], None]] = []
+        self._freshness: object | None = None
         self._snapshot: CatalogSnapshot | None = None
         self._snapshot = self._build(0, self._views, self._order, None)
 
@@ -198,6 +217,21 @@ class SnapshotManager:
             del order[name]
             return self._publish(views, order, changed={name})
 
+    def attach_freshness(self, tracker) -> CatalogSnapshot:
+        """Attach a freshness tracker and republish the current epoch.
+
+        ``tracker`` is a :class:`repro.cdc.FreshnessTracker`; every
+        snapshot from here on carries it, enabling ``max_staleness``
+        serving. Publishing a fresh epoch (with an unchanged registry)
+        keeps the usual invalidation path honest: caches keyed by epoch
+        discard entries produced without freshness awareness.
+        """
+        with self._write_lock:
+            self._freshness = tracker
+            return self._publish(
+                dict(self._views), dict(self._order), changed=set()
+            )
+
     def add_listener(
         self, listener: Callable[[CatalogSnapshot], None]
     ) -> None:
@@ -277,6 +311,7 @@ class SnapshotManager:
             matcher=matcher,
             optimizer=optimizer,
             view_names=frozenset(views),
+            freshness=self._freshness,
         )
 
     def _build_sharded_tree(

@@ -1,0 +1,83 @@
+"""Freshness watermarks and the bounded-staleness policy."""
+
+from repro.cdc import ChangeLog, FreshnessTracker
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_tracker():
+    clock = FakeClock()
+    log = ChangeLog(clock=clock)
+    tracker = FreshnessTracker(log, clock=clock)
+    return clock, log, tracker
+
+
+def test_fresh_view_has_zero_lag():
+    clock, log, tracker = make_tracker()
+    log.append("insert", "orders", [(1,)])
+    tracker.track("v", log.head_lsn)
+    freshness = tracker.freshness("v")
+    assert freshness.is_fresh
+    assert freshness.lag_records == 0
+    assert freshness.lag_seconds == 0.0
+    assert tracker.freshness("unknown") is None
+
+
+def test_lag_counts_records_and_ages_with_the_clock():
+    clock, log, tracker = make_tracker()
+    tracker.track("v", 0)
+    log.append("insert", "orders", [(1,)])
+    clock.advance(5.0)
+    log.append("insert", "orders", [(2,)])
+    freshness = tracker.freshness("v")
+    assert freshness.lag_records == 2
+    # Lag is measured from the *first* unabsorbed record: the view is as
+    # stale as its oldest missing change, not its newest.
+    assert freshness.lag_seconds == 5.0
+    clock.advance(2.5)
+    assert tracker.freshness("v").lag_seconds == 7.5
+
+
+def test_zero_bound_excludes_any_lag():
+    clock, log, tracker = make_tracker()
+    tracker.track("lagging", 0)
+    tracker.track("fresh", 0)
+    log.append("insert", "orders", [(1,)])
+    tracker.track("fresh", log.head_lsn)
+    bound = tracker.bound(0)
+    assert bound("fresh") is None
+    detail = bound("lagging")
+    assert detail is not None and "max_staleness=0" in detail
+    assert bound.stale_views == frozenset({"lagging"})
+    # Views the tracker never heard of are implicitly fresh.
+    assert bound("unmanaged") is None
+
+
+def test_positive_bound_tolerates_recent_lag():
+    clock, log, tracker = make_tracker()
+    tracker.track("v", 0)
+    log.append("insert", "orders", [(1,)])
+    clock.advance(3.0)
+    assert tracker.bound(10.0)("v") is None
+    clock.advance(8.0)
+    detail = tracker.bound(10.0)("v")
+    assert detail is not None and "exceeds max_staleness" in detail
+
+
+def test_forget_drops_the_watermark():
+    clock, log, tracker = make_tracker()
+    tracker.track("v", 0)
+    assert tracker.tracked_views() == ("v",)
+    tracker.forget("v")
+    assert tracker.tracked_views() == ()
+    assert tracker.applied_lsn("v") is None
+    tracker.forget("v")  # idempotent

@@ -132,6 +132,23 @@ class TestEveryRejectReasonCarriesDetail:
         )
         assert_rejected(result, RejectReason.AGGREGATE)
 
+    def test_stale(self, catalog):
+        # STALE is produced by the matcher's staleness policy, not by
+        # match_view: the candidate is excluded before structural
+        # matching runs, carrying the policy's detail string.
+        from repro.core import ViewMatcher
+
+        matcher = ViewMatcher(catalog)
+        matcher.register_view(
+            "v", catalog.bind_sql("select l_orderkey as k from lineitem")
+        )
+        results = matcher.match(
+            catalog.bind_sql("select l_orderkey from lineitem"),
+            staleness=lambda name: f"view {name} lags the log head",
+        )
+        assert len(results) == 1
+        assert_rejected(results[0], RejectReason.STALE)
+
 
 def test_every_variant_is_covered():
     """This module pins all RejectReason variants; fail fast if one is added."""

@@ -306,6 +306,66 @@ class TestChangeEvents:
         maintainer.register("mv", catalog.bind_sql("select k as k from t"))
         assert events == []
 
+    def test_failing_listener_is_isolated(self, setup):
+        """A listener that raises must not break maintenance or starve
+        the listeners registered after it (regression: a raising
+        listener used to propagate out of ``insert``/``delete``,
+        leaving views updated but downstream caches never notified)."""
+        catalog, database, maintainer = setup
+        maintainer.register("mv", catalog.bind_sql("select k as k from t"))
+        events: list[ViewChangeEvent] = []
+
+        def failing(event):
+            raise RuntimeError("listener bug")
+
+        maintainer.add_listener(failing)
+        maintainer.add_listener(events.append)
+        maintainer.insert("t", [(5, 0, 50.0, "c")])
+        maintainer.delete("t", [(5, 0, 50.0, "c")])
+        # Maintenance completed and the healthy listener saw both events.
+        assert [e.kind for e in events] == ["insert", "delete"]
+        assert database.row_count("mv") == 4
+
+    def test_events_carry_the_changed_rows(self, setup):
+        catalog, _database, maintainer = setup
+        maintainer.register("mv", catalog.bind_sql("select k as k from t"))
+        events: list[ViewChangeEvent] = []
+        maintainer.add_listener(events.append)
+        maintainer.insert("t", [(5, 0, 50.0, "c")])
+        maintainer.delete("t", [(5, 0, 50.0, "c")])
+        assert [(e.kind, e.rows) for e in events] == [
+            ("insert", ((5, 0, 50.0, "c"),)),
+            ("delete", ((5, 0, 50.0, "c"),)),
+        ]
+
+    def test_delete_where_emits_the_same_events_as_delete(self, setup):
+        """``delete_where`` must route through ``delete`` so the change
+        stream (and hence a CDC log fed by it) records the concrete
+        victim rows -- a predicate delete that skipped the event channel
+        would silently desynchronize any downstream change consumer."""
+        catalog, _database, maintainer = setup
+        maintainer.register("mv", catalog.bind_sql("select k as k from t"))
+        predicate_events: list[ViewChangeEvent] = []
+        maintainer.add_listener(predicate_events.append)
+        removed = maintainer.delete_where("t", lambda row: row[1] == 0)
+        assert removed == 2
+        (event,) = predicate_events
+        assert event.kind == "delete"
+        assert event.table == "t"
+        assert "mv" in event.views
+        assert sorted(event.rows) == [
+            (1, 0, 10.0, "a"),
+            (2, 0, 20.0, "b"),
+        ]
+
+    def test_delete_where_with_no_victims_emits_nothing(self, setup):
+        catalog, _database, maintainer = setup
+        maintainer.register("mv", catalog.bind_sql("select k as k from t"))
+        events: list[ViewChangeEvent] = []
+        maintainer.add_listener(events.append)
+        assert maintainer.delete_where("t", lambda row: row[0] > 99) == 0
+        assert events == []
+
 
 class TestMaintenanceMatchesRecomputation:
     """Randomized sequence of inserts/deletes vs. recompute-from-scratch."""

@@ -73,3 +73,75 @@ def test_maintained_view_equals_recomputation(view_statement, ops):
         assert fresh.bag_equals(current, float_digits=9), (
             f"view diverged after {kind}: {statement_to_sql(view_statement)}"
         )
+
+
+churn_operations = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["insert", "delete", "delete_where", "register", "unregister"]
+        ),
+        fact_rows,
+        st.randoms(),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        spjg_statements(for_view=True), min_size=2, max_size=3
+    ),
+    churn_operations,
+)
+def test_views_survive_mutation_and_registration_churn(definitions, ops):
+    """Interleaved writes and register/unregister churn stay sound.
+
+    Every *currently registered* view must equal recomputation after
+    every operation -- including predicate deletes (which must flow
+    through the same delta path as row deletes) and views registered
+    mid-stream over an already-mutated table.
+    """
+    maintainer = ViewMaintainer(CATALOG, fresh_database())
+    database = maintainer.database
+    registered: dict[str, object] = {}
+    sequence = 0
+    for kind, rows, rng in ops:
+        if kind == "insert":
+            maintainer.insert("fact", rows)
+        elif kind == "delete":
+            stored = database.relation("fact").rows
+            if not stored:
+                continue
+            victims = rng.sample(stored, min(len(stored), len(rows)))
+            maintainer.delete("fact", victims)
+        elif kind == "delete_where":
+            group = rng.randrange(6)
+            maintainer.delete_where("fact", lambda row: row[1] == group)
+        elif kind == "register":
+            statement = definitions[sequence % len(definitions)]
+            name = f"mv{sequence}"
+            sequence += 1
+            try:
+                maintainer.register(name, statement)
+            except MatchError:
+                continue  # not maintainable (e.g. missing count_big)
+            registered[name] = statement
+        else:  # unregister
+            if not registered:
+                continue
+            name = rng.choice(sorted(registered))
+            maintainer.unregister(name)
+            del registered[name]
+        for name in registered:
+            view = next(v for v in maintainer.views() if v.name == name)
+            fresh = execute(view.statement, database)
+            stored_view = database.relation(name)
+            current = QueryResult(
+                columns=stored_view.columns, rows=list(stored_view.rows)
+            )
+            assert fresh.bag_equals(current, float_digits=9), (
+                f"view {name} diverged after {kind}: "
+                f"{statement_to_sql(view.statement)}"
+            )

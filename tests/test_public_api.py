@@ -26,6 +26,7 @@ SUBPACKAGES = [
     "repro.maintenance",
     "repro.advisor",
     "repro.service",
+    "repro.cdc",
 ]
 
 
