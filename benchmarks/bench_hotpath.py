@@ -68,6 +68,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--queries", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
+        "--catalog-scale",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the catalog-scale point's view count (default "
+        "100000 in the full sweep, disabled in --smoke; 0 disables)",
+    )
+    parser.add_argument(
         "--output", default=None, help="write the JSON report to this path"
     )
     parser.add_argument(
@@ -117,6 +125,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["query_count"] = arguments.queries
     if arguments.seed is not None:
         overrides["seed"] = arguments.seed
+    if arguments.catalog_scale is not None:
+        overrides["catalog_scale_views"] = arguments.catalog_scale
     if overrides:
         config = dataclasses.replace(config, **overrides)
 
@@ -162,6 +172,7 @@ def test_hotpath_bench_smoke():
         probe_runs=1,
         end_to_end_view_counts=(120,),
         end_to_end_runs=1,
+        catalog_scale_views=0,  # the 100k point is not a smoke test
     )
     report = run_hotpath_benchmark(config, echo=None)
     (entry,) = report["sizes"]

@@ -96,6 +96,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     hotpath.add_argument("--queries", type=int, default=None)
     hotpath.add_argument("--seed", type=int, default=None)
+    hotpath.add_argument(
+        "--catalog-scale",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "override the catalog-scale point's view count (default "
+            "100000 in the full sweep, disabled in --smoke; 0 disables)"
+        ),
+    )
     hotpath.add_argument("--output", default=None, help="write JSON report here")
     hotpath.add_argument(
         "--check-baseline",
@@ -313,6 +323,7 @@ def main(argv: list[str] | None = None) -> int:
             views=tuple(arguments.views) if arguments.views else None,
             queries=arguments.queries,
             seed=arguments.seed,
+            catalog_scale=arguments.catalog_scale,
             output=arguments.output,
             check_baseline=arguments.check_baseline,
             check_overhead=arguments.check_overhead,

@@ -236,6 +236,7 @@ def run_bench_hotpath(
     views: tuple[int, ...] | None = None,
     queries: int | None = None,
     seed: int | None = None,
+    catalog_scale: int | None = None,
     output: str | None = None,
     check_baseline: str | None = None,
     check_overhead: str | None = None,
@@ -258,10 +259,13 @@ def run_bench_hotpath(
     tracer installed, so any regression it reports is overhead the
     tracing instrumentation added to the disabled path.
     ``check_speedups`` enforces the absolute floors: probe compilation
-    >=2x over the reference pipeline, and batched end-to-end rewriting
-    >=2x over the sequential loop on multi-core hosts. ``profile``
-    skips the benchmark entirely and prints cProfile top-N tables for
-    the probe-build and full-match phases instead.
+    >=2x over the reference pipeline, batched end-to-end rewriting
+    >=2x over the sequential loop on multi-core hosts, and -- when the
+    report carries a memory section -- the bytes-per-registered-view
+    budget. ``catalog_scale`` overrides the 100k-view packed-path
+    point's view count (0 disables it). ``profile`` skips the benchmark
+    entirely and prints cProfile top-N tables for the probe-build and
+    full-match phases instead.
     """
     import dataclasses
     import json
@@ -284,6 +288,8 @@ def run_bench_hotpath(
         overrides["query_count"] = queries
     if seed is not None:
         overrides["seed"] = seed
+    if catalog_scale is not None:
+        overrides["catalog_scale_views"] = catalog_scale
     if overrides:
         config = dataclasses.replace(config, **overrides)
     if profile is not None:

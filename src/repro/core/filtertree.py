@@ -28,6 +28,7 @@ never prunes a view the matcher would accept.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
 from typing import TYPE_CHECKING, Iterable
 
 from ..obs.trace import current_tracer
@@ -35,7 +36,7 @@ from ..sql.expressions import ColumnRef, Expression, FuncCall, Literal
 from .describe import SpjgDescription, normalized_aggregate_template
 from .equivalence import ColumnKey
 from .fkgraph import compute_hub
-from .interning import KeyInterner
+from .interning import KeyInterner, PackedBitsetTable
 from .lattice import Key, LatticeIndex
 from .matching import ViewMatchContext
 from .normalize import classify_predicate
@@ -194,6 +195,7 @@ class _BoundProbe:
         "output_requirements",
         "grouping_requirements",
         "class_masks",
+        "packed_cache",
     )
 
     def __init__(self, probe: "QueryProbe", interner: KeyInterner):
@@ -219,6 +221,10 @@ class _BoundProbe:
             for req in probe.grouping_requirements
         )
         self.class_masks: dict[Key, tuple[int, bool]] = {}
+        # Compiled packed-sweep query vectors, stashed here by
+        # _PackedSubtree keyed on its serial: the bound probe is the
+        # natural lifetime for them (rebuilt whenever the interner grows).
+        self.packed_cache: dict[int, tuple] = {}
 
 
 @dataclass
@@ -1004,24 +1010,341 @@ class GroupingColumnLevel(_Level):
         )
 
 
+# Levels are stateless; the default compositions and the packed flat
+# layout below share these singletons so every path keys views identically.
+_HUB_LEVEL = HubLevel()
+_SOURCE_TABLE_LEVEL = SourceTableLevel()
+_OUTPUT_EXPRESSION_LEVEL = OutputExpressionLevel()
+_OUTPUT_COLUMN_LEVEL = OutputColumnLevel()
+_RESIDUAL_LEVEL = ResidualLevel()
+_RANGE_LEVEL = RangeConstraintLevel()
+_GROUPING_EXPRESSION_LEVEL = GroupingExpressionLevel()
+_GROUPING_COLUMN_LEVEL = GroupingColumnLevel()
+
 SPJ_LEVELS: tuple[_Level, ...] = (
-    HubLevel(),
-    SourceTableLevel(),
-    OutputColumnLevel(),
-    ResidualLevel(),
-    RangeConstraintLevel(),
+    _HUB_LEVEL,
+    _SOURCE_TABLE_LEVEL,
+    _OUTPUT_COLUMN_LEVEL,
+    _RESIDUAL_LEVEL,
+    _RANGE_LEVEL,
 )
 
 AGGREGATE_LEVELS: tuple[_Level, ...] = (
-    HubLevel(),
-    SourceTableLevel(),
-    OutputExpressionLevel(),
-    OutputColumnLevel(),
-    ResidualLevel(),
-    RangeConstraintLevel(),
-    GroupingExpressionLevel(),
-    GroupingColumnLevel(),
+    _HUB_LEVEL,
+    _SOURCE_TABLE_LEVEL,
+    _OUTPUT_EXPRESSION_LEVEL,
+    _OUTPUT_COLUMN_LEVEL,
+    _RESIDUAL_LEVEL,
+    _RANGE_LEVEL,
+    _GROUPING_EXPRESSION_LEVEL,
+    _GROUPING_COLUMN_LEVEL,
 )
+
+
+# ---------------------------------------------------------------------------
+# The packed flat layout
+# ---------------------------------------------------------------------------
+
+# Serial numbers for _PackedSubtree instances: compiled query vectors are
+# cached on the bound probe keyed by serial, and serials are never reused,
+# so a probe outliving an epoch's subtrees can never hit a stale entry.
+_subtree_serials = count()
+
+
+class _PackedSubtree:
+    """One subtree's level conditions, fused into a single columnar sweep.
+
+    The decomposition: a view survives the tree search iff it satisfies
+    every level's condition (each level is a pure filter, so the recursive
+    partition search equals the flat conjunction). The mask-only levels --
+    hub (subset), source tables (superset), residual templates (subset),
+    range-constraint classes, and on the aggregate subtree output and
+    grouping expressions (superset) -- compile into one
+    :class:`PackedBitsetTable` row per view over *locally* allocated atom
+    bits, so one ``(row ^ flip) & query == 0`` sweep answers all of them
+    for the whole catalog at once. Atoms are schema-bounded (tables,
+    templates, distinct constraint classes), so rows stay one or two
+    words wide however many views are registered.
+
+    Sense encoding: subset-level atoms contribute ``universe & ~probe``
+    to the query (a row fails if it carries an atom the probe lacks);
+    superset-level atoms are allocated flip=True and contribute the
+    probe's atoms (a row fails if it lacks one). A superset-level probe
+    atom absent from the local dictionary means no view here carries it,
+    so the subtree returns empty -- exactly the lattice's completeness
+    short-circuit. The range level reduces to subset form per query: each
+    distinct constraint class (itself one atom) gets a pass/fail verdict
+    via the same interned-mask test as :func:`_classes_hit_bits`, and a
+    view passes iff its class atoms avoid every failing class.
+
+    The two per-item requirement levels (output columns, grouping
+    columns) do not fuse into fixed-width masks; they are evaluated only
+    on sweep survivors via :func:`_requirements_satisfied_bits` against
+    per-view interned key masks kept in parallel arrays -- survivors are
+    a tiny fraction of the catalog, so this stage stays off the
+    per-view-python-loop hot path.
+    """
+
+    __slots__ = (
+        "interner",
+        "aggregate",
+        "table",
+        "_serial",
+        "_views",
+        "_row_of",
+        "_output_bits",
+        "_grouping_bits",
+        "_hub_atoms",
+        "_hub_universe",
+        "_tables_atoms",
+        "_residual_atoms",
+        "_residual_universe",
+        "_range_atoms",
+        "_range_universe",
+        "_outexpr_atoms",
+        "_groupexpr_atoms",
+    )
+
+    def __init__(self, interner: KeyInterner, aggregate: bool) -> None:
+        self.interner = interner
+        self.aggregate = aggregate
+        self.table = PackedBitsetTable()
+        self._serial = next(_subtree_serials)
+        self._views: list[RegisteredView] = []
+        self._row_of: dict[str, int] = {}
+        # Interned (global) masks of the requirement-level keys, parallel
+        # to the table's rows; consumed per-survivor only.
+        self._output_bits: list[int] = []
+        self._grouping_bits: list[int] = []
+        # Per-level local atom dictionaries: element -> single-bit mask in
+        # the fused table. Universes (OR of every allocated bit of a
+        # subset-sense level) drive the "no atom outside the probe" query
+        # construction; stale bits left by removals are harmless (no
+        # remaining row carries them).
+        self._hub_atoms: dict = {}
+        self._hub_universe = 0
+        self._tables_atoms: dict = {}
+        self._residual_atoms: dict = {}
+        self._residual_universe = 0
+        self._range_atoms: dict = {}
+        self._range_universe = 0
+        self._outexpr_atoms: dict = {}
+        self._groupexpr_atoms: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    # -- maintenance (registration side) --------------------------------------
+
+    def _union(self, atoms: dict, elements: Iterable, flip: bool) -> int:
+        mask = 0
+        table = self.table
+        for element in elements:
+            bit = atoms.get(element)
+            if bit is None:
+                bit = table.alloc_bit(flip)
+                atoms[element] = bit
+            mask |= bit
+        return mask
+
+    def add(self, view: RegisteredView) -> None:
+        interner = self.interner
+        mask = self._union(
+            self._hub_atoms, _HUB_LEVEL.view_key(view), False
+        )
+        self._hub_universe |= mask
+        row_mask = mask
+        row_mask |= self._union(
+            self._tables_atoms, _SOURCE_TABLE_LEVEL.view_key(view), True
+        )
+        mask = self._union(
+            self._residual_atoms, _RESIDUAL_LEVEL.view_key(view), False
+        )
+        self._residual_universe |= mask
+        row_mask |= mask
+        mask = self._union(
+            self._range_atoms, _RANGE_LEVEL.view_key(view), False
+        )
+        self._range_universe |= mask
+        row_mask |= mask
+        if self.aggregate:
+            row_mask |= self._union(
+                self._outexpr_atoms,
+                _OUTPUT_EXPRESSION_LEVEL.view_key(view),
+                True,
+            )
+            row_mask |= self._union(
+                self._groupexpr_atoms,
+                _GROUPING_EXPRESSION_LEVEL.view_key(view),
+                True,
+            )
+            self._grouping_bits.append(
+                interner.mask(_GROUPING_COLUMN_LEVEL.view_key(view))
+            )
+        self._output_bits.append(
+            interner.mask(_OUTPUT_COLUMN_LEVEL.view_key(view))
+        )
+        row = self.table.append(row_mask)
+        self._views.append(view)
+        self._row_of[view.name] = row
+
+    def remove(self, view: RegisteredView) -> None:
+        row = self._row_of.pop(view.name)
+        self.table.pop(row)
+        views = self._views
+        last = len(views) - 1
+        if row != last:
+            moved = views[last]
+            views[row] = moved
+            self._output_bits[row] = self._output_bits[last]
+            if self.aggregate:
+                self._grouping_bits[row] = self._grouping_bits[last]
+            self._row_of[moved.name] = row
+        views.pop()
+        self._output_bits.pop()
+        if self.aggregate:
+            self._grouping_bits.pop()
+
+    # -- searching (query side, read-only) -------------------------------------
+
+    @staticmethod
+    def _subset_mask(atoms: dict, elements: Iterable) -> int:
+        """Local bits of the probe atoms this subtree knows (rest dropped:
+        an unknown atom appears in no stored row, so it cannot forbid)."""
+        mask = 0
+        for element in elements:
+            bit = atoms.get(element)
+            if bit is not None:
+                mask |= bit
+        return mask
+
+    @staticmethod
+    def _superset_mask(atoms: dict, elements: Iterable) -> int | None:
+        """Local bits of the probe atoms, or ``None`` when one is unknown
+        here -- no view in this subtree can then cover the probe."""
+        mask = 0
+        for element in elements:
+            bit = atoms.get(element)
+            if bit is None:
+                return None
+            mask |= bit
+        return mask
+
+    def _compile(self, probe: QueryProbe, bound: _BoundProbe):
+        """The fused query vector for one probe, or ``None`` for a
+        provably-empty result (superset-level early out)."""
+        required = self._superset_mask(self._tables_atoms, probe.tables)
+        if required is None:
+            return None
+        query = required
+        if self.aggregate:
+            required = self._superset_mask(
+                self._outexpr_atoms, probe.aggregate_templates
+            )
+            if required is None:
+                return None
+            query |= required
+            required = self._superset_mask(
+                self._groupexpr_atoms, probe.grouping_templates
+            )
+            if required is None:
+                return None
+            query |= required
+        query |= self._hub_universe & ~self._subset_mask(
+            self._hub_atoms, probe.tables
+        )
+        query |= self._residual_universe & ~self._subset_mask(
+            self._residual_atoms, probe.residual_templates
+        )
+        # Range-constraint level: verdict per distinct class, then subset
+        # against the passing classes (mirrors _classes_hit_bits).
+        ok = 0
+        interner = self.interner
+        range_mask = bound.range_mask
+        class_masks = bound.class_masks
+        constrained = None
+        for cls, bit in self._range_atoms.items():
+            entry = class_masks.get(cls)
+            if entry is None:
+                entry = interner.known_mask(cls)
+                class_masks[cls] = entry
+            mask, complete = entry
+            if mask & range_mask:
+                ok |= bit
+                continue
+            if complete:
+                continue
+            if constrained is None:
+                constrained = probe.range_constrained_columns
+            if cls & constrained:
+                ok |= bit
+        query |= self._range_universe & ~ok
+        return self.table.prepare(query)
+
+    def collect(
+        self,
+        probe: QueryProbe,
+        bound: _BoundProbe,
+        out: "list[RegisteredView]",
+    ) -> None:
+        """Append every view passing all of this subtree's levels."""
+        views = self._views
+        if not views:
+            return
+        generation = self.table.generation
+        cache = bound.packed_cache
+        entry = cache.get(self._serial)
+        if entry is None or entry[0] != generation:
+            entry = (generation, self._compile(probe, bound))
+            cache[self._serial] = entry
+        prepared = entry[1]
+        if prepared is None:
+            return
+        output_requirements = bound.output_requirements
+        grouping_requirements = (
+            bound.grouping_requirements if self.aggregate else ()
+        )
+        output_bits = self._output_bits
+        grouping_bits = self._grouping_bits
+        for row in self.table.sweep(prepared):
+            if not _requirements_satisfied_bits(
+                output_requirements, output_bits[row]
+            ):
+                continue
+            if grouping_requirements and not _requirements_satisfied_bits(
+                grouping_requirements, grouping_bits[row]
+            ):
+                continue
+            out.append(views[row])
+
+    # -- copy-on-write snapshots -----------------------------------------------
+
+    def snapshot(self) -> "_PackedSubtree":
+        """A subtree sharing this one's packed rows copy-on-write.
+
+        The table snapshot shares the backing byte image; the parallel
+        arrays and atom dictionaries are flat pointer copies (O(views)),
+        far below the cost of re-keying and re-interning every view.
+        """
+        clone = _PackedSubtree.__new__(_PackedSubtree)
+        clone.interner = self.interner
+        clone.aggregate = self.aggregate
+        clone.table = self.table.snapshot()
+        clone._serial = next(_subtree_serials)
+        clone._views = list(self._views)
+        clone._row_of = dict(self._row_of)
+        clone._output_bits = list(self._output_bits)
+        clone._grouping_bits = list(self._grouping_bits)
+        clone._hub_atoms = dict(self._hub_atoms)
+        clone._hub_universe = self._hub_universe
+        clone._tables_atoms = dict(self._tables_atoms)
+        clone._residual_atoms = dict(self._residual_atoms)
+        clone._residual_universe = self._residual_universe
+        clone._range_atoms = dict(self._range_atoms)
+        clone._range_universe = self._range_universe
+        clone._outexpr_atoms = dict(self._outexpr_atoms)
+        clone._groupexpr_atoms = dict(self._groupexpr_atoms)
+        return clone
 
 
 # ---------------------------------------------------------------------------
@@ -1133,6 +1456,7 @@ class FilterTree:
         aggregate_levels: tuple[_Level, ...] | None = None,
         interner: KeyInterner | None = None,
         use_interning: bool = True,
+        use_packed: bool = True,
     ):
         """Build an empty tree.
 
@@ -1147,15 +1471,42 @@ class FilterTree:
         stable); by default each tree creates its own. ``use_interning=
         False`` drops to plain frozenset keys everywhere -- the reference
         configuration of the hot-path benchmark and property tests.
+
+        ``use_packed`` selects the columnar flat layout: with the default
+        level composition and an interner, candidate searches sweep two
+        :class:`_PackedSubtree` tables instead of walking the recursive
+        tree, and the Hasse-diagram tree is only materialized on demand
+        (diagnostics, custom traversals). ``use_packed=False`` keeps the
+        recursive tree as the primary index -- the property tests pin the
+        two paths to identical candidate lists.
         """
         self.options = options
         if interner is None and use_interning:
             interner = KeyInterner()
         self.interner = interner
-        self._spj_root = _TreeNode(spj_levels or SPJ_LEVELS, 0, interner)
-        self._aggregate_root = _TreeNode(
-            aggregate_levels or AGGREGATE_LEVELS, 0, interner
+        self._spj_levels = spj_levels or SPJ_LEVELS
+        self._aggregate_levels = aggregate_levels or AGGREGATE_LEVELS
+        # The packed layout fuses exactly the default level conditions;
+        # custom compositions (the ordering-ablation hook) fall back to
+        # the recursive tree, as does the non-interned reference mode.
+        self._use_packed = (
+            use_packed
+            and interner is not None
+            and spj_levels is None
+            and aggregate_levels is None
         )
+        if self._use_packed:
+            self._spj_packed = _PackedSubtree(interner, aggregate=False)
+            self._aggregate_packed = _PackedSubtree(interner, aggregate=True)
+            self._spj_root_node: _TreeNode | None = None
+            self._aggregate_root_node: _TreeNode | None = None
+        else:
+            self._spj_packed = None
+            self._aggregate_packed = None
+            self._spj_root_node = _TreeNode(self._spj_levels, 0, interner)
+            self._aggregate_root_node = _TreeNode(
+                self._aggregate_levels, 0, interner
+            )
         self._registered: dict[str, RegisteredView] = {}
         # Registration sequence numbers: candidate lists are returned in
         # registration order (a deterministic, index-layout-independent
@@ -1167,6 +1518,41 @@ class FilterTree:
 
     def __len__(self) -> int:
         return len(self._registered)
+
+    # -- the recursive tree (materialized on demand in packed mode) -----------
+
+    @property
+    def _spj_root(self) -> _TreeNode:
+        if self._spj_root_node is None:
+            self._materialize_trees()
+        return self._spj_root_node
+
+    @property
+    def _aggregate_root(self) -> _TreeNode:
+        if self._aggregate_root_node is None:
+            self._materialize_trees()
+        return self._aggregate_root_node
+
+    def _materialize_trees(self) -> None:
+        """Build the recursive Hasse-diagram trees from the registry.
+
+        In packed mode the flat sweep serves every search, so the trees
+        exist only for diagnostics and explicit traversals; they are
+        replayed here on first access (registration order, for
+        deterministic lattice links) and kept in sync by the mutators
+        afterwards. Copy-on-write clones reset them to lazy again.
+        """
+        spj = _TreeNode(self._spj_levels, 0, self.interner)
+        aggregate = _TreeNode(self._aggregate_levels, 0, self.interner)
+        order = self._order
+        for name in sorted(self._registered, key=order.__getitem__):
+            view = self._registered[name]
+            if view.description.is_aggregate:
+                aggregate.add(view)
+            else:
+                spj.add(view)
+        self._spj_root_node = spj
+        self._aggregate_root_node = aggregate
 
     def register(self, description: SpjgDescription) -> RegisteredView:
         """Index a view description into the tree.
@@ -1199,12 +1585,20 @@ class FilterTree:
             raise ValueError("only named views can be registered")
         if name in self._registered:
             raise ValueError(f"view {name} already registered")
-        root = (
-            self._aggregate_root
-            if view.description.is_aggregate
-            else self._spj_root
-        )
-        root.add(view)
+        aggregate = view.description.is_aggregate
+        if self._use_packed:
+            (self._aggregate_packed if aggregate else self._spj_packed).add(
+                view
+            )
+            root = (
+                self._aggregate_root_node if aggregate else self._spj_root_node
+            )
+            if root is not None:  # keep a materialized tree in sync
+                root.add(view)
+        else:
+            (self._aggregate_root_node if aggregate else self._spj_root_node).add(
+                view
+            )
         self._registered[name] = view
         self._order[name] = self._next_order
         self._next_order += 1
@@ -1216,12 +1610,20 @@ class FilterTree:
         if view is None:
             raise KeyError(f"view {name} not registered")
         del self._order[name]
-        root = (
-            self._aggregate_root
-            if view.description.is_aggregate
-            else self._spj_root
-        )
-        root.remove(view)
+        aggregate = view.description.is_aggregate
+        if self._use_packed:
+            (self._aggregate_packed if aggregate else self._spj_packed).remove(
+                view
+            )
+            root = (
+                self._aggregate_root_node if aggregate else self._spj_root_node
+            )
+            if root is not None:
+                root.remove(view)
+        else:
+            (
+                self._aggregate_root_node if aggregate else self._spj_root_node
+            ).remove(view)
 
     def views(self) -> tuple[RegisteredView, ...]:
         """All registered views, in registration order."""
@@ -1231,6 +1633,28 @@ class FilterTree:
         """The registered view under ``name`` (None when absent)."""
         return self._registered.get(name)
 
+    def collect_candidates(
+        self,
+        probe: QueryProbe,
+        bound: _BoundProbe | None,
+        out: list[RegisteredView],
+        include_aggregate: bool,
+    ) -> None:
+        """Append this tree's candidates (unsorted) for a bound probe.
+
+        The single entry point behind :meth:`candidates` and the sharded
+        tree's per-shard fan-out: packed mode sweeps the flat subtree
+        tables, every other configuration walks the recursive tree.
+        """
+        if self._use_packed and bound is not None:
+            self._spj_packed.collect(probe, bound, out)
+            if include_aggregate:
+                self._aggregate_packed.collect(probe, bound, out)
+            return
+        self._spj_root.search(probe, bound, out)
+        if include_aggregate:
+            self._aggregate_root.search(probe, bound, out)
+
     def candidates(self, query: SpjgDescription) -> list[RegisteredView]:
         """Views passing all filter conditions, in registration order."""
         probe = QueryProbe.cached_of(query, self.options)
@@ -1238,15 +1662,41 @@ class FilterTree:
         # in both subtrees shares it.
         bound = probe.bind(self.interner) if self.interner is not None else None
         found: list[RegisteredView] = []
-        self._spj_root.search(probe, bound, found)
-        if query.is_aggregate:
-            self._aggregate_root.search(probe, bound, found)
+        self.collect_candidates(probe, bound, found, query.is_aggregate)
         order = self._order
         found.sort(key=lambda view: order[view.description.name])
         tracer = current_tracer()
         if tracer.active:
             tracer.on_filter_tree(self, query, found)
         return found
+
+    def clone_cow(self) -> "FilterTree":
+        """An epoch clone sharing the packed arrays copy-on-write.
+
+        The serving layer's snapshot rebuild uses this to derive a dirty
+        shard's next epoch from the previous one: the clone shares the
+        packed byte images (copied only if a side mutates rows) and copies
+        the registry dictionaries flat, then the caller applies the
+        registration delta. The recursive trees are reset to lazy -- an
+        unregister on the clone must not splice nodes out of lattice
+        structures the published previous epoch still serves.
+        """
+        if not self._use_packed:
+            raise ValueError("clone_cow requires the packed layout")
+        clone = FilterTree.__new__(FilterTree)
+        clone.options = self.options
+        clone.interner = self.interner
+        clone._spj_levels = self._spj_levels
+        clone._aggregate_levels = self._aggregate_levels
+        clone._use_packed = True
+        clone._spj_packed = self._spj_packed.snapshot()
+        clone._aggregate_packed = self._aggregate_packed.snapshot()
+        clone._spj_root_node = None
+        clone._aggregate_root_node = None
+        clone._registered = dict(self._registered)
+        clone._order = dict(self._order)
+        clone._next_order = self._next_order
+        return clone
 
     def lattice_node_count(self) -> int:
         """Total lattice nodes across every index of both subtrees.
@@ -1292,14 +1742,14 @@ class FilterTree:
         )
         attribution: list[tuple[str, int, int, tuple[str, ...]]] = []
         max_depth = max(
-            len(self._spj_root.levels), len(self._aggregate_root.levels)
+            len(self._spj_levels), len(self._aggregate_levels)
         )
         for depth in range(max_depth):
             entering = len(spj_views) + len(aggregate_views)
             pruned: list[str] = []
             for views, levels in (
-                (spj_views, self._spj_root.levels),
-                (aggregate_views, self._aggregate_root.levels),
+                (spj_views, self._spj_levels),
+                (aggregate_views, self._aggregate_levels),
             ):
                 if depth >= len(levels):
                     continue
@@ -1312,7 +1762,7 @@ class FilterTree:
                         pruned.append(view.name)
                 views[:] = kept
             names = set()
-            for levels in (self._spj_root.levels, self._aggregate_root.levels):
+            for levels in (self._spj_levels, self._aggregate_levels):
                 if depth < len(levels):
                     names.add(levels[depth].name)
             attribution.append(

@@ -31,17 +31,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
 
-from .interning import KeyInterner
+from .interning import KeyInterner, PackedBitsetTable
 
 Key = frozenset
 T = TypeVar("T")
 
-# Interned indexes at or below this size answer searches with one flat
-# pass of ``a & b`` tests over all nodes instead of walking the Hasse
-# diagram: the bit test is so much cheaper than the traversal's
-# pointer-chasing and visited-set bookkeeping that pruning only pays off
-# on larger indexes. Both strategies return exactly the same node set
-# (every search is a pure filter; the diagram is only a pruning device).
+# Interned indexes at or below this size answer subset/superset searches
+# with one flat pass of ``a & b`` tests over all nodes; above it, they
+# sweep a packed columnar table of order-bit rows (see _packed_rows)
+# instead of walking the Hasse diagram: the per-row bit test is so much
+# cheaper than the traversal's pointer-chasing and visited-set
+# bookkeeping that pruning never pays off, and the packed sweep moves
+# the whole scan out of the python loop. Every strategy returns exactly
+# the same node set (each search is a pure filter; the diagram is only a
+# pruning device, still maintained for the monotone/weak walks).
 _FLAT_SCAN_LIMIT = 48
 
 
@@ -86,6 +89,11 @@ class LatticeIndex:
         # out; the tree search tests this attribute to bypass the lattice
         # machinery entirely for them.
         self.sole: LatticeNode | None = None
+        # Columnar order-bit rows for large interned indexes: built lazily
+        # the first time a subset/superset search would otherwise walk the
+        # Hasse diagram, invalidated by any mutation. One vectorized sweep
+        # over contiguous rows replaces the pointer-chasing walk.
+        self._packed: tuple[PackedBitsetTable, list[LatticeNode], dict[int, int], int] | None = None
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -117,6 +125,7 @@ class LatticeIndex:
         self._link(node)
         self._nodes[key] = node
         self.sole = node if len(self._nodes) == 1 else None
+        self._packed = None
         return node
 
     def _link(self, node: LatticeNode) -> None:
@@ -192,6 +201,7 @@ class LatticeIndex:
         self.sole = (
             next(iter(self._nodes.values())) if len(self._nodes) == 1 else None
         )
+        self._packed = None
         # Splice the node out: its parents adopt its children when no other
         # path exists between them.
         use_bits = self.interner is not None
@@ -214,6 +224,55 @@ class LatticeIndex:
             self.roots.extend(
                 parent for parent in node.supersets if not parent.subsets
             )
+
+    # -- packed flat sweeps ------------------------------------------------------
+
+    def _packed_rows(
+        self,
+    ) -> tuple[PackedBitsetTable, list[LatticeNode], dict[int, int], int]:
+        """The index's order-bit rows as a packed table (built lazily).
+
+        Global interner bits are compressed to dense local positions so the
+        rows stay one or two words wide however large the shared interner
+        grows; the mapping is rebuilt with the table on any mutation.
+        """
+        packed = self._packed
+        if packed is None:
+            node_list = list(self._nodes.values())
+            union = 0
+            for node in node_list:
+                union |= node.order_bits
+            table = PackedBitsetTable()
+            mapping: dict[int, int] = {}
+            remaining = union
+            while remaining:
+                bit = remaining & -remaining
+                mapping[bit] = table.alloc_bit()
+                remaining ^= bit
+            for node in node_list:
+                table.append(_compress_bits(node.order_bits, mapping))
+            packed = (table, node_list, mapping, union)
+            self._packed = packed
+        return packed
+
+    def _packed_subsets(self, probe_bits: int) -> list[LatticeNode]:
+        table, node_list, mapping, union = self._packed_rows()
+        local = _compress_bits(probe_bits & union, mapping)
+        width_mask = (1 << table.width_bits) - 1
+        return [
+            node_list[row]
+            for row in table.sweep_mask(width_mask & ~local, 0)
+        ]
+
+    def _packed_supersets(self, probe_bits: int) -> list[LatticeNode]:
+        table, node_list, mapping, union = self._packed_rows()
+        if probe_bits & ~union:
+            # A probe atom no stored key contains: nothing is a superset.
+            return []
+        local = _compress_bits(probe_bits, mapping)
+        # Superset sense: a row passes when it covers every probe bit,
+        # i.e. ``(row ^ local) & local == 0``.
+        return [node_list[row] for row in table.sweep_mask(local, local)]
 
     # -- searches ----------------------------------------------------------------
 
@@ -238,26 +297,7 @@ class LatticeIndex:
                     for node in nodes.values()
                     if node.order_bits & probe_bits == node.order_bits
                 ]
-            found: list[LatticeNode] = []
-            seen: set[LatticeNode] = set()
-            stack = [
-                root
-                for root in self.roots
-                if root.order_bits & probe_bits == root.order_bits
-            ]
-            while stack:
-                node = stack.pop()
-                if node in seen:
-                    continue
-                seen.add(node)
-                found.append(node)
-                for parent in node.supersets:
-                    if (
-                        parent not in seen
-                        and parent.order_bits & probe_bits == parent.order_bits
-                    ):
-                        stack.append(parent)
-            return found
+            return self._packed_subsets(probe_bits)
         found = []
         seen = set()
         stack = [root for root in self.roots if root.order_key <= search_key]
@@ -297,26 +337,7 @@ class LatticeIndex:
                     for node in nodes.values()
                     if node.order_bits & probe_bits == probe_bits
                 ]
-            found: list[LatticeNode] = []
-            seen: set[LatticeNode] = set()
-            stack = [
-                top
-                for top in self.tops
-                if top.order_bits & probe_bits == probe_bits
-            ]
-            while stack:
-                node = stack.pop()
-                if node in seen:
-                    continue
-                seen.add(node)
-                found.append(node)
-                for child in node.subsets:
-                    if (
-                        child not in seen
-                        and child.order_bits & probe_bits == probe_bits
-                    ):
-                        stack.append(child)
-            return found
+            return self._packed_supersets(probe_bits)
         found = []
         seen = set()
         stack = [top for top in self.tops if top.order_key >= search_key]
@@ -433,6 +454,20 @@ class LatticeIndex:
         """Every payload in the index, in node order."""
         for node in self._nodes.values():
             yield from node.payloads
+
+
+def _compress_bits(mask: int, mapping: dict[int, int]) -> int:
+    """Re-encode a global interner mask onto dense local bit masks.
+
+    ``mapping`` sends each global single-bit mask to the local single-bit
+    mask :meth:`PackedBitsetTable.alloc_bit` allocated for it.
+    """
+    local = 0
+    while mask:
+        bit = mask & -mask
+        local |= mapping[bit]
+        mask ^= bit
+    return local
 
 
 def _minimal(nodes: list[LatticeNode]) -> list[LatticeNode]:

@@ -133,9 +133,15 @@ class _Reject(Exception):
         self.detail = detail
 
 
-@dataclass
+@dataclass(slots=True)
 class _ViewOutputs:
-    """Lookup structures over a view's output list."""
+    """Lookup structures over a view's output list.
+
+    ``slots=True``: one instance lives on every registered view for the
+    process lifetime, so per-instance ``__dict__`` overhead is resident
+    catalog memory. ``copy.copy`` (see ``fresh_outputs``) works with
+    slots classes, which is all the per-match path needs.
+    """
 
     view_name: str
     simple: dict[ColumnKey, str]
@@ -258,7 +264,23 @@ class _BackjoinState:
         )
 
 
-@dataclass(frozen=True)
+# Registration-time context tuples repeat heavily across views (check
+# constraints and fk edges derive from the catalog tables a view reads,
+# and thousands of generated views share the same few table sets), so
+# identical tuples are interned to one object. Keys are the tuples
+# themselves; the memo stays schema-bounded. Unhashable payloads simply
+# skip interning.
+_TUPLE_MEMO: dict = {}
+
+
+def _intern_tuple(value: tuple) -> tuple:
+    try:
+        return _TUPLE_MEMO.setdefault(value, value)
+    except TypeError:
+        return value
+
+
+@dataclass(frozen=True, slots=True)
 class ViewMatchContext:
     """Frozen per-view matching state, built once at registration time.
 
@@ -298,12 +320,14 @@ class ViewMatchContext:
             range_items=_range_items(
                 view.classified.range_predicates, view.or_ranges
             ),
-            check_ranges=check_ranges,
-            check_or_ranges=check_or_ranges,
-            check_residuals=check_residuals,
-            fk_edges=tuple(
-                build_fk_join_graph(
-                    view.tables, view.eqclasses, view.catalog, options
+            check_ranges=_intern_tuple(check_ranges),
+            check_or_ranges=_intern_tuple(check_or_ranges),
+            check_residuals=_intern_tuple(check_residuals),
+            fk_edges=_intern_tuple(
+                tuple(
+                    build_fk_join_graph(
+                        view.tables, view.eqclasses, view.catalog, options
+                    )
                 )
             ),
         )

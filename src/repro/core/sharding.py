@@ -164,9 +164,7 @@ class ShardedFilterTree:
                 continue
             started = time.perf_counter() if tracer.active else 0.0
             found: list[RegisteredView] = []
-            shard._spj_root.search(probe, bound, found)
-            if query.is_aggregate:
-                shard._aggregate_root.search(probe, bound, found)
+            shard.collect_candidates(probe, bound, found, query.is_aggregate)
             if tracer.active:
                 tracer.record_span(
                     "filter.shard",

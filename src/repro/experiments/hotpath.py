@@ -32,8 +32,10 @@ from dataclasses import dataclass
 from ..catalog import tpch_catalog
 from ..core import ViewMatcher
 from ..core.filtertree import QueryProbe
+from ..core.interning import packed_backend_name
 from ..core.options import MatchOptions
 from ..core.parallel import default_worker_count, fork_available
+from ..memsize import cache_memory_report, packed_table_bytes, view_memory_report
 from ..sql.printer import statement_to_sql
 from ..stats import synthetic_tpch_stats
 from ..workload import WorkloadGenerator
@@ -71,6 +73,15 @@ END_TO_END_SINGLE_CORE_FLOOR = 0.9
 # tracing costs one contextvar read per stage -- rather than host speed.
 TRACING_OVERHEAD_TOLERANCE = 0.05
 
+# Resident-footprint budget for the memory gate: amortized deep-walk
+# bytes per registered view (filter tree + descriptions + match
+# contexts, shared catalog/statistics excluded). Calibration-free --
+# bytes don't depend on host speed -- and sized with ~65 % headroom over
+# the ~29 KB/view measured at 10k views, so it catches a structural
+# regression (a dropped ``__slots__``, an accidentally per-view copy of
+# shared state) rather than getsizeof jitter between interpreters.
+MEMORY_BYTES_PER_VIEW_BUDGET = 48 * 1024
+
 
 @dataclass(frozen=True)
 class HotpathConfig:
@@ -101,6 +112,19 @@ class HotpathConfig:
     maintenance_insert_batches: int = 20
     maintenance_batch_rows: int = 5
     maintenance_recompute_sample: int = 20
+    # Catalog-scale point: register this many views through the packed
+    # interned path only (no reference tree -- it would take minutes and
+    # prove nothing new) and time candidate filtering, demonstrating the
+    # per-level sweeps keep python-level work sublinear in catalog size.
+    # 0 disables the section (the smoke config: a 100k registration is
+    # a minutes-scale build, not a CI smoke).
+    catalog_scale_views: int = 100000
+    catalog_scale_repetitions: int = 10
+    catalog_scale_runs: int = 2
+    # Memory accounting (deep-walk bytes per view at the largest
+    # view_counts entry, plus rewrite-cache bytes per entry from a small
+    # serving run). Cheap enough to stay on in smoke.
+    measure_memory: bool = True
 
     @classmethod
     def smoke(cls) -> "HotpathConfig":
@@ -117,6 +141,7 @@ class HotpathConfig:
             probe_runs=2,
             end_to_end_view_counts=(10000,),
             end_to_end_runs=2,
+            catalog_scale_views=0,
         )
 
 
@@ -500,6 +525,122 @@ def _run_maintenance(config: HotpathConfig, catalog, echo) -> dict:
     return section
 
 
+def _environment() -> dict:
+    """Host/backend facts stamped into the report.
+
+    ``cpu_count`` and the numpy presence/version matter for interpreting
+    any entry: the end-to-end fan-out gate keys off the core count, and
+    the candidate-filter numbers differ between the ``packed-numpy`` and
+    ``packed-pure`` sweep backends.
+    """
+    try:
+        import numpy  # noqa: F401 -- presence probe, may be absent
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": numpy_version,
+        "packed_backend": packed_backend_name(),
+    }
+
+
+def _measure_cache_memory(catalog, stats, views, queries) -> dict:
+    """Bytes-per-entry of the rewrite cache after a small serving run.
+
+    Registers a modest view pool and serves each workload query once, so
+    every entry is a real ``OptimizationResult`` over this catalog; the
+    per-entry figure barely depends on the pool size, so 200 views keep
+    this cheap inside the bench.
+    """
+    from ..service.server import ViewServer
+
+    pool = views[: min(200, len(views))]
+    server = ViewServer(catalog, stats, workers=1)
+    try:
+        server.register_views(
+            (name, generated.statement) for name, generated in pool
+        )
+        for statement in queries:
+            server.serve(statement_to_sql(statement))
+        report = cache_memory_report(server.cache, exclude=(catalog, stats))
+    finally:
+        server.close()
+    report["views_registered"] = len(pool)
+    return report
+
+
+def _run_catalog_scale(config, catalog, stats, queries, sizes, echo) -> dict | None:
+    """The 100k-view point: packed/interned path only.
+
+    A fresh generator with the config seed reproduces the main pool as a
+    prefix and extends it to ``catalog_scale_views``. Only the interned
+    matcher is built (the reference tree at this size would dominate the
+    whole bench); correctness of the packed path against the reference is
+    pinned at the sweep sizes and by the property tests, so this point
+    measures scale, not equivalence. ``filter_scaleup`` relates the
+    per-query latency to the largest sweep entry: sublinear python-level
+    work shows up as a scaleup well under the view-count ratio.
+    """
+    target = config.catalog_scale_views
+    if not target:
+        return None
+    generator = WorkloadGenerator(catalog, stats, seed=config.seed)
+    started = time.perf_counter()
+    pool = generator.generate_views(target)
+    generate_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    matcher = _build_matcher(
+        catalog, pool, use_interning=True, use_match_contexts=True
+    )
+    register_seconds = time.perf_counter() - started
+    descriptions = [matcher.describe_query(q) for q in queries]
+    filter_us = _time_filter(
+        matcher.filter_tree,
+        descriptions,
+        config.catalog_scale_repetitions,
+        config.catalog_scale_runs,
+    )
+    mean_candidates = sum(
+        len(matcher.filter_tree.candidates(d)) for d in descriptions
+    ) / len(descriptions)
+    entry = {
+        "views": target,
+        "generate_seconds": round(generate_seconds, 2),
+        "register_seconds": round(register_seconds, 2),
+        "registrations_per_second": round(target / register_seconds, 1),
+        "candidate_filter_us": round(filter_us, 2),
+        "ns_per_view": round(filter_us * 1000.0 / target, 3),
+        "mean_candidates": round(mean_candidates, 2),
+        "packed_table_bytes": packed_table_bytes(matcher.filter_tree),
+    }
+    base = max(sizes, key=lambda item: item["views"]) if sizes else None
+    if base is not None:
+        base_us = base["candidate_filter_us"]["interned"]
+        entry["filter_scaleup"] = {
+            "vs_views": base["views"],
+            "view_ratio": round(target / base["views"], 2),
+            "latency_ratio": round(filter_us / base_us, 2),
+        }
+    if echo is not None:
+        scaleup = entry.get("filter_scaleup")
+        note = (
+            f"   {scaleup['latency_ratio']:.2f}x latency for "
+            f"{scaleup['view_ratio']:.0f}x views"
+            if scaleup
+            else ""
+        )
+        echo(
+            f"{target:6d} views (catalog scale): filter "
+            f"{filter_us:8.1f}us ({entry['ns_per_view']:.2f}ns/view)   "
+            f"register {register_seconds:.1f}s{note}"
+        )
+    return entry
+
+
 def run_hotpath_benchmark(
     config: HotpathConfig | None = None, echo=print
 ) -> dict:
@@ -516,6 +657,7 @@ def run_hotpath_benchmark(
     ]
 
     sizes = []
+    memory_views = None
     calibrations = [_calibrate()]
     for view_count in config.view_counts:
         pool = views[:view_count]
@@ -593,6 +735,11 @@ def run_hotpath_benchmark(
             "modes_identical": True,  # _verify_modes raised otherwise
         }
         sizes.append(entry)
+        if config.measure_memory and view_count == max(config.view_counts):
+            memory_views = view_memory_report(
+                interned.filter_tree,
+                exclude=(catalog, stats, interned.options),
+            )
         calibrations.append(_calibrate())
         if echo is not None:
             probe = entry["probe_build_us"]
@@ -618,15 +765,39 @@ def run_hotpath_benchmark(
         if config.maintenance_view_count
         else None
     )
+
+    memory = None
+    if config.measure_memory and memory_views is not None:
+        memory = {
+            "views": memory_views,
+            "cache": _measure_cache_memory(catalog, stats, views, queries),
+        }
+        if echo is not None:
+            echo(
+                f"memory: {memory_views['bytes_per_view']:,.0f} bytes/view "
+                f"at {memory_views['views']} views "
+                f"({memory_views['packed_table_bytes']:,} packed), "
+                f"{memory['cache']['bytes_per_entry']:,.0f} bytes/cache-entry"
+            )
+
+    catalog_scale = _run_catalog_scale(
+        config, catalog, stats, queries, sizes, echo
+    )
     calibrations.append(_calibrate())
 
+    environment = _environment()
     return {
         "benchmark": "hotpath-matching",
         "config": dataclasses.asdict(config),
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count() or 1,
+        # python/cpu_count stay top-level for older baseline readers;
+        # ``environment`` is the complete capture (incl. numpy + backend).
+        "python": environment["python"],
+        "cpu_count": environment["cpu_count"],
+        "environment": environment,
         "calibration_us": round(min(calibrations), 2),
         "sizes": sizes,
+        "memory": memory,
+        "catalog_scale": catalog_scale,
         "end_to_end": end_to_end,
         "maintenance": maintenance,
     }
@@ -793,6 +964,10 @@ def check_speedup_gates(report: dict, echo=print) -> list[str]:
       degrades to "batching must not lose to the sequential loop"
       (``END_TO_END_SINGLE_CORE_FLOOR``, slightly under parity to
       absorb measurement noise).
+    * Memory: when the report carries a ``memory`` section, the deep-walk
+      bytes per registered view must stay within
+      ``MEMORY_BYTES_PER_VIEW_BUDGET`` -- calibration-free, since bytes
+      do not depend on host speed.
     """
     failures: list[str] = []
     sizes = {entry["views"]: entry for entry in report["sizes"]}
@@ -834,6 +1009,23 @@ def check_speedup_gates(report: dict, echo=print) -> list[str]:
                 f"batched end-to-end rewriting at {entry['views']} views "
                 f"is only {speedup:.2f}x the legacy sequential path "
                 f"(floor {floor:g}x)"
+            )
+    memory = report.get("memory")
+    if memory and memory.get("views"):
+        per_view = memory["views"]["bytes_per_view"]
+        count = memory["views"]["views"]
+        if echo is not None:
+            echo(
+                f"memory gate at {count} views: {per_view:,.0f} bytes/view "
+                f"(budget {MEMORY_BYTES_PER_VIEW_BUDGET:,})"
+            )
+        # Calibration-free: bytes are host-speed independent, so no
+        # normalization is needed (or possible) here.
+        if per_view > MEMORY_BYTES_PER_VIEW_BUDGET:
+            failures.append(
+                f"resident footprint at {count} views is "
+                f"{per_view:,.0f} bytes/view, over the "
+                f"{MEMORY_BYTES_PER_VIEW_BUDGET:,}-byte budget"
             )
     return failures
 

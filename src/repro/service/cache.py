@@ -32,8 +32,11 @@ from typing import Iterable
 from ..optimizer.optimizer import OptimizationResult
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
+    # ``slots=True``: the cache holds up to ``capacity`` of these for the
+    # process lifetime, so the per-entry ``__dict__`` would be pure
+    # resident overhead on three fixed fields.
     result: OptimizationResult
     epoch: int
     stamp: int

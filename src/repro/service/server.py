@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -55,6 +55,68 @@ from .metrics import MetricsRegistry
 from .snapshot import CatalogSnapshot, SnapshotManager
 
 _STAGE_ORDER = ("parse", "fingerprint", "match", "plan", "hit", "miss", "total")
+
+
+class _LruMemo:
+    """A bounded memo with approximate LRU eviction and an eviction count.
+
+    Replaces the old insert-until-full memos, whose population froze at
+    the cap: a workload whose hot query shapes rotate would keep paying
+    full parse/describe cost for every shape that arrived after the memo
+    filled. Reads stay lock-free (an ``OrderedDict`` probe plus a C-level
+    ``move_to_end`` recency stamp, coherent under the GIL the same way
+    the rewrite cache's read side is); concurrent writers may transiently
+    overshoot the capacity by a few entries, which the next insert's
+    eviction loop reclaims.
+    """
+
+    __slots__ = ("capacity", "evictions", "_entries")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("memo capacity must be positive")
+        self.capacity = capacity
+        self.evictions = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __getitem__(self, key):
+        # Plain read for tests/diagnostics; no recency stamp.
+        return self._entries[key]
+
+    def keys(self):
+        return self._entries.keys()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            try:
+                self._entries.move_to_end(key)
+            except KeyError:
+                # A concurrent eviction raced the recency stamp; the
+                # value we already read is still valid.
+                pass
+        return entry
+
+    def put(self, key, value) -> None:
+        entries = self._entries
+        entries[key] = value
+        entries.move_to_end(key)
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "evictions": self.evictions,
+        }
 
 
 @dataclass(frozen=True)
@@ -151,13 +213,13 @@ class ViewServer:
             max_workers=workers, thread_name_prefix="repro-serve"
         )
         self._slots = threading.BoundedSemaphore(queue_depth)
-        self._statement_memo: dict[str, tuple[SelectStatement, str]] = {}
+        self._memo_limit = max(4 * cache_size, 256)
+        self._statement_memo = _LruMemo(self._memo_limit)
         # Fingerprint-keyed query descriptions: the single-pass analysis of
         # a query shape is snapshot-independent (it depends only on the
         # catalog and match options), so a repeated shape skips probe
         # compilation entirely -- across requests AND across epoch bumps.
-        self._description_memo: dict[str, SpjgDescription] = {}
-        self._memo_limit = max(4 * cache_size, 256)
+        self._description_memo = _LruMemo(self._memo_limit)
         self._sampler = TraceSampler(trace_sample_rate)
         self._traces: deque[RewriteTrace] = deque(maxlen=trace_capacity)
         self._traces_lock = threading.Lock()
@@ -369,8 +431,7 @@ class ViewServer:
         if tracer.active:
             tracer.record_span("parse", parse_seconds, memoized=False)
             tracer.record_span("fingerprint", fingerprint_seconds)
-        if len(self._statement_memo) < self._memo_limit:
-            self._statement_memo[sql] = (statement, fingerprint)
+        self._statement_memo.put(sql, (statement, fingerprint))
         return statement, fingerprint
 
     def _describe(
@@ -393,8 +454,7 @@ class ViewServer:
                 description = snapshot.matcher.describe_query(statement)
             except ReproError:
                 return None
-            if len(self._description_memo) < self._memo_limit:
-                self._description_memo[fingerprint] = description
+            self._description_memo.put(fingerprint, description)
         return description
 
     def _optimize(
@@ -716,6 +776,10 @@ class ViewServer:
             ),
             "counters": metrics["counters"],
             "latency": metrics["latency"],
+            "memos": {
+                "statement": self._statement_memo.stats(),
+                "description": self._description_memo.stats(),
+            },
         }
         if self._cdc is not None:
             stats["cdc"] = {
@@ -767,6 +831,16 @@ class ViewServer:
                 metric = f"{prefix}_rewrite_cache_{key}_total"
                 lines.append(f"# TYPE {metric} counter")
                 lines.append(f"{metric} {cache[key]}")
+        entries = f"{prefix}_memo_entries"
+        evicted = f"{prefix}_memo_evictions_total"
+        lines.append(f"# TYPE {entries} gauge")
+        lines.append(f"# TYPE {evicted} counter")
+        for name, memo in (
+            ("statement", self._statement_memo),
+            ("description", self._description_memo),
+        ):
+            lines.append(f'{entries}{{memo="{name}"}} {len(memo)}')
+            lines.append(f'{evicted}{{memo="{name}"}} {memo.evictions}')
         rejects = snapshot.matcher.statistics.rejects_by_reason
         if rejects:
             metric = f"{prefix}_match_rejects_total"

@@ -325,6 +325,11 @@ class SnapshotManager:
         Only the shards a changed view name hashes to are re-indexed; every
         other shard tree is taken from the previous snapshot unchanged
         (published shards are immutable, so structural sharing is safe).
+        A dirty shard with a previous-epoch ancestor is not rebuilt from
+        scratch either: ``FilterTree.clone_cow`` slices the ancestor's
+        packed arrays copy-on-write and only the registration *delta* --
+        names removed, added, or re-described since the previous epoch --
+        is applied, so epoch cost scales with the change, not the catalog.
         ``changed=None`` forces a full rebuild.
         """
         count = self.shard_count
@@ -335,6 +340,7 @@ class SnapshotManager:
         )
         if changed is None or not isinstance(previous, ShardedFilterTree):
             dirty = set(range(count))
+            previous = None
         else:
             dirty = {shard_index(name, count) for name in changed}
         ordered = sorted(views, key=order.__getitem__)
@@ -343,9 +349,23 @@ class SnapshotManager:
             if index not in dirty:
                 shards.append(previous.shards[index])
                 continue
-            shard = FilterTree(self.options, interner=self._interner)
-            for name in ordered:
-                if shard_index(name, count) == index:
+            base = previous.shards[index] if previous is not None else None
+            desired = [
+                name for name in ordered if shard_index(name, count) == index
+            ]
+            if base is not None and getattr(base, "_use_packed", False):
+                shard = base.clone_cow()
+                wanted = set(desired)
+                for registered in shard.views():
+                    name = registered.name
+                    if name not in wanted or registered is not views[name]:
+                        shard.unregister(name)
+                for name in desired:
+                    if shard.view(name) is None:
+                        shard.register_prebuilt(views[name])
+            else:
+                shard = FilterTree(self.options, interner=self._interner)
+                for name in desired:
                     shard.register_prebuilt(views[name])
             shards.append(shard)
         next_seq = max(order.values(), default=-1) + 1
