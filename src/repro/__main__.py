@@ -42,6 +42,15 @@ Commands
     batches, asserting zero torn reads at every checkpoint, strictly
     monotone LSNs, and bounded applier lag. Non-zero exit on any
     violation; wired into CI.
+``workload-report <journal> [--json]``
+    Aggregate a recorded workload journal (``serve-bench --journal``)
+    into query-shape frequencies, the ranked reject-reason funnel,
+    cache hit rate, and latency percentiles; ``--json`` emits the
+    advisor-consumable aggregate.
+``repro-top [--journal PATH | --demo]``
+    Live terminal dashboard: RED metrics, reject funnel, merged
+    cross-process telemetry sketches, CDC lag, and SLO burn rates --
+    over a recorded journal or a demo in-process server.
 """
 
 from __future__ import annotations
@@ -85,6 +94,15 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=None, help="closed-loop worker threads"
     )
     serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "journal the cache-enabled run's requests to this JSONL "
+            "path (for workload-report / repro-top)"
+        ),
+    )
     hotpath = subparsers.add_parser(
         "bench-hotpath", help="time the matching hot path before/after interning"
     )
@@ -265,6 +283,49 @@ def main(argv: list[str] | None = None) -> int:
             "rows/step)"
         ),
     )
+    report = subparsers.add_parser(
+        "workload-report",
+        help="aggregate a recorded workload journal into an advisor input",
+    )
+    report.add_argument("journal", help="journal path from serve-bench --journal")
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the advisor-consumable JSON aggregate",
+    )
+    report.add_argument(
+        "--top", type=int, default=10, help="fingerprints/rejects to list"
+    )
+    top = subparsers.add_parser(
+        "repro-top",
+        help="live terminal dashboard over a journal or a demo server",
+    )
+    top.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="render from this recorded journal instead of a live server",
+    )
+    top.add_argument(
+        "--demo",
+        action="store_true",
+        help="spin up an in-process demo server and watch it live",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between frames"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (no screen clearing)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.command == "difftest":
@@ -341,6 +402,25 @@ def main(argv: list[str] | None = None) -> int:
             repeat=arguments.repeat,
             workers=arguments.workers,
             seed=arguments.seed,
+            journal=arguments.journal,
+        )
+    if arguments.command == "workload-report":
+        from .cli import run_workload_report
+
+        return run_workload_report(
+            arguments.journal,
+            json_output=arguments.json,
+            top=arguments.top,
+        )
+    if arguments.command == "repro-top":
+        from .cli import run_repro_top
+
+        return run_repro_top(
+            journal=arguments.journal,
+            demo=arguments.demo,
+            interval=arguments.interval,
+            iterations=arguments.iterations,
+            once=arguments.once,
         )
     from .cli import run_figures
 

@@ -49,6 +49,11 @@ from ..maintenance.maintainer import (
     apply_view_delta,
     compute_view_delta,
 )
+from ..obs.telemetry import (
+    TelemetryHub,
+    current_trace_context,
+    telemetry_hub,
+)
 from ..sql.statements import SelectStatement
 from .freshness import FreshnessTracker
 from .log import ChangeLog
@@ -113,12 +118,18 @@ class ChangeApplier:
         batch_size: int = 256,
         lock: threading.RLock | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        telemetry: TelemetryHub | None = None,
     ):
         """``database`` is the live database: stored view relations live
         there (and are patched in place by :meth:`merge`); base tables
         are only *read* from it, once per view registration, to seed the
         shadow. ``lock`` lets a pipeline share one lock between writers
         and the applier.
+
+        ``telemetry`` is the hub apply-latency sketches and spans land
+        in; ``None`` uses the process-global hub, and an attached
+        :class:`~repro.service.server.ViewServer` rebinds it to its own
+        so CDC telemetry reads out next to the serving telemetry.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -128,6 +139,7 @@ class ChangeApplier:
         self.freshness = freshness if freshness is not None else FreshnessTracker(log)
         self.batch_size = batch_size
         self.stats = ApplierStats()
+        self.telemetry = telemetry
         self._clock = clock
         self._lock = lock if lock is not None else threading.RLock()
         self._views: dict[str, MaintainedView] = {}
@@ -162,6 +174,30 @@ class ChangeApplier:
         with self._lock:
             queue = self._pending.get(view)
             return len(queue) if queue else 0
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _hub(self) -> TelemetryHub:
+        return self.telemetry if self.telemetry is not None else telemetry_hub()
+
+    def _record_phase(self, phase: str, elapsed: float, **attributes) -> None:
+        """One applier phase (scan/merge) into sketch + counter + span.
+
+        The span carries the current request's trace id when the applier
+        runs inside a traced serving path (a bounded-staleness request
+        driving a refresh), so CDC work stitches under the same trace as
+        the matching workers.
+        """
+        hub = self._hub()
+        hub.record(f"cdc_{phase}_seconds", elapsed)
+        hub.increment(f"cdc_{phase}s")
+        context = current_trace_context()
+        hub.record_span(
+            f"cdc.{phase}",
+            elapsed,
+            trace_id=context.trace_id if context is not None else None,
+            **attributes,
+        )
 
     # -- change notifications ------------------------------------------------
 
@@ -273,7 +309,9 @@ class ChangeApplier:
             if records:
                 for name in self._views:
                     self._refresh_watermark(name)
-            self.stats.scan_seconds += self._clock() - started
+            elapsed = self._clock() - started
+            self.stats.scan_seconds += elapsed
+            self._record_phase("scan", elapsed, records=len(records))
             return len(records)
 
     def merge(
@@ -309,7 +347,16 @@ class ChangeApplier:
                     merged_total += merged_here
                     touched.append(name)
                 self._refresh_watermark(name)
-            self.stats.merge_seconds += self._clock() - started
+            elapsed = self._clock() - started
+            self.stats.merge_seconds += elapsed
+            self._record_phase("merge", elapsed, batches=merged_total)
+            hub = self._hub()
+            for name in names:
+                freshness = self.freshness.freshness(name)
+                if freshness is not None:
+                    hub.record(
+                        f"cdc_view_lag_seconds.{name}", freshness.lag_seconds
+                    )
         self._notify(touched)
         return merged_total
 

@@ -42,6 +42,7 @@ class CdcPipeline:
         batch_size: int = 256,
         journal_path: str | None = None,
         clock: Callable[[], float] = time.time,
+        telemetry=None,
     ):
         self.catalog = catalog
         self.database = database
@@ -55,6 +56,7 @@ class CdcPipeline:
             freshness=self.freshness,
             batch_size=batch_size,
             lock=self._lock,
+            telemetry=telemetry,
         )
 
     # -- writer side (the outbox) --------------------------------------------

@@ -196,6 +196,7 @@ def run_serve_bench(
     repeat: int | None = None,
     workers: int | None = None,
     seed: int | None = None,
+    journal: str | None = None,
 ) -> int:
     """Benchmark the rewrite-serving layer (cache on vs. off).
 
@@ -204,7 +205,9 @@ def run_serve_bench(
     deterministic regression signal (the workload repeats every query
     ``repeat`` times, so the expected rate is ``(repeat-1)/repeat``);
     latency numbers are printed but not gated, since they depend on the
-    host.
+    host. ``journal`` additionally records every request of the cached
+    run to a workload journal readable by ``repro workload-report`` and
+    ``repro repro-top --journal``.
     """
     import dataclasses
 
@@ -219,16 +222,141 @@ def run_serve_bench(
             ("repeat", repeat),
             ("workers", workers),
             ("seed", seed),
+            ("journal", journal),
         )
         if value is not None
     }
     if overrides:
         config = dataclasses.replace(config, **overrides)
     report = run_service_benchmark(config)
+    if journal:
+        print(f"workload journal written to {journal}")
     if report.hit_rate < 0.8:
         print(f"FAIL: cache hit-rate {report.hit_rate:.1%} below 80%")
         return 1
     return 0
+
+
+def run_workload_report(
+    journal: str,
+    json_output: bool = False,
+    top: int = 10,
+) -> int:
+    """Aggregate a recorded workload journal into a report.
+
+    Reads the JSONL journal (including rotated files) written by a
+    :class:`~repro.obs.recorder.WorkloadRecorder` -- e.g. by
+    ``serve-bench --journal`` -- and prints query-shape frequencies,
+    the ranked reject-reason funnel, cache hit rate, and latency
+    percentiles. ``--json`` emits the advisor-consumable aggregate
+    instead. Exit 2 when the journal does not exist, 1 when it holds
+    no readable events.
+    """
+    import json
+    import os
+
+    from .obs.recorder import load_journal
+
+    if not os.path.exists(journal) and not os.path.exists(f"{journal}.1"):
+        print(f"no journal at {journal}")
+        return 2
+    aggregate = load_journal(journal)
+    if aggregate.events == 0:
+        print(f"journal {journal} holds no readable events")
+        return 1
+    if json_output:
+        print(json.dumps(aggregate.to_advisor_input(top=top), indent=2))
+    else:
+        print(aggregate.render(top=top))
+    return 0
+
+
+def run_repro_top(
+    journal: str | None = None,
+    demo: bool = False,
+    interval: float = 1.0,
+    iterations: int | None = None,
+    once: bool = False,
+) -> int:
+    """The ``repro-top`` live dashboard.
+
+    ``--journal PATH`` replays a recorded workload journal (re-read
+    every tick, so it may still be written to); ``--demo`` spins up a
+    small in-process server with a background load thread and renders
+    its live RED metrics, reject funnel, merged telemetry sketches,
+    and SLO burn. ``--once`` renders a single frame without clearing
+    the screen -- the scriptable/CI form.
+    """
+    from .obs.dashboard import DashboardLoop, journal_frame, server_frame
+
+    if once:
+        iterations = 1
+    clear = not once and iterations is None
+    if journal is not None:
+        import os
+
+        from .obs.recorder import load_journal
+
+        if not os.path.exists(journal) and not os.path.exists(f"{journal}.1"):
+            print(f"no journal at {journal}")
+            return 2
+        loop = DashboardLoop(
+            lambda: journal_frame(load_journal(journal)),
+            interval=interval,
+            iterations=iterations,
+            clear=clear,
+        )
+        return loop.run()
+    if not demo:
+        print("repro-top needs --journal PATH or --demo")
+        return 2
+
+    import threading
+
+    from .catalog import tpch_catalog
+    from .obs.slo import SloObjectives
+    from .service import ViewServer
+    from .service.loadgen import BenchConfig, build_workload
+    from .stats import synthetic_tpch_stats
+
+    config = BenchConfig.smoke()
+    views, queries = build_workload(config)
+    server = ViewServer(
+        tpch_catalog(),
+        synthetic_tpch_stats(scale=config.scale),
+        workers=config.workers,
+        slo=SloObjectives(),
+        trace_sample_rate=0.1,
+    )
+    stop = threading.Event()
+
+    def drive() -> None:
+        while not stop.is_set():
+            for sql in queries:
+                if stop.is_set():
+                    return
+                server.serve(sql)
+
+    try:
+        for name, sql in views:
+            server.register_view(name, sql)
+        for sql in queries:  # one synchronous pass so frame 1 has data
+            server.serve(sql)
+        load = threading.Thread(target=drive, daemon=True, name="repro-top")
+        load.start()
+        loop = DashboardLoop(
+            lambda: server_frame(server),
+            interval=interval,
+            iterations=iterations,
+            clear=clear,
+        )
+        code = loop.run()
+        stop.set()
+        load.join(timeout=2.0)
+        return code
+    finally:
+        stop.set()
+        server.close()
 
 
 def run_bench_hotpath(

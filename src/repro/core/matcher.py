@@ -13,10 +13,17 @@ substitutes produced.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..errors import MatchError
+from ..obs.telemetry import (
+    TelemetryHub,
+    WorkerTelemetry,
+    current_trace_context,
+    telemetry_hub,
+)
 from ..obs.trace import current_tracer
 from ..sql.statements import SelectStatement
 from .describe import SpjgDescription, describe, validate_view_description
@@ -125,6 +132,7 @@ class ViewMatcher:
         use_interning: bool = True,
         use_match_contexts: bool = True,
         shard_count: int = 1,
+        telemetry: TelemetryHub | None = None,
     ):
         """``interner`` shares key-atom bit assignments with other trees
         (the serving layer reuses one across epoch rebuilds).
@@ -135,13 +143,16 @@ class ViewMatcher:
         partitions the registry across that many per-shard filter trees
         (:class:`~repro.core.sharding.ShardedFilterTree`), the layout the
         parallel matching fan-out requires; candidate sets and ordering
-        are unchanged.
+        are unchanged. ``telemetry`` injects the sink for the always-on
+        cross-process pipeline (invocation sketches, worker snapshots);
+        ``None`` falls back to the process-global hub.
         """
         self.catalog = catalog
         self.options = options
         self.use_filter_tree = use_filter_tree
         self.use_match_contexts = use_match_contexts
         self.shard_count = shard_count
+        self.telemetry = telemetry
         if shard_count > 1:
             self.filter_tree: FilterTree | ShardedFilterTree = ShardedFilterTree(
                 options,
@@ -149,6 +160,7 @@ class ViewMatcher:
                 interner=interner,
                 use_interning=use_interning,
             )
+            self.filter_tree.telemetry = telemetry
         else:
             self.filter_tree = FilterTree(
                 options, interner=interner, use_interning=use_interning
@@ -169,6 +181,7 @@ class ViewMatcher:
         use_filter_tree: bool = True,
         interner: KeyInterner | None = None,
         shard_count: int = 1,
+        telemetry: TelemetryHub | None = None,
     ) -> "ViewMatcher":
         """Build a matcher by re-indexing already-described views.
 
@@ -186,6 +199,7 @@ class ViewMatcher:
             use_filter_tree=use_filter_tree,
             interner=interner,
             shard_count=shard_count,
+            telemetry=telemetry,
         )
         for view in views:
             matcher.filter_tree.register_prebuilt(view)
@@ -198,6 +212,7 @@ class ViewMatcher:
         filter_tree: "FilterTree | ShardedFilterTree",
         options: MatchOptions = DEFAULT_OPTIONS,
         use_match_contexts: bool = True,
+        telemetry: TelemetryHub | None = None,
     ) -> "ViewMatcher":
         """Build a matcher around an existing (possibly shared) filter tree.
 
@@ -213,6 +228,11 @@ class ViewMatcher:
         matcher.shard_count = getattr(filter_tree, "shard_count", 1)
         matcher.filter_tree = filter_tree
         matcher.statistics = MatcherStatistics()
+        matcher.telemetry = telemetry
+        if hasattr(filter_tree, "telemetry"):
+            # Per-epoch wrappers are rebuilt around shared shard trees,
+            # so the hub pointer must be refreshed on every rebuild.
+            filter_tree.telemetry = telemetry
         return matcher
 
     # -- registration -------------------------------------------------------
@@ -251,6 +271,10 @@ class ViewMatcher:
         return self.filter_tree.views()
 
     # -- matching -------------------------------------------------------------
+
+    def _hub(self) -> TelemetryHub:
+        """The telemetry sink: the injected hub or the process global."""
+        return self.telemetry if self.telemetry is not None else telemetry_hub()
 
     def describe_query(self, statement: SelectStatement) -> SpjgDescription:
         """Build a query description under this matcher's options."""
@@ -298,11 +322,13 @@ class ViewMatcher:
             and fork_available()
         ):
             return self._match_parallel(query, workers, staleness)
+        started = time.perf_counter()
         stats = self.statistics
         stats.invocations += 1
         stats.views_registered_total += self.view_count
         candidates = self.candidates(query)
         results: list[MatchResult] = []
+        matched = 0
         for candidate in candidates:
             stats.views_considered += 1
             stale_detail = (
@@ -326,15 +352,33 @@ class ViewMatcher:
                     ),
                 )
             if result.matched:
+                matched += 1
                 stats.matches += 1
                 stats.substitutes += 1
             elif result.reject_reason is not None:
                 stats.record_rejection(result.reject_reason)
             results.append(result)
+        self._record_invocation(
+            time.perf_counter() - started, len(candidates), matched
+        )
         tracer = current_tracer()
         if tracer.active:
             tracer.on_match_invocation(self.view_count, candidates, results)
         return results
+
+    def _record_invocation(
+        self, elapsed: float, candidates: int, matched: int
+    ) -> None:
+        """Always-on telemetry for one invocation: one sketch sample and
+        three counter adds -- cheap enough to leave on (the bench's
+        telemetry-overhead gate holds it there)."""
+        hub = self._hub()
+        hub.record("match_invocation_seconds", elapsed)
+        hub.increment("match_invocations")
+        if candidates:
+            hub.increment("match_candidates", candidates)
+        if matched:
+            hub.increment("match_matches", matched)
 
     def _match_parallel(
         self, query: SpjgDescription, workers: int, staleness=None
@@ -349,7 +393,17 @@ class ViewMatcher:
         a stale candidate's result is replaced with a ``STALE`` rejection
         before statistics are computed, so the funnel matches the
         sequential path exactly.
+
+        Each worker also returns a serialized
+        :class:`~repro.obs.telemetry.TelemetrySnapshot` -- its counters,
+        per-candidate latency sketch, and a ``match.worker`` span tagged
+        with the active :class:`TraceContext`'s trace id -- which the
+        parent merges into its hub and, when a tracer is sampling this
+        request, stitches into the parent trace.  Before this, forked
+        matching recorded nothing: the child's in-memory metrics died
+        with the child.
         """
+        started = time.perf_counter()
         tree = self.filter_tree
         assert isinstance(tree, ShardedFilterTree)
         worker_count = max(1, min(workers, tree.shard_count))
@@ -359,31 +413,65 @@ class ViewMatcher:
         ]
         options = self.options
         use_contexts = self.use_match_contexts
+        # Captured by value into the closure: the context crosses the
+        # fork inside the child's copy-on-write image.
+        context = current_trace_context()
+        trace_id = context.trace_id if context is not None else None
 
         def match_group(
             shard_indices: tuple[int, ...],
-        ) -> list[tuple[int, RegisteredView, MatchResult]]:
-            return [
-                (
-                    sequence,
-                    candidate,
-                    match_view(
-                        query,
-                        candidate.description,
-                        options,
-                        context=(
-                            candidate.match_context if use_contexts else None
-                        ),
+        ) -> tuple[list[tuple[int, RegisteredView, MatchResult]], dict]:
+            worker = WorkerTelemetry()
+            sketch = worker.sketch("match_worker_view_seconds")
+            worker_started = time.perf_counter()
+            entries = []
+            matched = 0
+            for sequence, candidate in tree.shard_candidates(
+                query, shard_indices
+            ):
+                candidate_started = time.perf_counter()
+                result = match_view(
+                    query,
+                    candidate.description,
+                    options,
+                    context=(
+                        candidate.match_context if use_contexts else None
                     ),
                 )
-                for sequence, candidate in tree.shard_candidates(
-                    query, shard_indices
-                )
-            ]
+                sketch.record(time.perf_counter() - candidate_started)
+                if result.matched:
+                    matched += 1
+                entries.append((sequence, candidate, result))
+            elapsed = time.perf_counter() - worker_started
+            worker.counter("match_worker_candidates", len(entries))
+            if matched:
+                worker.counter("match_worker_matches", matched)
+            worker.record_span(
+                "match.worker",
+                elapsed,
+                trace_id=trace_id,
+                shards=list(shard_indices),
+                candidates=len(entries),
+                matched=matched,
+            )
+            return entries, worker.snapshot().to_dict()
 
+        hub = self._hub()
+        tracer = current_tracer()
         merged: list[tuple[int, RegisteredView, MatchResult]] = []
-        for group in forked_map(match_group, groups, worker_count):
+        for group, snapshot_dict in forked_map(
+            match_group, groups, worker_count
+        ):
             merged.extend(group)
+            hub.merge_snapshot_dict(snapshot_dict)
+            if tracer.active:
+                for span in snapshot_dict.get("spans", ()):
+                    attributes = dict(span.get("attributes", {}))
+                    if span.get("trace_id") is not None:
+                        attributes["trace_id"] = span["trace_id"]
+                    tracer.record_span(
+                        span["name"], span.get("duration", 0.0), **attributes
+                    )
         merged.sort(key=lambda entry: entry[0])
         if staleness is not None:
             merged = [
@@ -408,15 +496,19 @@ class ViewMatcher:
         stats.views_registered_total += self.view_count
         candidates = [candidate for _, candidate, _ in merged]
         results: list[MatchResult] = []
+        matched = 0
         for _, _, result in merged:
             stats.views_considered += 1
             if result.matched:
+                matched += 1
                 stats.matches += 1
                 stats.substitutes += 1
             elif result.reject_reason is not None:
                 stats.record_rejection(result.reject_reason)
             results.append(result)
-        tracer = current_tracer()
+        self._record_invocation(
+            time.perf_counter() - started, len(candidates), matched
+        )
         if tracer.active:
             tracer.on_match_invocation(self.view_count, candidates, results)
         return results
@@ -452,18 +544,26 @@ class ViewMatcher:
 
         def match_one(
             query: SpjgDescription,
-        ) -> tuple[list[MatchResult], MatcherStatistics]:
-            # Child-local statistics: start fresh so the parent can merge
-            # exactly this query's contribution.
+        ) -> tuple[list[MatchResult], MatcherStatistics, dict]:
+            # Child-local statistics and telemetry: start fresh so the
+            # parent can merge exactly this query's contribution.
             self.statistics = MatcherStatistics()
-            return self.match(query, staleness=staleness), self.statistics
+            self.telemetry = TelemetryHub()
+            results = self.match(query, staleness=staleness)
+            return (
+                results,
+                self.statistics,
+                self.telemetry.export_snapshot().to_dict(),
+            )
 
         outcomes = forked_map(
             match_one, described, min(worker_count, len(described))
         )
+        hub = self._hub()
         combined: list[list[MatchResult]] = []
-        for results, stats in outcomes:
+        for results, stats, snapshot_dict in outcomes:
             self.statistics.merge(stats)
+            hub.merge_snapshot_dict(snapshot_dict)
             combined.append(results)
         return combined
 

@@ -27,7 +27,13 @@ import pickle
 import struct
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["WorkerError", "default_worker_count", "fork_available", "forked_map"]
+__all__ = [
+    "WorkerError",
+    "default_worker_count",
+    "effective_cpu_count",
+    "fork_available",
+    "forked_map",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -46,9 +52,30 @@ def fork_available() -> bool:
     return hasattr(os, "fork")
 
 
-def default_worker_count() -> int:
-    """Worker count matching the machine's usable cores."""
+def effective_cpu_count() -> int:
+    """Cores this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine's logical cores, which lies
+    on affinity-restricted boxes (containers pinned to a cpuset, CI
+    runners under ``taskset``): a 64-core host limited to one core
+    would fork 64 workers into a single-core straitjacket -- and the
+    benchmark environment capture would record ``cpu_count: 1`` hosts
+    as fully parallel.  ``sched_getaffinity`` reports the restricted
+    set where the platform has it (Linux); elsewhere fall back to the
+    logical count.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
     return os.cpu_count() or 1
+
+
+def default_worker_count() -> int:
+    """Worker count matching the machine's *usable* cores (affinity-aware)."""
+    return effective_cpu_count()
 
 
 def _child_main(

@@ -23,6 +23,7 @@ import time
 from typing import TYPE_CHECKING, Iterable, Sequence
 from zlib import crc32
 
+from ..obs.telemetry import telemetry_hub
 from ..obs.trace import current_tracer
 from .filtertree import FilterTree, QueryProbe, RegisteredView
 from .interning import KeyInterner
@@ -63,6 +64,9 @@ class ShardedFilterTree:
             interner = KeyInterner()
         self.options = options
         self.interner = interner
+        # Sink for per-shard filter timings on traced searches; the
+        # owning matcher points it at its hub, ``None`` = process global.
+        self.telemetry = None
         self.shards: tuple[FilterTree, ...] = tuple(
             FilterTree(options, interner=interner, use_interning=use_interning)
             for _ in range(shard_count)
@@ -92,6 +96,7 @@ class ShardedFilterTree:
         tree = cls.__new__(cls)
         tree.options = options
         tree.interner = interner
+        tree.telemetry = None
         tree.shards = tuple(shards)
         tree._seq = seq
         tree._next_seq = next_seq
@@ -166,13 +171,23 @@ class ShardedFilterTree:
             found: list[RegisteredView] = []
             shard.collect_candidates(probe, bound, found, query.is_aggregate)
             if tracer.active:
+                elapsed = time.perf_counter() - started
                 tracer.record_span(
                     "filter.shard",
-                    time.perf_counter() - started,
+                    elapsed,
                     shard=index,
                     views=len(shard),
                     candidates=len(found),
                 )
+                # Reuse the traced timing for the shard-skew sketch:
+                # untraced searches pay nothing extra here.
+                hub = (
+                    self.telemetry
+                    if self.telemetry is not None
+                    else telemetry_hub()
+                )
+                hub.record("filter_shard_seconds", elapsed)
+                hub.increment("filter_shard_probes")
             pairs.extend((seq[view.name], view) for view in found)
         return pairs
 

@@ -34,7 +34,11 @@ from ..core import ViewMatcher
 from ..core.filtertree import QueryProbe
 from ..core.interning import packed_backend_name
 from ..core.options import MatchOptions
-from ..core.parallel import default_worker_count, fork_available
+from ..core.parallel import (
+    default_worker_count,
+    effective_cpu_count,
+    fork_available,
+)
 from ..memsize import cache_memory_report, packed_table_bytes, view_memory_report
 from ..sql.printer import statement_to_sql
 from ..stats import synthetic_tpch_stats
@@ -72,6 +76,14 @@ END_TO_END_SINGLE_CORE_FLOOR = 0.9
 # REGRESSION_FACTOR because it polices a specific promise -- disabled
 # tracing costs one contextvar read per stage -- rather than host speed.
 TRACING_OVERHEAD_TOLERANCE = 0.05
+
+# Budget for the always-on telemetry pipeline: serving the same workload
+# with the workload recorder + SLO tracker attached may be at most this
+# fraction slower than without them. Measured as an on/off ratio in one
+# process, so host speed divides out by construction (no calibration
+# needed); the cache is disabled on both sides so the comparison times
+# real rewrite work rather than journal writes against cache probes.
+TELEMETRY_OVERHEAD_TOLERANCE = 0.25
 
 # Resident-footprint budget for the memory gate: amortized deep-walk
 # bytes per registered view (filter tree + descriptions + match
@@ -121,6 +133,12 @@ class HotpathConfig:
     catalog_scale_views: int = 100000
     catalog_scale_repetitions: int = 10
     catalog_scale_runs: int = 2
+    # Telemetry-pipeline overhead point: the same workload served with
+    # and without a workload recorder + SLO tracker attached, at this
+    # many registered views. 0 disables the section. Cheap enough to
+    # stay on in smoke, which is where the CI gate reads it.
+    telemetry_overhead_views: int = 200
+    telemetry_overhead_runs: int = 3
     # Memory accounting (deep-walk bytes per view at the largest
     # view_counts entry, plus rewrite-cache bytes per entry from a small
     # serving run). Cheap enough to stay on in smoke.
@@ -292,7 +310,9 @@ def _run_end_to_end(config, catalog, stats, views, queries, echo) -> list[dict]:
     from ..service import ViewServer
 
     sqls = [statement_to_sql(query) for query in queries]
-    cpu_count = os.cpu_count() or 1
+    # Affinity-aware: on a cpuset-restricted runner the fan-out gate must
+    # key off the cores this process can actually use, not the host's.
+    cpu_count = effective_cpu_count()
     workers = default_worker_count()
     measure_parallel = fork_available() and cpu_count >= END_TO_END_MIN_CORES
     entries: list[dict] = []
@@ -542,7 +562,11 @@ def _environment() -> dict:
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "cpu_count": os.cpu_count() or 1,
+        # ``cpu_count`` is the *usable* core count (cpuset/affinity
+        # aware) -- the one every parallel gate keys off; the host's
+        # logical count is kept alongside for provenance.
+        "cpu_count": effective_cpu_count(),
+        "cpu_count_logical": os.cpu_count() or 1,
         "numpy": numpy_version,
         "packed_backend": packed_backend_name(),
     }
@@ -571,6 +595,79 @@ def _measure_cache_memory(catalog, stats, views, queries) -> dict:
         server.close()
     report["views_registered"] = len(pool)
     return report
+
+
+def _measure_telemetry_overhead(
+    config, catalog, stats, views, queries, echo
+) -> dict | None:
+    """On/off cost of the workload recorder + SLO tracker; self-normalized.
+
+    Serves the same query list through two identically configured
+    servers -- one plain, one with an SLO tracker and a journaling
+    recorder attached -- and reports the relative slowdown. Both sides
+    carry the always-on matcher sketches (those are the pipeline's
+    baseline, gated implicitly by the tracing-overhead check), so the
+    fraction isolates the per-request observation cost the telemetry
+    subsystem adds: one SLO ring update and one JSON line per request.
+    The ratio is measured within one process, so no calibration
+    normalization is needed.
+    """
+    if not config.telemetry_overhead_views:
+        return None
+    import tempfile
+
+    from ..obs.recorder import WorkloadRecorder
+    from ..obs.slo import SloObjectives
+    from ..service import ViewServer
+
+    pool = views[: min(config.telemetry_overhead_views, len(views))]
+    definitions = [(name, view.statement) for name, view in pool]
+    sqls = [statement_to_sql(query) for query in queries]
+
+    def serve_time(server) -> float:
+        for sql in sqls:  # warm memos outside the timed runs
+            server.serve(sql)
+        best = float("inf")
+        for _ in range(config.telemetry_overhead_runs):
+            started = time.perf_counter()
+            for sql in sqls:
+                server.serve(sql)
+            best = min(best, time.perf_counter() - started)
+        return best * 1000.0
+
+    with ViewServer(
+        catalog, stats, workers=1, cache_enabled=False
+    ) as plain:
+        plain.register_views(definitions)
+        off_ms = serve_time(plain)
+    with tempfile.TemporaryDirectory() as tmpdir, ViewServer(
+        catalog,
+        stats,
+        workers=1,
+        cache_enabled=False,
+        slo=SloObjectives(),
+    ) as instrumented:
+        instrumented.register_views(definitions)
+        recorder = WorkloadRecorder(os.path.join(tmpdir, "journal.jsonl"))
+        instrumented.attach_recorder(recorder)
+        on_ms = serve_time(instrumented)
+        recorder.close()
+    overhead = on_ms / off_ms - 1.0
+    section = {
+        "views": len(pool),
+        "queries": len(sqls),
+        "runs": config.telemetry_overhead_runs,
+        "telemetry_off_ms": round(off_ms, 2),
+        "telemetry_on_ms": round(on_ms, 2),
+        "overhead_fraction": round(overhead, 4),
+    }
+    if echo is not None:
+        echo(
+            f"telemetry overhead at {len(pool)} views: "
+            f"off {off_ms:8.1f}ms   on {on_ms:8.1f}ms   "
+            f"({overhead:+.1%})"
+        )
+    return section
 
 
 def _run_catalog_scale(config, catalog, stats, queries, sizes, echo) -> dict | None:
@@ -780,6 +877,10 @@ def run_hotpath_benchmark(
                 f"{memory['cache']['bytes_per_entry']:,.0f} bytes/cache-entry"
             )
 
+    telemetry_overhead = _measure_telemetry_overhead(
+        config, catalog, stats, views, queries, echo
+    )
+
     catalog_scale = _run_catalog_scale(
         config, catalog, stats, queries, sizes, echo
     )
@@ -800,6 +901,7 @@ def run_hotpath_benchmark(
         "catalog_scale": catalog_scale,
         "end_to_end": end_to_end,
         "maintenance": maintenance,
+        "telemetry_overhead": telemetry_overhead,
     }
 
 
@@ -1107,7 +1209,42 @@ def check_tracing_overhead(
                 f"overhead budget: {fresh_ratio:.3f}x calibration > "
                 f"baseline {base_ratio:.3f}x + {tolerance:.0%}"
             )
+    failures.extend(_check_telemetry_overhead(report, tolerance, echo))
     return failures
+
+
+def _check_telemetry_overhead(
+    report: dict,
+    tolerance: float = TELEMETRY_OVERHEAD_TOLERANCE,
+    echo=print,
+) -> list[str]:
+    """Gate the telemetry pipeline's on/off serving overhead.
+
+    Reads the fresh report's ``telemetry_overhead`` section (both sides
+    of the ratio are measured in one process, so no baseline or
+    calibration is involved) and fails when attaching the recorder +
+    SLO tracker slowed serving by more than ``tolerance``. Reports that
+    predate the section (or ran with the point disabled) pass -- the CI
+    smoke config always measures it.
+    """
+    section = report.get("telemetry_overhead")
+    if not section:
+        return []
+    overhead = section["overhead_fraction"]
+    if echo is not None:
+        echo(
+            f"telemetry-overhead check ({section['views']} views): "
+            f"on {section['telemetry_on_ms']:.1f}ms vs "
+            f"off {section['telemetry_off_ms']:.1f}ms "
+            f"({overhead:+.1%}, budget {tolerance:.0%})"
+        )
+    if overhead > tolerance:
+        return [
+            f"telemetry pipeline overhead {overhead:.1%} exceeds the "
+            f"{tolerance:.0%} budget (recorder + SLO attached vs plain "
+            f"serving at {section['views']} views)"
+        ]
+    return []
 
 
 def profile_hotpath(
@@ -1185,6 +1322,7 @@ __all__ = [
     "PROBE_REGRESSION_TOLERANCE",
     "PROBE_SPEEDUP_FLOOR",
     "REGRESSION_FACTOR",
+    "TELEMETRY_OVERHEAD_TOLERANCE",
     "TRACING_OVERHEAD_TOLERANCE",
     "check_against_baseline",
     "check_speedup_gates",

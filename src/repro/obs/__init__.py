@@ -17,16 +17,48 @@ Entry points:
 * :func:`render_trace` / :func:`trace_to_json` /
   :func:`validate_trace_dict` -- the ``explain-rewrite`` output formats
   and the frozen export schema.
+
+The cross-process telemetry pipeline layers on top:
+
+* :class:`DDSketch` -- mergeable relative-error percentile sketch.
+* :class:`TraceContext` / :func:`trace_context` -- the request identity
+  carried into forked matching workers and the CDC applier.
+* :class:`TelemetryHub` / :class:`WorkerTelemetry` -- parent-side merge
+  registry and child-side collector.
+* :class:`SloTracker` -- target-p99/error-budget burn rates.
+* :class:`WorkloadRecorder` / :func:`load_journal` -- the rotating
+  JSONL request journal and its advisor-consumable aggregation.
 """
 
 from .render import (
     TRACE_SCHEMA,
+    TRACE_SCHEMA_V1,
     render_trace,
     trace_to_json,
     validate_trace_dict,
 )
+from .sketch import DDSketch
+from .slo import SloObjectives, SloTracker
+from .recorder import (
+    WorkloadAggregate,
+    WorkloadRecorder,
+    aggregate_events,
+    iter_events,
+    load_journal,
+)
+from .telemetry import (
+    TelemetryHub,
+    TelemetrySnapshot,
+    TraceContext,
+    WorkerTelemetry,
+    current_trace_context,
+    set_telemetry_hub,
+    telemetry_hub,
+    trace_context,
+)
 from .trace import (
     NULL_TRACER,
+    TRACE_VERSION,
     CandidateTrace,
     FilterLevelTrace,
     MatchInvocationTrace,
@@ -44,6 +76,7 @@ from .trace import (
 
 __all__ = [
     "CandidateTrace",
+    "DDSketch",
     "FilterLevelTrace",
     "MatchInvocationTrace",
     "NULL_TRACER",
@@ -51,13 +84,30 @@ __all__ = [
     "PlanAlternative",
     "RewriteTrace",
     "RewriteTracer",
+    "SloObjectives",
+    "SloTracker",
     "Span",
     "TRACE_SCHEMA",
+    "TRACE_SCHEMA_V1",
+    "TRACE_VERSION",
+    "TelemetryHub",
+    "TelemetrySnapshot",
+    "TraceContext",
     "TraceSampler",
+    "WorkerTelemetry",
+    "WorkloadAggregate",
+    "WorkloadRecorder",
     "activate",
+    "aggregate_events",
+    "current_trace_context",
     "current_tracer",
     "deactivate",
+    "iter_events",
+    "load_journal",
     "render_trace",
+    "set_telemetry_hub",
+    "telemetry_hub",
+    "trace_context",
     "trace_to_json",
     "tracing",
     "validate_trace_dict",

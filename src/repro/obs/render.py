@@ -25,8 +25,14 @@ from .trace import RewriteTrace
 # A JSON-Schema-like description of RewriteTrace.to_dict(). Types are
 # python type tuples; "nullable" admits None; nested dicts describe
 # objects, ("list", spec) describes homogeneous arrays.
+#
+# This is the current (version 2) schema: version 1 exports are the
+# same shape minus the top-level ``trace_id`` field the cross-process
+# telemetry pipeline added, and the validator dispatches on the dict's
+# own ``trace_version`` so committed v1 fixtures keep validating.
 TRACE_SCHEMA: dict = {
     "trace_version": {"type": (int,)},
+    "trace_id": {"type": (str,), "nullable": True},
     "sql": {"type": (str,)},
     "cache_hit": {"type": (bool,), "nullable": True},
     "epoch": {"type": (int,), "nullable": True},
@@ -120,10 +126,27 @@ def _validate(value, spec, path: str, errors: list[str]) -> None:
             errors.append(f"{path}.{name}: unexpected field")
 
 
+# Version 1 lacked trace_id; everything else is identical. Kept as a
+# distinct spec (rather than marking trace_id optional) so a v2 export
+# that *drops* the field still fails validation.
+TRACE_SCHEMA_V1: dict = {
+    name: spec for name, spec in TRACE_SCHEMA.items() if name != "trace_id"
+}
+
+
 def validate_trace_dict(data: dict) -> list[str]:
-    """Check an exported trace dict against the schema; returns errors."""
+    """Check an exported trace dict against its schema version.
+
+    Dispatches on the dict's own ``trace_version``: version-1 exports
+    (from before the cross-process telemetry pipeline) validate against
+    the v1 schema, everything else against the current one. Returns the
+    list of mismatches (empty = valid).
+    """
     errors: list[str] = []
-    _validate(data, TRACE_SCHEMA, "trace", errors)
+    schema = (
+        TRACE_SCHEMA_V1 if data.get("trace_version") == 1 else TRACE_SCHEMA
+    )
+    _validate(data, schema, "trace", errors)
     return errors
 
 
@@ -237,6 +260,7 @@ def render_trace(trace: RewriteTrace) -> str:
 
 __all__ = [
     "TRACE_SCHEMA",
+    "TRACE_SCHEMA_V1",
     "render_trace",
     "trace_to_json",
     "validate_trace_dict",

@@ -1,0 +1,425 @@
+"""Cross-process telemetry: trace context, worker snapshots, merge hub.
+
+The tracer in :mod:`repro.obs.trace` is single-process: spans land on
+a contextvar-scoped ``RewriteTracer`` that dies with the process.
+That left two blind spots -- the forked matching workers in
+:mod:`repro.core.parallel` and the CDC applier, both of which do real
+work (candidate filtering, delta merges) that never reached the
+server's metrics.  This module closes them with three pieces:
+
+``TraceContext``
+    A compact, picklable identity for one request: trace id, sampling
+    decision, optional deadline.  It rides a contextvar in the parent
+    and is captured by value into worker closures, so a span recorded
+    in a forked child can name the same trace id as the parent's
+    tracer and the two halves stitch together afterwards.
+
+``WorkerTelemetry`` / ``TelemetrySnapshot``
+    The child-side collector and its wire form.  A worker records
+    counters, sketch samples, and spans locally, then returns
+    ``snapshot().to_dict()`` -- plain dicts of ints/floats/strings --
+    alongside its match results through the existing pickle frame
+    protocol.  Nothing new crosses the fork boundary.
+
+``TelemetryHub``
+    The parent-side mergeable registry.  Sketches are
+    :class:`~repro.obs.sketch.DDSketch`, so merging a worker snapshot
+    is bucket-wise addition and the merged percentiles equal a
+    single-process run over the same samples.  The hub renders to the
+    Prometheus text format (counters as ``_total``, sketches as
+    summaries with quantile labels) and feeds the ``repro-top``
+    dashboard.
+
+A process-global hub (``telemetry_hub()``) is the default sink so
+instrumented code stays always-on without plumbing; the ``ViewServer``
+installs its own hub instance for isolation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from .sketch import DDSketch
+
+__all__ = [
+    "TraceContext",
+    "current_trace_context",
+    "trace_context",
+    "TelemetrySnapshot",
+    "WorkerTelemetry",
+    "TelemetryHub",
+    "telemetry_hub",
+    "set_telemetry_hub",
+]
+
+SNAPSHOT_VERSION = 1
+
+# Default relative accuracy for every latency sketch in the pipeline.
+# 1% keeps p99 estimates within a microsecond at millisecond scale
+# while a sketch stays under ~2 KB.
+DEFAULT_ACCURACY = 0.01
+
+_SPAN_RING_CAPACITY = 512
+
+
+# ---------------------------------------------------------------------------
+# Trace context
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one request, carried across threads and forks.
+
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp in the
+    *originating* process.  Forked children share the parent's
+    monotonic clock on Linux, so the deadline stays meaningful across
+    the fork boundary this codebase parallelizes over.
+    """
+
+    trace_id: str
+    sampled: bool = True
+    deadline: Optional[float] = None
+
+    @classmethod
+    def new(
+        cls, *, sampled: bool = True, deadline: Optional[float] = None
+    ) -> "TraceContext":
+        # 64 random bits, hex -- the W3C traceparent convention scaled
+        # down; uniqueness per process lifetime is all stitching needs.
+        trace_id = os.urandom(8).hex()
+        return cls(trace_id=trace_id, sampled=sampled, deadline=deadline)
+
+    def remaining(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def to_wire(self) -> Tuple[str, bool, Optional[float]]:
+        return (self.trace_id, self.sampled, self.deadline)
+
+    @classmethod
+    def from_wire(
+        cls, wire: Tuple[str, bool, Optional[float]]
+    ) -> "TraceContext":
+        trace_id, sampled, deadline = wire
+        return cls(trace_id=trace_id, sampled=sampled, deadline=deadline)
+
+
+_CURRENT_CONTEXT: contextvars.ContextVar[Optional[TraceContext]] = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The trace context active on this thread, or ``None``."""
+
+    return _CURRENT_CONTEXT.get()
+
+
+@contextlib.contextmanager
+def trace_context(context: TraceContext) -> Iterator[TraceContext]:
+    """Install ``context`` as the current trace context for the block."""
+
+    token = _CURRENT_CONTEXT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT_CONTEXT.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side collection
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Wire form of one process's telemetry since its last snapshot.
+
+    Everything inside is JSON-safe (ints, floats, strings, plain
+    dicts), so a snapshot serializes through both the worker pool's
+    pickle frames and the workload journal unchanged.
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    sketches: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "v": SNAPSHOT_VERSION,
+            "counters": dict(self.counters),
+            "sketches": {name: dict(d) for name, d in self.sketches.items()},
+            "spans": [dict(span) for span in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetrySnapshot":
+        return cls(
+            counters={
+                str(k): int(v) for k, v in data.get("counters", {}).items()
+            },
+            sketches={
+                str(k): dict(v) for k, v in data.get("sketches", {}).items()
+            },
+            spans=[dict(span) for span in data.get("spans", [])],
+        )
+
+
+class WorkerTelemetry:
+    """Single-threaded collector used inside forked workers.
+
+    No locks: a worker is one process running one function.  The
+    parent never touches the instance -- only the snapshot dict that
+    comes back through the result frame.
+    """
+
+    __slots__ = ("_counters", "_sketches", "_spans", "_accuracy")
+
+    def __init__(self, *, relative_accuracy: float = DEFAULT_ACCURACY) -> None:
+        self._counters: Dict[str, int] = {}
+        self._sketches: Dict[str, DDSketch] = {}
+        self._spans: List[Dict[str, Any]] = []
+        self._accuracy = relative_accuracy
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def sketch(self, name: str) -> DDSketch:
+        sketch = self._sketches.get(name)
+        if sketch is None:
+            sketch = DDSketch(self._accuracy)
+            self._sketches[name] = sketch
+        return sketch
+
+    def record(self, name: str, value: float) -> None:
+        self.sketch(name).record(value)
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        *,
+        trace_id: Optional[str] = None,
+        **attributes: Any,
+    ) -> None:
+        span: Dict[str, Any] = {"name": name, "duration": duration}
+        if trace_id is not None:
+            span["trace_id"] = trace_id
+        if attributes:
+            span["attributes"] = attributes
+        self._spans.append(span)
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot(
+            counters=dict(self._counters),
+            sketches={
+                name: sketch.to_dict()
+                for name, sketch in self._sketches.items()
+            },
+            spans=list(self._spans),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Parent-side merge hub
+
+
+class TelemetryHub:
+    """Thread-safe mergeable telemetry registry.
+
+    In-process instrumentation calls :meth:`increment` / :meth:`record`
+    directly; the worker pool and CDC applier merge whole
+    :class:`TelemetrySnapshot` payloads with :meth:`merge_snapshot`.
+    Reads (:meth:`snapshot`, :meth:`to_prometheus`) take the same lock
+    as merges, so a scrape never observes a half-merged sketch.
+    """
+
+    def __init__(self, *, relative_accuracy: float = DEFAULT_ACCURACY) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._sketches: Dict[str, DDSketch] = {}
+        self._spans: Deque[Dict[str, Any]] = deque(maxlen=_SPAN_RING_CAPACITY)
+        self._accuracy = relative_accuracy
+        self._merged_snapshots = 0
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def record(self, name: str, value: float) -> None:
+        with self._lock:
+            sketch = self._sketches.get(name)
+            if sketch is None:
+                sketch = DDSketch(self._accuracy)
+                self._sketches[name] = sketch
+            sketch.record(value)
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        *,
+        trace_id: Optional[str] = None,
+        **attributes: Any,
+    ) -> None:
+        span: Dict[str, Any] = {"name": name, "duration": duration}
+        if trace_id is not None:
+            span["trace_id"] = trace_id
+        if attributes:
+            span["attributes"] = attributes
+        with self._lock:
+            self._spans.append(span)
+
+    def merge_snapshot(self, snapshot: TelemetrySnapshot) -> None:
+        """Fold a worker's snapshot into the hub (lossless for
+        sketches with matching accuracy)."""
+
+        with self._lock:
+            self._merged_snapshots += 1
+            counters = self._counters
+            for name, amount in snapshot.counters.items():
+                counters[name] = counters.get(name, 0) + amount
+            for name, payload in snapshot.sketches.items():
+                incoming = DDSketch.from_dict(payload)
+                existing = self._sketches.get(name)
+                if existing is None:
+                    self._sketches[name] = incoming
+                else:
+                    existing.merge(incoming)
+            self._spans.extend(snapshot.spans)
+
+    def merge_snapshot_dict(self, data: Mapping[str, Any]) -> None:
+        self.merge_snapshot(TelemetrySnapshot.from_dict(data))
+
+    def export_snapshot(self) -> TelemetrySnapshot:
+        """The hub's whole contents as a wire snapshot.
+
+        The forked batch paths point a child's sinks at a fresh hub,
+        do the work, and ship ``export_snapshot().to_dict()`` back for
+        the parent to :meth:`merge_snapshot` -- hub-in-child, merge-in-
+        parent, with only plain dicts crossing the pipe.
+        """
+
+        with self._lock:
+            return TelemetrySnapshot(
+                counters=dict(self._counters),
+                sketches={
+                    name: sketch.to_dict()
+                    for name, sketch in self._sketches.items()
+                },
+                spans=list(self._spans),
+            )
+
+    # -- reads --------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def sketch_snapshots(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return {
+                name: sketch.snapshot()
+                for name, sketch in self._sketches.items()
+            }
+
+    def sketch(self, name: str) -> Optional[DDSketch]:
+        """A copy of the named sketch (safe to read without racing
+        concurrent merges), or ``None``."""
+
+        with self._lock:
+            sketch = self._sketches.get(name)
+            if sketch is None:
+                return None
+            return DDSketch.from_dict(sketch.to_dict())
+
+    def spans(self) -> Tuple[Dict[str, Any], ...]:
+        with self._lock:
+            return tuple(self._spans)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "sketches": {
+                    name: sketch.snapshot()
+                    for name, sketch in self._sketches.items()
+                },
+                "merged_snapshots": self._merged_snapshots,
+                "spans_buffered": len(self._spans),
+            }
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition: counters as ``_total``,
+        sketches as summaries with ``quantile`` labels."""
+
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self._counters):
+                metric = f"{prefix}_{_sanitize(name)}_total"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {self._counters[name]}")
+            for name in sorted(self._sketches):
+                sketch = self._sketches[name]
+                metric = f"{prefix}_{_sanitize(name)}"
+                lines.append(f"# TYPE {metric} summary")
+                for q in (0.5, 0.9, 0.99):
+                    value = sketch.percentile(q)
+                    lines.append(
+                        f'{metric}{{quantile="{q}"}} {_format(value)}'
+                    )
+                lines.append(f"{metric}_sum {_format(sketch.total)}")
+                lines.append(f"{metric}_count {sketch.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._sketches.clear()
+            self._spans.clear()
+            self._merged_snapshots = 0
+
+
+def _sanitize(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    return "".join(out)
+
+
+def _format(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".9g")
+
+
+# ---------------------------------------------------------------------------
+# Process-global default hub
+
+_GLOBAL_HUB = TelemetryHub()
+_GLOBAL_LOCK = threading.Lock()
+
+
+def telemetry_hub() -> TelemetryHub:
+    """The process-global hub instrumented code falls back to when no
+    explicit sink was injected."""
+
+    return _GLOBAL_HUB
+
+
+def set_telemetry_hub(hub: TelemetryHub) -> TelemetryHub:
+    """Swap the process-global hub; returns the previous one (tests
+    use this to isolate)."""
+
+    global _GLOBAL_HUB
+    with _GLOBAL_LOCK:
+        previous = _GLOBAL_HUB
+        _GLOBAL_HUB = hub
+    return previous

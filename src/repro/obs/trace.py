@@ -38,6 +38,19 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
+from .telemetry import current_trace_context
+
+#: Version stamped on every exported trace dict. History:
+#:
+#: * 1 -- initial shape (PR 3).
+#: * 2 -- cross-process telemetry: top-level ``trace_id`` (nullable;
+#:   set when a :class:`~repro.obs.telemetry.TraceContext` was active)
+#:   so spans recorded in forked matching workers and the CDC applier
+#:   stitch to the request trace they belong to.
+#:
+#: The validator in :mod:`repro.obs.render` accepts both versions.
+TRACE_VERSION = 2
+
 
 # ---------------------------------------------------------------------------
 # Trace model
@@ -162,6 +175,10 @@ class RewriteTrace:
     epoch: int | None = None
     error: str | None = None
     total_seconds: float = 0.0
+    # The request's cross-process trace id (schema version 2): worker
+    # and CDC spans carry the same id in their attributes, so a stitched
+    # trace is recognizable even after the spans crossed a fork.
+    trace_id: str | None = None
 
     def reject_tallies(self) -> dict[str, int]:
         """RejectReason-name histogram across every invocation's funnel."""
@@ -182,7 +199,8 @@ class RewriteTrace:
 
     def to_dict(self) -> dict:
         return {
-            "trace_version": 1,
+            "trace_version": TRACE_VERSION,
+            "trace_id": self.trace_id,
             "sql": self.sql,
             "cache_hit": self.cache_hit,
             "epoch": self.epoch,
@@ -195,6 +213,69 @@ class RewriteTrace:
             ],
             "reject_tallies": self.reject_tallies(),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RewriteTrace":
+        """Rebuild a trace from its exported dict, any schema version.
+
+        Version-1 exports simply lack ``trace_id``; every other field
+        is shared, so old journals and committed fixtures keep
+        rendering after the version bump.
+        """
+        return cls(
+            sql=data.get("sql", ""),
+            cache_hit=data.get("cache_hit"),
+            epoch=data.get("epoch"),
+            error=data.get("error"),
+            total_seconds=data.get("total_seconds", 0.0),
+            trace_id=data.get("trace_id"),
+            spans=[
+                Span(
+                    name=span["name"],
+                    started=span.get("started", 0.0),
+                    duration=span.get("duration", 0.0),
+                    attributes=dict(span.get("attributes", {})),
+                )
+                for span in data.get("spans", [])
+            ],
+            invocations=[
+                MatchInvocationTrace(
+                    registered=inv.get("registered", 0),
+                    candidates=inv.get("candidates", 0),
+                    levels=tuple(
+                        FilterLevelTrace(
+                            level=level["level"],
+                            entering=level.get("entering", 0),
+                            survivors=level.get("survivors", 0),
+                            pruned=tuple(level.get("pruned", ())),
+                        )
+                        for level in inv.get("levels", [])
+                    ),
+                    funnel=tuple(
+                        CandidateTrace(
+                            view=candidate.get("view", "<unnamed>"),
+                            matched=candidate.get("matched", False),
+                            reject_reason=candidate.get("reject_reason"),
+                            reject_detail=candidate.get("reject_detail", ""),
+                            compensation=tuple(
+                                candidate.get("compensation", ())
+                            ),
+                        )
+                        for candidate in inv.get("funnel", [])
+                    ),
+                )
+                for inv in data.get("invocations", [])
+            ],
+            plan_alternatives=[
+                PlanAlternative(
+                    kind=alt.get("kind", "base"),
+                    cost=alt.get("cost", 0.0),
+                    views=tuple(alt.get("views", ())),
+                    chosen=alt.get("chosen", False),
+                )
+                for alt in data.get("plan_alternatives", [])
+            ],
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -285,7 +366,11 @@ class RewriteTracer:
     def __init__(self, sql: str = "", clock=time.perf_counter):
         self.clock = clock
         self.epoch_started = clock()
-        self.trace = RewriteTrace(sql=sql)
+        context = current_trace_context()
+        self.trace = RewriteTrace(
+            sql=sql,
+            trace_id=context.trace_id if context is not None else None,
+        )
         # The filter-tree hook fires inside ViewMatcher.candidates, before
         # the match loop; the invocation hook then claims the attribution.
         self._pending_levels: tuple[FilterLevelTrace, ...] = ()
@@ -469,6 +554,7 @@ __all__ = [
     "RewriteTrace",
     "RewriteTracer",
     "Span",
+    "TRACE_VERSION",
     "TraceSampler",
     "activate",
     "current_tracer",

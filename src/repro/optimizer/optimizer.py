@@ -81,6 +81,12 @@ class OptimizationResult:
     candidates_considered: int
     optimize_seconds: float
     matching_seconds: float
+    #: Per-search reject funnel: ``(RejectReason.name, count)`` pairs,
+    #: sorted by reason name, summed over every view-matching
+    #: invocation of this optimization. Carried on the frozen result so
+    #: the workload recorder can journal the funnel even for requests
+    #: answered from the rewrite cache.
+    reject_tallies: tuple[tuple[str, int], ...] = ()
 
 
 class Optimizer:
@@ -149,6 +155,7 @@ class Optimizer:
             candidates_considered=search.candidates_considered,
             optimize_seconds=elapsed,
             matching_seconds=search.matching_seconds,
+            reject_tallies=tuple(sorted(search.reject_tallies.items())),
         )
 
     def explain(self, statement: SelectStatement) -> str:
@@ -210,6 +217,7 @@ class _Search:
         self.substitutes_produced = 0
         self.candidates_considered = 0
         self.matching_seconds = 0.0
+        self.reject_tallies: dict[str, int] = {}
         self.best: dict[frozenset[str], PlanNode] = {}
         self._block_cardinality: dict[frozenset[str], float] = {}
         self.share_descriptions = optimizer.config.share_descriptions
@@ -253,6 +261,11 @@ class _Search:
             self.matching_seconds += time.perf_counter() - started
         self.invocations += 1
         self.candidates_considered += sum(1 for _ in results)
+        tallies = self.reject_tallies
+        for result in results:
+            if result.reject_reason is not None:
+                name = result.reject_reason.name
+                tallies[name] = tallies.get(name, 0) + 1
         matches = [r for r in results if r.matched]
         self.substitutes_produced += len(matches)
         if not self.optimizer.config.produce_substitutes:

@@ -40,6 +40,10 @@ class BenchConfig:
     seed: int = 42
     scale: float = 0.5
     cache_size: int = 4096
+    # When set, the cache-enabled run journals every served request to
+    # this path (``repro.obs.recorder`` JSONL), ready for
+    # ``repro workload-report`` / ``repro-top --journal``.
+    journal: str | None = None
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -200,6 +204,7 @@ def _run_one(
     views: list[tuple[str, str]],
     schedule: list[str],
     cache_enabled: bool,
+    recorder=None,
 ) -> tuple[LoadRunResult, ViewServer]:
     catalog = tpch_catalog()
     stats = synthetic_tpch_stats(scale=config.scale)
@@ -211,6 +216,8 @@ def _run_one(
         cache_size=config.cache_size,
         cache_enabled=cache_enabled,
     )
+    if recorder is not None:
+        server.attach_recorder(recorder)
     try:
         for name, sql in views:
             server.register_view(name, sql)
@@ -231,9 +238,18 @@ def run_service_benchmark(
     config = config or BenchConfig()
     views, queries = build_workload(config)
     schedule = queries * config.repeat
-    cached_run, cached_server = _run_one(
-        config, views, schedule, cache_enabled=True
-    )
+    recorder = None
+    if config.journal:
+        from ..obs.recorder import WorkloadRecorder
+
+        recorder = WorkloadRecorder(config.journal)
+    try:
+        cached_run, cached_server = _run_one(
+            config, views, schedule, cache_enabled=True, recorder=recorder
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     baseline_run, _ = _run_one(config, views, schedule, cache_enabled=False)
     assert cached_server.cache is not None
     report = BenchReport(

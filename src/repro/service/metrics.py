@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 from typing import Iterable
+
+from ..obs.sketch import DDSketch
 
 _METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -141,27 +144,58 @@ class LatencyHistogram:
 
 
 class MetricsRegistry:
-    """Named counters and histograms for one :class:`ViewServer`."""
+    """Named counters, histograms, and sketches for one :class:`ViewServer`.
+
+    Metric *creation* is serialized by a lock (two pool threads racing
+    ``counter("requests")`` must converge on one object); *recording*
+    stays lock-free as documented in the module docstring.  Reads take
+    no lock either -- a scrape concurrent with creation sees either
+    the metric or its absence, never a torn dict (GIL-coherent insert).
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
+        self._sketches: dict[str, DDSketch] = {}
+        self._create_lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter with the given name."""
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters.setdefault(name, Counter(name))
+            with self._create_lock:
+                counter = self._counters.setdefault(name, Counter(name))
         return counter
 
     def histogram(self, name: str) -> LatencyHistogram:
         """Get or create the latency histogram with the given name."""
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms.setdefault(
-                name, LatencyHistogram(name)
-            )
+            with self._create_lock:
+                histogram = self._histograms.setdefault(
+                    name, LatencyHistogram(name)
+                )
         return histogram
+
+    def sketch(self, name: str) -> DDSketch:
+        """Get or create a mergeable percentile sketch.
+
+        Sketches complement the fixed-bucket histograms where the
+        measurements arrive from *other processes* (forked matching
+        workers, the CDC applier): a worker's serialized sketch merges
+        in losslessly, which fixed buckets only manage because they
+        happen to share bounds -- and sketches hold the ~1% relative
+        error the 10-buckets-per-decade histogram cannot.
+        """
+        sketch = self._sketches.get(name)
+        if sketch is None:
+            with self._create_lock:
+                sketch = self._sketches.setdefault(name, DDSketch())
+        return sketch
+
+    def merge_sketch(self, name: str, payload: dict) -> None:
+        """Merge a serialized worker sketch (``DDSketch.to_dict``)."""
+        self.sketch(name).merge(DDSketch.from_dict(payload))
 
     def counters(self) -> dict[str, int]:
         """All counter values, by name."""
@@ -173,19 +207,32 @@ class MetricsRegistry:
             name: h.snapshot() for name, h in sorted(self._histograms.items())
         }
 
+    def sketches(self) -> dict[str, dict]:
+        """All sketch snapshots, by name."""
+        return {
+            name: s.snapshot() for name, s in sorted(self._sketches.items())
+        }
+
     def snapshot(self) -> dict:
-        """Counters and histogram summaries in one dict."""
-        return {"counters": self.counters(), "latency": self.histograms()}
+        """Counters, histogram, and sketch summaries in one dict."""
+        snapshot = {"counters": self.counters(), "latency": self.histograms()}
+        if self._sketches:
+            snapshot["sketches"] = self.sketches()
+        return snapshot
 
     def to_prometheus(self, prefix: str = "repro") -> str:
         """Prometheus text-exposition rendering of every metric.
 
         Counters become ``{prefix}_{name}_total``; histograms become
-        ``{prefix}_{name}_seconds`` with cumulative ``le`` buckets drawn
-        from the fixed log-bucket bounds. Only buckets where the
-        cumulative count changes are emitted (plus the mandatory
-        ``+Inf``), which keeps the output compact without changing what
-        any Prometheus quantile computation sees.
+        ``{prefix}_{name}_seconds`` with *properly cumulative* ``le``
+        buckets -- every fixed log-bucket bound is emitted, each
+        carrying the count of observations at or below it, closed by
+        the mandatory ``+Inf`` bucket, ``_sum``, and ``_count``.  The
+        earlier compact form (skip buckets whose cumulative count did
+        not change) broke the convention scrapers rely on: the bucket
+        set must be identical across scrapes or ``rate()`` over
+        ``_bucket`` series sees counter resets.  Sketches render as
+        summaries with ``quantile`` labels.
         """
         lines: list[str] = []
         for name, counter in sorted(self._counters.items()):
@@ -197,9 +244,9 @@ class MetricsRegistry:
             lines.append(f"# TYPE {metric} histogram")
             cumulative = 0
             for index, bound in enumerate(_BOUNDS):
-                # Bucket ``index`` holds observations below ``bound``.
-                if histogram.buckets[index] == 0:
-                    continue
+                # Bucket ``index`` holds observations below ``bound``;
+                # cumulative over it is exactly "count <= bound" since
+                # bucket boundaries are half-open below the bound.
                 cumulative += histogram.buckets[index]
                 lines.append(
                     f'{metric}_bucket{{le="{format(bound, ".6g")}"}} '
@@ -210,6 +257,16 @@ class MetricsRegistry:
             )
             lines.append(f"{metric}_sum {_format_value(histogram.total)}")
             lines.append(f"{metric}_count {histogram.count}")
+        for name, sketch in sorted(self._sketches.items()):
+            metric = _metric_name(prefix, name, "seconds")
+            lines.append(f"# TYPE {metric} summary")
+            for q in (0.5, 0.9, 0.99):
+                lines.append(
+                    f'{metric}{{quantile="{q}"}} '
+                    f"{_format_value(sketch.percentile(q))}"
+                )
+            lines.append(f"{metric}_sum {_format_value(sketch.total)}")
+            lines.append(f"{metric}_count {sketch.count}")
         return "\n".join(lines) + "\n" if lines else ""
 
     def report(self, histogram_order: Iterable[str] = ()) -> str:
@@ -246,4 +303,4 @@ class MetricsRegistry:
         return "\n".join(lines)
 
 
-__all__ = ["Counter", "LatencyHistogram", "MetricsRegistry"]
+__all__ = ["Counter", "DDSketch", "LatencyHistogram", "MetricsRegistry"]

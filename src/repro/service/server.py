@@ -38,6 +38,14 @@ from ..core.options import DEFAULT_OPTIONS, MatchOptions
 from ..core.parallel import default_worker_count, fork_available, forked_map
 from ..errors import ReproError
 from ..maintenance.maintainer import ViewChangeEvent, ViewMaintainer
+from ..obs.slo import SloObjectives, SloTracker
+from ..obs.telemetry import (
+    TelemetryHub,
+    TraceContext,
+    WorkerTelemetry,
+    current_trace_context,
+    trace_context,
+)
 from ..obs.trace import (
     RewriteTrace,
     RewriteTracer,
@@ -178,6 +186,7 @@ class ViewServer:
         trace_sample_rate: float = 0.0,
         trace_capacity: int = 64,
         shard_count: int = 1,
+        slo: SloObjectives | None = None,
     ):
         """``trace_sample_rate`` turns on rewrite-path tracing for a
         deterministic 1-in-N fraction of served requests (0 disables it
@@ -189,12 +198,21 @@ class ViewServer:
         registrations re-index only the affected shard, and
         :meth:`rewrite_many` may fan batch misses out across forked
         workers when the catalog is large enough.
+
+        ``slo`` attaches latency/error objectives: every served request
+        burns the error budget when it errors, times out, is rejected,
+        or exceeds the target p99, and multi-window burn rates surface
+        in :meth:`stats` and :meth:`prometheus_metrics`.
         """
         if workers < 1:
             raise ValueError("need at least one worker")
         if queue_depth < 1:
             raise ValueError("queue depth must be positive")
         self.catalog = catalog
+        # One hub per server: every epoch's matcher, every forked batch
+        # worker, and an attached CDC applier all merge into it, so the
+        # whole pipeline's sketches read out of one place.
+        self.telemetry = TelemetryHub()
         self.snapshots = SnapshotManager(
             catalog,
             stats,
@@ -203,6 +221,7 @@ class ViewServer:
             index_registry=index_registry,
             use_filter_tree=use_filter_tree,
             shard_count=shard_count,
+            telemetry=self.telemetry,
         )
         self.cache: RewriteCache | None = (
             RewriteCache(cache_size) if cache_enabled else None
@@ -225,6 +244,8 @@ class ViewServer:
         self._traces_lock = threading.Lock()
         self._closed = False
         self._cdc = None
+        self.slo = SloTracker(slo) if slo is not None else None
+        self._recorder = None
         self.snapshots.add_listener(self._on_publish)
 
     # -- serving -------------------------------------------------------------
@@ -251,8 +272,10 @@ class ViewServer:
             deadline = self.default_deadline
         if not self._slots.acquire(blocking=False):
             self.metrics.counter("rejected").increment()
+            shed = ServedResult(sql=sql, rejected=True)
+            self._observe(shed)
             future: Future[ServedResult] = Future()
-            future.set_result(ServedResult(sql=sql, rejected=True))
+            future.set_result(shed)
             return future
         enqueued = time.perf_counter()
         try:
@@ -270,7 +293,9 @@ class ViewServer:
                 and time.perf_counter() - enqueued > deadline
             ):
                 self.metrics.counter("timeouts").increment()
-                return ServedResult(sql=sql, timed_out=True)
+                expired = ServedResult(sql=sql, timed_out=True)
+                self._observe(expired)
+                return expired
             return self.serve(sql)
         finally:
             self._slots.release()
@@ -290,13 +315,20 @@ class ViewServer:
         view may be and still rewrite this query; see :meth:`rewrite`.
         """
         if not self._sampler.should_sample():
-            return self._serve(sql, max_staleness)
-        tracer = RewriteTracer(sql=sql)
-        token = activate(tracer)
-        try:
             result = self._serve(sql, max_staleness)
-        finally:
-            deactivate(token)
+            self._observe(result)
+            return result
+        # Install the TraceContext *before* constructing the tracer: the
+        # tracer captures the context's trace id at init, and forked
+        # matching workers capture the contextvar by value, so worker and
+        # CDC spans stitch back under this one id.
+        with trace_context(TraceContext.new()):
+            tracer = RewriteTracer(sql=sql)
+            token = activate(tracer)
+            try:
+                result = self._serve(sql, max_staleness)
+            finally:
+                deactivate(token)
         trace = tracer.finish(
             cache_hit=result.cache_hit if result.ok else None,
             epoch=result.epoch if result.epoch >= 0 else None,
@@ -305,7 +337,35 @@ class ViewServer:
         with self._traces_lock:
             self._traces.append(trace)
         self.metrics.counter("traces_sampled").increment()
+        self._observe(result)
         return result
+
+    def _observe(self, result: ServedResult) -> None:
+        """Feed one served outcome to the SLO tracker and the recorder.
+
+        Called once per request at the serving boundary (including shed
+        and expired requests, which burn error budget without ever
+        reaching the optimizer).
+        """
+        if self.slo is not None:
+            self.slo.record(
+                result.latency_seconds,
+                error=bool(result.error)
+                or result.timed_out
+                or result.rejected,
+            )
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.record_result(result)
+
+    def attach_recorder(self, recorder) -> None:
+        """Start journaling served outcomes to a workload recorder.
+
+        ``recorder`` is duck-typed (anything with ``record_result``),
+        normally a :class:`repro.obs.recorder.WorkloadRecorder`. One
+        recorder at a time; pass ``None`` to detach.
+        """
+        self._recorder = recorder
 
     def rewrite(
         self, sql: str, *, max_staleness: float | None = None
@@ -526,18 +586,24 @@ class ViewServer:
         """
         sqls = list(sqls)
         if not self._sampler.should_sample():
-            return self._rewrite_many(sqls, parallel, max_staleness)
-        tracer = RewriteTracer(sql=f"<batch of {len(sqls)}>")
-        token = activate(tracer)
-        try:
             results = self._rewrite_many(sqls, parallel, max_staleness)
-        finally:
-            deactivate(token)
+            for result in results:
+                self._observe(result)
+            return results
+        with trace_context(TraceContext.new()):
+            tracer = RewriteTracer(sql=f"<batch of {len(sqls)}>")
+            token = activate(tracer)
+            try:
+                results = self._rewrite_many(sqls, parallel, max_staleness)
+            finally:
+                deactivate(token)
         epoch = next((r.epoch for r in results if r.epoch >= 0), None)
         trace = tracer.finish(cache_hit=None, epoch=epoch, error=None)
         with self._traces_lock:
             self._traces.append(trace)
         self.metrics.counter("traces_sampled").increment()
+        for result in results:
+            self._observe(result)
         return results
 
     def _rewrite_many(
@@ -605,16 +671,48 @@ class ViewServer:
                 (statement, self._describe(snapshot, statement, fingerprint))
                 for fingerprint, statement in misses
             ]
+            context = current_trace_context()
+            batch_trace_id = context.trace_id if context is not None else None
 
-            def optimize_one(task) -> OptimizationResult:
+            def optimize_one(task):
                 statement, description = task
-                return snapshot.optimizer.optimize(
+                worker = WorkerTelemetry()
+                work_started = time.perf_counter()
+                result = snapshot.optimizer.optimize(
                     statement, description=description, staleness=staleness
                 )
+                elapsed = time.perf_counter() - work_started
+                worker.record("batch_worker_optimize_seconds", elapsed)
+                worker.counter("batch_worker_queries")
+                if result.uses_view:
+                    worker.counter("batch_worker_rewrites")
+                worker.record_span(
+                    "rewrite.worker",
+                    elapsed,
+                    trace_id=batch_trace_id,
+                    uses_view=result.uses_view,
+                )
+                return result, worker.snapshot().to_dict()
 
-            outcomes = forked_map(optimize_one, tasks, workers)
-            for result in outcomes:
+            outcomes = []
+            for result, worker_snapshot in forked_map(
+                optimize_one, tasks, workers
+            ):
+                outcomes.append(result)
                 self._record_optimized(result)
+                self.telemetry.merge_snapshot_dict(worker_snapshot)
+                if tracer.active:
+                    # Stitch the worker's span back under the batch trace
+                    # (the fork boundary would otherwise swallow it).
+                    for span in worker_snapshot.get("spans", ()):
+                        attributes = dict(span.get("attributes", {}))
+                        if span.get("trace_id") is not None:
+                            attributes["trace_id"] = span["trace_id"]
+                        tracer.record_span(
+                            span["name"],
+                            span.get("duration", 0.0),
+                            **attributes,
+                        )
         else:
             outcomes = [
                 self._optimize(
@@ -745,6 +843,13 @@ class ViewServer:
         self._cdc = pipeline
         pipeline.add_listener(self._on_view_change)
         self.snapshots.attach_freshness(pipeline.freshness)
+        # Point the applier's telemetry at this server's hub so CDC
+        # scan/merge sketches and spans land next to the serving ones
+        # (and under the same trace id when a traced request drives the
+        # applier).
+        applier = getattr(pipeline, "applier", None)
+        if applier is not None and hasattr(applier, "telemetry"):
+            applier.telemetry = self.telemetry
 
     # -- introspection & lifecycle ------------------------------------------
 
@@ -780,7 +885,10 @@ class ViewServer:
                 "statement": self._statement_memo.stats(),
                 "description": self._description_memo.stats(),
             },
+            "telemetry": self.telemetry.snapshot(),
         }
+        if self.slo is not None:
+            stats["slo"] = self.slo.snapshot()
         if self._cdc is not None:
             stats["cdc"] = {
                 "head_lsn": self._cdc.head_lsn,
@@ -813,6 +921,11 @@ class ViewServer:
         body = self.metrics.to_prometheus(prefix=prefix)
         if body:
             lines.append(body.rstrip("\n"))
+        hub = self.telemetry.to_prometheus(prefix=prefix)
+        if hub:
+            lines.append(hub.rstrip("\n"))
+        if self.slo is not None:
+            lines.append(self.slo.to_prometheus(prefix=prefix).rstrip("\n"))
         lines.append(f"# TYPE {prefix}_epoch gauge")
         lines.append(f"{prefix}_epoch {snapshot.epoch}")
         lines.append(f"# TYPE {prefix}_views_registered gauge")

@@ -97,6 +97,7 @@ class SnapshotManager:
         index_registry=None,
         use_filter_tree: bool = True,
         shard_count: int = 1,
+        telemetry=None,
     ):
         """``shard_count > 1`` partitions each epoch's registry across that
         many per-shard filter trees. Shard assignment hashes the view name,
@@ -116,6 +117,9 @@ class SnapshotManager:
         self.index_registry = index_registry
         self.use_filter_tree = use_filter_tree
         self.shard_count = shard_count
+        # The telemetry hub every epoch's matcher records into (the
+        # owning ViewServer injects its own); None = process-global.
+        self.telemetry = telemetry
         self._write_lock = threading.Lock()
         # One interner for the manager's whole lifetime: every epoch's
         # filter tree shares it, so key-atom bit assignments (and the
@@ -287,7 +291,8 @@ class SnapshotManager:
         if self.shard_count > 1:
             tree = self._build_sharded_tree(views, order, changed)
             matcher = ViewMatcher.with_filter_tree(
-                self.catalog, tree, options=self.options
+                self.catalog, tree, options=self.options,
+                telemetry=self.telemetry,
             )
             matcher.use_filter_tree = self.use_filter_tree
         else:
@@ -297,6 +302,7 @@ class SnapshotManager:
                 options=self.options,
                 use_filter_tree=self.use_filter_tree,
                 interner=self._interner,
+                telemetry=self.telemetry,
             )
         optimizer = Optimizer(
             self.catalog,

@@ -1,0 +1,246 @@
+"""Cross-process telemetry: context propagation, worker merge, the hub.
+
+The two acceptance properties of the pipeline live here: merged
+percentiles from forked workers equal a single-process run over the
+same samples, and spans recorded by matching workers and the CDC
+applier stitch under one trace id.
+"""
+
+import random
+
+import pytest
+
+from repro.catalog import tpch_catalog
+from repro.cdc import CdcPipeline
+from repro.core.matcher import ViewMatcher
+from repro.core.parallel import fork_available, forked_map
+from repro.datagen import generate_tpch
+from repro.obs.sketch import DDSketch
+from repro.obs.telemetry import (
+    TelemetryHub,
+    TelemetrySnapshot,
+    TraceContext,
+    WorkerTelemetry,
+    current_trace_context,
+    set_telemetry_hub,
+    telemetry_hub,
+    trace_context,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="os.fork unavailable on this platform"
+)
+
+
+class TestTraceContext:
+    def test_new_ids_are_unique(self):
+        ids = {TraceContext.new().trace_id for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_wire_round_trip(self):
+        context = TraceContext(trace_id="abc123", sampled=False, deadline=9.5)
+        assert TraceContext.from_wire(context.to_wire()) == context
+
+    def test_context_manager_installs_and_restores(self):
+        assert current_trace_context() is None
+        outer = TraceContext.new()
+        with trace_context(outer):
+            assert current_trace_context() is outer
+            inner = TraceContext.new()
+            with trace_context(inner):
+                assert current_trace_context() is inner
+            assert current_trace_context() is outer
+        assert current_trace_context() is None
+
+    def test_remaining_tracks_deadline(self):
+        assert TraceContext.new().remaining() is None
+        context = TraceContext.new(deadline=0.0)
+        assert context.remaining() is not None
+        assert context.remaining() < 0.0
+
+
+class TestWorkerTelemetry:
+    def test_snapshot_round_trip(self):
+        worker = WorkerTelemetry()
+        worker.counter("probes", 3)
+        worker.record("seconds", 0.004)
+        worker.record_span("match.worker", 0.01, trace_id="t1", shards=[0, 2])
+        snapshot = TelemetrySnapshot.from_dict(worker.snapshot().to_dict())
+        assert snapshot.counters == {"probes": 3}
+        assert snapshot.sketches["seconds"]["count"] == 1
+        assert snapshot.spans == [
+            {
+                "name": "match.worker",
+                "duration": 0.01,
+                "trace_id": "t1",
+                "attributes": {"shards": [0, 2]},
+            }
+        ]
+
+
+class TestTelemetryHub:
+    def test_counters_and_sketches(self):
+        hub = TelemetryHub()
+        hub.increment("requests")
+        hub.increment("requests", 4)
+        hub.record("latency", 0.002)
+        assert hub.counters() == {"requests": 5}
+        assert hub.sketch_snapshots()["latency"]["count"] == 1
+
+    def test_merge_snapshot_accumulates(self):
+        hub = TelemetryHub()
+        hub.increment("queries", 1)
+        hub.record("latency", 0.001)
+        worker = WorkerTelemetry()
+        worker.counter("queries", 2)
+        worker.record("latency", 0.003)
+        hub.merge_snapshot_dict(worker.snapshot().to_dict())
+        assert hub.counters()["queries"] == 3
+        merged = hub.sketch("latency")
+        assert merged is not None and merged.count == 2
+        assert hub.snapshot()["merged_snapshots"] == 1
+
+    def test_span_ring_is_bounded(self):
+        hub = TelemetryHub()
+        for index in range(600):
+            hub.record_span("s", 0.001, index=index)
+        spans = hub.spans()
+        assert len(spans) == 512
+        assert spans[-1]["attributes"]["index"] == 599
+
+    def test_to_prometheus_renders_counters_and_summaries(self):
+        hub = TelemetryHub()
+        hub.increment("match_invocations", 2)
+        hub.record("match_seconds", 0.002)
+        text = hub.to_prometheus(prefix="repro")
+        assert "# TYPE repro_match_invocations_total counter" in text
+        assert "repro_match_invocations_total 2" in text
+        assert 'repro_match_seconds{quantile="0.99"}' in text
+        assert "repro_match_seconds_count 1" in text
+        assert text.endswith("\n")
+        assert TelemetryHub().to_prometheus() == ""
+
+    def test_reset_clears_everything(self):
+        hub = TelemetryHub()
+        hub.increment("n")
+        hub.record("s", 1.0)
+        hub.record_span("x", 1.0)
+        hub.reset()
+        assert hub.counters() == {}
+        assert hub.spans() == ()
+
+    def test_global_hub_swap(self):
+        replacement = TelemetryHub()
+        previous = set_telemetry_hub(replacement)
+        try:
+            assert telemetry_hub() is replacement
+        finally:
+            set_telemetry_hub(previous)
+        assert telemetry_hub() is previous
+
+
+class TestForkedMerge:
+    """Acceptance: N forked workers' merged sketch == single-process run."""
+
+    @needs_fork
+    def test_merged_percentiles_equal_single_process(self):
+        rng = random.Random(7)
+        samples = [rng.lognormvariate(-7.0, 1.5) for _ in range(4000)]
+        workers = 4
+        partitions = [samples[start::workers] for start in range(workers)]
+
+        def collect(partition):
+            worker = WorkerTelemetry()
+            for value in partition:
+                worker.record("latency_seconds", value)
+            worker.counter("samples", len(partition))
+            return worker.snapshot().to_dict()
+
+        hub = TelemetryHub()
+        for snapshot in forked_map(collect, partitions, workers):
+            hub.merge_snapshot_dict(snapshot)
+
+        single = DDSketch()
+        for value in samples:
+            single.record(value)
+
+        merged = hub.sketch("latency_seconds")
+        assert merged is not None
+        assert merged.count == single.count == len(samples)
+        assert hub.counters()["samples"] == len(samples)
+        # Bucket-wise addition is lossless, so the merged quantiles are
+        # not merely close -- they are identical to the single-process
+        # sketch, and both sit within the relative-error bound of the
+        # true sample quantiles.
+        ordered = sorted(samples)
+        for q in (50, 90, 99):
+            assert merged.percentile(q) == single.percentile(q)
+            truth = ordered[max(0, -(-q * len(ordered) // 100) - 1)]
+            assert abs(merged.percentile(q) - truth) / truth <= 0.011
+
+
+ROLLUP = (
+    "select o_custkey as c, sum(o_totalprice) as total, "
+    "count_big(*) as cnt from orders group by o_custkey"
+)
+SHARD_VIEWS = {
+    f"v_q{threshold}": (
+        "select l_partkey, l_quantity from lineitem "
+        f"where l_quantity >= {threshold}"
+    )
+    for threshold in range(1, 9)
+}
+
+
+class TestTraceStitching:
+    """Acceptance: worker and CDC spans stitch under one trace id."""
+
+    def test_worker_and_cdc_spans_share_the_trace_id(self):
+        catalog = tpch_catalog()
+        hub = TelemetryHub()
+        matcher = ViewMatcher(catalog, shard_count=4, telemetry=hub)
+        for name, sql in SHARD_VIEWS.items():
+            matcher.register_view(name, catalog.bind_sql(sql))
+        pipeline = CdcPipeline(
+            catalog, generate_tpch(scale=0.0005, seed=3), telemetry=hub
+        )
+        pipeline.register_view("mv", catalog.bind_sql(ROLLUP))
+
+        orders = pipeline.database.relation("orders")
+        position = orders.column_position("o_orderkey")
+        row = list(orders.rows[0])
+        row[position] = max(r[position] for r in orders.rows) + 1
+
+        context = TraceContext.new()
+        with trace_context(context):
+            matcher.match(
+                catalog.bind_sql(
+                    "select l_partkey from lineitem where l_quantity >= 20"
+                ),
+                workers=2,
+            )
+            pipeline.insert("orders", [tuple(row)])
+            pipeline.scan()
+            pipeline.merge()
+
+        stitched = {
+            span["name"]
+            for span in hub.spans()
+            if span.get("trace_id") == context.trace_id
+        }
+        expected = {"cdc.scan", "cdc.merge"}
+        if fork_available():
+            expected.add("match.worker")
+        assert expected <= stitched
+        # Per-view CDC lag landed in the shared hub as a sketch.
+        assert hub.sketch_snapshots()["cdc_view_lag_seconds.mv"]["count"] >= 1
+
+    def test_untraced_cdc_spans_carry_no_trace_id(self):
+        catalog = tpch_catalog()
+        hub = TelemetryHub()
+        pipeline = CdcPipeline(
+            catalog, generate_tpch(scale=0.0005, seed=3), telemetry=hub
+        )
+        pipeline.register_view("mv", catalog.bind_sql(ROLLUP))
+        pipeline.scan()
+        assert all("trace_id" not in span for span in hub.spans())

@@ -1,0 +1,79 @@
+"""Trace schema evolution: version-2 exports, version-1 compatibility.
+
+The committed ``fixtures/trace_v1.json`` is a pre-trace-id export.  It
+must keep validating (the validator dispatches on the dict's own
+``trace_version``) and keep rebuilding/rendering, or the version bump
+broke every journal written before it.
+"""
+
+import json
+import os
+
+from repro.obs import TRACE_VERSION, RewriteTrace, RewriteTracer, tracing
+from repro.obs.render import (
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_V1,
+    render_trace,
+    validate_trace_dict,
+)
+from repro.obs.telemetry import TraceContext, trace_context
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "trace_v1.json")
+
+
+def load_fixture():
+    with open(FIXTURE, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestCurrentSchema:
+    def test_version_is_two(self):
+        assert TRACE_VERSION == 2
+
+    def test_v2_schema_requires_trace_id(self):
+        assert "trace_id" in TRACE_SCHEMA
+        assert "trace_id" not in TRACE_SCHEMA_V1
+
+    def test_fresh_export_carries_the_active_trace_id(self):
+        context = TraceContext.new()
+        with trace_context(context):
+            with tracing(RewriteTracer(sql="select 1")) as tracer:
+                pass
+        data = tracer.trace.to_dict()
+        assert data["trace_version"] == 2
+        assert data["trace_id"] == context.trace_id
+        assert validate_trace_dict(data) == []
+
+
+class TestV1Compatibility:
+    def test_fixture_still_validates(self):
+        data = load_fixture()
+        assert data["trace_version"] == 1
+        assert "trace_id" not in data
+        assert validate_trace_dict(data) == []
+
+    def test_fixture_fails_v2_validation_semantics(self):
+        # The same dict claiming to be version 2 must be rejected: the
+        # compat window is keyed on the declared version, not leniency.
+        data = load_fixture()
+        data["trace_version"] = 2
+        assert validate_trace_dict(data) != []
+
+    def test_fixture_rebuilds_and_renders(self):
+        trace = RewriteTrace.from_dict(load_fixture())
+        assert trace.trace_id is None
+        assert trace.reject_tallies() == {
+            "RANGE": 1,
+            "PREDICATE_MAPPING": 1,
+        }
+        chosen = trace.chosen_alternative()
+        assert chosen is not None and chosen.views == ("v1",)
+        text = render_trace(trace)
+        assert "RANGE" in text
+
+    def test_round_trip_re_export_upgrades_version(self):
+        # from_dict + to_dict re-emits at the current version with a
+        # null trace id -- old data is readable, new writes are v2.
+        data = RewriteTrace.from_dict(load_fixture()).to_dict()
+        assert data["trace_version"] == 2
+        assert data["trace_id"] is None

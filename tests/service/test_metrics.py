@@ -88,3 +88,72 @@ class TestMetricsRegistry:
         report = registry.report(histogram_order=("parse",))
         lines = [line.split()[0] for line in report.splitlines()[1:]]
         assert lines == ["parse", "alpha", "zeta"]
+
+
+class TestPrometheusRoundTrip:
+    """The exposition text must parse back into a *cumulative* histogram:
+    every fixed bucket bound present, counts non-decreasing in ``le``,
+    closed by ``+Inf`` == ``_count`` -- and the bucket set must be
+    byte-stable across scrapes, or ``rate()`` over ``_bucket`` series
+    sees counter resets."""
+
+    @staticmethod
+    def parse_buckets(text, metric):
+        buckets = []
+        for line in text.splitlines():
+            if line.startswith(f"{metric}_bucket{{le="):
+                label = line.split('le="', 1)[1].split('"', 1)[0]
+                buckets.append((label, int(line.rsplit(" ", 1)[1])))
+        return buckets
+
+    @staticmethod
+    def scalar(text, name):
+        for line in text.splitlines():
+            if line.startswith(name + " "):
+                return float(line.rsplit(" ", 1)[1])
+        raise AssertionError(f"{name} not found")
+
+    def make_registry(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("total")
+        for seconds in (0.0000005, 0.0002, 0.0002, 0.004, 0.004, 0.09, 250.0):
+            histogram.record(seconds)
+        registry.counter("requests").increment(7)
+        return registry
+
+    def test_buckets_are_cumulative_and_closed_by_inf(self):
+        registry = self.make_registry()
+        text = registry.to_prometheus(prefix="repro")
+        buckets = self.parse_buckets(text, "repro_total_seconds")
+        assert buckets[-1][0] == "+Inf"
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)  # cumulative: non-decreasing in le
+        assert counts[-1] == 7  # +Inf carries every observation
+        assert self.scalar(text, "repro_total_seconds_count") == 7
+        assert self.scalar(text, "repro_total_seconds_sum") == pytest.approx(
+            0.0000005 + 2 * 0.0002 + 2 * 0.004 + 0.09 + 250.0
+        )
+        # Finite bounds are parseable floats in increasing order.
+        bounds = [float(label) for label, _ in buckets[:-1]]
+        assert bounds == sorted(bounds)
+
+    def test_bucket_set_is_stable_across_scrapes(self):
+        registry = self.make_registry()
+        first = self.parse_buckets(
+            registry.to_prometheus(), "repro_total_seconds"
+        )
+        registry.histogram("total").record(1.5)
+        second = self.parse_buckets(
+            registry.to_prometheus(), "repro_total_seconds"
+        )
+        assert [label for label, _ in first] == [label for label, _ in second]
+        assert all(b >= a for (_, a), (_, b) in zip(first, second))
+
+    def test_counter_and_summary_lines(self):
+        registry = self.make_registry()
+        registry.sketch("worker").record(0.002)
+        text = registry.to_prometheus(prefix="repro")
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 7" in text
+        assert '# TYPE repro_worker_seconds summary' in text
+        assert 'repro_worker_seconds{quantile="0.99"}' in text

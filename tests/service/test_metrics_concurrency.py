@@ -1,0 +1,156 @@
+"""Thread-safety regressions for the lock-free metrics layer.
+
+The registry's contract: metric *creation* is exactly-once (two racing
+threads converge on one object), recording is lock-free and may
+undercount "by a few events" under contention, and reads concurrent
+with writes never crash or observe torn structures.  These tests pin
+each guarantee; the exact-count guarantee lives with the locked
+``TelemetryHub``, tested in ``tests/obs``.
+"""
+
+import threading
+
+from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
+
+THREADS = 8
+ITERATIONS = 2000
+
+
+def hammer(worker, threads=THREADS):
+    barrier = threading.Barrier(threads)
+
+    def run(index):
+        barrier.wait()
+        worker(index)
+
+    pool = [
+        threading.Thread(target=run, args=(index,))
+        for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+
+class TestCreationRace:
+    def test_racing_counter_creation_converges_on_one_object(self):
+        registry = MetricsRegistry()
+        seen = [None] * THREADS
+
+        def worker(index):
+            seen[index] = registry.counter("requests")
+
+        hammer(worker)
+        assert len({id(counter) for counter in seen}) == 1
+        assert list(registry.counters()) == ["requests"]
+
+    def test_racing_histogram_and_sketch_creation(self):
+        registry = MetricsRegistry()
+        seen_h = [None] * THREADS
+        seen_s = [None] * THREADS
+
+        def worker(index):
+            seen_h[index] = registry.histogram("latency")
+            seen_s[index] = registry.sketch("worker_latency")
+
+        hammer(worker)
+        assert len({id(h) for h in seen_h}) == 1
+        assert len({id(s) for s in seen_s}) == 1
+
+    def test_concurrent_creation_of_distinct_metrics_loses_none(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for i in range(50):
+                registry.counter(f"c_{index}_{i}").increment()
+
+        hammer(worker)
+        counters = registry.counters()
+        assert len(counters) == THREADS * 50
+        assert all(value == 1 for value in counters.values())
+
+
+class TestConcurrentRecording:
+    def test_private_metrics_per_thread_are_exact(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            counter = registry.counter(f"requests_{index}")
+            histogram = registry.histogram(f"latency_{index}")
+            for _ in range(ITERATIONS):
+                counter.increment()
+                histogram.record(0.001)
+
+        hammer(worker)
+        assert all(
+            value == ITERATIONS for value in registry.counters().values()
+        )
+        assert all(
+            snap["count"] == ITERATIONS
+            for snap in registry.histograms().values()
+        )
+
+    def test_shared_counter_loss_is_bounded(self):
+        counter = Counter("shared")
+
+        def worker(_index):
+            for _ in range(ITERATIONS):
+                counter.increment()
+
+        hammer(worker)
+        expected = THREADS * ITERATIONS
+        assert 0 < counter.value <= expected
+        # Lock-free recording is allowed to drop "a few events" under
+        # contention, not whole threads' worth.
+        assert counter.value >= expected * 0.9
+
+    def test_shared_histogram_stays_structurally_sound(self):
+        histogram = LatencyHistogram("shared")
+
+        def worker(index):
+            for i in range(ITERATIONS):
+                histogram.record(0.0001 * (1 + (index + i) % 10))
+
+        hammer(worker)
+        expected = THREADS * ITERATIONS
+        assert 0 < histogram.count <= expected
+        assert histogram.count >= expected * 0.9
+        # Bucket tallies and the count are updated independently but
+        # must stay in step within the same loss tolerance.
+        assert abs(sum(histogram.buckets) - histogram.count) <= expected * 0.1
+        assert histogram.minimum <= histogram.percentile(0.5) <= histogram.maximum
+
+    def test_reads_concurrent_with_writes_never_tear(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            last = 0
+            while not stop.is_set():
+                try:
+                    snapshot = registry.snapshot()
+                    text = registry.to_prometheus()
+                except Exception as exc:  # pragma: no cover - the failure
+                    failures.append(exc)
+                    return
+                total = sum(snapshot["counters"].values())
+                if total < last:
+                    failures.append(f"counter went backwards: {total} < {last}")
+                    return
+                last = total
+
+        def worker(index):
+            for _ in range(ITERATIONS):
+                registry.counter(f"c{index % 4}").increment()
+                registry.histogram("latency").record(0.001)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            hammer(worker)
+        finally:
+            stop.set()
+            thread.join()
+        assert failures == []

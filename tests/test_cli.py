@@ -59,7 +59,7 @@ class TestExplainRewrite:
 
         assert run_explain_rewrite(AGG_QUERY, json_output=True, validate=True) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["trace_version"] == 1
+        assert payload["trace_version"] == 2
         assert validate_trace_dict(payload) == []
         assert payload["invocations"]
 
@@ -92,3 +92,98 @@ class TestExplainRewrite:
     def test_main_dispatch(self, capsys):
         assert main(["explain-rewrite", AGG_QUERY]) == 0
         assert "cost comparison:" in capsys.readouterr().out
+
+
+def write_journal(path, events=3):
+    from repro.obs.recorder import WorkloadRecorder
+
+    with WorkloadRecorder(str(path)) as recorder:
+        for index in range(events):
+            recorder.record_event(
+                {
+                    "kind": "rewrite",
+                    "fingerprint": f"fp-{index % 2}",
+                    "sql": "select 1",
+                    "cache_hit": index > 0,
+                    "uses_view": False,
+                    "views": [],
+                    "latency_seconds": 0.001,
+                    "error": None,
+                    "timed_out": False,
+                    "rejected": False,
+                    "max_staleness": None,
+                    "reject_tallies": {"RANGE": 2, "PREDICATE_MAPPING": 1},
+                }
+            )
+
+
+class TestWorkloadReport:
+    def test_report_renders_funnel(self, tmp_path, capsys):
+        from repro.cli import run_workload_report
+
+        journal = tmp_path / "journal.jsonl"
+        write_journal(journal)
+        assert run_workload_report(str(journal)) == 0
+        out = capsys.readouterr().out
+        assert "3 events" in out
+        assert "RANGE" in out
+        assert "reject funnel" in out
+
+    def test_json_output_is_advisor_shaped(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import run_workload_report
+
+        journal = tmp_path / "journal.jsonl"
+        write_journal(journal)
+        assert run_workload_report(str(journal), json_output=True) == 0
+        advisor = json.loads(capsys.readouterr().out)
+        assert advisor["source_events"] == 3
+        assert advisor["reject_funnel"]["RANGE"] == 6
+
+    def test_missing_journal_exits_two(self, tmp_path, capsys):
+        from repro.cli import run_workload_report
+
+        assert run_workload_report(str(tmp_path / "absent.jsonl")) == 2
+
+    def test_empty_journal_exits_one(self, tmp_path, capsys):
+        from repro.cli import run_workload_report
+
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text("")
+        assert run_workload_report(str(journal)) == 1
+
+    def test_main_dispatch(self, tmp_path, capsys):
+        journal = tmp_path / "journal.jsonl"
+        write_journal(journal)
+        assert main(["workload-report", str(journal)]) == 0
+        assert "reject funnel" in capsys.readouterr().out
+
+
+class TestReproTop:
+    def test_once_over_journal(self, tmp_path, capsys):
+        from repro.cli import run_repro_top
+
+        journal = tmp_path / "journal.jsonl"
+        write_journal(journal)
+        assert run_repro_top(journal=str(journal), once=True) == 0
+        out = capsys.readouterr().out
+        assert "journal replay" in out
+        assert "RANGE" in out
+        assert not out.startswith("\x1b")  # --once never clears the screen
+
+    def test_missing_journal_exits_two(self, tmp_path, capsys):
+        from repro.cli import run_repro_top
+
+        assert run_repro_top(journal=str(tmp_path / "nope.jsonl"), once=True) == 2
+
+    def test_no_source_exits_two(self, capsys):
+        from repro.cli import run_repro_top
+
+        assert run_repro_top() == 2
+        assert "--journal" in capsys.readouterr().out
+
+    def test_main_dispatch(self, tmp_path, capsys):
+        journal = tmp_path / "journal.jsonl"
+        write_journal(journal)
+        assert main(["repro-top", "--once", "--journal", str(journal)]) == 0
