@@ -42,6 +42,7 @@ import sys
 from repro.experiments import (
     HotpathConfig,
     check_against_baseline,
+    check_pool_slo,
     check_speedup_gates,
     check_tracing_overhead,
     profile_hotpath,
@@ -74,6 +75,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="override the catalog-scale point's view count (default "
         "100000 in the full sweep, disabled in --smoke; 0 disables)",
+    )
+    parser.add_argument(
+        "--pool-views",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the serving-pool point's view count (default "
+        "1000 in the full sweep, 40 in --smoke; 0 disables)",
     )
     parser.add_argument(
         "--output", default=None, help="write the JSON report to this path"
@@ -127,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["seed"] = arguments.seed
     if arguments.catalog_scale is not None:
         overrides["catalog_scale_views"] = arguments.catalog_scale
+    if arguments.pool_views is not None:
+        overrides["pool_views"] = arguments.pool_views
     if overrides:
         config = dataclasses.replace(config, **overrides)
 
@@ -155,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
         failures += check_tracing_overhead(report, baseline, **kwargs)
     if arguments.check_speedups:
         failures += check_speedup_gates(report)
+        failures += check_pool_slo(report)
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0
@@ -173,6 +185,11 @@ def test_hotpath_bench_smoke():
         end_to_end_view_counts=(120,),
         end_to_end_runs=1,
         catalog_scale_views=0,  # the 100k point is not a smoke test
+        pool_views=30,
+        pool_queries=4,
+        pool_passes=2,
+        pool_scale=0.1,
+        pool_churn_cycles=1,
     )
     report = run_hotpath_benchmark(config, echo=None)
     (entry,) = report["sizes"]
@@ -189,6 +206,12 @@ def test_hotpath_bench_smoke():
     # would be flaky on shared runners).
     (served,) = report["end_to_end"]
     assert served["modes_identical"]
+    # The serving-pool point ran both modes to completion without
+    # shedding or erroring (ratios are timing, so not asserted here).
+    pool = report["serving_pool"]
+    assert pool["pool"]["failures"] == 0
+    assert pool["fork_batch"]["failures"] == 0
+    assert pool["pool"]["served"] == pool["fork_batch"]["served"]
 
 
 if __name__ == "__main__":

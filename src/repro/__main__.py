@@ -14,6 +14,13 @@ Commands
     view pool, replay a repeated query workload from closed-loop worker
     threads with the rewrite cache on and off, and print hit-rate and
     latency statistics.
+``pool-bench [--smoke]``
+    Sustained-load comparison of the persistent worker-pool serving
+    tier against fork-per-batch ``rewrite_many``: same distinct-query
+    schedule through both modes (cache disabled), live epoch swaps
+    injected during the pool run, throughput and latency percentiles
+    side by side. ``--check`` enforces the SLO gate, ``--check-baseline``
+    the calibration-normalized regression gates.
 ``bench-hotpath [--smoke]``
     Time the matching hot path before/after the bitset-interned filter
     tree and registration-time match contexts, cross-checking that both
@@ -124,6 +131,16 @@ def main(argv: list[str] | None = None) -> int:
             "100000 in the full sweep, disabled in --smoke; 0 disables)"
         ),
     )
+    hotpath.add_argument(
+        "--pool-views",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "override the serving-pool point's view count (default 1000 "
+            "in the full sweep, 40 in --smoke; 0 disables)"
+        ),
+    )
     hotpath.add_argument("--output", default=None, help="write JSON report here")
     hotpath.add_argument(
         "--check-baseline",
@@ -167,6 +184,41 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "skip the benchmark; print cProfile top-N tables for the "
             "probe-build and full-match phases instead"
+        ),
+    )
+    pool = subparsers.add_parser(
+        "pool-bench",
+        help="sustained-load bench: persistent pool vs fork-per-batch",
+    )
+    pool.add_argument(
+        "--smoke", action="store_true", help="reduced run (a few seconds)"
+    )
+    pool.add_argument("--views", type=int, default=None, help="view pool size")
+    pool.add_argument("--queries", type=int, default=None, help="distinct queries")
+    pool.add_argument(
+        "--passes", type=int, default=None, help="timed passes over the batch"
+    )
+    pool.add_argument(
+        "--workers", type=int, default=None, help="pool / fan-out worker count"
+    )
+    pool.add_argument("--seed", type=int, default=None)
+    pool.add_argument("--output", default=None, help="write JSON report here")
+    pool.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "fail unless the pool beats fork-per-batch on throughput and "
+            "p99 with zero failed requests (single-core hosts: must not "
+            "be meaningfully worse)"
+        ),
+    )
+    pool.add_argument(
+        "--check-baseline",
+        default=None,
+        metavar="JSON",
+        help=(
+            "also gate calibration-normalized throughput/p99 against a "
+            "committed BENCH_matching.json serving_pool section"
         ),
     )
     explain = subparsers.add_parser(
@@ -385,12 +437,27 @@ def main(argv: list[str] | None = None) -> int:
             queries=arguments.queries,
             seed=arguments.seed,
             catalog_scale=arguments.catalog_scale,
+            pool_views=arguments.pool_views,
             output=arguments.output,
             check_baseline=arguments.check_baseline,
             check_overhead=arguments.check_overhead,
             overhead_tolerance=arguments.overhead_tolerance,
             check_speedups=arguments.check_speedups,
             profile=arguments.profile,
+        )
+    if arguments.command == "pool-bench":
+        from .cli import run_pool_bench
+
+        return run_pool_bench(
+            smoke=arguments.smoke,
+            views=arguments.views,
+            queries=arguments.queries,
+            passes=arguments.passes,
+            workers=arguments.workers,
+            seed=arguments.seed,
+            output=arguments.output,
+            check=arguments.check,
+            check_baseline=arguments.check_baseline,
         )
     if arguments.command == "serve-bench":
         from .cli import run_serve_bench

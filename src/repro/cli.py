@@ -365,6 +365,7 @@ def run_bench_hotpath(
     queries: int | None = None,
     seed: int | None = None,
     catalog_scale: int | None = None,
+    pool_views: int | None = None,
     output: str | None = None,
     check_baseline: str | None = None,
     check_overhead: str | None = None,
@@ -401,6 +402,7 @@ def run_bench_hotpath(
     from .experiments import (
         HotpathConfig,
         check_against_baseline,
+        check_pool_slo,
         check_speedup_gates,
         check_tracing_overhead,
         profile_hotpath,
@@ -418,6 +420,8 @@ def run_bench_hotpath(
         overrides["seed"] = seed
     if catalog_scale is not None:
         overrides["catalog_scale_views"] = catalog_scale
+    if pool_views is not None:
+        overrides["pool_views"] = pool_views
     if overrides:
         config = dataclasses.replace(config, **overrides)
     if profile is not None:
@@ -442,6 +446,76 @@ def run_bench_hotpath(
         failures += check_tracing_overhead(report, baseline, **overhead_kwargs)
     if check_speedups:
         failures += check_speedup_gates(report)
+        failures += check_pool_slo(report)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def run_pool_bench(
+    smoke: bool = False,
+    views: int | None = None,
+    queries: int | None = None,
+    passes: int | None = None,
+    workers: int | None = None,
+    seed: int | None = None,
+    output: str | None = None,
+    check: bool = False,
+    check_baseline: str | None = None,
+) -> int:
+    """Sustained-load benchmark of the persistent serving pool.
+
+    Replays the same distinct-query schedule through fork-per-batch
+    ``rewrite_many`` and through the persistent worker pool (with live
+    epoch swaps injected mid-load), then prints throughput and latency
+    percentiles side by side. ``check`` applies the in-run SLO gate
+    (pool must beat fork-per-batch on throughput and p99, zero failed
+    requests); ``check_baseline`` additionally applies the
+    calibration-normalized regression gates against a committed
+    ``BENCH_matching.json``. ``output`` writes the JSON report.
+    """
+    import dataclasses
+    import json
+    import os
+
+    from .experiments.hotpath import _calibrate, check_pool_slo
+    from .service.loadgen import PoolBenchConfig, run_pool_benchmark
+
+    config = PoolBenchConfig.smoke() if smoke else PoolBenchConfig()
+    overrides = {}
+    if views is not None:
+        overrides["views"] = views
+    if queries is not None:
+        overrides["queries"] = queries
+    if passes is not None:
+        overrides["passes"] = passes
+    if workers is not None:
+        overrides["workers"] = workers
+    if seed is not None:
+        overrides["seed"] = seed
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    calibrations = [_calibrate()]
+    bench = run_pool_benchmark(config)
+    calibrations.append(_calibrate())
+    report = {
+        "benchmark": "serving-pool",
+        "cpu_count": os.cpu_count(),
+        "calibration_us": round(min(calibrations), 2),
+        "serving_pool": bench.to_dict(),
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {output}")
+    failures = []
+    baseline = None
+    if check_baseline:
+        with open(check_baseline) as handle:
+            baseline = json.load(handle)
+    if check or baseline is not None:
+        failures = check_pool_slo(report, baseline)
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0

@@ -1698,6 +1698,17 @@ class FilterTree:
         clone._next_order = self._next_order
         return clone
 
+    def packed_tables(self) -> tuple[PackedBitsetTable, ...]:
+        """The packed row tables backing this tree (empty unless packed).
+
+        The serving pool exports each table's byte image into shared
+        memory before forking workers; see
+        :func:`repro.service.shm.export_snapshot`.
+        """
+        if not self._use_packed:
+            return ()
+        return (self._spj_packed.table, self._aggregate_packed.table)
+
     def lattice_node_count(self) -> int:
         """Total lattice nodes across every index of both subtrees.
 

@@ -201,6 +201,14 @@ class ShardedFilterTree:
             tracer.on_filter_tree(self, query, found)
         return found
 
+    def packed_tables(self):
+        """Every shard's packed row tables, in shard order (may be empty)."""
+        return tuple(
+            table
+            for shard in self.shards
+            for table in shard.packed_tables()
+        )
+
     # -- diagnostics ----------------------------------------------------------
 
     def lattice_node_count(self) -> int:

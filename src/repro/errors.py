@@ -54,3 +54,14 @@ class MatchError(ReproError):
     substitute); this exception signals misuse of the API, e.g. registering
     a view whose definition is not an indexable SPJG view.
     """
+
+
+class DeadlineExceeded(ReproError):
+    """Raised when an optimization overruns its caller's time budget.
+
+    The serving layer propagates each request's remaining deadline into
+    the optimizer, which checks it between view-matching invocations and
+    plan-search subsets; overrunning mid-search raises this instead of
+    letting a request that *started* just under its deadline run
+    unboundedly. The server maps it to a ``timed_out`` result.
+    """

@@ -23,6 +23,7 @@ from .hotpath import (
     HotpathConfig,
     HotpathMismatchError,
     check_against_baseline,
+    check_pool_slo,
     check_speedup_gates,
     check_tracing_overhead,
     profile_hotpath,
@@ -40,6 +41,7 @@ __all__ = [
     "HotpathMismatchError",
     "MeasurementPoint",
     "check_against_baseline",
+    "check_pool_slo",
     "check_speedup_gates",
     "check_tracing_overhead",
     "profile_hotpath",

@@ -28,6 +28,7 @@ from itertools import combinations
 from ..catalog.catalog import Catalog
 from ..core.describe import SpjgDescription, describe
 from ..core.matcher import ViewMatcher
+from ..errors import DeadlineExceeded
 from ..obs.trace import PlanAlternative, current_tracer
 from ..sql.expressions import (
     BinaryOp,
@@ -130,6 +131,7 @@ class Optimizer:
         statement: SelectStatement,
         description: SpjgDescription | None = None,
         staleness=None,
+        deadline: float | None = None,
     ) -> OptimizationResult:
         """Optimize a bound SPJG statement, returning the cheapest plan.
 
@@ -140,9 +142,15 @@ class Optimizer:
         ``staleness`` is forwarded to every view-matching invocation (see
         :meth:`repro.core.ViewMatcher.match`): candidates outside the
         bound are rejected as ``STALE`` and never enter plan search.
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp; the
+        search checks it between subsets and before each view-matching
+        invocation and raises :class:`~repro.errors.DeadlineExceeded`
+        when overrun, bounding how long one request can hold a worker.
         """
         started = time.perf_counter()
-        search = _Search(self, statement, description, staleness=staleness)
+        search = _Search(
+            self, statement, description, staleness=staleness, deadline=deadline
+        )
         plan = search.run()
         elapsed = time.perf_counter() - started
         return OptimizationResult(
@@ -196,10 +204,12 @@ class _Search:
         statement: SelectStatement,
         description: SpjgDescription | None = None,
         staleness=None,
+        deadline: float | None = None,
     ):
         self.optimizer = optimizer
         self.statement = statement
         self.staleness = staleness
+        self.deadline = deadline
         self.catalog = optimizer.catalog
         self.cost_model = optimizer.cost_model
         self.estimator = optimizer.estimator
@@ -248,11 +258,21 @@ class _Search:
 
     # -- view-matching rule ------------------------------------------------------
 
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise DeadlineExceeded(
+                "optimization overran its deadline mid-search"
+            )
+
     def _invoke_view_matching(self, block: SelectStatement) -> list:
         """The view-matching rule: returns successful match results."""
         matcher = self.optimizer.matcher
         if matcher is None:
             return []
+        # Matching dominates search time at large catalogs, so the
+        # per-invocation check here is what actually bounds a request
+        # that started just under its deadline.
+        self._check_deadline()
         query = self._describe(block) if self.share_descriptions else block
         started = time.perf_counter()
         try:
@@ -377,6 +397,7 @@ class _Search:
         # Leaf plans and view matching per connected subset (except the full
         # set, which is matched as the actual query expression below).
         for subset in connected:
+            self._check_deadline()
             candidates = self._subset_candidates(subset, connected_set)
             self.best[subset] = min(candidates, key=lambda plan: plan.cost)
 

@@ -20,14 +20,25 @@ from .fingerprint import canonical_parts, statement_fingerprint
 from .loadgen import (
     BenchConfig,
     BenchReport,
+    PoolBenchConfig,
+    PoolBenchReport,
     run_closed_loop,
+    run_pool_benchmark,
     run_service_benchmark,
 )
 from .metrics import Counter, LatencyHistogram, MetricsRegistry
+from .pool import (
+    AdmissionController,
+    PoolSaturatedError,
+    ServingPool,
+    TokenBucket,
+    WorkerPool,
+)
 from .server import ServedResult, ViewServer
 from .snapshot import CatalogSnapshot, SnapshotManager
 
 __all__ = [
+    "AdmissionController",
     "BenchConfig",
     "BenchReport",
     "CacheStatistics",
@@ -35,12 +46,19 @@ __all__ = [
     "Counter",
     "LatencyHistogram",
     "MetricsRegistry",
+    "PoolBenchConfig",
+    "PoolBenchReport",
+    "PoolSaturatedError",
     "RewriteCache",
     "ServedResult",
+    "ServingPool",
     "SnapshotManager",
+    "TokenBucket",
     "ViewServer",
+    "WorkerPool",
     "canonical_parts",
     "run_closed_loop",
+    "run_pool_benchmark",
     "run_service_benchmark",
     "statement_fingerprint",
 ]

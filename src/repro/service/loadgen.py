@@ -264,11 +264,263 @@ def run_service_benchmark(
     return report
 
 
+# ---------------------------------------------------------------------------
+# Sustained-load pool benchmark: persistent workers vs. fork-per-batch
+
+
+@dataclass(frozen=True)
+class PoolBenchConfig:
+    """Knobs of one pool-bench run (``repro pool-bench``).
+
+    The benchmark replays the same distinct-query batch for
+    ``warmup_passes + passes`` passes through two serving modes over one
+    server (cache disabled, so every request really optimizes):
+
+    * **fork-per-batch** -- ``rewrite_many(parallel=workers)``, the
+      pre-pool path that forks a fresh fan-out per batch and pays the
+      fork plus a full result pickle every time;
+    * **pool** -- the same batches through :meth:`ViewServer.start_pool`
+      persistent workers, with ``churn_cycles`` epoch swaps injected
+      between timed passes to prove swaps do not stall the fleet.
+
+    Throughput is the median per-pass rate (robust to scheduler noise on
+    small hosts), latency percentiles are over per-request server-side
+    latencies.
+    """
+
+    views: int = 1000
+    queries: int = 25
+    passes: int = 8
+    warmup_passes: int = 2
+    workers: int = 2
+    seed: int = 42
+    scale: float = 0.5
+    churn_cycles: int = 2
+
+    @classmethod
+    def smoke(cls) -> "PoolBenchConfig":
+        """A reduced configuration that finishes in a few seconds (CI)."""
+        return cls(
+            views=40,
+            queries=8,
+            passes=4,
+            warmup_passes=1,
+            scale=0.1,
+            churn_cycles=1,
+        )
+
+
+@dataclass
+class PoolRunStats:
+    """One serving mode's sustained-load numbers."""
+
+    mode: str
+    served: int = 0
+    failures: int = 0
+    latencies: list[float] = field(default_factory=list)
+    pass_seconds: list[float] = field(default_factory=list)
+    batch_size: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Median per-pass successful requests per second."""
+        rates = [
+            self.batch_size / seconds
+            for seconds in self.pass_seconds
+            if seconds > 0
+        ]
+        return stats_module.median(rates) if rates else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of per-request latency, seconds."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+
+    def to_dict(self) -> dict:
+        return {
+            "served": self.served,
+            "failures": self.failures,
+            "throughput_rps": round(self.throughput, 1),
+            "p50_ms": round(self.percentile(0.50) * 1e3, 2),
+            "p99_ms": round(self.percentile(0.99) * 1e3, 2),
+        }
+
+
+@dataclass
+class PoolBenchReport:
+    """Both modes side by side, plus the churn outcome."""
+
+    config: PoolBenchConfig
+    fork_batch: PoolRunStats
+    pool: PoolRunStats
+    swaps: int = 0
+    shm_tables: int = 0
+    shm_bytes: int = 0
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Pool over fork-per-batch; > 1 means the pool is faster."""
+        fork = self.fork_batch.throughput
+        return self.pool.throughput / fork if fork else 0.0
+
+    @property
+    def p99_ratio(self) -> float:
+        """Fork-per-batch p99 over pool p99; > 1 means the pool is tighter."""
+        pool = self.pool.percentile(0.99)
+        return self.fork_batch.percentile(0.99) / pool if pool else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "views": self.config.views,
+            "queries": self.config.queries,
+            "passes": self.config.passes,
+            "workers": self.config.workers,
+            "seed": self.config.seed,
+            "scale": self.config.scale,
+            "fork_batch": self.fork_batch.to_dict(),
+            "pool": self.pool.to_dict(),
+            "throughput_ratio": round(self.throughput_ratio, 2),
+            "p99_ratio": round(self.p99_ratio, 2),
+            "swaps": self.swaps,
+            "shm_tables": self.shm_tables,
+            "shm_bytes": self.shm_bytes,
+        }
+
+    def render(self) -> str:
+        c = self.config
+        fork, pool = self.fork_batch, self.pool
+        lines = [
+            f"pool-bench: {c.views} views, {c.queries} queries x "
+            f"{c.passes} passes, {c.workers} workers, seed {c.seed}",
+            f"throughput:  {pool.throughput:8.1f}/s (pool) vs "
+            f"{fork.throughput:8.1f}/s (fork-per-batch)  "
+            f"[{self.throughput_ratio:.2f}x]",
+            f"p50 latency: {pool.percentile(0.5) * 1e3:8.1f}ms (pool) vs "
+            f"{fork.percentile(0.5) * 1e3:8.1f}ms (fork-per-batch)",
+            f"p99 latency: {pool.percentile(0.99) * 1e3:8.1f}ms (pool) vs "
+            f"{fork.percentile(0.99) * 1e3:8.1f}ms (fork-per-batch)  "
+            f"[{self.p99_ratio:.2f}x]",
+            f"failures:    {pool.failures} (pool), "
+            f"{fork.failures} (fork-per-batch)",
+            f"epoch swaps during pool load: {self.swaps} "
+            f"(shm: {self.shm_tables} tables, {self.shm_bytes:,} bytes)",
+        ]
+        return "\n".join(lines)
+
+
+def _timed_passes(
+    run_batch, stats: PoolRunStats, config: PoolBenchConfig, before_pass=None
+) -> None:
+    for _ in range(config.warmup_passes):
+        run_batch()
+    for index in range(config.passes):
+        if before_pass is not None:
+            before_pass(index)
+        started = time.perf_counter()
+        results = run_batch()
+        stats.pass_seconds.append(time.perf_counter() - started)
+        for result in results:
+            if result.ok:
+                stats.served += 1
+                stats.latencies.append(result.latency_seconds)
+            else:
+                stats.failures += 1
+
+
+def run_pool_benchmark(
+    config: PoolBenchConfig | None = None, echo=print
+) -> PoolBenchReport:
+    """Sustained-load comparison of the two batch serving modes.
+
+    One server, one registered view pool, cache disabled. The fork mode
+    runs first (it needs the pool detached), then the persistent pool
+    serves the identical schedule while ``churn_cycles`` view
+    registrations force live generation swaps.
+    """
+    config = config or PoolBenchConfig()
+    views, queries = build_workload(
+        BenchConfig(
+            views=config.views,
+            queries=config.queries,
+            seed=config.seed,
+            scale=config.scale,
+        )
+    )
+    catalog = tpch_catalog()
+    stats = synthetic_tpch_stats(scale=config.scale)
+    server = ViewServer(catalog, stats, cache_enabled=False)
+    fork = PoolRunStats(mode="fork_batch", batch_size=len(queries))
+    pool = PoolRunStats(mode="pool", batch_size=len(queries))
+    try:
+        for name, sql in views:
+            server.register_view(name, sql)
+
+        _timed_passes(
+            lambda: server.rewrite_many(queries, parallel=config.workers),
+            fork,
+            config,
+        )
+
+        server.start_pool(workers=config.workers)
+        # Spread the swaps over the run, never before the first pass (the
+        # un-churned pool must be measured too).
+        churn_at = {
+            max(1, (i + 1) * config.passes // (config.churn_cycles + 1))
+            for i in range(config.churn_cycles)
+        }
+
+        def churn(index: int) -> None:
+            if index in churn_at:
+                # A real epoch swap races the pass about to start.
+                server.register_view(
+                    f"pool_bench_churn_{index}", views[index % len(views)][1]
+                )
+
+        _timed_passes(
+            lambda: server.rewrite_many(queries),
+            pool,
+            config,
+            before_pass=churn,
+        )
+        # Let any still-pending generation swap land before reading the
+        # counters: the watcher re-exports and re-forks asynchronously,
+        # and back-to-back publications coalesce into one swap.
+        serving = server.serving_pool
+        settle = time.monotonic() + 10.0
+        while time.monotonic() < settle:
+            applied = server.stats()["pool"]["swaps"]
+            if serving.epoch == server.epoch and (
+                applied >= 1 or not config.churn_cycles
+            ):
+                break
+            time.sleep(0.01)
+        pool_stats = server.stats().get("pool", {})
+        report = PoolBenchReport(
+            config=config,
+            fork_batch=fork,
+            pool=pool,
+            swaps=pool_stats.get("swaps", 0),
+            shm_tables=pool_stats.get("shm_tables", 0),
+            shm_bytes=pool_stats.get("shm_bytes", 0),
+        )
+    finally:
+        server.close()
+    if echo is not None:
+        echo(report.render())
+    return report
+
+
 __all__ = [
     "BenchConfig",
     "BenchReport",
     "LoadRunResult",
+    "PoolBenchConfig",
+    "PoolBenchReport",
+    "PoolRunStats",
     "build_workload",
     "run_closed_loop",
+    "run_pool_benchmark",
     "run_service_benchmark",
 ]

@@ -1,0 +1,907 @@
+"""The persistent worker-pool serving tier.
+
+:mod:`repro.core.parallel`'s fork-per-batch fan-out pays a fork plus a
+full result pickle on every ``rewrite_many`` call and leaves single-query
+traffic entirely sequential. This module keeps a fleet of **long-lived**
+forked workers instead: each worker is forked once per epoch generation,
+inherits the published :class:`~repro.service.snapshot.CatalogSnapshot`
+copy-on-write (with the packed lattice rows pinned in shared memory by
+:mod:`repro.service.shm`, so reference-count traffic cannot duplicate
+them), and then serves many requests over a pipe pair.
+
+Three cooperating layers:
+
+* :class:`TokenBucket` / :class:`AdmissionController` -- per-tenant
+  token-bucket admission. Traffic a tenant sends beyond its refill rate
+  is rejected *before* it consumes a queue slot, so one chatty tenant
+  cannot starve the rest (the front door of queue-based load leveling).
+* :class:`WorkerPool` -- the generic process pool: a bounded FIFO of
+  pending requests, a dispatcher thread that pairs requests with idle
+  workers (exactly one in flight per worker), one reader thread per
+  worker completing futures, crash respawn with bounded redelivery, and
+  **generation swaps**: :meth:`WorkerPool.swap` retires the current fleet
+  gracefully (idle workers drain immediately, busy ones after their
+  in-flight response) while a freshly forked fleet takes over.
+* :class:`ServingPool` -- the :class:`~repro.service.server.ViewServer`
+  integration: builds the per-epoch worker handler (bind + describe +
+  optimize against the pinned snapshot, no parent locks touched), exports
+  each new epoch's packed tables to shared memory, listens for snapshot
+  publications and swaps generations off the writer's critical path,
+  merges per-worker telemetry sketches back into the server's hub, and
+  translates pool outcomes into :class:`ServedResult`.
+
+Epoch correctness: a worker serves every request against the single
+snapshot it was forked with, so a request can never observe half of one
+epoch and half of another -- the torn-read hazard of live mutation is
+structurally impossible. On publish the pool swaps generations; responses
+from a retiring worker carry their (older) epoch, and the parent inserts
+them into the rewrite cache only when that epoch is still current.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.parallel import (
+    WorkerError,
+    WorkerHandle,
+    default_worker_count,
+    fork_available,
+    spawn_worker,
+)
+from ..errors import DeadlineExceeded, ReproError
+from ..obs.telemetry import WorkerTelemetry
+from .fingerprint import statement_fingerprint
+from .shm import SnapshotArena, export_snapshot
+
+__all__ = [
+    "AdmissionController",
+    "PoolResponse",
+    "PoolSaturatedError",
+    "ServingPool",
+    "TokenBucket",
+    "WorkerPool",
+]
+
+
+class PoolSaturatedError(RuntimeError):
+    """The pool's bounded request queue is full (caller should shed)."""
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+
+
+class TokenBucket:
+    """A classic token bucket: ``capacity`` burst, steady ``rate``/s refill.
+
+    Not thread-safe on its own; :class:`AdmissionController` serializes
+    access. ``clock`` is injectable so tests can step time explicitly.
+    """
+
+    __slots__ = ("capacity", "rate", "_tokens", "_updated", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity if capacity is not None else rate)
+        self._tokens = self.capacity
+        self._clock = clock
+        self._updated = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available (refilling lazily); else refuse."""
+        now = self._clock()
+        elapsed = now - self._updated
+        self._updated = now
+        if elapsed > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.rate
+            )
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+class AdmissionController:
+    """Per-tenant token-bucket admission in front of the pool queue.
+
+    ``default_rate``/``default_burst`` apply to tenants without an
+    explicit :meth:`configure` entry; a ``default_rate`` of ``None``
+    admits unknown tenants unconditionally (rate limiting is opt-in per
+    tenant). Decisions and per-tenant counts are kept for
+    :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        default_rate: float | None = None,
+        default_burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._default_rate = default_rate
+        self._default_burst = default_burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket | None] = {}
+        self._admitted: dict[str, int] = {}
+        self._throttled: dict[str, int] = {}
+
+    def configure(
+        self, tenant: str, rate: float | None, burst: float | None = None
+    ) -> None:
+        """Set (or, with ``rate=None``, exempt) one tenant's bucket."""
+        with self._lock:
+            self._buckets[tenant] = (
+                None
+                if rate is None
+                else TokenBucket(rate, burst, clock=self._clock)
+            )
+
+    def admit(self, tenant: str) -> bool:
+        """Whether one request from ``tenant`` may enter the queue now."""
+        with self._lock:
+            if tenant not in self._buckets:
+                self._buckets[tenant] = (
+                    None
+                    if self._default_rate is None
+                    else TokenBucket(
+                        self._default_rate,
+                        self._default_burst,
+                        clock=self._clock,
+                    )
+                )
+            bucket = self._buckets[tenant]
+            admitted = bucket is None or bucket.try_acquire()
+            book = self._admitted if admitted else self._throttled
+            book[tenant] = book.get(tenant, 0) + 1
+            return admitted
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {
+                "admitted": dict(self._admitted),
+                "throttled": dict(self._throttled),
+            }
+
+
+# ---------------------------------------------------------------------------
+# The generic worker pool
+
+
+@dataclass
+class _PoolRequest:
+    request_id: int
+    payload: Any
+    future: Future
+    retries: int = 0
+
+
+class WorkerPool:
+    """Long-lived forked workers behind a bounded FIFO request queue.
+
+    One dispatcher thread pairs queued requests with idle workers (one
+    request in flight per worker -- the pipe is never a hidden second
+    queue); one reader thread per worker blocks on its response pipe and
+    completes futures. All shared state lives under a single condition
+    variable.
+
+    Failure semantics: a worker that dies mid-request has its request
+    redelivered to another worker up to ``max_retries`` times, then the
+    future fails with :class:`WorkerError`; a worker whose *handler*
+    raises fails only that request (the worker survives). Death of a
+    worker triggers a respawn into the current generation, so capacity
+    recovers without caller involvement.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Any], Any],
+        workers: int | None = None,
+        max_queue: int = 1024,
+        max_retries: int = 1,
+    ):
+        if not fork_available():  # pragma: no cover - POSIX-only code base
+            raise RuntimeError("WorkerPool requires os.fork")
+        self._target = max(1, workers if workers is not None else default_worker_count())
+        self._handler = handler
+        self._max_queue = max_queue
+        self._max_retries = max_retries
+        self._work = threading.Condition()
+        self._queue: deque[_PoolRequest] = deque()
+        self._idle: deque[WorkerHandle] = deque()
+        self._workers: dict[int, WorkerHandle] = {}
+        self._generation = 0
+        self._pending_handler: Callable[[Any], Any] | None = None
+        self._respawn = 0
+        self._closed = False
+        self._drain = True
+        self._next_id = 0
+        self._counters = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "redelivered": 0,
+            "crashes": 0,
+            "respawns": 0,
+            "swaps": 0,
+            "saturated": 0,
+            "spawn_failures": 0,
+        }
+        with self._work:
+            for _ in range(self._target):
+                self._spawn_locked(self._generation)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="pool-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(self, payload: Any) -> "Future[Any]":
+        """Queue one request; the future resolves to the handler's result.
+
+        Raises :class:`PoolSaturatedError` when the bounded queue is full
+        -- the caller sheds or backs off; the pool never buffers
+        unboundedly (queue-based load leveling).
+        """
+        future: Future = Future()
+        with self._work:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            if len(self._queue) >= self._max_queue:
+                self._counters["saturated"] += 1
+                raise PoolSaturatedError(
+                    f"pool queue is full ({self._max_queue} pending)"
+                )
+            self._next_id += 1
+            self._queue.append(_PoolRequest(self._next_id, payload, future))
+            self._counters["submitted"] += 1
+            self._work.notify_all()
+        return future
+
+    def swap(self, handler: Callable[[Any], Any]) -> None:
+        """Retire the current fleet and fork a new one running ``handler``.
+
+        Returns immediately (safe to call from a snapshot-publication
+        listener); the dispatcher performs the swap. Graceful: the new
+        generation is spawned *first*, idle old workers drain at once,
+        busy ones finish their in-flight request before retiring, and no
+        queued request is dropped. Back-to-back swaps coalesce -- only
+        the latest handler is ever spawned.
+        """
+        with self._work:
+            if self._closed:
+                return
+            self._pending_handler = handler
+            self._work.notify_all()
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the pool. ``drain=True`` serves queued requests first;
+        ``drain=False`` fails them with :class:`WorkerError` immediately."""
+        dropped: list[_PoolRequest] = []
+        with self._work:
+            if not self._closed:
+                self._closed = True
+                if not drain:
+                    while self._queue:
+                        dropped.append(self._queue.popleft())
+                self._work.notify_all()
+        for request in dropped:
+            request.future.set_exception(WorkerError("pool closed"))
+        self._dispatcher.join(timeout)
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def depth(self) -> int:
+        """Requests waiting in the queue (the load-leveling backlog)."""
+        with self._work:
+            return len(self._queue)
+
+    def busy(self) -> int:
+        """Workers currently serving a request."""
+        with self._work:
+            return sum(
+                1 for handle in self._workers.values() if handle.inflight
+            )
+
+    def worker_count(self) -> int:
+        with self._work:
+            return len(self._workers)
+
+    def stats(self) -> dict[str, int]:
+        with self._work:
+            stats = dict(self._counters)
+            stats["depth"] = len(self._queue)
+            stats["busy"] = sum(
+                1 for handle in self._workers.values() if handle.inflight
+            )
+            stats["workers"] = len(self._workers)
+            stats["generation"] = self._generation
+            stats["target"] = self._target
+            return stats
+
+    # -- dispatcher ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        with self._work:
+            while True:
+                if self._pending_handler is not None:
+                    self._apply_swap_locked()
+                    continue
+                if self._respawn and not self._closed:
+                    count, self._respawn = self._respawn, 0
+                    for _ in range(count):
+                        if self._spawn_locked(self._generation):
+                            self._counters["respawns"] += 1
+                    self._fail_if_dead_locked()
+                    continue
+                if self._queue and self._idle:
+                    self._assign_locked()
+                    continue
+                if self._closed:
+                    self._respawn = 0
+                    self._fail_if_dead_locked()
+                    inflight = any(
+                        handle.inflight
+                        for handle in self._workers.values()
+                    )
+                    if not self._queue and not inflight:
+                        self._retire_all_locked()
+                        while self._workers:
+                            self._work.wait()
+                        return
+                self._work.wait()
+
+    def _spawn_locked(self, generation: int) -> bool:
+        try:
+            handle = spawn_worker(self._handler, generation)
+        except OSError:
+            self._counters["spawn_failures"] += 1
+            return False
+        self._workers[handle.pid] = handle
+        self._idle.append(handle)
+        reader = threading.Thread(
+            target=self._reader,
+            args=(handle,),
+            name=f"pool-reader-{handle.pid}",
+            daemon=True,
+        )
+        reader.start()
+        return True
+
+    def _fail_if_dead_locked(self) -> None:
+        """With zero workers and no way to get one, fail queued requests."""
+        if self._workers or not self._queue:
+            return
+        failed = list(self._queue)
+        self._queue.clear()
+        for request in failed:
+            self._counters["failed"] += 1
+            request.future.set_exception(
+                WorkerError("pool has no live workers")
+            )
+
+    def _apply_swap_locked(self) -> None:
+        handler = self._pending_handler
+        self._pending_handler = None
+        self._handler = handler
+        self._generation += 1
+        self._counters["swaps"] += 1
+        for _ in range(self._target):
+            self._spawn_locked(self._generation)
+        for handle in list(self._idle):
+            if handle.generation != self._generation:
+                self._idle.remove(handle)
+                self._retire_locked(handle)
+        for handle in self._workers.values():
+            if handle.generation != self._generation:
+                handle.retired = True
+        self._work.notify_all()
+
+    def _retire_locked(self, handle: WorkerHandle) -> None:
+        handle.retired = True
+        handle.shutdown()  # reader sees EOF next and reaps
+
+    def _retire_all_locked(self) -> None:
+        self._idle.clear()
+        for handle in self._workers.values():
+            self._retire_locked(handle)
+
+    def _assign_locked(self) -> None:
+        request = self._queue.popleft()
+        while self._idle:
+            handle = self._idle.popleft()
+            if handle.retired or handle.generation != self._generation:
+                self._retire_locked(handle)
+                continue
+            try:
+                handle.send(request.request_id, request.payload)
+            except (OSError, ValueError):
+                # Dead pipe: the worker's reader thread owns the cleanup
+                # (EOF -> reap -> respawn); just try the next idle worker.
+                handle.kill()
+                continue
+            handle.inflight = request
+            return
+        self._queue.appendleft(request)  # no usable worker right now
+
+    # -- per-worker reader ---------------------------------------------------
+
+    def _reader(self, handle: WorkerHandle) -> None:
+        while True:
+            response = handle.recv()
+            if response is None:
+                self._on_worker_death(handle)
+                handle.reap()
+                return
+            request_id, ok, value = response
+            with self._work:
+                request = handle.inflight
+                handle.inflight = None
+                self._counters["completed"] += 1
+                # A closing pool keeps workers in rotation until the
+                # queue is drained; retire only once nothing is pending.
+                retire = (
+                    handle.retired
+                    or handle.generation != self._generation
+                    or (self._closed and not self._queue)
+                )
+                if retire:
+                    handle.retired = True
+                else:
+                    self._idle.append(handle)
+                self._work.notify_all()
+            # Complete outside the lock: done-callbacks run inline and
+            # must not be able to deadlock against pool state.
+            if request is not None and request.request_id == request_id:
+                if ok:
+                    request.future.set_result(value)
+                else:
+                    request.future.set_exception(WorkerError(str(value)))
+            if retire:
+                handle.shutdown()  # next recv returns EOF -> reap
+
+    def _on_worker_death(self, handle: WorkerHandle) -> None:
+        redeliver: _PoolRequest | None = None
+        fail: _PoolRequest | None = None
+        with self._work:
+            self._workers.pop(handle.pid, None)
+            try:
+                self._idle.remove(handle)
+            except ValueError:
+                pass
+            request = handle.inflight
+            handle.inflight = None
+            if request is not None:
+                request.retries += 1
+                if request.retries > self._max_retries:
+                    fail = request
+                    self._counters["failed"] += 1
+                else:
+                    # Head of the queue: the crashed worker's request was
+                    # admitted before everything queued behind it.
+                    self._queue.appendleft(request)
+                    self._counters["redelivered"] += 1
+            if not handle.retired:
+                self._counters["crashes"] += 1
+                if (
+                    not self._closed
+                    and handle.generation == self._generation
+                ):
+                    self._respawn += 1
+            self._work.notify_all()
+        if fail is not None:
+            fail.future.set_exception(
+                WorkerError(
+                    f"worker died serving request {fail.request_id} "
+                    f"({fail.retries} attempts)"
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# The ViewServer-facing serving pool
+
+
+@dataclass
+class PoolResponse:
+    """What one pool worker ships back for one request (pickled)."""
+
+    sql: str
+    fingerprint: str | None
+    epoch: int
+    result: Any = None  # OptimizationResult on success
+    error: str | None = None
+    timed_out: bool = False
+    telemetry: dict | None = None
+
+
+def _build_handler(catalog, snapshot, share_descriptions: bool):
+    """The per-generation child request handler.
+
+    Runs in the forked worker, so it must not touch parent-shared locks
+    (metrics registry, telemetry hub, the server's statement memo): it
+    binds and fingerprints with child-private memos, optimizes against
+    the pinned snapshot, and collects telemetry into a lock-free
+    :class:`WorkerTelemetry` whose snapshot rides home in the response.
+    """
+    statements: dict[str, tuple] = {}
+    descriptions: dict[str, Any] = {}
+
+    def handle(payload) -> PoolResponse:
+        sql, max_staleness, deadline_at = payload
+        epoch = snapshot.epoch
+        worker = WorkerTelemetry()
+        started = time.perf_counter()
+        fingerprint = None
+        try:
+            pair = statements.get(sql)
+            if pair is None:
+                statement = catalog.bind_sql(sql)
+                fingerprint = statement_fingerprint(statement)
+                if len(statements) < 4096:
+                    statements[sql] = (statement, fingerprint)
+            else:
+                statement, fingerprint = pair
+            description = None
+            if share_descriptions:
+                description = descriptions.get(fingerprint)
+                if description is None:
+                    try:
+                        description = snapshot.matcher.describe_query(
+                            statement
+                        )
+                    except ReproError:
+                        description = None
+                    if description is not None and len(descriptions) < 4096:
+                        descriptions[fingerprint] = description
+            staleness = (
+                snapshot.staleness_bound(max_staleness)
+                if max_staleness is not None
+                else None
+            )
+            result = snapshot.optimizer.optimize(
+                statement,
+                description=description,
+                staleness=staleness,
+                deadline=deadline_at,
+            )
+        except DeadlineExceeded:
+            return PoolResponse(
+                sql=sql,
+                fingerprint=fingerprint,
+                epoch=epoch,
+                timed_out=True,
+            )
+        except (ReproError, ValueError) as exc:
+            return PoolResponse(
+                sql=sql,
+                fingerprint=fingerprint,
+                epoch=epoch,
+                error=str(exc),
+            )
+        elapsed = time.perf_counter() - started
+        worker.record("pool_worker_serve_seconds", elapsed)
+        worker.counter("pool_worker_requests")
+        if result.uses_view:
+            worker.counter("pool_worker_rewrites")
+        return PoolResponse(
+            sql=sql,
+            fingerprint=fingerprint,
+            epoch=epoch,
+            result=result,
+            telemetry=worker.snapshot().to_dict(),
+        )
+
+    return handle
+
+
+class ServingPool:
+    """Routes a :class:`ViewServer`'s rewrites through persistent workers.
+
+    Construction forks the first worker generation against the server's
+    current snapshot (packed rows exported to shared memory first, so
+    every generation maps one physical copy) and registers a snapshot
+    listener: each published epoch schedules a generation swap, performed
+    by a watcher thread strictly *off* the publisher's critical path --
+    registration latency never includes a fork.
+
+    ``rewrite`` / ``submit`` add per-tenant admission control and a
+    parent-side fast path (fingerprint memo + rewrite cache probe) so
+    repeated hot queries never cross a process boundary. Pool responses
+    are folded back into the server's metrics, telemetry hub, and --
+    only when their epoch is still current -- its rewrite cache.
+
+    Bounded-staleness note: freshness is evaluated against the worker's
+    snapshot as of its fork, so a bounded request observes view lag with
+    up to one generation of slack; callers needing exact freshness use
+    the in-process path (:meth:`ViewServer.rewrite`).
+    """
+
+    def __init__(
+        self,
+        server,
+        workers: int | None = None,
+        max_queue: int = 1024,
+        max_retries: int = 1,
+        admission: AdmissionController | None = None,
+        export_shared_memory: bool = True,
+    ):
+        from .server import ServedResult  # circular at import time
+
+        self._served_result = ServedResult
+        self.server = server
+        self.admission = admission
+        self._export = export_shared_memory
+        self._closed = False
+        self._fingerprints: dict[str, str] = {}
+        snapshot = server.snapshots.current
+        self._epoch = snapshot.epoch
+        self._arena: SnapshotArena | None = (
+            export_snapshot(snapshot) if export_shared_memory else None
+        )
+        self._pool = WorkerPool(
+            _build_handler(
+                server.catalog,
+                snapshot,
+                server.snapshots.optimizer_config.share_descriptions,
+            ),
+            workers=workers,
+            max_queue=max_queue,
+            max_retries=max_retries,
+        )
+        self._swap_wanted = threading.Event()
+        self._watcher = threading.Thread(
+            target=self._watch_epochs, name="pool-epoch-watcher", daemon=True
+        )
+        self._watcher.start()
+        # SnapshotManager has no listener removal; the closure checks
+        # _closed so a closed pool's listener degenerates to a no-op.
+        server.snapshots.add_listener(self._on_publish)
+
+    # -- epoch swaps ---------------------------------------------------------
+
+    def _on_publish(self, snapshot) -> None:
+        # Runs under the SnapshotManager writer lock: must not fork,
+        # export, or block -- just schedule.
+        if not self._closed:
+            self._swap_wanted.set()
+
+    def _watch_epochs(self) -> None:
+        server = self.server
+        while True:
+            self._swap_wanted.wait()
+            self._swap_wanted.clear()
+            if self._closed:
+                return
+            snapshot = server.snapshots.current
+            if snapshot.epoch == self._epoch:
+                continue
+            arena = export_snapshot(snapshot) if self._export else None
+            handler = _build_handler(
+                server.catalog,
+                snapshot,
+                server.snapshots.optimizer_config.share_descriptions,
+            )
+            self._epoch = snapshot.epoch
+            self._arena = arena  # old arena pages die with their tables
+            self._pool.swap(handler)
+
+    # -- serving -------------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        *,
+        tenant: str = "default",
+        max_staleness: float | None = None,
+        deadline: float | None = None,
+    ) -> "Future[Any]":
+        """Queue one rewrite; resolves to a :class:`ServedResult`.
+
+        ``tenant`` feeds admission control (throttled requests come back
+        ``rejected`` without consuming a queue slot), ``deadline`` is
+        this request's total budget in seconds (queue wait + optimize;
+        overruns come back ``timed_out``).
+        """
+        server = self.server
+        started = time.perf_counter()
+        if self._closed:
+            raise RuntimeError("serving pool is closed")
+        if self.admission is not None and not self.admission.admit(tenant):
+            server.metrics.counter("pool_throttled").increment()
+            return self._immediate(
+                self._served_result(sql=sql, rejected=True)
+            )
+        deadline_at = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
+        if max_staleness is None and server.cache is not None:
+            # Parent fast path: a repeated query whose fingerprint we
+            # remember probes the lock-free cache without touching a
+            # worker.
+            fingerprint = self._fingerprints.get(sql)
+            if fingerprint is not None:
+                epoch = server.epoch
+                cached = server.cache.get(fingerprint, epoch)
+                if cached is not None:
+                    latency = time.perf_counter() - started
+                    server.metrics.counter("requests").increment()
+                    server.metrics.counter("cache_hits").increment()
+                    server.metrics.histogram("hit").record(latency)
+                    server.metrics.histogram("total").record(latency)
+                    return self._immediate(
+                        self._served_result(
+                            sql=sql,
+                            fingerprint=fingerprint,
+                            epoch=epoch,
+                            cache_hit=True,
+                            result=cached,
+                            latency_seconds=latency,
+                        )
+                    )
+        try:
+            inner = self._pool.submit((sql, max_staleness, deadline_at))
+        except PoolSaturatedError:
+            server.metrics.counter("rejected").increment()
+            return self._immediate(
+                self._served_result(sql=sql, rejected=True)
+            )
+        outer: Future = Future()
+
+        def _complete(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                server.metrics.counter("requests").increment()
+                server.metrics.counter("errors").increment()
+                served = self._served_result(
+                    sql=sql,
+                    error=str(exc),
+                    latency_seconds=time.perf_counter() - started,
+                )
+            else:
+                served = self._finish(done.result(), started, max_staleness)
+            server._observe(served)
+            outer.set_result(served)
+
+        inner.add_done_callback(_complete)
+        return outer
+
+    def rewrite(
+        self,
+        sql: str,
+        *,
+        tenant: str = "default",
+        max_staleness: float | None = None,
+        deadline: float | None = None,
+    ):
+        """Blocking :meth:`submit`."""
+        return self.submit(
+            sql,
+            tenant=tenant,
+            max_staleness=max_staleness,
+            deadline=deadline,
+        ).result()
+
+    def rewrite_many(
+        self,
+        sqls,
+        *,
+        tenant: str = "default",
+        max_staleness: float | None = None,
+        deadline: float | None = None,
+    ) -> list:
+        """Fan a batch through the pool; results in input order."""
+        futures = [
+            self.submit(
+                sql,
+                tenant=tenant,
+                max_staleness=max_staleness,
+                deadline=deadline,
+            )
+            for sql in sqls
+        ]
+        return [future.result() for future in futures]
+
+    def _immediate(self, served) -> "Future[Any]":
+        self.server._observe(served)
+        future: Future = Future()
+        future.set_result(served)
+        return future
+
+    def _finish(
+        self, response: PoolResponse, started: float, max_staleness
+    ):
+        server = self.server
+        latency = time.perf_counter() - started
+        server.metrics.counter("requests").increment()
+        if response.telemetry is not None:
+            server.telemetry.merge_snapshot_dict(response.telemetry)
+        if response.error is not None:
+            server.metrics.counter("errors").increment()
+            server.metrics.histogram("total").record(latency)
+            return self._served_result(
+                sql=response.sql,
+                error=response.error,
+                latency_seconds=latency,
+            )
+        if response.timed_out:
+            server.metrics.counter("timeouts").increment()
+            server.metrics.histogram("total").record(latency)
+            return self._served_result(
+                sql=response.sql,
+                timed_out=True,
+                latency_seconds=latency,
+            )
+        result = response.result
+        server.metrics.histogram("match").record(result.matching_seconds)
+        server.metrics.histogram("plan").record(
+            max(result.optimize_seconds - result.matching_seconds, 0.0)
+        )
+        server.metrics.histogram("miss").record(latency)
+        server.metrics.histogram("total").record(latency)
+        if result.uses_view:
+            server.metrics.counter("rewrites").increment()
+        if response.fingerprint is not None:
+            if len(self._fingerprints) < 8192:
+                self._fingerprints[response.sql] = response.fingerprint
+            if (
+                max_staleness is None
+                and server.cache is not None
+                and response.epoch == server.epoch
+            ):
+                # A lagging (retiring-generation) worker's result must
+                # not poison the cache under a newer epoch; insert only
+                # while its epoch is still the served one.
+                server.cache.put(response.fingerprint, response.epoch, result)
+        return self._served_result(
+            sql=response.sql,
+            fingerprint=response.fingerprint,
+            epoch=response.epoch,
+            cache_hit=False,
+            result=result,
+            latency_seconds=latency,
+            max_staleness=max_staleness,
+        )
+
+    # -- lifecycle / introspection -------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The epoch the current worker generation is pinned to."""
+        return self._epoch
+
+    def stats(self) -> dict:
+        stats = dict(self._pool.stats())
+        stats["epoch"] = self._epoch
+        if self._arena is not None:
+            stats["shm_tables"] = self._arena.tables_exported
+            stats["shm_bytes"] = self._arena.bytes_exported
+        if self.admission is not None:
+            stats["admission"] = self.admission.stats()
+        return stats
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the watcher and the pool (``drain`` as in
+        :meth:`WorkerPool.close`). Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._swap_wanted.set()  # wake the watcher so it can exit
+        self._watcher.join(timeout=5.0)
+        self._pool.close(drain=drain, timeout=timeout)

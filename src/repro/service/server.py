@@ -36,7 +36,7 @@ from ..catalog.catalog import Catalog
 from ..core.describe import SpjgDescription
 from ..core.options import DEFAULT_OPTIONS, MatchOptions
 from ..core.parallel import default_worker_count, fork_available, forked_map
-from ..errors import ReproError
+from ..errors import DeadlineExceeded, ReproError
 from ..maintenance.maintainer import ViewChangeEvent, ViewMaintainer
 from ..obs.slo import SloObjectives, SloTracker
 from ..obs.telemetry import (
@@ -246,6 +246,7 @@ class ViewServer:
         self._cdc = None
         self.slo = SloTracker(slo) if slo is not None else None
         self._recorder = None
+        self._serving_pool = None
         self.snapshots.add_listener(self._on_publish)
 
     # -- serving -------------------------------------------------------------
@@ -288,20 +289,27 @@ class ViewServer:
         self, sql: str, deadline: float | None, enqueued: float
     ) -> ServedResult:
         try:
-            if (
-                deadline is not None
-                and time.perf_counter() - enqueued > deadline
-            ):
-                self.metrics.counter("timeouts").increment()
-                expired = ServedResult(sql=sql, timed_out=True)
-                self._observe(expired)
-                return expired
-            return self.serve(sql)
+            deadline_at: float | None = None
+            if deadline is not None:
+                remaining = deadline - (time.perf_counter() - enqueued)
+                if remaining <= 0:
+                    self.metrics.counter("timeouts").increment()
+                    expired = ServedResult(sql=sql, timed_out=True)
+                    self._observe(expired)
+                    return expired
+                # The budget left after queueing bounds the optimization
+                # itself: a request that dequeues just under its deadline
+                # must not run unboundedly once it starts.
+                deadline_at = time.monotonic() + remaining
+            return self.serve(sql, deadline_at=deadline_at)
         finally:
             self._slots.release()
 
     def serve(
-        self, sql: str, max_staleness: float | None = None
+        self,
+        sql: str,
+        max_staleness: float | None = None,
+        deadline_at: float | None = None,
     ) -> ServedResult:
         """The synchronous serving path (what pool workers execute).
 
@@ -313,9 +321,12 @@ class ViewServer:
 
         ``max_staleness`` bounds how stale (seconds of maintenance lag) a
         view may be and still rewrite this query; see :meth:`rewrite`.
+        ``deadline_at`` (absolute ``time.monotonic()``) bounds the
+        optimization itself -- an overrun mid-search returns
+        ``timed_out`` instead of running to completion.
         """
         if not self._sampler.should_sample():
-            result = self._serve(sql, max_staleness)
+            result = self._serve(sql, max_staleness, deadline_at)
             self._observe(result)
             return result
         # Install the TraceContext *before* constructing the tracer: the
@@ -326,7 +337,7 @@ class ViewServer:
             tracer = RewriteTracer(sql=sql)
             token = activate(tracer)
             try:
-                result = self._serve(sql, max_staleness)
+                result = self._serve(sql, max_staleness, deadline_at)
             finally:
                 deactivate(token)
         trace = tracer.finish(
@@ -368,9 +379,20 @@ class ViewServer:
         self._recorder = recorder
 
     def rewrite(
-        self, sql: str, *, max_staleness: float | None = None
+        self,
+        sql: str,
+        *,
+        max_staleness: float | None = None,
+        tenant: str = "default",
+        deadline: float | None = None,
     ) -> ServedResult:
         """Serve one query, optionally bounding acceptable view staleness.
+
+        With a persistent worker pool attached (:meth:`start_pool`), the
+        request routes through it: ``tenant`` feeds per-tenant admission
+        control and ``deadline`` bounds the request's total budget in
+        seconds. Without a pool both are served in-process (``tenant``
+        is ignored; ``deadline`` bounds the optimization).
 
         With a CDC pipeline attached (:meth:`attach_cdc`), stored views
         may lag the base tables; ``max_staleness`` says how much lag this
@@ -390,10 +412,25 @@ class ViewServer:
         with the applier's progress, which a (fingerprint, epoch) cache
         key cannot represent.
         """
-        return self.serve(sql, max_staleness=max_staleness)
+        if self._serving_pool is not None:
+            return self._serving_pool.rewrite(
+                sql,
+                tenant=tenant,
+                max_staleness=max_staleness,
+                deadline=deadline,
+            )
+        deadline_at = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
+        return self.serve(
+            sql, max_staleness=max_staleness, deadline_at=deadline_at
+        )
 
     def _serve(
-        self, sql: str, max_staleness: float | None = None
+        self,
+        sql: str,
+        max_staleness: float | None = None,
+        deadline_at: float | None = None,
     ) -> ServedResult:
         started = time.perf_counter()
         self.metrics.counter("requests").increment()
@@ -414,9 +451,16 @@ class ViewServer:
             # views this bound excludes.
             self.metrics.counter("bounded_requests").increment()
             staleness = snapshot.staleness_bound(max_staleness)
-            result = self._optimize(
-                snapshot, statement, fingerprint, staleness=staleness
-            )
+            try:
+                result = self._optimize(
+                    snapshot,
+                    statement,
+                    fingerprint,
+                    staleness=staleness,
+                    deadline_at=deadline_at,
+                )
+            except DeadlineExceeded:
+                return self._overran(sql, started)
             latency = time.perf_counter() - started
             self.metrics.histogram("miss").record(latency)
             self.metrics.histogram("total").record(latency)
@@ -456,7 +500,12 @@ class ViewServer:
                     latency_seconds=latency,
                 )
             self.metrics.counter("cache_misses").increment()
-        result = self._optimize(snapshot, statement, fingerprint)
+        try:
+            result = self._optimize(
+                snapshot, statement, fingerprint, deadline_at=deadline_at
+            )
+        except DeadlineExceeded:
+            return self._overran(sql, started)
         if self.cache is not None:
             self.cache.put(fingerprint, snapshot.epoch, result)
         latency = time.perf_counter() - started
@@ -471,6 +520,15 @@ class ViewServer:
             cache_hit=False,
             result=result,
             latency_seconds=latency,
+        )
+
+    def _overran(self, sql: str, started: float) -> ServedResult:
+        """A request whose optimization overran its deadline mid-search."""
+        self.metrics.counter("timeouts").increment()
+        latency = time.perf_counter() - started
+        self.metrics.histogram("total").record(latency)
+        return ServedResult(
+            sql=sql, timed_out=True, latency_seconds=latency
         )
 
     def _bind(self, sql: str) -> tuple[SelectStatement, str]:
@@ -523,6 +581,7 @@ class ViewServer:
         statement: SelectStatement,
         fingerprint: str | None = None,
         staleness=None,
+        deadline_at: float | None = None,
     ) -> OptimizationResult:
         description = (
             self._describe(snapshot, statement, fingerprint)
@@ -530,7 +589,10 @@ class ViewServer:
             else None
         )
         result = snapshot.optimizer.optimize(
-            statement, description=description, staleness=staleness
+            statement,
+            description=description,
+            staleness=staleness,
+            deadline=deadline_at,
         )
         self._record_optimized(result)
         return result
@@ -558,8 +620,15 @@ class ViewServer:
         *,
         parallel: int | None = None,
         max_staleness: float | None = None,
+        tenant: str = "default",
+        deadline: float | None = None,
     ) -> list[ServedResult]:
         """Serve a batch of SQL queries, amortizing per-request overheads.
+
+        With a persistent worker pool attached (:meth:`start_pool`), the
+        whole batch is fanned through the pool's long-lived workers
+        (``parallel`` is then ignored: concurrency is the pool's worker
+        count) and ``tenant``/``deadline`` apply per request.
 
         One snapshot read, one cache probe per *distinct* fingerprint, and
         one optimization per distinct miss serve the whole batch --
@@ -585,6 +654,13 @@ class ViewServer:
         rewrite cache entirely.
         """
         sqls = list(sqls)
+        if self._serving_pool is not None:
+            return self._serving_pool.rewrite_many(
+                sqls,
+                tenant=tenant,
+                max_staleness=max_staleness,
+                deadline=deadline,
+            )
         if not self._sampler.should_sample():
             results = self._rewrite_many(sqls, parallel, max_staleness)
             for result in results:
@@ -851,6 +927,55 @@ class ViewServer:
         if applier is not None and hasattr(applier, "telemetry"):
             applier.telemetry = self.telemetry
 
+    # -- persistent worker pool ----------------------------------------------
+
+    @property
+    def serving_pool(self):
+        """The attached :class:`~repro.service.pool.ServingPool` (or None)."""
+        return self._serving_pool
+
+    def start_pool(
+        self,
+        workers: int | None = None,
+        max_queue: int = 1024,
+        max_retries: int = 1,
+        admission=None,
+        export_shared_memory: bool = True,
+    ):
+        """Attach a persistent forked worker pool and route rewrites to it.
+
+        Workers are forked holding the current epoch snapshot (packed
+        lattice rows exported to shared memory first) and respawned on
+        epoch change or death; see :class:`repro.service.pool.ServingPool`.
+        ``admission`` is an optional
+        :class:`~repro.service.pool.AdmissionController` for per-tenant
+        token-bucket throttling. Returns the pool.
+        """
+        from .pool import ServingPool  # deferred: pool imports ServedResult
+
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if self._serving_pool is not None:
+            raise RuntimeError("serving pool already started")
+        if not fork_available():
+            raise RuntimeError("persistent worker pool requires os.fork")
+        self._serving_pool = ServingPool(
+            self,
+            workers=workers,
+            max_queue=max_queue,
+            max_retries=max_retries,
+            admission=admission,
+            export_shared_memory=export_shared_memory,
+        )
+        return self._serving_pool
+
+    def stop_pool(self, drain: bool = True) -> None:
+        """Detach and shut down the worker pool (no-op when absent);
+        rewrites fall back to the in-process path."""
+        pool, self._serving_pool = self._serving_pool, None
+        if pool is not None:
+            pool.close(drain=drain)
+
     # -- introspection & lifecycle ------------------------------------------
 
     @property
@@ -889,6 +1014,8 @@ class ViewServer:
         }
         if self.slo is not None:
             stats["slo"] = self.slo.snapshot()
+        if self._serving_pool is not None:
+            stats["pool"] = self._serving_pool.stats()
         if self._cdc is not None:
             stats["cdc"] = {
                 "head_lsn": self._cdc.head_lsn,
@@ -954,6 +1081,36 @@ class ViewServer:
         ):
             lines.append(f'{entries}{{memo="{name}"}} {len(memo)}')
             lines.append(f'{evicted}{{memo="{name}"}} {memo.evictions}')
+        if self._serving_pool is not None:
+            pool = self._serving_pool.stats()
+            for key, kind in (
+                ("depth", "gauge"),
+                ("busy", "gauge"),
+                ("workers", "gauge"),
+                ("generation", "gauge"),
+                ("epoch", "gauge"),
+                ("submitted", "counter"),
+                ("completed", "counter"),
+                ("crashes", "counter"),
+                ("respawns", "counter"),
+                ("swaps", "counter"),
+                ("redelivered", "counter"),
+                ("saturated", "counter"),
+            ):
+                suffix = "_total" if kind == "counter" else ""
+                metric = f"{prefix}_pool_{key}{suffix}"
+                lines.append(f"# TYPE {metric} {kind}")
+                lines.append(f"{metric} {pool[key]}")
+            utilization = (
+                pool["busy"] / pool["target"] if pool["target"] else 0.0
+            )
+            metric = f"{prefix}_pool_utilization"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {format(utilization, '.6g')}")
+            if "shm_bytes" in pool:
+                metric = f"{prefix}_pool_shm_bytes"
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {pool['shm_bytes']}")
         rejects = snapshot.matcher.statistics.rejects_by_reason
         if rejects:
             metric = f"{prefix}_match_rejects_total"
@@ -1021,7 +1178,8 @@ class ViewServer:
         return "\n".join(lines)
 
     def close(self) -> None:
-        """Stop accepting work and shut the worker pool down."""
+        """Stop accepting work and shut the worker pools down."""
+        self.stop_pool(drain=True)
         self._closed = True
         self._pool.shutdown(wait=True)
 

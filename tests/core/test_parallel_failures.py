@@ -1,0 +1,203 @@
+"""Regression tests for fork/drain failure paths in ``core.parallel``.
+
+Two historical bugs, each pinned here:
+
+* ``forked_map`` leaked pipe fds and zombie children when ``os.fork``
+  raised mid-fan-out (e.g. ``EAGAIN`` under load): already-spawned
+  children were never drained or reaped, already-opened fds never
+  closed.
+* a truncated/corrupt result frame made ``pickle.loads`` raise inside
+  the parent's drain loop, abandoning the remaining children un-drained
+  and un-reaped; undecodable frames must count as that one worker's
+  failure while the drain continues.
+
+Plus coverage of the persistent request/response worker loop the serving
+pool builds on (``spawn_worker`` / ``WorkerHandle``).
+"""
+
+import errno
+import os
+
+import pytest
+
+import repro.core.parallel as parallel
+from repro.core.parallel import (
+    WorkerError,
+    fork_available,
+    forked_map,
+    spawn_worker,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="os.fork unavailable on this platform"
+)
+
+
+def _open_fds() -> set[int]:
+    return {int(fd) for fd in os.listdir("/proc/self/fd")}
+
+
+def _no_zombie_children() -> bool:
+    """True when no terminated-but-unreaped child of this process exists."""
+    try:
+        pid, _ = os.waitpid(-1, os.WNOHANG)
+    except ChildProcessError:
+        return True  # no children at all
+    return pid == 0  # children exist but none is a zombie
+
+
+@needs_fork
+class TestForkFailureCleanup:
+    def test_fork_eagain_mid_fanout_leaks_nothing(self, monkeypatch):
+        """Spawn failure after real forks: fds closed, children reaped."""
+        real_fork = os.fork
+        forks = {"count": 0}
+
+        def flaky_fork():
+            forks["count"] += 1
+            if forks["count"] >= 3:
+                raise OSError(errno.EAGAIN, "Resource temporarily unavailable")
+            return real_fork()
+
+        monkeypatch.setattr(os, "fork", flaky_fork)
+        before = _open_fds()
+        with pytest.raises(OSError):
+            forked_map(lambda x: x, list(range(16)), workers=4)
+        monkeypatch.undo()
+        assert _open_fds() == before  # no leaked pipe ends
+        assert forks["count"] == 3  # two real children were spawned
+        assert _no_zombie_children()
+
+    def test_fork_failing_immediately_leaks_nothing(self, monkeypatch):
+        def broken_fork():
+            raise OSError(errno.EAGAIN, "Resource temporarily unavailable")
+
+        monkeypatch.setattr(os, "fork", broken_fork)
+        before = _open_fds()
+        with pytest.raises(OSError):
+            forked_map(lambda x: x, list(range(8)), workers=2)
+        monkeypatch.undo()
+        assert _open_fds() == before
+        assert _no_zombie_children()
+
+    def test_pipe_failure_mid_fanout_leaks_nothing(self, monkeypatch):
+        real_pipe = os.pipe
+        pipes = {"count": 0}
+
+        def flaky_pipe():
+            pipes["count"] += 1
+            if pipes["count"] >= 3:
+                raise OSError(errno.EMFILE, "Too many open files")
+            return real_pipe()
+
+        monkeypatch.setattr(os, "pipe", flaky_pipe)
+        before = _open_fds()
+        with pytest.raises(OSError):
+            forked_map(lambda x: x, list(range(16)), workers=4)
+        monkeypatch.undo()
+        assert _open_fds() == before
+        assert _no_zombie_children()
+
+
+@needs_fork
+class TestCorruptFrameDrain:
+    def test_undecodable_frame_is_worker_failure_not_crash(self, monkeypatch):
+        """A corrupt frame raises WorkerError, never an UnpicklingError,
+        and the remaining children are still drained and reaped."""
+        real_decode = parallel._decode
+        calls = {"count": 0}
+
+        def corrupt_first(payload):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise ValueError("truncated pickle stream")
+            return real_decode(payload)
+
+        monkeypatch.setattr(parallel, "_decode", corrupt_first)
+        before = _open_fds()
+        with pytest.raises(WorkerError, match="undecodable"):
+            forked_map(lambda x: x * 2, list(range(12)), workers=3)
+        monkeypatch.undo()
+        # Every sibling's pipe was drained and closed, every child reaped.
+        assert _open_fds() == before
+        assert calls["count"] == 3
+        assert _no_zombie_children()
+
+    def test_all_frames_corrupt_still_reaps_everyone(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel,
+            "_decode",
+            lambda payload: (_ for _ in ()).throw(ValueError("corrupt")),
+        )
+        with pytest.raises(WorkerError, match="undecodable"):
+            forked_map(lambda x: x, list(range(9)), workers=3)
+        monkeypatch.undo()
+        assert _no_zombie_children()
+
+    def test_worker_death_without_frame_reported(self):
+        def die(x):
+            if x == 5:
+                os._exit(13)
+            return x
+
+        with pytest.raises(WorkerError, match="died"):
+            forked_map(die, list(range(8)), workers=4)
+        assert _no_zombie_children()
+
+
+@needs_fork
+class TestPersistentWorker:
+    def test_request_response_roundtrip(self):
+        handle = spawn_worker(lambda x: x * 3)
+        try:
+            handle.send(1, 14)
+            assert handle.recv() == (1, True, 42)
+            handle.send(2, "ab")
+            assert handle.recv() == (2, True, "ababab")
+        finally:
+            handle.reap()
+        assert not handle.alive()
+        assert _no_zombie_children()
+
+    def test_handler_exception_fails_request_not_worker(self):
+        def picky(x):
+            if x < 0:
+                raise ValueError("negative")
+            return x + 1
+
+        handle = spawn_worker(picky)
+        try:
+            handle.send(1, -5)
+            request_id, ok, value = handle.recv()
+            assert (request_id, ok) == (1, False)
+            assert "ValueError" in value and "negative" in value
+            # The worker survived the failed request.
+            handle.send(2, 41)
+            assert handle.recv() == (2, True, 42)
+        finally:
+            handle.reap()
+
+    def test_shutdown_then_recv_reports_eof(self):
+        handle = spawn_worker(lambda x: x)
+        handle.shutdown()
+        assert handle.recv() is None
+        handle.reap()
+        assert _no_zombie_children()
+
+    def test_reap_is_idempotent(self):
+        handle = spawn_worker(lambda x: x)
+        handle.reap()
+        handle.reap()
+        assert not handle.alive()
+
+    def test_spawn_failure_closes_all_pipes(self, monkeypatch):
+        monkeypatch.setattr(
+            os,
+            "fork",
+            lambda: (_ for _ in ()).throw(OSError(errno.EAGAIN, "EAGAIN")),
+        )
+        before = _open_fds()
+        with pytest.raises(OSError):
+            spawn_worker(lambda x: x)
+        monkeypatch.undo()
+        assert _open_fds() == before

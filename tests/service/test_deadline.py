@@ -1,0 +1,129 @@
+"""Deadline propagation through the serving path.
+
+The historical bug: ``submit_async``'s deadline was only checked once,
+at dequeue time -- a request that started with 1ms of budget left would
+then run an unbounded optimizer search. The fix threads the remaining
+budget into :meth:`Optimizer.optimize` as an absolute ``deadline``; the
+search checks it per connected subset and before every view-matching
+invocation (the dominant cost at large catalogs) and raises
+:class:`DeadlineExceeded`, which the server folds into a ``timed_out``
+result.
+
+Also pinned: the ``submit_async`` bounded-semaphore audit -- a slot
+acquired for a request whose pool submission fails must be released, or
+the server permanently loses capacity one error at a time.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.service import ViewServer
+
+VIEW_SQL = (
+    "select l_partkey, l_quantity from lineitem where l_quantity >= 10"
+)
+QUERY_SQL = (
+    "select l_partkey, l_quantity from lineitem where l_quantity >= 25"
+)
+# A join: its search walks several connected subsets, so a deadline
+# check runs *after* the first (slow) matcher call.
+JOIN_SQL = (
+    "select l_partkey from lineitem, part "
+    "where l_partkey = p_partkey and p_retailprice >= 500"
+)
+
+
+def test_optimizer_raises_on_expired_deadline(catalog, paper_stats):
+    with ViewServer(catalog, paper_stats) as server:
+        server.register_view("dv_line", VIEW_SQL)
+        snapshot = server.snapshots.current
+        statement = server.catalog.bind_sql(QUERY_SQL)
+        with pytest.raises(DeadlineExceeded):
+            snapshot.optimizer.optimize(
+                statement, deadline=time.monotonic() - 1.0
+            )
+        # No deadline (or a generous one): same call succeeds.
+        assert snapshot.optimizer.optimize(
+            statement, deadline=time.monotonic() + 60.0
+        )
+
+
+def test_submit_with_exhausted_budget_times_out(catalog, paper_stats):
+    with ViewServer(catalog, paper_stats) as server:
+        result = server.submit(QUERY_SQL, deadline=0.0)
+        assert result.timed_out and not result.ok
+        assert server.stats()["counters"]["timeouts"] == 1
+
+
+def test_deadline_bounds_a_search_already_underway(catalog, paper_stats):
+    """The regression proper: a request that passes the dequeue check
+    with budget remaining must still be cut off once the search itself
+    overruns -- not allowed to run to completion late."""
+    with ViewServer(catalog, paper_stats) as server:
+        server.register_view("dv_line", VIEW_SQL)
+        snapshot = server.snapshots.current
+        real_match = snapshot.matcher.match
+
+        def slow_match(query, **kwargs):
+            time.sleep(0.1)
+            return real_match(query, **kwargs)
+
+        snapshot.matcher.match = slow_match
+        try:
+            # 30ms of budget, 100ms per matcher call: the first call is
+            # allowed to finish, the next deadline check must fire.
+            result = server.serve(
+                JOIN_SQL, deadline_at=time.monotonic() + 0.03
+            )
+            assert result.timed_out and not result.ok
+            assert server.stats()["counters"]["timeouts"] == 1
+            # Without a deadline the identical query plans fine.
+            assert server.serve(JOIN_SQL).ok
+        finally:
+            snapshot.matcher.match = real_match
+
+
+def test_submit_async_deadline_covers_queue_wait_plus_search(
+    catalog, paper_stats
+):
+    with ViewServer(catalog, paper_stats, workers=1) as server:
+        server.register_view("dv_line", VIEW_SQL)
+        snapshot = server.snapshots.current
+        real_match = snapshot.matcher.match
+
+        def slow_match(query, **kwargs):
+            time.sleep(0.1)
+            return real_match(query, **kwargs)
+
+        snapshot.matcher.match = slow_match
+        try:
+            future = server.submit_async(JOIN_SQL, deadline=0.03)
+            result = future.result(timeout=30)
+            assert result.timed_out and not result.ok
+        finally:
+            snapshot.matcher.match = real_match
+
+
+def test_submit_async_releases_slot_when_pool_submit_raises(
+    catalog, paper_stats
+):
+    with ViewServer(catalog, paper_stats, queue_depth=4) as server:
+        slots_before = server._slots._value
+        real_submit = server._pool.submit
+
+        def broken_submit(*args, **kwargs):
+            raise RuntimeError("executor rejected the task")
+
+        server._pool.submit = broken_submit
+        try:
+            with pytest.raises(RuntimeError, match="rejected the task"):
+                server.submit_async(QUERY_SQL)
+        finally:
+            server._pool.submit = real_submit
+        assert server._slots._value == slots_before
+        # Capacity really is intact: a full queue's worth of requests
+        # still gets admitted and served.
+        futures = [server.submit_async(QUERY_SQL) for _ in range(4)]
+        assert all(f.result(timeout=30).ok for f in futures)

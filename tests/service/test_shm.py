@@ -1,0 +1,184 @@
+"""Shared-memory snapshot export (``repro.service.shm``).
+
+Contracts:
+
+* :meth:`PackedBitsetTable.adopt_buffer` is byte-exact -- identical
+  sweeps before and after adoption, wrong length or content refused;
+* a parent-side mutation after adoption rebuilds a private image
+  (automatic un-sharing), so exported epochs stay immutable;
+* :func:`export_snapshot` moves every non-empty packed image into a
+  segment, the server keeps serving off the adopted views, forked
+  children sweep the same mapping, and dropping the arena while tables
+  still reference the views is safe (the views own the mapping);
+* platforms without ``multiprocessing.shared_memory`` degrade to an
+  empty arena instead of failing.
+"""
+
+import os
+import pickle
+import struct
+
+import pytest
+
+import repro.service.shm as shm
+from repro.core.interning import PackedBitsetTable
+from repro.core.parallel import fork_available
+from repro.service import ViewServer
+from repro.service.shm import export_snapshot, shm_available
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="shared memory unavailable"
+)
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="os.fork unavailable on this platform"
+)
+
+VIEW_SQL = (
+    "select l_partkey, l_quantity from lineitem where l_quantity >= 10"
+)
+QUERY_SQL = (
+    "select l_partkey, l_quantity from lineitem where l_quantity >= 25"
+)
+
+
+def _build_table(rows: int = 17, bits: int = 9) -> PackedBitsetTable:
+    table = PackedBitsetTable()
+    for _ in range(bits):
+        table.alloc_bit()
+    for i in range(rows):
+        table.append((i * 0x9E3779B1) & ((1 << bits) - 1))
+    return table
+
+
+def _sweep_all(table: PackedBitsetTable, bits: int = 9) -> list[list[int]]:
+    masks = [0, 1, (1 << bits) - 1, 0b101010101 & ((1 << bits) - 1)]
+    return [table.sweep_mask(mask) for mask in masks]
+
+
+class TestAdoptBuffer:
+    def test_adoption_is_byte_exact(self):
+        table = _build_table()
+        before_bytes = table.packed_bytes()
+        before_sweeps = _sweep_all(table)
+        backing = bytearray(before_bytes)
+        table.adopt_buffer(backing)
+        assert table.packed_bytes() == before_bytes
+        assert _sweep_all(table) == before_sweeps
+
+    def test_wrong_length_refused(self):
+        table = _build_table()
+        with pytest.raises(ValueError, match="bytes"):
+            table.adopt_buffer(bytearray(table.packed_bytes() + b"\0"))
+
+    def test_wrong_content_refused(self):
+        table = _build_table()
+        corrupted = bytearray(table.packed_bytes())
+        corrupted[0] ^= 0xFF
+        with pytest.raises(ValueError, match="content"):
+            table.adopt_buffer(corrupted)
+
+    def test_mutation_after_adoption_unshares(self):
+        table = _build_table(bits=9)
+        backing = bytearray(table.packed_bytes())
+        table.adopt_buffer(backing)
+        table.append(0b111)
+        after = table.packed_bytes()
+        # The rebuilt image is private: longer than (hence not backed
+        # by) the adopted buffer, which itself is untouched.
+        assert len(after) > len(backing)
+        assert bytes(backing) == after[: len(backing)]
+        assert len(table.sweep_mask(0)) == 18  # all rows, incl. the new one
+
+
+@needs_shm
+class TestExportSnapshot:
+    def test_export_pins_packed_tables(self, catalog, paper_stats):
+        with ViewServer(catalog, paper_stats) as server:
+            for i in range(4):
+                server.register_view(
+                    f"sv_{i}",
+                    "select l_partkey, l_quantity from lineitem "
+                    f"where l_quantity >= {10 + i}",
+                )
+            snapshot = server.snapshots.current
+            images = [
+                table.packed_bytes()
+                for table in snapshot.matcher.filter_tree.packed_tables()
+            ]
+            arena = export_snapshot(snapshot)
+            assert arena.epoch == snapshot.epoch
+            assert arena.tables_exported >= 1
+            assert arena.bytes_exported == sum(
+                len(image) for image in images if image
+            )
+            # Byte-identical after adoption...
+            after = [
+                table.packed_bytes()
+                for table in snapshot.matcher.filter_tree.packed_tables()
+            ]
+            assert after == images
+            # ...and the server still rewrites off the adopted tables.
+            result = server.rewrite(QUERY_SQL)
+            assert result.ok and result.uses_view
+
+    def test_epoch_without_views_exports_nothing(self, catalog, paper_stats):
+        with ViewServer(catalog, paper_stats) as server:
+            arena = export_snapshot(server.snapshots.current)
+            assert arena.tables_exported == 0
+            assert arena.bytes_exported == 0
+
+    def test_unavailable_platform_degrades_to_empty_arena(
+        self, catalog, paper_stats, monkeypatch
+    ):
+        with ViewServer(catalog, paper_stats) as server:
+            server.register_view("sv_line", VIEW_SQL)
+            monkeypatch.setattr(shm, "_shared_memory", None)
+            arena = shm.export_snapshot(server.snapshots.current)
+            assert arena.tables_exported == 0
+            assert server.rewrite(QUERY_SQL).ok  # serving unaffected
+
+    def test_arena_drop_leaves_tables_usable(self, catalog, paper_stats):
+        with ViewServer(catalog, paper_stats) as server:
+            server.register_view("sv_line", VIEW_SQL)
+            snapshot = server.snapshots.current
+            arena = export_snapshot(snapshot)
+            assert arena.tables_exported >= 1
+            del arena
+            # The adopted views own the mapping; the arena was only
+            # bookkeeping. Sweeps must not fault.
+            for table in snapshot.matcher.filter_tree.packed_tables():
+                table.sweep_mask(0)
+            assert server.rewrite(QUERY_SQL).uses_view
+
+    @needs_fork
+    def test_forked_child_sweeps_the_shared_mapping(
+        self, catalog, paper_stats
+    ):
+        with ViewServer(catalog, paper_stats) as server:
+            server.register_view("sv_line", VIEW_SQL)
+            snapshot = server.snapshots.current
+            export_snapshot(snapshot)
+            tables = snapshot.matcher.filter_tree.packed_tables()
+            expected = [table.sweep_mask(0) for table in tables]
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:  # child: sweep the inherited mapping, ship home
+                try:
+                    payload = pickle.dumps(
+                        [table.sweep_mask(0) for table in tables]
+                    )
+                    os.write(write_fd, struct.pack(">Q", len(payload)))
+                    os.write(write_fd, payload)
+                finally:
+                    os._exit(0)
+            os.close(write_fd)
+            try:
+                header = os.read(read_fd, 8)
+                size = struct.unpack(">Q", header)[0]
+                payload = b""
+                while len(payload) < size:
+                    payload += os.read(read_fd, size - len(payload))
+            finally:
+                os.close(read_fd)
+                os.waitpid(pid, 0)
+            assert pickle.loads(payload) == expected
