@@ -141,6 +141,15 @@ def main(argv: list[str] | None = None) -> int:
             "in the full sweep, 40 in --smoke; 0 disables)"
         ),
     )
+    hotpath.add_argument(
+        "--match-only",
+        action="store_true",
+        help=(
+            "run only the matching sweep (probe/filter/match/"
+            "verification); skips the end-to-end, maintenance, "
+            "catalog-scale, pool, telemetry, and memory sections"
+        ),
+    )
     hotpath.add_argument("--output", default=None, help="write JSON report here")
     hotpath.add_argument(
         "--check-baseline",
@@ -438,6 +447,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=arguments.seed,
             catalog_scale=arguments.catalog_scale,
             pool_views=arguments.pool_views,
+            match_only=arguments.match_only,
             output=arguments.output,
             check_baseline=arguments.check_baseline,
             check_overhead=arguments.check_overhead,

@@ -366,6 +366,7 @@ def run_bench_hotpath(
     seed: int | None = None,
     catalog_scale: int | None = None,
     pool_views: int | None = None,
+    match_only: bool = False,
     output: str | None = None,
     check_baseline: str | None = None,
     check_overhead: str | None = None,
@@ -392,9 +393,13 @@ def run_bench_hotpath(
     >=2x over the sequential loop on multi-core hosts, and -- when the
     report carries a memory section -- the bytes-per-registered-view
     budget. ``catalog_scale`` overrides the 100k-view packed-path
-    point's view count (0 disables it). ``profile`` skips the benchmark
-    entirely and prints cProfile top-N tables for the probe-build and
-    full-match phases instead.
+    point's view count (0 disables it). ``match_only`` restricts the run
+    to the matching sweep (probe / filter / match / verification
+    timings), disabling the end-to-end, maintenance, catalog-scale,
+    pool, telemetry, and memory sections -- the quick loop for iterating
+    on matcher code, and what the no-numpy CI leg runs. ``profile``
+    skips the benchmark entirely and prints cProfile top-N tables for
+    the probe-build and full-match phases instead.
     """
     import dataclasses
     import json
@@ -422,6 +427,15 @@ def run_bench_hotpath(
         overrides["catalog_scale_views"] = catalog_scale
     if pool_views is not None:
         overrides["pool_views"] = pool_views
+    if match_only:
+        overrides.update(
+            end_to_end_view_counts=(),
+            maintenance_view_count=0,
+            catalog_scale_views=0,
+            pool_views=0,
+            telemetry_overhead_views=0,
+            measure_memory=False,
+        )
     if overrides:
         config = dataclasses.replace(config, **overrides)
     if profile is not None:

@@ -41,6 +41,7 @@ from .lattice import Key, LatticeIndex
 from .matching import ViewMatchContext
 from .normalize import classify_predicate
 from .options import DEFAULT_OPTIONS, MatchOptions
+from .preverify import CandidatePreVerifier, PreVerifierSchema
 from .residual import ShallowForm
 
 if TYPE_CHECKING:
@@ -1457,6 +1458,8 @@ class FilterTree:
         interner: KeyInterner | None = None,
         use_interning: bool = True,
         use_packed: bool = True,
+        preverify_schema: PreVerifierSchema | None = None,
+        use_preverifier: bool = True,
     ):
         """Build an empty tree.
 
@@ -1479,6 +1482,13 @@ class FilterTree:
         (diagnostics, custom traversals). ``use_packed=False`` keeps the
         recursive tree as the primary index -- the property tests pin the
         two paths to identical candidate lists.
+
+        ``preverify_schema`` shares an existing
+        :class:`~repro.core.preverify.PreVerifierSchema` across trees (the
+        serving layer passes one per snapshot manager, like the interner,
+        so pre-verifier encodings stay valid across epoch rebuilds);
+        ``use_preverifier=False`` drops the columnar candidate screen
+        entirely (the reference configuration for equivalence tests).
         """
         self.options = options
         if interner is None and use_interning:
@@ -1507,6 +1517,9 @@ class FilterTree:
             self._aggregate_root_node = _TreeNode(
                 self._aggregate_levels, 0, interner
             )
+        self._preverifier = (
+            CandidatePreVerifier(preverify_schema) if use_preverifier else None
+        )
         self._registered: dict[str, RegisteredView] = {}
         # Registration sequence numbers: candidate lists are returned in
         # registration order (a deterministic, index-layout-independent
@@ -1599,6 +1612,8 @@ class FilterTree:
             (self._aggregate_root_node if aggregate else self._spj_root_node).add(
                 view
             )
+        if self._preverifier is not None:
+            self._preverifier.add(name, view.description, view.match_context)
         self._registered[name] = view
         self._order[name] = self._next_order
         self._next_order += 1
@@ -1624,6 +1639,8 @@ class FilterTree:
             (
                 self._aggregate_root_node if aggregate else self._spj_root_node
             ).remove(view)
+        if self._preverifier is not None:
+            self._preverifier.remove(name)
 
     def views(self) -> tuple[RegisteredView, ...]:
         """All registered views, in registration order."""
@@ -1693,21 +1710,45 @@ class FilterTree:
         clone._aggregate_packed = self._aggregate_packed.snapshot()
         clone._spj_root_node = None
         clone._aggregate_root_node = None
+        clone._preverifier = (
+            self._preverifier.snapshot()
+            if self._preverifier is not None
+            else None
+        )
         clone._registered = dict(self._registered)
         clone._order = dict(self._order)
         clone._next_order = self._next_order
         return clone
 
-    def packed_tables(self) -> tuple[PackedBitsetTable, ...]:
+    def preverify_screen(self, query: SpjgDescription, candidates) -> list | None:
+        """Columnar pre-verification verdicts for filter-tree survivors.
+
+        ``candidates`` are :class:`RegisteredView` objects this tree
+        returned from :meth:`candidates`. The result is position-aligned:
+        ``None`` means "proceed to the full match", anything else is a
+        rejecting :class:`~repro.core.matching.MatchResult` whose reason
+        and detail are exactly what ``match_view`` would produce. Returns
+        ``None`` when the tree was built without a pre-verifier.
+        """
+        if self._preverifier is None:
+            return None
+        return self._preverifier.screen(query, candidates)
+
+    def packed_tables(self) -> tuple:
         """The packed row tables backing this tree (empty unless packed).
 
         The serving pool exports each table's byte image into shared
         memory before forking workers; see
-        :func:`repro.service.shm.export_snapshot`.
+        :func:`repro.service.shm.export_snapshot`. Includes the
+        pre-verifier's equijoin and range tables so forked workers screen
+        candidates from the same physical copy.
         """
         if not self._use_packed:
             return ()
-        return (self._spj_packed.table, self._aggregate_packed.table)
+        tables: tuple = (self._spj_packed.table, self._aggregate_packed.table)
+        if self._preverifier is not None:
+            tables += self._preverifier.packed_tables()
+        return tables
 
     def lattice_node_count(self) -> int:
         """Total lattice nodes across every index of both subtrees.

@@ -29,9 +29,16 @@ from ..sql.statements import SelectStatement
 from .describe import SpjgDescription, describe, validate_view_description
 from .filtertree import FilterTree, RegisteredView
 from .interning import KeyInterner
-from .matching import MatchResult, RejectReason, match_view
+from .matching import (
+    STAGE_PREVERIFY,
+    STAGE_SKIPPED,
+    MatchResult,
+    RejectReason,
+    match_view,
+)
 from .options import DEFAULT_OPTIONS, MatchOptions
 from .parallel import fork_available, forked_map
+from .preverify import PreVerifierSchema
 from .sharding import ShardedFilterTree
 
 if TYPE_CHECKING:
@@ -48,6 +55,12 @@ class MatcherStatistics:
     matches: int = 0              # candidates that produced a substitute
     substitutes: int = 0          # total substitutes returned
     rejects_by_reason: dict[str, int] = field(default_factory=dict)
+    # Rejections decided by the columnar pre-verifier sweep (a subset of
+    # rejects_by_reason's RANGE/EQUIJOIN counts -- same reasons, no
+    # match_view walk) and candidates never verified at all because the
+    # optimizer's cost bound proved no cheaper plan was reachable.
+    preverifier_rejects: int = 0
+    candidates_skipped: int = 0
 
     def record_rejection(self, reason: RejectReason) -> None:
         key = reason.name
@@ -80,6 +93,8 @@ class MatcherStatistics:
         self.matches = 0
         self.substitutes = 0
         self.rejects_by_reason.clear()
+        self.preverifier_rejects = 0
+        self.candidates_skipped = 0
 
     def merge(self, other: "MatcherStatistics") -> None:
         """Fold another counter set into this one.
@@ -97,6 +112,8 @@ class MatcherStatistics:
             self.rejects_by_reason[reason] = (
                 self.rejects_by_reason.get(reason, 0) + count
             )
+        self.preverifier_rejects += other.preverifier_rejects
+        self.candidates_skipped += other.candidates_skipped
 
     def report(self) -> str:
         """A human-readable summary (candidate funnel + rejection reasons)."""
@@ -108,6 +125,14 @@ class MatcherStatistics:
             f"({self.candidate_success_rate:.0%} of candidates)",
             f"substitutes/invocation: {self.substitutes_per_invocation:.2f}",
         ]
+        if self.preverifier_rejects:
+            lines.append(
+                f"pre-verifier rejects:   {self.preverifier_rejects}"
+            )
+        if self.candidates_skipped:
+            lines.append(
+                f"cost-bound skipped:     {self.candidates_skipped}"
+            )
         if self.rejects_by_reason:
             lines.append("rejections by reason:")
             total_rejects = sum(self.rejects_by_reason.values())
@@ -133,6 +158,9 @@ class ViewMatcher:
         use_match_contexts: bool = True,
         shard_count: int = 1,
         telemetry: TelemetryHub | None = None,
+        use_preverifier: bool = True,
+        use_template_cache: bool = True,
+        preverify_schema: PreVerifierSchema | None = None,
     ):
         """``interner`` shares key-atom bit assignments with other trees
         (the serving layer reuses one across epoch rebuilds).
@@ -146,11 +174,20 @@ class ViewMatcher:
         are unchanged. ``telemetry`` injects the sink for the always-on
         cross-process pipeline (invocation sketches, worker snapshots);
         ``None`` falls back to the process-global hub.
+
+        ``use_preverifier`` / ``use_template_cache`` toggle the columnar
+        candidate screen and the compensation-template cache; both change
+        only latency, never results (the bench's modes-identical
+        assertion and the property suite pin this down).
+        ``preverify_schema`` shares pre-verifier encodings across trees,
+        like ``interner``.
         """
         self.catalog = catalog
         self.options = options
         self.use_filter_tree = use_filter_tree
         self.use_match_contexts = use_match_contexts
+        self.use_preverifier = use_preverifier
+        self.use_template_cache = use_template_cache
         self.shard_count = shard_count
         self.telemetry = telemetry
         if shard_count > 1:
@@ -159,11 +196,17 @@ class ViewMatcher:
                 shard_count=shard_count,
                 interner=interner,
                 use_interning=use_interning,
+                preverify_schema=preverify_schema,
+                use_preverifier=use_preverifier,
             )
             self.filter_tree.telemetry = telemetry
         else:
             self.filter_tree = FilterTree(
-                options, interner=interner, use_interning=use_interning
+                options,
+                interner=interner,
+                use_interning=use_interning,
+                preverify_schema=preverify_schema,
+                use_preverifier=use_preverifier,
             )
         self.statistics = MatcherStatistics()
 
@@ -182,6 +225,9 @@ class ViewMatcher:
         interner: KeyInterner | None = None,
         shard_count: int = 1,
         telemetry: TelemetryHub | None = None,
+        use_preverifier: bool = True,
+        use_template_cache: bool = True,
+        preverify_schema: PreVerifierSchema | None = None,
     ) -> "ViewMatcher":
         """Build a matcher by re-indexing already-described views.
 
@@ -200,6 +246,9 @@ class ViewMatcher:
             interner=interner,
             shard_count=shard_count,
             telemetry=telemetry,
+            use_preverifier=use_preverifier,
+            use_template_cache=use_template_cache,
+            preverify_schema=preverify_schema,
         )
         for view in views:
             matcher.filter_tree.register_prebuilt(view)
@@ -213,6 +262,8 @@ class ViewMatcher:
         options: MatchOptions = DEFAULT_OPTIONS,
         use_match_contexts: bool = True,
         telemetry: TelemetryHub | None = None,
+        use_preverifier: bool = True,
+        use_template_cache: bool = True,
     ) -> "ViewMatcher":
         """Build a matcher around an existing (possibly shared) filter tree.
 
@@ -225,6 +276,8 @@ class ViewMatcher:
         matcher.options = options
         matcher.use_filter_tree = True
         matcher.use_match_contexts = use_match_contexts
+        matcher.use_preverifier = use_preverifier
+        matcher.use_template_cache = use_template_cache
         matcher.shard_count = getattr(filter_tree, "shard_count", 1)
         matcher.filter_tree = filter_tree
         matcher.statistics = MatcherStatistics()
@@ -290,11 +343,32 @@ class ViewMatcher:
             return self.filter_tree.candidates(query)
         return list(self.filter_tree.views())
 
+    def _preverify_verdicts(self, query, candidates):
+        """Columnar screen verdicts for ``candidates`` (None = no screen).
+
+        Gated on the precomputed-context configuration: the screen's
+        rejects replay registration-time context state, so the
+        rebuilt-contexts reference mode must measure the unscreened path.
+        """
+        if not candidates:
+            return None
+        if not (
+            self.use_preverifier
+            and self.use_filter_tree
+            and self.use_match_contexts
+        ):
+            return None
+        screener = getattr(self.filter_tree, "preverify_screen", None)
+        if screener is None:
+            return None
+        return screener(query, candidates)
+
     def match(
         self,
         query: SpjgDescription | SelectStatement,
         workers: int | None = None,
         staleness=None,
+        cost_policy=None,
     ) -> list[MatchResult]:
         """One view-matching invocation: all match results over candidates.
 
@@ -312,12 +386,22 @@ class ViewMatcher:
         bound. Excluded candidates are recorded with the ``STALE`` reject
         reason -- they still count as considered, so the funnel shows
         staleness attrition next to the structural reject reasons.
+
+        ``cost_policy`` enables cost-bounded best-first verification (the
+        optimizer's path): candidates are verified cheapest-first by the
+        policy's per-view cost lower bound, every successful match is
+        reported through ``policy.observe(result)`` so the policy can
+        tighten its upper bound, and once ``policy.bound()`` proves no
+        remaining candidate can beat the best plan the rest are returned
+        unverified with ``stage="skipped"`` (substitute and reject reason
+        both ``None``). The result list keeps candidate order regardless.
         """
         if isinstance(query, SelectStatement):
             query = self.describe_query(query)
         if (
             workers is not None
             and workers > 1
+            and cost_policy is None
             and isinstance(self.filter_tree, ShardedFilterTree)
             and fork_available()
         ):
@@ -327,9 +411,28 @@ class ViewMatcher:
         stats.invocations += 1
         stats.views_registered_total += self.view_count
         candidates = self.candidates(query)
-        results: list[MatchResult] = []
+        verdicts = self._preverify_verdicts(query, candidates)
+        order = list(range(len(candidates)))
+        bounds = None
+        if cost_policy is not None and len(candidates) > 1:
+            bounds = [
+                cost_policy.lower_bound(candidate.description)
+                for candidate in candidates
+            ]
+            order.sort(key=lambda position: (bounds[position], position))
+        results: list[MatchResult | None] = [None] * len(candidates)
         matched = 0
-        for candidate in candidates:
+        skip_from: int | None = None
+        for rank, position in enumerate(order):
+            candidate = candidates[position]
+            if (
+                bounds is not None
+                and cost_policy.bound() <= bounds[position]
+            ):
+                # Bounds ascend along `order`, so nothing later can beat
+                # the best plan either.
+                skip_from = rank
+                break
             stats.views_considered += 1
             stale_detail = (
                 staleness(candidate.description.name)
@@ -342,6 +445,8 @@ class ViewMatcher:
                     reject_reason=RejectReason.STALE,
                     reject_detail=stale_detail,
                 )
+            elif verdicts is not None and verdicts[position] is not None:
+                result = verdicts[position]
             else:
                 result = match_view(
                     query,
@@ -350,14 +455,26 @@ class ViewMatcher:
                     context=(
                         candidate.match_context if self.use_match_contexts else None
                     ),
+                    use_templates=self.use_template_cache,
                 )
             if result.matched:
                 matched += 1
                 stats.matches += 1
                 stats.substitutes += 1
+                if cost_policy is not None:
+                    cost_policy.observe(result)
             elif result.reject_reason is not None:
                 stats.record_rejection(result.reject_reason)
-            results.append(result)
+                if result.stage == STAGE_PREVERIFY:
+                    stats.preverifier_rejects += 1
+            results[position] = result
+        if skip_from is not None:
+            for position in order[skip_from:]:
+                stats.candidates_skipped += 1
+                results[position] = MatchResult(
+                    view=candidates[position].description,
+                    stage=STAGE_SKIPPED,
+                )
         self._record_invocation(
             time.perf_counter() - started, len(candidates), matched
         )
@@ -413,6 +530,8 @@ class ViewMatcher:
         ]
         options = self.options
         use_contexts = self.use_match_contexts
+        use_templates = self.use_template_cache
+        screen_enabled = self.use_preverifier and use_contexts
         # Captured by value into the closure: the context crosses the
         # fork inside the child's copy-on-write image.
         context = current_trace_context()
@@ -424,11 +543,20 @@ class ViewMatcher:
             worker = WorkerTelemetry()
             sketch = worker.sketch("match_worker_view_seconds")
             worker_started = time.perf_counter()
+            pairs = tree.shard_candidates(query, shard_indices)
+            verdicts = (
+                tree.preverify_screen(
+                    query, [candidate for _, candidate in pairs]
+                )
+                if screen_enabled and pairs
+                else None
+            )
             entries = []
             matched = 0
-            for sequence, candidate in tree.shard_candidates(
-                query, shard_indices
-            ):
+            for position, (sequence, candidate) in enumerate(pairs):
+                if verdicts is not None and verdicts[position] is not None:
+                    entries.append((sequence, candidate, verdicts[position]))
+                    continue
                 candidate_started = time.perf_counter()
                 result = match_view(
                     query,
@@ -437,6 +565,7 @@ class ViewMatcher:
                     context=(
                         candidate.match_context if use_contexts else None
                     ),
+                    use_templates=use_templates,
                 )
                 sketch.record(time.perf_counter() - candidate_started)
                 if result.matched:
@@ -505,6 +634,8 @@ class ViewMatcher:
                 stats.substitutes += 1
             elif result.reject_reason is not None:
                 stats.record_rejection(result.reject_reason)
+                if result.stage == STAGE_PREVERIFY:
+                    stats.preverifier_rejects += 1
             results.append(result)
         self._record_invocation(
             time.perf_counter() - started, len(candidates), matched

@@ -15,7 +15,14 @@ Event schema (version 1)::
      "latency_seconds": float, "error": str | null,
      "timed_out": bool, "rejected": bool,
      "max_staleness": float | null,
-     "reject_tallies": {reason: count, ...}}
+     "reject_tallies": {reason: count, ...},
+     "preverified_rejects": int, "candidates_skipped": int}
+
+The last two fields (candidates dismissed by the columnar
+pre-verifier, and candidates never verified because the cost bound
+closed the search) are additive within version 1: readers fold them
+with ``.get(..., 0)``, so journals written before the vectorized
+verification work keep aggregating.
 
 Unknown versions are skipped on read, so a newer writer never breaks
 an older ``workload-report``.  Rotation is copy-free rename chaining
@@ -132,9 +139,13 @@ class WorkloadRecorder:
         """
 
         tallies: Dict[str, int] = {}
+        preverified = 0
+        skipped = 0
         inner = getattr(result, "result", None)
         if inner is not None:
             tallies = dict(getattr(inner, "reject_tallies", ()) or ())
+            preverified = int(getattr(inner, "preverified_rejects", 0) or 0)
+            skipped = int(getattr(inner, "candidates_skipped", 0) or 0)
         sql = result.sql or ""
         return self.record_event(
             {
@@ -150,6 +161,8 @@ class WorkloadRecorder:
                 "rejected": bool(result.rejected),
                 "max_staleness": result.max_staleness,
                 "reject_tallies": tallies,
+                "preverified_rejects": preverified,
+                "candidates_skipped": skipped,
             }
         )
 
@@ -258,6 +271,8 @@ class WorkloadAggregate:
         self.uses_view = 0
         self.bounded = 0
         self.stale_rejects = 0
+        self.preverified_rejects = 0
+        self.candidates_skipped = 0
         self.reject_funnel: Dict[str, int] = {}
         self.fingerprints: Dict[str, Dict[str, Any]] = {}
         self.latency = DDSketch()
@@ -282,6 +297,12 @@ class WorkloadAggregate:
             self.rejected += 1
         if event.get("max_staleness") is not None:
             self.bounded += 1
+        preverified = event.get("preverified_rejects")
+        if isinstance(preverified, int):
+            self.preverified_rejects += preverified
+        skipped = event.get("candidates_skipped")
+        if isinstance(skipped, int):
+            self.candidates_skipped += skipped
         latency = event.get("latency_seconds")
         if isinstance(latency, (int, float)) and latency > 0:
             self.latency.record(float(latency))
@@ -366,6 +387,8 @@ class WorkloadAggregate:
                 for fingerprint, entry in self.top_fingerprints(top)
             ],
             "reject_funnel": dict(self.ranked_rejects()),
+            "preverified_rejects": self.preverified_rejects,
+            "candidates_skipped": self.candidates_skipped,
             "latency": self.latency.snapshot(),
             "cache_hit_rate": self.hit_rate,
         }
@@ -396,6 +419,11 @@ class WorkloadAggregate:
             lines.append(f"reject funnel ({total} rejects):")
             for reason, count in ranked:
                 lines.append(f"  {reason:<18} {count:>8}  {count / total:6.1%}")
+        if self.preverified_rejects or self.candidates_skipped:
+            lines.append(
+                f"verification: {self.preverified_rejects} pre-verified "
+                f"rejects, {self.candidates_skipped} cost-bound skips"
+            )
         tops = self.top_fingerprints(top)
         if tops:
             lines.append(f"top {len(tops)} query shapes:")

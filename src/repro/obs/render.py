@@ -26,10 +26,12 @@ from .trace import RewriteTrace
 # python type tuples; "nullable" admits None; nested dicts describe
 # objects, ("list", spec) describes homogeneous arrays.
 #
-# This is the current (version 2) schema: version 1 exports are the
-# same shape minus the top-level ``trace_id`` field the cross-process
-# telemetry pipeline added, and the validator dispatches on the dict's
-# own ``trace_version`` so committed v1 fixtures keep validating.
+# This is the current (version 3) schema: version 2 exports are the
+# same shape minus the per-candidate ``stage`` field the vectorized
+# pre-verifier added, and version 1 additionally lacks the top-level
+# ``trace_id`` field from the cross-process telemetry pipeline. The
+# validator dispatches on the dict's own ``trace_version`` so committed
+# v1/v2 fixtures keep validating.
 TRACE_SCHEMA: dict = {
     "trace_version": {"type": (int,)},
     "trace_id": {"type": (str,), "nullable": True},
@@ -70,6 +72,7 @@ TRACE_SCHEMA: dict = {
                     "reject_reason": {"type": (str,), "nullable": True},
                     "reject_detail": {"type": (str,)},
                     "compensation": ("list", {"type": (str,)}),
+                    "stage": {"type": (str,)},
                 },
             ),
         },
@@ -126,11 +129,27 @@ def _validate(value, spec, path: str, errors: list[str]) -> None:
             errors.append(f"{path}.{name}: unexpected field")
 
 
-# Version 1 lacked trace_id; everything else is identical. Kept as a
-# distinct spec (rather than marking trace_id optional) so a v2 export
-# that *drops* the field still fails validation.
+def _without_funnel_stage(schema: dict) -> dict:
+    """The given schema minus the per-candidate ``stage`` funnel field."""
+    derived = dict(schema)
+    kind, invocation_spec = schema["invocations"]
+    invocation_spec = dict(invocation_spec)
+    funnel_kind, funnel_spec = invocation_spec["funnel"]
+    invocation_spec["funnel"] = (
+        funnel_kind,
+        {name: spec for name, spec in funnel_spec.items() if name != "stage"},
+    )
+    derived["invocations"] = (kind, invocation_spec)
+    return derived
+
+
+# Version 2 lacked the funnel ``stage`` field; version 1 additionally
+# lacked trace_id. Kept as distinct specs (rather than marking the
+# fields optional) so a current export that *drops* a field still fails
+# validation.
+TRACE_SCHEMA_V2: dict = _without_funnel_stage(TRACE_SCHEMA)
 TRACE_SCHEMA_V1: dict = {
-    name: spec for name, spec in TRACE_SCHEMA.items() if name != "trace_id"
+    name: spec for name, spec in TRACE_SCHEMA_V2.items() if name != "trace_id"
 }
 
 
@@ -139,13 +158,18 @@ def validate_trace_dict(data: dict) -> list[str]:
 
     Dispatches on the dict's own ``trace_version``: version-1 exports
     (from before the cross-process telemetry pipeline) validate against
-    the v1 schema, everything else against the current one. Returns the
-    list of mismatches (empty = valid).
+    the v1 schema, version-2 exports (before the vectorized
+    pre-verifier) against the v2 schema, everything else against the
+    current one. Returns the list of mismatches (empty = valid).
     """
     errors: list[str] = []
-    schema = (
-        TRACE_SCHEMA_V1 if data.get("trace_version") == 1 else TRACE_SCHEMA
-    )
+    version = data.get("trace_version")
+    if version == 1:
+        schema = TRACE_SCHEMA_V1
+    elif version == 2:
+        schema = TRACE_SCHEMA_V2
+    else:
+        schema = TRACE_SCHEMA
     _validate(data, schema, "trace", errors)
     return errors
 
@@ -196,10 +220,20 @@ def render_trace(trace: RewriteTrace) -> str:
             )
 
     for number, invocation in enumerate(trace.invocations, start=1):
+        extras = ""
+        preverified = invocation.preverified_rejects
+        skipped = invocation.skipped
+        if preverified or skipped:
+            parts = []
+            if preverified:
+                parts.append(f"{preverified} pre-verified rejects")
+            if skipped:
+                parts.append(f"{skipped} skipped")
+            extras = f"  ({', '.join(parts)})"
         lines.append(
             f"match invocation {number}: {invocation.registered} registered "
             f"-> {invocation.candidates} candidates "
-            f"-> {invocation.matches} matched"
+            f"-> {invocation.matches} matched{extras}"
         )
         for level in invocation.levels:
             pruned = ""
@@ -217,15 +251,24 @@ def render_trace(trace: RewriteTrace) -> str:
                 lines.append(f"  + {candidate.view}: MATCHED")
                 for step in candidate.compensation:
                     lines.append(f"      compensation: {step}")
+            elif candidate.stage == "skipped":
+                lines.append(
+                    f"  ~ {candidate.view}: skipped (cost bound reached)"
+                )
             else:
                 detail = (
                     f" ({candidate.reject_detail})"
                     if candidate.reject_detail
                     else ""
                 )
+                preverified = (
+                    " [pre-verified]"
+                    if candidate.stage == "preverify"
+                    else ""
+                )
                 lines.append(
                     f"  - {candidate.view}: rejected "
-                    f"{candidate.reject_reason}{detail}"
+                    f"{candidate.reject_reason}{detail}{preverified}"
                 )
 
     tallies = trace.reject_tallies()
@@ -261,6 +304,7 @@ def render_trace(trace: RewriteTrace) -> str:
 __all__ = [
     "TRACE_SCHEMA",
     "TRACE_SCHEMA_V1",
+    "TRACE_SCHEMA_V2",
     "render_trace",
     "trace_to_json",
     "validate_trace_dict",

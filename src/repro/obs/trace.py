@@ -47,9 +47,15 @@ from .telemetry import current_trace_context
 #:   set when a :class:`~repro.obs.telemetry.TraceContext` was active)
 #:   so spans recorded in forked matching workers and the CDC applier
 #:   stitch to the request trace they belong to.
+#: * 3 -- vectorized verification: every funnel entry carries a
+#:   ``stage`` ("verify" = full ``match_view`` walk, "preverify" =
+#:   rejected by the columnar pre-verifier sweep, "skipped" = never
+#:   verified because the optimizer's cost bound proved no cheaper plan
+#:   was reachable), so pre-verifier rejects and early terminations are
+#:   distinct funnel lines.
 #:
-#: The validator in :mod:`repro.obs.render` accepts both versions.
-TRACE_VERSION = 2
+#: The validator in :mod:`repro.obs.render` accepts all versions.
+TRACE_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -103,7 +109,11 @@ class CandidateTrace:
 
     Either ``matched`` with the compensation summary of the substitute,
     or rejected with the :class:`~repro.core.matching.RejectReason` name
-    and its detail string.
+    and its detail string. ``stage`` (schema version 3) says how the
+    verdict was reached: ``"verify"`` is the full ``match_view`` walk,
+    ``"preverify"`` a columnar pre-verifier rejection, ``"skipped"`` a
+    candidate the optimizer's cost bound never verified (neither matched
+    nor rejected).
     """
 
     view: str
@@ -111,6 +121,7 @@ class CandidateTrace:
     reject_reason: str | None = None
     reject_detail: str = ""
     compensation: tuple[str, ...] = ()
+    stage: str = "verify"
 
     def to_dict(self) -> dict:
         return {
@@ -119,6 +130,7 @@ class CandidateTrace:
             "reject_reason": self.reject_reason,
             "reject_detail": self.reject_detail,
             "compensation": list(self.compensation),
+            "stage": self.stage,
         }
 
 
@@ -134,6 +146,14 @@ class MatchInvocationTrace:
     @property
     def matches(self) -> int:
         return sum(1 for c in self.funnel if c.matched)
+
+    @property
+    def preverified_rejects(self) -> int:
+        return sum(1 for c in self.funnel if c.stage == "preverify")
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for c in self.funnel if c.stage == "skipped")
 
     def to_dict(self) -> dict:
         return {
@@ -260,6 +280,7 @@ class RewriteTrace:
                             compensation=tuple(
                                 candidate.get("compensation", ())
                             ),
+                            stage=candidate.get("stage", "verify"),
                         )
                         for candidate in inv.get("funnel", [])
                     ),
@@ -436,6 +457,7 @@ class RewriteTracer:
                     if result.matched
                     else ()
                 ),
+                stage=getattr(result, "stage", "verify"),
             )
             for result in results
         )

@@ -28,6 +28,7 @@ from itertools import combinations
 from ..catalog.catalog import Catalog
 from ..core.describe import SpjgDescription, describe
 from ..core.matcher import ViewMatcher
+from ..core.matching import STAGE_PREVERIFY, STAGE_SKIPPED
 from ..errors import DeadlineExceeded
 from ..obs.trace import PlanAlternative, current_tracer
 from ..sql.expressions import (
@@ -60,6 +61,12 @@ class OptimizerConfig:
     #: every estimate and every rule invocation re-describes its block --
     #: which the hot-path benchmark uses as its end-to-end baseline.
     share_descriptions: bool = True
+    #: Verify the top-level invocation's candidates cheapest-first under
+    #: a cost upper bound from the best plan so far (paper §2.4 spirit):
+    #: once no remaining candidate's cost lower bound can beat the bound,
+    #: the rest are skipped unverified. Never changes the chosen plan's
+    #: cost -- skipped candidates are provably at least as expensive.
+    cost_bounded_matching: bool = True
 
 
 @dataclass(frozen=True)
@@ -88,6 +95,11 @@ class OptimizationResult:
     #: the workload recorder can journal the funnel even for requests
     #: answered from the rewrite cache.
     reject_tallies: tuple[tuple[str, int], ...] = ()
+    #: How many of the rejects above were decided by the columnar
+    #: pre-verifier sweep (no ``match_view`` walk), and how many
+    #: candidates the cost bound skipped without verifying at all.
+    preverified_rejects: int = 0
+    candidates_skipped: int = 0
 
 
 class Optimizer:
@@ -164,6 +176,8 @@ class Optimizer:
             optimize_seconds=elapsed,
             matching_seconds=search.matching_seconds,
             reject_tallies=tuple(sorted(search.reject_tallies.items())),
+            preverified_rejects=search.preverified_rejects,
+            candidates_skipped=search.candidates_skipped,
         )
 
     def explain(self, statement: SelectStatement) -> str:
@@ -228,6 +242,8 @@ class _Search:
         self.candidates_considered = 0
         self.matching_seconds = 0.0
         self.reject_tallies: dict[str, int] = {}
+        self.preverified_rejects = 0
+        self.candidates_skipped = 0
         self.best: dict[frozenset[str], PlanNode] = {}
         self._block_cardinality: dict[frozenset[str], float] = {}
         self.share_descriptions = optimizer.config.share_descriptions
@@ -264,7 +280,9 @@ class _Search:
                 "optimization overran its deadline mid-search"
             )
 
-    def _invoke_view_matching(self, block: SelectStatement) -> list:
+    def _invoke_view_matching(
+        self, block: SelectStatement, cost_policy=None
+    ) -> list:
         """The view-matching rule: returns successful match results."""
         matcher = self.optimizer.matcher
         if matcher is None:
@@ -276,7 +294,9 @@ class _Search:
         query = self._describe(block) if self.share_descriptions else block
         started = time.perf_counter()
         try:
-            results = matcher.match(query, staleness=self.staleness)
+            results = matcher.match(
+                query, staleness=self.staleness, cost_policy=cost_policy
+            )
         finally:
             self.matching_seconds += time.perf_counter() - started
         self.invocations += 1
@@ -286,6 +306,10 @@ class _Search:
             if result.reject_reason is not None:
                 name = result.reject_reason.name
                 tallies[name] = tallies.get(name, 0) + 1
+                if result.stage == STAGE_PREVERIFY:
+                    self.preverified_rejects += 1
+            elif result.stage == STAGE_SKIPPED:
+                self.candidates_skipped += 1
         matches = [r for r in results if r.matched]
         self.substitutes_produced += len(matches)
         if not self.optimizer.config.produce_substitutes:
@@ -611,8 +635,19 @@ class _Search:
             )
         )
 
-        # The view-matching rule on the query expression itself.
-        for match in self._invoke_view_matching(statement):
+        # The view-matching rule on the query expression itself. The
+        # finish plan built above is a real alternative, so its cost is a
+        # valid initial upper bound for cost-bounded verification.
+        cost_policy = None
+        if (
+            self.optimizer.config.cost_bounded_matching
+            and self.optimizer.config.produce_substitutes
+            and self.optimizer.matcher is not None
+        ):
+            cost_policy = _CostBoundPolicy(self, output_rows, finish_cost)
+        for match in self._invoke_view_matching(
+            statement, cost_policy=cost_policy
+        ):
             cost = self._substitute_cost(match, output_rows)
             candidates.append(
                 DirectNode(
@@ -785,6 +820,44 @@ class _Search:
             est_rows=output_rows,
             cost=join.cost + self.cost_model.group(join.est_rows, output_rows),
         )
+
+
+class _CostBoundPolicy:
+    """Best-first verification oracle for one view-matching invocation.
+
+    The matcher sorts candidates by :meth:`lower_bound`, reports each
+    successful match through :meth:`observe`, and stops verifying once
+    :meth:`bound` proves no remaining candidate can beat the best plan.
+    The lower bound is sound against :meth:`_Search._substitute_cost`:
+    every substitute reads the view's extent at least once -- the cheaper
+    of an index seek capped at the output cardinality and an unfiltered
+    scan -- and backjoins, residual filters, and regrouping only add cost.
+    """
+
+    __slots__ = ("_search", "_output_rows", "_bound")
+
+    def __init__(
+        self, search: "_Search", output_rows: float, initial_bound: float
+    ) -> None:
+        self._search = search
+        self._output_rows = output_rows
+        self._bound = initial_bound
+
+    def bound(self) -> float:
+        return self._bound
+
+    def lower_bound(self, view: SpjgDescription) -> float:
+        view_rows = self._search.optimizer.view_estimated_rows(view)
+        model = self._search.cost_model
+        return min(
+            model.index_seek(min(view_rows, self._output_rows)),
+            model.block(view_rows, filtered=False),
+        )
+
+    def observe(self, result) -> None:
+        cost = self._search._substitute_cost(result, self._output_rows)
+        if cost < self._bound:
+            self._bound = cost
 
 
 def _rewrite_aggregates(

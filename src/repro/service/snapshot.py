@@ -31,6 +31,7 @@ from ..core.interning import KeyInterner
 from ..core.matcher import ViewMatcher
 from ..core.matching import ViewMatchContext
 from ..core.options import DEFAULT_OPTIONS, MatchOptions
+from ..core.preverify import PreVerifierSchema
 from ..core.sharding import ShardedFilterTree, shard_index
 from ..optimizer.cost import DEFAULT_COST_MODEL, CostModel
 from ..optimizer.optimizer import Optimizer, OptimizerConfig
@@ -126,6 +127,10 @@ class SnapshotManager:
         # bound-probe encodings readers cache) stay valid across rebuilds.
         # It only ever grows on the serialized writer path.
         self._interner = KeyInterner()
+        # Likewise one pre-verifier schema: pair-bit and column-id
+        # assignments stay stable across epochs so shard trees shared
+        # structurally between snapshots screen with consistent masks.
+        self._preverify_schema = PreVerifierSchema()
         self._views: dict[str, RegisteredView] = {}
         # Global registration order, preserved across epochs so sharded
         # candidate merging observes the same order as a single tree.
@@ -303,6 +308,7 @@ class SnapshotManager:
                 use_filter_tree=self.use_filter_tree,
                 interner=self._interner,
                 telemetry=self.telemetry,
+                preverify_schema=self._preverify_schema,
             )
         optimizer = Optimizer(
             self.catalog,
@@ -370,13 +376,22 @@ class SnapshotManager:
                     if shard.view(name) is None:
                         shard.register_prebuilt(views[name])
             else:
-                shard = FilterTree(self.options, interner=self._interner)
+                shard = FilterTree(
+                    self.options,
+                    interner=self._interner,
+                    preverify_schema=self._preverify_schema,
+                )
                 for name in desired:
                     shard.register_prebuilt(views[name])
             shards.append(shard)
         next_seq = max(order.values(), default=-1) + 1
         return ShardedFilterTree.from_shards(
-            shards, self.options, self._interner, dict(order), next_seq
+            shards,
+            self.options,
+            self._interner,
+            dict(order),
+            next_seq,
+            preverify_schema=self._preverify_schema,
         )
 
     def __iter__(self) -> Iterator[str]:

@@ -204,7 +204,7 @@ class TestTraceModel:
 
     def test_to_dict_shape(self):
         data = self.make_trace().to_dict()
-        assert data["trace_version"] == 2
+        assert data["trace_version"] == 3
         assert data["invocations"][0]["matches"] == 1
         assert data["reject_tallies"] == {"RANGE": 2}
         assert data["plan_alternatives"][1]["chosen"] is True

@@ -1,7 +1,8 @@
-"""Trace schema evolution: version-2 exports, version-1 compatibility.
+"""Trace schema evolution: version-3 exports, v1/v2 compatibility.
 
-The committed ``fixtures/trace_v1.json`` is a pre-trace-id export.  It
-must keep validating (the validator dispatches on the dict's own
+The committed ``fixtures/trace_v1.json`` (pre-trace-id) and
+``fixtures/trace_v2.json`` (pre-funnel-stage) exports must keep
+validating (the validator dispatches on the dict's own
 ``trace_version``) and keep rebuilding/rendering, or the version bump
 broke every journal written before it.
 """
@@ -13,25 +14,32 @@ from repro.obs import TRACE_VERSION, RewriteTrace, RewriteTracer, tracing
 from repro.obs.render import (
     TRACE_SCHEMA,
     TRACE_SCHEMA_V1,
+    TRACE_SCHEMA_V2,
     render_trace,
     validate_trace_dict,
 )
 from repro.obs.telemetry import TraceContext, trace_context
 
-FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "trace_v1.json")
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 
 
-def load_fixture():
-    with open(FIXTURE, encoding="utf-8") as handle:
+def load_fixture(name):
+    with open(os.path.join(FIXTURES, name), encoding="utf-8") as handle:
         return json.load(handle)
 
 
 class TestCurrentSchema:
-    def test_version_is_two(self):
-        assert TRACE_VERSION == 2
+    def test_version_is_three(self):
+        assert TRACE_VERSION == 3
 
-    def test_v2_schema_requires_trace_id(self):
-        assert "trace_id" in TRACE_SCHEMA
+    def test_schema_lineage(self):
+        # v3 requires the funnel stage, v2 does not; v1 additionally
+        # drops trace_id.
+        funnel_spec = TRACE_SCHEMA["invocations"][1]["funnel"][1]
+        assert "stage" in funnel_spec
+        v2_funnel = TRACE_SCHEMA_V2["invocations"][1]["funnel"][1]
+        assert "stage" not in v2_funnel
+        assert "trace_id" in TRACE_SCHEMA_V2
         assert "trace_id" not in TRACE_SCHEMA_V1
 
     def test_fresh_export_carries_the_active_trace_id(self):
@@ -40,14 +48,14 @@ class TestCurrentSchema:
             with tracing(RewriteTracer(sql="select 1")) as tracer:
                 pass
         data = tracer.trace.to_dict()
-        assert data["trace_version"] == 2
+        assert data["trace_version"] == 3
         assert data["trace_id"] == context.trace_id
         assert validate_trace_dict(data) == []
 
 
 class TestV1Compatibility:
     def test_fixture_still_validates(self):
-        data = load_fixture()
+        data = load_fixture("trace_v1.json")
         assert data["trace_version"] == 1
         assert "trace_id" not in data
         assert validate_trace_dict(data) == []
@@ -55,12 +63,12 @@ class TestV1Compatibility:
     def test_fixture_fails_v2_validation_semantics(self):
         # The same dict claiming to be version 2 must be rejected: the
         # compat window is keyed on the declared version, not leniency.
-        data = load_fixture()
+        data = load_fixture("trace_v1.json")
         data["trace_version"] = 2
         assert validate_trace_dict(data) != []
 
     def test_fixture_rebuilds_and_renders(self):
-        trace = RewriteTrace.from_dict(load_fixture())
+        trace = RewriteTrace.from_dict(load_fixture("trace_v1.json"))
         assert trace.trace_id is None
         assert trace.reject_tallies() == {
             "RANGE": 1,
@@ -73,7 +81,41 @@ class TestV1Compatibility:
 
     def test_round_trip_re_export_upgrades_version(self):
         # from_dict + to_dict re-emits at the current version with a
-        # null trace id -- old data is readable, new writes are v2.
-        data = RewriteTrace.from_dict(load_fixture()).to_dict()
-        assert data["trace_version"] == 2
+        # null trace id -- old data is readable, new writes are v3.
+        data = RewriteTrace.from_dict(load_fixture("trace_v1.json")).to_dict()
+        assert data["trace_version"] == 3
         assert data["trace_id"] is None
+
+
+class TestV2Compatibility:
+    def test_fixture_still_validates(self):
+        data = load_fixture("trace_v2.json")
+        assert data["trace_version"] == 2
+        assert "stage" not in data["invocations"][0]["funnel"][0]
+        assert validate_trace_dict(data) == []
+
+    def test_fixture_fails_v3_validation_semantics(self):
+        data = load_fixture("trace_v2.json")
+        data["trace_version"] = 3
+        assert validate_trace_dict(data) != []
+
+    def test_fixture_rebuilds_with_default_stage(self):
+        # Pre-stage funnel entries rebuild as ordinary full-match
+        # verifications; nothing in a v2 journal can claim the
+        # pre-verifier or cost-bound paths that did not exist yet.
+        trace = RewriteTrace.from_dict(load_fixture("trace_v2.json"))
+        stages = {
+            candidate.stage
+            for invocation in trace.invocations
+            for candidate in invocation.funnel
+        }
+        assert stages == {"verify"}
+        assert trace.invocations[0].preverified_rejects == 0
+        assert trace.invocations[0].skipped == 0
+
+    def test_round_trip_re_export_upgrades_version(self):
+        data = RewriteTrace.from_dict(load_fixture("trace_v2.json")).to_dict()
+        assert data["trace_version"] == 3
+        for candidate in data["invocations"][0]["funnel"]:
+            assert candidate["stage"] == "verify"
+        assert validate_trace_dict(data) == []

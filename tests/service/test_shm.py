@@ -145,9 +145,10 @@ class TestExportSnapshot:
             assert arena.tables_exported >= 1
             del arena
             # The adopted views own the mapping; the arena was only
-            # bookkeeping. Sweeps must not fault.
+            # bookkeeping. Reading the packed images (bitset and range
+            # tables alike) must not fault.
             for table in snapshot.matcher.filter_tree.packed_tables():
-                table.sweep_mask(0)
+                bytes(table.packed_bytes())
             assert server.rewrite(QUERY_SQL).uses_view
 
     @needs_fork
@@ -159,13 +160,13 @@ class TestExportSnapshot:
             snapshot = server.snapshots.current
             export_snapshot(snapshot)
             tables = snapshot.matcher.filter_tree.packed_tables()
-            expected = [table.sweep_mask(0) for table in tables]
+            expected = [bytes(table.packed_bytes()) for table in tables]
             read_fd, write_fd = os.pipe()
             pid = os.fork()
-            if pid == 0:  # child: sweep the inherited mapping, ship home
+            if pid == 0:  # child: read the inherited mapping, ship home
                 try:
                     payload = pickle.dumps(
-                        [table.sweep_mask(0) for table in tables]
+                        [bytes(table.packed_bytes()) for table in tables]
                     )
                     os.write(write_fd, struct.pack(">Q", len(payload)))
                     os.write(write_fd, payload)

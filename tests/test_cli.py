@@ -59,7 +59,7 @@ class TestExplainRewrite:
 
         assert run_explain_rewrite(AGG_QUERY, json_output=True, validate=True) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["trace_version"] == 2
+        assert payload["trace_version"] == 3
         assert validate_trace_dict(payload) == []
         assert payload["invocations"]
 
